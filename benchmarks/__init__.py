@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per paper figure/claim (see DESIGN.md §4)."""

@@ -1,0 +1,22 @@
+"""Shared configuration for the experiment benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each module regenerates one experiment from DESIGN.md §4, printing the
+rows EXPERIMENTS.md records and asserting the claim's *shape* (who wins,
+by roughly what factor) rather than absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a table even under captured output (teardown prints last)."""
+
+    def _show(table):
+        print(table.render())
+
+    return _show

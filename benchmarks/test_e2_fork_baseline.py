@@ -1,0 +1,75 @@
+"""E2 — §3's naive-fork strawman vs COW snapshots.
+
+"The large performance overheads of this naive approach would likely
+dwarf any benefit in most circumstances."  Same engine, same guest; the
+only difference is the snapshot substrate: eager full copies (fork
+semantics) vs page-table COW.  The gap must grow with address-space
+size, because eager forking copies ballast it never touches.
+"""
+
+import pytest
+
+from repro.bench import Table, fmt_ratio, time_once
+from repro.core.machine import MachineEngine
+from repro.workloads.nqueens import KNOWN_SOLUTION_COUNTS, nqueens_asm
+
+N = 5
+BALLASTS = [0, 256, 1024]  # extra heap pages (0 / 1 MiB / 4 MiB)
+
+
+def run_mode(mode: str, ballast: int):
+    engine = MachineEngine("dfs", snapshot_mode=mode)
+    result = engine.run(nqueens_asm(N, ballast_pages=ballast))
+    assert len(result.solutions) == KNOWN_SOLUTION_COUNTS[N]
+    return result
+
+
+def test_e2_cow_vs_eager_sweep(benchmark, show):
+    rows = []
+    for ballast in BALLASTS:
+        t_cow, cow = time_once(lambda b=ballast: run_mode("cow", b))
+        t_eager, eager = time_once(lambda b=ballast: run_mode("eager", b))
+        rows.append((ballast, t_cow, cow, t_eager, eager))
+
+    benchmark(lambda: run_mode("cow", BALLASTS[-1]))
+
+    table = Table(
+        f"E2: n-queens N={N}, COW snapshots vs naive fork (eager copy)",
+        ["ballast pages", "cow time (s)", "cow pages copied",
+         "eager time (s)", "eager pages copied", "eager/cow time",
+         "peak frames cow", "peak frames eager"],
+    )
+    for ballast, t_cow, cow, t_eager, eager in rows:
+        table.add(
+            ballast, t_cow, cow.stats.extra["frames_copied"],
+            t_eager, eager.stats.extra["frames_copied"],
+            fmt_ratio(t_eager, t_cow),
+            cow.stats.extra["frames_peak"], eager.stats.extra["frames_peak"],
+        )
+    show(table)
+
+    # Shape: eager always copies far more, and its cost grows with the
+    # ballast while COW's does not.
+    for ballast, t_cow, cow, t_eager, eager in rows:
+        assert (
+            eager.stats.extra["frames_copied"]
+            > 20 * cow.stats.extra["frames_copied"]
+        )
+    copies_small = rows[0][4].stats.extra["frames_copied"]
+    copies_large = rows[-1][4].stats.extra["frames_copied"]
+    assert copies_large > 5 * copies_small
+    cow_small = rows[0][2].stats.extra["frames_copied"]
+    cow_large = rows[-1][2].stats.extra["frames_copied"]
+    assert cow_large <= cow_small + BALLASTS[-1] + 16  # touched once at boot
+    # Wall-clock: eager loses, and loses worse with ballast.
+    assert rows[-1][3] > rows[-1][1]
+
+
+def test_e2_footprint(benchmark):
+    """COW keeps the whole DFS frontier within ~one image of frames."""
+    result = benchmark(lambda: run_mode("cow", 64))
+    extra = result.stats.extra
+    # Peak frames stay near the single-image size (code+data+stack+
+    # ballast), despite dozens of live snapshots over the run.
+    image_frames = 1 + 17 + 64 + 64 + 8  # text+data+stack+ballast+slack
+    assert extra["frames_peak"] < 2 * image_frames

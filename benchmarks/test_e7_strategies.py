@@ -1,0 +1,96 @@
+"""E7 — §3.1's flexible search strategies.
+
+The same guest, unchanged, runs under DFS, BFS and A*; informed
+strategies consume the goal-distance hints of the extended guess call.
+Claims: (a) strategy choice is pure policy — the solution sets agree;
+(b) A* with an admissible heuristic finds minimum-length solutions while
+evaluating far fewer candidates than BFS.
+"""
+
+import pytest
+
+from repro.bench import Table, fmt_ratio
+from repro.core import ReplayEngine
+from repro.workloads.coloring import (
+    PETERSEN_EDGES,
+    PETERSEN_NODES,
+    coloring_guest,
+    is_proper_coloring,
+)
+from repro.workloads.puzzle8 import manhattan, puzzle_guest, scramble
+
+SCRAMBLE_STEPS = 14
+MAX_MOVES = 16
+
+
+def solve_puzzle(strategy: str, use_hints: bool):
+    start = scramble(SCRAMBLE_STEPS, seed=3)
+    engine = ReplayEngine(strategy, max_solutions=1, max_evaluations=500_000)
+    result = engine.run(puzzle_guest, start, MAX_MOVES, use_hints)
+    return start, result
+
+
+def test_e7_astar_beats_bfs(benchmark, show):
+    start, astar = benchmark(lambda: solve_puzzle("astar", True))
+    _, bfs = solve_puzzle("bfs", False)
+
+    assert astar.first is not None and bfs.first is not None
+    astar_len = len(astar.first.value) - 1
+    bfs_len = len(bfs.first.value) - 1
+    optimal = bfs_len  # BFS is optimal in moves
+    assert astar_len == optimal, "A* with admissible h must stay optimal"
+    assert astar.first.value[-1] == (1, 2, 3, 4, 5, 6, 7, 8, 0)
+
+    table = Table(
+        f"E7a: 8-puzzle (scramble {SCRAMBLE_STEPS}, h0={manhattan(start)})",
+        ["strategy", "hints", "solution moves", "evaluations",
+         "vs A* evaluations"],
+    )
+    table.add("astar", "manhattan", astar_len, astar.stats.evaluations, "1.0x")
+    table.add("bfs", "none", bfs_len, bfs.stats.evaluations,
+              fmt_ratio(bfs.stats.evaluations, astar.stats.evaluations))
+    show(table)
+
+    assert astar.stats.evaluations * 3 < bfs.stats.evaluations, (
+        "A* should expand several times fewer candidates than BFS"
+    )
+
+
+@pytest.mark.parametrize("strategy", ["dfs", "bfs", "random"])
+def test_e7_strategies_same_solution_set(benchmark, strategy, show):
+    """Policy/mechanism split: colorings found are identical across
+    strategies (Petersen graph, 3 colors, first 30 solutions)."""
+
+    def run():
+        engine = ReplayEngine(strategy, max_solutions=30)
+        return engine.run(
+            coloring_guest, PETERSEN_NODES, PETERSEN_EDGES, 3
+        )
+
+    result = benchmark(run)
+    assert len(result.solutions) == 30
+    for coloring in result.solution_values:
+        assert is_proper_coloring(coloring, PETERSEN_EDGES)
+
+
+def test_e7_sma_bounded_memory(benchmark, show):
+    """SM-A* respects a hard frontier bound and still solves."""
+    from repro.search import SMAStarStrategy
+
+    def run():
+        start = scramble(10, seed=5)
+        strategy = SMAStarStrategy(capacity=64)
+        engine = ReplayEngine(strategy, max_solutions=1,
+                              max_evaluations=200_000)
+        return strategy, engine.run(puzzle_guest, start, 14, True)
+
+    strategy, result = benchmark(run)
+    assert result.first is not None
+    assert strategy.stats.peak_frontier <= 64
+    table = Table(
+        "E7b: SM-A* under a 64-extension frontier bound",
+        ["peak frontier", "dropped", "evaluations", "solved"],
+    )
+    table.add(strategy.stats.peak_frontier, strategy.stats.dropped,
+              result.stats.evaluations, bool(result))
+    show(table)

@@ -1,0 +1,93 @@
+"""E8 — §3.2's multi-path incremental solver service.
+
+"The service waits for client requests consisting of an opaque reference
+to a previously solved problem p and an incremental constraint q, and
+returns to the client the solution to p∧q together with an opaque
+reference to that new problem."
+
+Workload: a tree of client requests branching each solved problem into
+two incremental children (depth 3 -> 15 requests over one shared base).
+Compared substrates: solver-state snapshots (clone) vs from-scratch.
+The service tree is where the multi-path property matters: siblings
+extend the same parent with different constraints and must not interfere.
+"""
+
+from repro.bench import Table, fmt_ratio, time_once
+from repro.sat.gen import incremental_batches, random_ksat
+from repro.sat.service import IncrementalSolverService
+
+VARS = 100
+TREE_DEPTH = 3
+
+
+def clause_tree_requests(seed: int = 3):
+    """Base problem plus one clause batch per tree node."""
+    nodes = 2 ** (TREE_DEPTH + 1) - 1
+    base, steps = incremental_batches(VARS, int(VARS * 4.2), 8, nodes, seed=seed)
+    return base, steps
+
+
+def run_tree(incremental: bool):
+    base, steps = clause_tree_requests()
+    service = IncrementalSolverService(incremental=incremental)
+    root = service.solve(base)
+    assert root.sat is True
+    level = [root.ref]
+    batch_index = 0
+    sats = []
+    for _ in range(TREE_DEPTH):
+        next_level = []
+        for ref in level:
+            for _child in range(2):
+                outcome = service.extend(ref, steps[batch_index])
+                batch_index += 1
+                sats.append(outcome.sat)
+                next_level.append(outcome.ref)
+        level = next_level
+    return service, sats
+
+
+def test_e8_service_tree(benchmark, show):
+    t_inc, (inc, sats_inc) = time_once(lambda: run_tree(True))
+    t_scr, (scr, sats_scr) = time_once(lambda: run_tree(False))
+
+    benchmark(lambda: run_tree(True))
+
+    # Correctness: identical verdicts on every request, all SAT (the
+    # batches share one planted model).
+    assert sats_inc == sats_scr
+    assert all(s is True for s in sats_inc)
+
+    table = Table(
+        f"E8: solver service, binary request tree depth {TREE_DEPTH} "
+        f"({inc.requests} requests)",
+        ["substrate", "total conflicts", "time (s)", "speedup"],
+    )
+    table.add("snapshot (clone + increment)", inc.total_conflicts, t_inc,
+              fmt_ratio(t_scr, t_inc))
+    table.add("from scratch per request", scr.total_conflicts, t_scr, "1.0x")
+    show(table)
+
+    assert inc.total_conflicts < scr.total_conflicts
+    assert t_inc < t_scr
+
+
+def test_e8_sibling_divergence(benchmark):
+    """Two clients extend the same reference with opposite constraints;
+    both remain solvable and the parent stays reusable — immutability of
+    the partial candidate, at the service level."""
+    cnf = random_ksat(40, 100, seed=5, planted=True)
+
+    def run():
+        service = IncrementalSolverService()
+        p = service.solve(cnf)
+        left = service.extend(p.ref, [[1]])
+        right = service.extend(p.ref, [[-1]])
+        again = service.extend(p.ref, [[2, 3]])
+        return p, left, right, again
+
+    p, left, right, again = benchmark(run)
+    assert left.sat is not None and right.sat is not None
+    if left.sat and right.sat:
+        assert left.model[1] != right.model[1]
+    assert again.sat is True

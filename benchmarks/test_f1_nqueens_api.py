@@ -1,0 +1,72 @@
+"""F1 — Figure 1: n-queens against the three-syscall API.
+
+Reproduces the executable claim of Figure 1: an n-queens program written
+as a single path to the solution, with no undo logic, enumerates every
+solution under system-level backtracking; "the implementation appears to
+execute in linear time" from the guest's perspective (guest path length
+is linear in N even though the search is exponential).
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.core.machine import MachineEngine
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    boards_from_result,
+    is_valid_board,
+    nqueens_asm,
+)
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_f1_nqueens_enumeration(benchmark, n, show):
+    """All solutions found, all valid, no duplicate boards."""
+
+    def run():
+        return MachineEngine("dfs").run(nqueens_asm(n))
+
+    result = benchmark(run)
+    boards = boards_from_result(result)
+    assert len(boards) == KNOWN_SOLUTION_COUNTS[n]
+    assert len(set(boards)) == len(boards)
+    assert all(is_valid_board(b) for b in boards)
+
+    table = Table(
+        f"F1: n-queens via sys_guess (N={n})",
+        ["N", "solutions", "candidates", "evaluations", "guest insns",
+         "snapshots", "peak live snaps"],
+    )
+    extra = result.stats.extra
+    table.add(
+        n, len(boards), result.stats.candidates, result.stats.evaluations,
+        extra["guest_instructions"], extra["snapshots_taken"],
+        extra["snapshots_peak_live"],
+    )
+    show(table)
+
+
+def test_f1_guest_path_is_linear(benchmark):
+    """The single-path illusion: every solution path has exactly N guesses
+    (linear in N), independent of the exponential search behind it."""
+
+    def run():
+        return MachineEngine("dfs").run(nqueens_asm(6))
+
+    result = benchmark(run)
+    assert all(s.depth == 6 for s in result.solutions)
+
+
+def test_f1_fig1_print_then_fail(benchmark):
+    """The literal Figure 1 pattern: printboard then sys_guess_fail
+    'to print all answers'."""
+
+    def run():
+        engine = MachineEngine("dfs")
+        engine.run(nqueens_asm(5, fig1_style=True))
+        return engine
+
+    engine = benchmark(run)
+    boards = [t.strip() for t in engine.failed_output()]
+    assert len(boards) == KNOWN_SOLUTION_COUNTS[5]
+    assert all(is_valid_board(b) for b in boards)

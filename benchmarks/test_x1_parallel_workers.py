@@ -1,0 +1,86 @@
+"""X1 (extension) — Figure 2's multi-vCPU exploration.
+
+The paper's architecture draws one extension-evaluation box per core.
+This bench drives the multi-worker engine across worker counts, showing
+(a) correctness is preserved under arbitrary interleaving, (b) workers
+stay ~fully occupied (the available parallel speedup on real hardware),
+and (c) the memory price of parallelism: more simultaneously-live
+snapshots, still far below one image per worker thanks to COW sharing.
+"""
+
+from repro.bench import Table
+from repro.core.machine import MachineEngine
+from repro.core.parallel import ParallelMachineEngine
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    boards_from_result,
+    nqueens_asm,
+)
+
+N = 6
+
+
+def test_x1_worker_sweep(benchmark, show):
+    sequential = MachineEngine().run(nqueens_asm(N))
+    expected = sorted(boards_from_result(sequential))
+
+    rows = []
+    for workers in (1, 2, 4, 8):
+        engine = ParallelMachineEngine(workers=workers, quantum=40)
+        result = engine.run(nqueens_asm(N))
+        assert sorted(boards_from_result(result)) == expected
+        rows.append((workers, result))
+
+    benchmark(lambda: ParallelMachineEngine(workers=4, quantum=40).run(
+        nqueens_asm(N)))
+
+    table = Table(
+        f"X1: parallel workers, n-queens N={N}",
+        ["workers", "occupancy", "peak busy", "peak live snapshots",
+         "peak frames"],
+    )
+    for workers, result in rows:
+        extra = result.stats.extra
+        table.add(workers, f"{extra['occupancy']:.2f}",
+                  extra["peak_busy_workers"], extra["snapshots_peak_live"],
+                  extra["frames_peak"])
+    show(table)
+
+    # Shape: all workers actually saturate, and the snapshot tree grows
+    # with parallelism but nowhere near one image per worker.
+    four = dict(rows)[4].stats.extra
+    assert four["peak_busy_workers"] == 4
+    assert four["occupancy"] > 0.8
+    one = dict(rows)[1].stats.extra
+    assert four["snapshots_peak_live"] >= one["snapshots_peak_live"]
+    image_frames = 1 + 17 + 64 + 8
+    assert four["frames_peak"] < 2 * image_frames
+
+
+def test_x1_isolation_under_interleaving(benchmark):
+    """Fine-grained quanta maximise interleaving; sibling writes to the
+    same addresses must never bleed across in-flight executions."""
+    from repro.core.sysno import SYS_EXIT, SYS_GUESS
+
+    src = f"""
+    mov rbx, 0x600000
+    mov rax, {SYS_GUESS:#x}
+    mov rdi, 5
+    syscall
+    mov [rbx], rax
+    mov rax, {SYS_GUESS:#x}
+    mov rdi, 5
+    syscall
+    mov rcx, [rbx]
+    imul rcx, 5
+    add rcx, rax
+    mov rdi, rcx
+    mov rax, {SYS_EXIT}
+    syscall
+    """
+
+    def run():
+        return ParallelMachineEngine(workers=8, quantum=2).run(src)
+
+    result = benchmark(run)
+    assert sorted(v[0] for v in result.solution_values) == list(range(25))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Extension isolation and syscall interposition (§3.1, §5).
+
+A machine guest opens a file, then forks into three extensions that each
+write a different record.  The COW file layer keeps every path's view
+private; the sound-minimal policy refuses a /dev open; the audit log
+shows how each allowed call's side effects were contained.
+
+Run:  python examples/isolated_extensions.py
+"""
+
+from repro.core.machine import MachineEngine
+from repro.core.sysno import SYS_EXIT, SYS_GUESS
+from repro.interpose import SoundMinimalPolicy
+from repro.libos import HostFS
+
+GUEST = f"""
+.data
+path:  .asciz "/var/journal"
+dev:   .asciz "/dev/urandom"
+buf:   .asciz "entry-?"
+.text
+    mov rax, 2              ; open("/var/journal", O_RDWR|O_CREAT)
+    mov rdi, path
+    mov rsi, 66
+    syscall
+    mov rbx, rax
+
+    mov rax, 2              ; open("/dev/urandom") -- policy refuses
+    mov rdi, dev
+    mov rsi, 0
+    syscall                 ; rax = -EACCES; guest shrugs and moves on
+
+    mov rax, {SYS_GUESS:#x} ; fork into three extensions
+    mov rdi, 3
+    syscall
+    mov r12, rax
+
+    add rax, '0'            ; patch the record with the extension number
+    mov rcx, buf
+    movb [rcx + 6], rax
+    mov rax, 1              ; write(fd, "entry-<k>", 7)
+    mov rdi, rbx
+    mov rsi, buf
+    mov rdx, 7
+    syscall
+
+    mov rdi, r12
+    mov rax, {SYS_EXIT}
+    syscall
+"""
+
+
+def main() -> None:
+    engine = MachineEngine(policy=SoundMinimalPolicy(), hostfs=HostFS())
+    result = engine.run(GUEST)
+
+    print(f"{len(result.solutions)} extension paths completed\n")
+    print("each path wrote its own record, fully contained by the COW "
+          "file layer;\nno path ever saw a sibling's write:\n")
+    for solution in result.solutions:
+        print(f"   path {solution.path}: exit code {solution.value[0]}")
+
+    print("\naudit log (what the libOS interposed on):")
+    for record in engine.libos.audit.records[:12]:
+        print(f"   {record.verdict.value:>5}  {record.syscall:<8} "
+              f"{record.detail:<24} containment={record.containment.value}")
+    denials = engine.libos.audit.denials
+    print(f"\n{len(denials)} refusal(s) under the sound-minimal policy "
+          f"(§5: 'failing all others'):")
+    for record in denials:
+        print(f"   {record.syscall} {record.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: system-level backtracking in five minutes.
+
+Walks through the paper's programming model with the two main engines:
+
+1. a Python guest on the replay engine (the everyday API);
+2. the same program as machine code behind the full Figure 2 stack —
+   real lightweight snapshots, a libOS, VM exits;
+3. the fork-based engine (real kernel COW, the §3 design point).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ReplayEngine
+from repro.core.machine import MachineEngine
+from repro.workloads.nqueens import boards_from_result, nqueens_asm
+
+
+def pythagorean_triples(sys, limit: int):
+    """Find a^2 + b^2 = c^2 by letting the OS guess a, b, c.
+
+    Note what is absent: no loops over candidates, no undo, no explicit
+    search — "a simple single-path-to-solution program" (§1).
+    """
+    a = sys.guess(limit) + 1
+    b = sys.guess(limit) + 1
+    if b < a:
+        sys.fail()  # canonical order, avoids mirrored duplicates
+    c = sys.guess(limit) + 1
+    if a * a + b * b != c * c:
+        sys.fail()
+    return (a, b, c)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Python guest, replay engine")
+    print("=" * 64)
+    engine = ReplayEngine(strategy="dfs")
+    result = engine.run(pythagorean_triples, 20)
+    print(f"   {result.summary()}")
+    for triple in result.solution_values:
+        print(f"   {triple[0]}^2 + {triple[1]}^2 = {triple[2]}^2")
+
+    print()
+    print("=" * 64)
+    print("2. Machine guest: Figure 1's n-queens, real snapshots")
+    print("=" * 64)
+    machine = MachineEngine(strategy="dfs")
+    result = machine.run(nqueens_asm(6))
+    boards = boards_from_result(result)
+    print(f"   {result.summary()}")
+    print(f"   boards: {', '.join(boards)}")
+    extra = result.stats.extra
+    print(
+        f"   snapshots taken/restored: {extra['snapshots_taken']}/"
+        f"{extra['snapshots_restored']},  COW pages copied: "
+        f"{extra['frames_copied']},  guest instructions: "
+        f"{extra['guest_instructions']:,}"
+    )
+
+    print()
+    print("=" * 64)
+    print("3. The same Python guest over real os.fork (kernel COW)")
+    print("=" * 64)
+    try:
+        from repro.core.posix import PosixEngine
+
+        result = PosixEngine().run(pythagorean_triples, 20)
+        print(f"   {len(result.solutions)} solutions via process-tree DFS")
+    except OSError as err:
+        print(f"   (fork unavailable in this environment: {err})")
+
+
+if __name__ == "__main__":
+    main()

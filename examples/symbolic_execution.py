@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Symbolic execution with snapshot-based state forking (the §2 use).
+
+Explores a password-check binary and a buggy division routine, then
+contrasts the two state-forking substrates (lightweight snapshots vs
+S2E-style software COW) on a branchy guest with a fat address space.
+
+Run:  python examples/symbolic_execution.py
+"""
+
+import time
+
+from repro.symex import SymbolicExplorer
+from repro.symex.programs import branch_tree, div_by_zero_bug, password_check
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Cracking a password check (the classic KLEE demo)")
+    print("=" * 64)
+    src, symbolic = password_check(b"hot13")
+    result = SymbolicExplorer(src, symbolic).run()
+    accepting = [p for p in result.paths if p.status == 1]
+    recovered = bytes(
+        accepting[0].example[f"pw{i}"] for i in range(5)
+    )
+    print(f"   paths explored: {result.path_count} "
+          f"(1 accepting, {result.path_count - 1} rejecting)")
+    print(f"   recovered secret: {recovered!r}")
+
+    print()
+    print("=" * 64)
+    print("2. Finding a divide-by-zero with a concrete witness")
+    print("=" * 64)
+    src, symbolic = div_by_zero_bug()
+    result = SymbolicExplorer(src, symbolic).run()
+    for bug in result.bugs:
+        print(f"   {bug.kind} at pc={bug.pc:#x}, witness input: {bug.example}")
+
+    print()
+    print("=" * 64)
+    print("3. Fork-substrate shoot-out (2 MiB state, 64 paths)")
+    print("=" * 64)
+    src, symbolic = branch_tree(6, writes_per_level=2)
+    for backend in ("snapshot", "swcow"):
+        start = time.perf_counter()
+        result = SymbolicExplorer(
+            src, symbolic, backend=backend, ballast=512 * 4096
+        ).run()
+        elapsed = time.perf_counter() - start
+        extra = result.extra
+        print(
+            f"   {backend:>8}: {result.path_count} paths in {elapsed:.2f}s | "
+            f"fork work {extra['fork_work']:,} | instrumented writes "
+            f"{extra['instrumented_writes']:,}"
+        )
+    print("   (snapshot forks are O(1); software COW forks are O(state) "
+          "and tax every write)")
+
+
+if __name__ == "__main__":
+    main()

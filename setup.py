@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` with the legacy setuptools develop path (the offline
+toolchain here lacks the ``wheel`` package that PEP 660 builds need).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro: lightweight immutable execution snapshots and system-level
+backtracking.
+
+A from-scratch reproduction of *"Lightweight Snapshots and System-level
+Backtracking"* (Bugnion, Chipounov, Candea — HotOS 2013) as a pure-Python
+library.  The hardware the paper relies on (VT-x, nested page tables, the
+Dune kernel module) is replaced by a simulated machine; see DESIGN.md for
+the substitution map.
+
+Quick start
+-----------
+>>> from repro import ReplayEngine
+>>> def two_bits(sys):
+...     return sys.guess(2) * 2 + sys.guess(2)
+>>> ReplayEngine(strategy="dfs").run(two_bits).solution_values
+[0, 1, 2, 3]
+
+Packages
+--------
+:mod:`repro.core`
+    Engines and the guest-facing guess API.
+:mod:`repro.mem`
+    Simulated virtual memory: COW page tables, frames, TLB.
+:mod:`repro.snapshot`
+    Lightweight immutable snapshots and the snapshot tree.
+:mod:`repro.search`
+    DFS / BFS / A* / SM-A* / coverage / external strategies.
+:mod:`repro.cpu`
+    The simulated CPU: ISA, assembler, interpreter.
+:mod:`repro.vmm`
+    Dune-like virtualization layer: VCPU, VM exits, rings.
+:mod:`repro.libos`
+    The backtracking libOS: guest loading, syscalls, COW files.
+:mod:`repro.interpose`
+    System-call interposition policies.
+:mod:`repro.sat`
+    Incremental DPLL SAT solver (the Z3 stand-in).
+:mod:`repro.symex`
+    Symbolic execution engine (the S2E stand-in).
+:mod:`repro.prolog`
+    WAM-flavoured Prolog engine (the XSB stand-in).
+:mod:`repro.baselines`
+    Hand-coded, fork-eager and checkpoint baselines.
+:mod:`repro.workloads`
+    n-queens, sudoku, coloring, 8-puzzle, synthetic kernels.
+"""
+
+from repro.core import (
+    GuessError,
+    GuessFail,
+    ReplayEngine,
+    SearchResult,
+    Solution,
+)
+from repro.search import Strategy, get_strategy
+from repro.snapshot import Snapshot, SnapshotManager, SnapshotTree
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazily expose the machine-guest engines at the top level.
+
+    They pull in the whole simulated-machine stack, so they load on
+    first use rather than at package import.
+    """
+    lazy = {
+        "MachineEngine",
+        "ParallelMachineEngine",
+        "ReplayMachineEngine",
+        "PosixEngine",
+        "InteractiveSearch",
+    }
+    if name in lazy:
+        import repro.core as core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "GuessError",
+    "GuessFail",
+    "InteractiveSearch",
+    "MachineEngine",
+    "ParallelMachineEngine",
+    "PosixEngine",
+    "ReplayEngine",
+    "ReplayMachineEngine",
+    "SearchResult",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotTree",
+    "Solution",
+    "Strategy",
+    "__version__",
+    "get_strategy",
+]

@@ -1,0 +1,24 @@
+"""Comparison baselines from the paper.
+
+* :mod:`repro.baselines.handcoded` -- backtracking hand-coded "on a
+  stack" (§5: best for trivial extension steps);
+* :mod:`repro.baselines.eager` -- the naive-``fork`` strawman of §3:
+  every guess eagerly copies the whole address space;
+* :mod:`repro.baselines.ckpt` -- libckpt-style checkpointing (§6):
+  serialize/restore of the full image, the heavyweight contrast to
+  lightweight snapshots.
+"""
+
+from repro.baselines.ckpt import Checkpointer
+from repro.baselines.eager import EagerSnapshotManager
+from repro.baselines.handcoded import (
+    handcoded_nqueens_boards,
+    handcoded_nqueens_count,
+)
+
+__all__ = [
+    "Checkpointer",
+    "EagerSnapshotManager",
+    "handcoded_nqueens_boards",
+    "handcoded_nqueens_count",
+]

@@ -1,0 +1,5 @@
+"""Benchmark-harness utilities: result tables and timing helpers."""
+
+from repro.bench.report import Table, fmt_ratio, time_once
+
+__all__ = ["Table", "fmt_ratio", "time_once"]

@@ -1,0 +1,68 @@
+"""Plain-text result tables for the experiment harness.
+
+Every bench prints the rows/series the corresponding experiment reports
+in EXPERIMENTS.md, so a run of ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper-shaped output directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+
+class Table:
+    """A fixed-column table printed in aligned plain text."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "  "
+        header = sep.join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [f"\n== {self.title} ==", header, rule]
+        for row in self.rows:
+            lines.append(sep.join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def fmt_ratio(numerator: float, denominator: float) -> str:
+    """'12.3x' (or 'inf' when the denominator is zero)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"
+
+
+def time_once(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result

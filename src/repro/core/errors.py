@@ -1,0 +1,29 @@
+"""Exception types shared by all backtracking engines."""
+
+from __future__ import annotations
+
+
+class SearchError(Exception):
+    """Base class for engine-level errors."""
+
+
+class GuessFail(Exception):
+    """Raised inside a guest by ``sys.fail()``; never caught by guests.
+
+    Like Prolog's ``fail``, it "simply discards the currently executing
+    extension step and never returns" (§3.1).  Guests must let it
+    propagate — catching it would break the single-path illusion.
+    """
+
+
+class GuessError(SearchError):
+    """Misuse of the guess API (bad fan-out, strategy change mid-search,
+    hint-length mismatch, nondeterministic guest detected, ...)."""
+
+
+class BudgetExceeded(SearchError):
+    """An exploration budget (evaluations, solutions, depth) was hit.
+
+    Engines catch this internally and mark the result as truncated; it is
+    exposed for callers driving an engine step by step.
+    """

@@ -1,0 +1,364 @@
+"""The machine engine: faithful system-level backtracking.
+
+This is the reproduction of the paper's headline design.  Guests are
+machine-code programs running behind the full Figure 2 stack:
+
+* ``sys_guess`` takes a **lightweight immutable snapshot** (registers +
+  COW address space + COW file table + console position) and fans out
+  *n* candidate extension steps;
+* the **search strategy** schedules which extension runs next; running
+  one restores the snapshot in O(1) and sets the extension number in
+  ``%rax`` exactly as §4 describes;
+* ``sys_guess_fail`` discards the executing extension;
+* ``exit`` (or ``hlt``) completes a path: the engine records the solution
+  and keeps exploring, so a guest that simply terminates after printing
+  its answer enumerates all answers — no bookkeeping in the guest.
+
+Unlike the replay engine, restoring a candidate does **zero** guest
+re-execution: the address space *is* the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.errors import GuessError
+from repro.core.result import SearchResult, SearchStats, Solution
+from repro.core.sysno import STRATEGY_IDS
+from repro.cpu.assembler import Program, assemble
+from repro.libos.console import Console
+from repro.libos.files import HostFS
+from repro.libos.libos import ExecState, LibOS
+from repro.interpose.policy import InterpositionPolicy
+from repro.mem.frames import FramePool
+from repro.search import Extension, Strategy, get_strategy
+from repro.snapshot.snapshot import Snapshot, SnapshotManager
+from repro.snapshot.tree import SnapshotTree
+from repro.vmm.vcpu import VCpu
+from repro.libos.syscalls import (
+    ContinueAction,
+    ExitAction,
+    GuessAction,
+    GuessFailAction,
+    KillAction,
+    StrategyAction,
+)
+
+
+@dataclass(frozen=True)
+class PathOutput:
+    """Console output of one finished path (completed, failed or killed)."""
+
+    path: tuple[int, ...]
+    data: bytes
+    outcome: str  # "exit" | "fail" | "kill"
+
+    @property
+    def text(self) -> str:
+        """Output decoded as UTF-8 (lazy: most paths are never read)."""
+        return self.data.decode("utf-8", errors="replace")
+
+
+class _Candidate:
+    """A partial candidate: snapshot + the decision path that reached it."""
+
+    __slots__ = ("snapshot", "path", "n", "console")
+
+    def __init__(self, snapshot: Snapshot, path: tuple[int, ...], n: int,
+                 console: Console):
+        self.snapshot = snapshot
+        self.path = path
+        self.n = n
+        self.console = console
+
+
+@dataclass
+class _Pending:
+    """The extension step currently executing."""
+
+    state: ExecState
+    path: tuple[int, ...]
+    parent: Optional[_Candidate]
+    steps_used: int = 0
+
+
+class MachineEngine:
+    """Explore an assembly guest's search space with real snapshots.
+
+    Parameters
+    ----------
+    strategy:
+        Strategy registry name or instance (guests may override it with
+        ``sys_guess_strategy`` before their first guess).
+    policy / hostfs:
+        Interposition policy and backing files, passed to the libOS.
+    max_steps_per_extension:
+        Instruction budget for a single extension step (runaway guard).
+    max_evaluations / max_solutions / max_total_steps:
+        Optional global exploration budgets.
+    pool_limit:
+        Optional bound on live physical frames (simulated RAM size).
+    """
+
+    def __init__(
+        self,
+        strategy: Union[str, Strategy] = "dfs",
+        policy: Optional[InterpositionPolicy] = None,
+        hostfs: Optional[HostFS] = None,
+        max_steps_per_extension: int = 5_000_000,
+        max_evaluations: Optional[int] = None,
+        max_solutions: Optional[int] = None,
+        max_total_steps: Optional[int] = None,
+        pool_limit: Optional[int] = None,
+        snapshot_mode: str = "cow",
+    ):
+        if isinstance(strategy, Strategy):
+            self._strategy = strategy
+        elif strategy == "coverage":
+            # S2E-style coverage-optimized exploration: prefer extensions
+            # whose (guess site, branch number) has not been taken yet.
+            from repro.search import CoverageStrategy
+
+            self._strategy = CoverageStrategy(
+                coverage_key=lambda ext: (
+                    ext.candidate.snapshot.regs.rip, ext.number
+                )
+            )
+        else:
+            self._strategy = get_strategy(strategy)
+        self.libos = LibOS(policy=policy, hostfs=hostfs)
+        self.max_steps_per_extension = max_steps_per_extension
+        self.max_evaluations = max_evaluations
+        self.max_solutions = max_solutions
+        self.max_total_steps = max_total_steps
+        self.pool = FramePool(limit=pool_limit)
+        if snapshot_mode == "cow":
+            self.manager = SnapshotManager(self.pool)
+        elif snapshot_mode == "eager":
+            # The §3 naive-fork baseline: full copies per take/restore.
+            from repro.baselines.eager import EagerSnapshotManager
+
+            self.manager = EagerSnapshotManager(self.pool)
+        elif snapshot_mode == "dirty-eager":
+            # DESIGN.md §5 ablation: pre-copy the dirty working set at
+            # take time instead of faulting per page afterwards.
+            from repro.baselines.dirty import DirtyEagerSnapshotManager
+
+            self.manager = DirtyEagerSnapshotManager(self.pool)
+        else:
+            raise ValueError(f"unknown snapshot_mode {snapshot_mode!r}")
+        self.snapshot_mode = snapshot_mode
+        self.tree = SnapshotTree(self.manager)
+        self.vcpu = VCpu()
+        #: Console output of every finished path, in finish order.  This
+        #: is the "stdout transcript": Figure 1's print-then-fail pattern
+        #: lands here even though failed paths produce no Solution.
+        self.transcript: list[PathOutput] = []
+        self._locked = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, guest: Union[str, Program]) -> SearchResult:
+        """Assemble (if needed), load, and explore *guest* exhaustively."""
+        program = assemble(guest) if isinstance(guest, str) else guest
+        stats = SearchStats()
+        solutions: list[Solution] = []
+        stop_reason: Optional[str] = None
+        self._locked = False
+        self.transcript = []
+
+        state, regs = self.libos.load(program, self.pool)
+        self.vcpu.regs.load(regs.frozen())
+        stats.evaluations += 1
+        self._run_pending(_Pending(state, (), None), stats, solutions)
+
+        while True:
+            if (
+                self.max_solutions is not None
+                and len(solutions) >= self.max_solutions
+            ):
+                stop_reason = "max_solutions"
+                break
+            if (
+                self.max_evaluations is not None
+                and stats.evaluations >= self.max_evaluations
+            ):
+                stop_reason = "max_evaluations"
+                break
+            if (
+                self.max_total_steps is not None
+                and self.vcpu.vmcs.guest_instructions >= self.max_total_steps
+            ):
+                stop_reason = "max_total_steps"
+                break
+            ext = self._strategy.next()
+            if ext is None:
+                break
+            stats.evaluations += 1
+            self._run_pending(self._start_extension(ext), stats, solutions)
+
+        exhausted = stop_reason is None
+        self._strategy.drain()
+        stats.peak_frontier = self._strategy.stats.peak_frontier
+        stats.extra.update(self._machine_stats())
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy=self._strategy.name,
+            exhausted=exhausted,
+            stop_reason=stop_reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_pending(self, pending: _Pending, stats: SearchStats,
+                     solutions: list[Solution]) -> str:
+        """Run one extension step to its boundary (guess/fail/exit/kill).
+
+        Returns the outcome kind; any candidates created go to the
+        strategy, so step-driven controllers (the externally-controlled
+        strategy of §3.1) can reuse the whole mechanism.
+        """
+        while True:
+            budget = self.max_steps_per_extension - pending.steps_used
+            self.vcpu.attach(pending.state.space)
+            exit_event = self.vcpu.enter(max_steps=max(budget, 1))
+            pending.steps_used += exit_event.steps
+            action = self.libos.handle_exit(exit_event, self.vcpu, pending.state)
+
+            if isinstance(action, ContinueAction):
+                if pending.steps_used >= self.max_steps_per_extension:
+                    self._finish(pending, "kill", stats)
+                    return "kill"
+                continue
+            if isinstance(action, StrategyAction):
+                self._select_strategy(action.name)
+                continue
+            if isinstance(action, GuessAction):
+                return self._handle_guess(action, pending, stats)
+            if isinstance(action, GuessFailAction):
+                stats.fails += 1
+                self._finish(pending, "fail", stats)
+                return "fail"
+            if isinstance(action, ExitAction):
+                stats.completions += 1
+                solutions.append(
+                    Solution(
+                        value=(action.status, pending.state.console.text),
+                        path=pending.path,
+                    )
+                )
+                self._finish(pending, "exit", stats)
+                return "exit"
+            if isinstance(action, KillAction):
+                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                stats.extra.setdefault("kill_reasons", []).append(action.reason)
+                self._finish(pending, "kill", stats)
+                return "kill"
+            raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
+
+    def _start_extension(self, ext: Extension) -> _Pending:
+        """Restore a snapshot and prime it with the extension number."""
+        cand: _Candidate = ext.candidate
+        regs, space, files = self.manager.restore(cand.snapshot)
+        self.vcpu.regs.load(regs)
+        self.vcpu.regs.rax = ext.number
+        state = ExecState(space, files, cand.console.fork_cow())
+        return _Pending(state, cand.path + (ext.number,), cand)
+
+    def _handle_guess(self, action: GuessAction, pending: _Pending,
+                      stats: SearchStats) -> str:
+        """Take a snapshot at the guess point and fan out extensions."""
+        n = action.n
+        if action.hints is not None and len(action.hints) != n:
+            raise GuessError("hint vector length does not match fan-out")
+        if n == 0:
+            stats.fails += 1
+            self._finish(pending, "fail", stats)
+            return "fail"
+        self._locked = True
+        parent_snap = pending.parent.snapshot if pending.parent else None
+        snap = self.manager.take(
+            pending.state.space,
+            regs=self.vcpu.regs.frozen(),
+            files=pending.state.files,
+            parent=parent_snap if parent_snap and parent_snap.alive else None,
+        )
+        cand = _Candidate(snap, pending.path, n, pending.state.console.fork_cow())
+        snap.meta["fanout"] = n
+        snap.meta["path"] = pending.path
+        self.tree.add(snap)
+        self.tree.pin(snap, n)
+        stats.candidates += 1
+        self._strategy.add(
+            Extension(
+                cand,
+                number=i,
+                hint=action.hints[i] if action.hints is not None else None,
+                depth=len(pending.path),
+            )
+            for i in range(n)
+        )
+        # The pre-guess execution is abandoned; the scheduler decides
+        # which extension (not necessarily one of these) runs next.
+        self._retire(pending)
+        return "guess"
+
+    def _finish(self, pending: _Pending, outcome: str, stats: SearchStats) -> None:
+        """Record a finished path's output and release its resources."""
+        self.transcript.append(
+            PathOutput(pending.path, pending.state.console.data, outcome)
+        )
+        self._retire(pending)
+
+    def _retire(self, pending: _Pending) -> None:
+        pending.state.free()
+        if pending.parent is not None:
+            self.tree.unpin(pending.parent.snapshot)
+
+    #: When False, guest ``sys_guess_strategy`` calls are acknowledged
+    #: but ignored — used by externally-controlled sessions, where the
+    #: external entity owns scheduling (§3.1).
+    allow_guest_strategy: bool = True
+
+    def _select_strategy(self, name: str) -> None:
+        if not self.allow_guest_strategy or name == self._strategy.name:
+            return
+        if self._locked:
+            raise GuessError(
+                f"cannot switch strategy to {name!r} after the first guess"
+            )
+        self._strategy = get_strategy(name)
+
+    def _machine_stats(self) -> dict:
+        """Cost counters from every layer, for benches and EXPERIMENTS.md."""
+        vmcs = self.vcpu.vmcs
+        return {
+            "vm_exits": vmcs.exits,
+            "vm_exit_counts": {
+                reason.value: count for reason, count in vmcs.exit_counts.items()
+            },
+            "guest_instructions": vmcs.guest_instructions,
+            "snapshots_taken": self.manager.stats.taken,
+            "snapshots_restored": self.manager.stats.restored,
+            "snapshots_peak_live": self.manager.stats.peak_live,
+            "frames_live": self.pool.live_frames,
+            "frames_peak": self.pool.peak_live_frames,
+            "frames_copied": self.pool.stats.copied,
+            "syscall_counts": dict(self.libos.dispatcher.counts),
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def strategy_name(self) -> str:
+        return self._strategy.name
+
+    def solutions_text(self, result: SearchResult) -> list[str]:
+        """Console text of each completed path (convenience accessor)."""
+        return [value[1] for value in result.solution_values]
+
+    def failed_output(self) -> list[str]:
+        """Output of failed paths (Figure 1's print-then-fail boards)."""
+        return [p.text for p in self.transcript if p.outcome == "fail" and p.text]

@@ -1,0 +1,293 @@
+"""Parallel extension evaluation (the multi-vCPU half of Figure 2).
+
+Figure 2 draws one "extension eval" box per CPU core: "the libOS runs as
+a single multi-threaded process, with the number of threads typically
+corresponding to the number of hardware threads", each thread evaluating
+a different candidate extension.  §3 also contrasts sequential DFS with
+"a parallel depth-first-search strategy [that] might simply fork without
+waiting".
+
+This engine simulates that: *k* logical workers each own a vCPU and an
+in-flight extension; the scheduler round-robin time-slices them (a quantum
+of guest instructions per turn), so many extension evaluations are live
+simultaneously over the same snapshot tree.  Because the simulator is
+single-threaded Python, this is concurrency rather than parallelism — but
+it exercises precisely the property that makes the design parallel-safe:
+**in-flight executions forked from the same snapshot share pages and
+never observe each other's writes**.  Worker-occupancy statistics show
+the available speedup on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.errors import GuessError
+from repro.core.result import SearchResult, SearchStats, Solution
+from repro.cpu.assembler import Program, assemble
+from repro.interpose.policy import InterpositionPolicy
+from repro.libos.files import HostFS
+from repro.libos.libos import ExecState, LibOS
+from repro.libos.syscalls import (
+    ContinueAction,
+    ExitAction,
+    GuessAction,
+    GuessFailAction,
+    KillAction,
+    StrategyAction,
+)
+from repro.mem.frames import FramePool
+from repro.search import Extension, Strategy, get_strategy
+from repro.snapshot.snapshot import SnapshotManager
+from repro.snapshot.tree import SnapshotTree
+from repro.vmm.vcpu import VCpu, VmExitReason
+from repro.core.machine import _Candidate  # shared candidate shape
+
+
+@dataclass
+class _Worker:
+    """One logical core: a vCPU plus its in-flight extension."""
+
+    vcpu: VCpu
+    state: Optional[ExecState] = None
+    path: tuple[int, ...] = ()
+    parent: Optional[_Candidate] = None
+    steps_used: int = 0
+    busy_turns: int = 0
+    idle_turns: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.state is not None
+
+
+class ParallelMachineEngine:
+    """Round-robin multi-worker exploration over shared snapshots.
+
+    Parameters
+    ----------
+    workers:
+        Number of logical cores (Figure 2 draws four).
+    quantum:
+        Guest instructions per scheduling turn per worker.
+    strategy:
+        Which extension a freed worker picks up next.  With DFS this is
+        the paper's parallel-DFS; BFS gives frontier-parallel search.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        quantum: int = 500,
+        strategy: Union[str, Strategy] = "dfs",
+        policy: Optional[InterpositionPolicy] = None,
+        hostfs: Optional[HostFS] = None,
+        max_steps_per_extension: int = 5_000_000,
+        max_solutions: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if isinstance(strategy, Strategy):
+            self._strategy = strategy
+        else:
+            self._strategy = get_strategy(strategy)
+        self.quantum = quantum
+        self.libos = LibOS(policy=policy, hostfs=hostfs)
+        self.pool = FramePool()
+        self.manager = SnapshotManager(self.pool)
+        self.tree = SnapshotTree(self.manager)
+        self.max_steps_per_extension = max_steps_per_extension
+        self.max_solutions = max_solutions
+        icache: dict = {}
+        self.workers = [
+            _Worker(vcpu=VCpu(cpu_id=i, icache=icache)) for i in range(workers)
+        ]
+        self._locked = False
+        #: Peak number of simultaneously busy workers (occupancy proof).
+        self.peak_busy = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, guest: Union[str, Program]) -> SearchResult:
+        program = assemble(guest) if isinstance(guest, str) else guest
+        stats = SearchStats()
+        solutions: list[Solution] = []
+        stop_reason: Optional[str] = None
+        self._locked = False
+
+        state, regs = self.libos.load(program, self.pool)
+        boot = self.workers[0]
+        boot.vcpu.regs.load(regs.frozen())
+        boot.state = state
+        boot.path = ()
+        boot.parent = None
+        boot.steps_used = 0
+        stats.evaluations += 1
+
+        while True:
+            if (
+                self.max_solutions is not None
+                and len(solutions) >= self.max_solutions
+            ):
+                stop_reason = "max_solutions"
+                break
+
+            # Refill idle workers from the strategy frontier.
+            for worker in self.workers:
+                if worker.busy:
+                    continue
+                ext = self._strategy.next()
+                if ext is None:
+                    break
+                self._assign(worker, ext)
+                stats.evaluations += 1
+
+            busy = [w for w in self.workers if w.busy]
+            self.peak_busy = max(self.peak_busy, len(busy))
+            if not busy:
+                break
+            for worker in self.workers:
+                if worker.busy:
+                    worker.busy_turns += 1
+                else:
+                    worker.idle_turns += 1
+
+            for worker in busy:
+                self._turn(worker, stats, solutions)
+
+        exhausted = stop_reason is None
+        for worker in self.workers:
+            if worker.busy:
+                self._finish(worker, stats)
+        self._strategy.drain()
+        stats.peak_frontier = self._strategy.stats.peak_frontier
+        stats.extra.update(self._parallel_stats())
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy=self._strategy.name,
+            exhausted=exhausted,
+            stop_reason=stop_reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _assign(self, worker: _Worker, ext: Extension) -> None:
+        cand: _Candidate = ext.candidate
+        regs, space, files = self.manager.restore(cand.snapshot)
+        worker.vcpu.regs.load(regs)
+        worker.vcpu.regs.rax = ext.number
+        worker.state = ExecState(space, files, cand.console.fork_cow())
+        worker.path = cand.path + (ext.number,)
+        worker.parent = cand
+        worker.steps_used = 0
+
+    def _turn(self, worker: _Worker, stats: SearchStats,
+              solutions: list[Solution]) -> None:
+        """Run one quantum on *worker*, handling at most one boundary."""
+        worker.vcpu.attach(worker.state.space)
+        exit_event = worker.vcpu.enter(max_steps=self.quantum)
+        worker.steps_used += exit_event.steps
+        if exit_event.reason is VmExitReason.STEP_LIMIT:
+            # End of timeslice, not a runaway guest: the extension stays
+            # in flight and resumes on the worker's next turn.
+            if worker.steps_used >= self.max_steps_per_extension:
+                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                self._finish(worker, stats)
+            return
+        action = self.libos.handle_exit(exit_event, worker.vcpu, worker.state)
+
+        if isinstance(action, ContinueAction):
+            if worker.steps_used >= self.max_steps_per_extension:
+                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                self._finish(worker, stats)
+            return
+        if isinstance(action, StrategyAction):
+            self._select_strategy(action.name)
+            return
+        if isinstance(action, GuessAction):
+            self._handle_guess(action, worker, stats)
+            return
+        if isinstance(action, GuessFailAction):
+            stats.fails += 1
+            self._finish(worker, stats)
+            return
+        if isinstance(action, ExitAction):
+            stats.completions += 1
+            solutions.append(
+                Solution(
+                    value=(action.status, worker.state.console.text),
+                    path=worker.path,
+                )
+            )
+            self._finish(worker, stats)
+            return
+        if isinstance(action, KillAction):
+            stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+            self._finish(worker, stats)
+            return
+        raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
+
+    def _handle_guess(self, action: GuessAction, worker: _Worker,
+                      stats: SearchStats) -> None:
+        n = action.n
+        if n == 0:
+            stats.fails += 1
+            self._finish(worker, stats)
+            return
+        self._locked = True
+        parent_snap = worker.parent.snapshot if worker.parent else None
+        snap = self.manager.take(
+            worker.state.space,
+            regs=worker.vcpu.regs.frozen(),
+            files=worker.state.files,
+            parent=parent_snap if parent_snap and parent_snap.alive else None,
+        )
+        cand = _Candidate(snap, worker.path, n,
+                          worker.state.console.fork_cow())
+        self.tree.add(snap)
+        self.tree.pin(snap, n)
+        stats.candidates += 1
+        self._strategy.add(
+            Extension(
+                cand,
+                number=i,
+                hint=action.hints[i] if action.hints is not None else None,
+                depth=len(worker.path),
+            )
+            for i in range(n)
+        )
+        self._finish(worker, stats)
+
+    def _finish(self, worker: _Worker, stats: SearchStats) -> None:
+        worker.state.free()
+        worker.state = None
+        if worker.parent is not None:
+            self.tree.unpin(worker.parent.snapshot)
+            worker.parent = None
+
+    def _select_strategy(self, name: str) -> None:
+        if name == self._strategy.name:
+            return
+        if self._locked:
+            raise GuessError(
+                f"cannot switch strategy to {name!r} after the first guess"
+            )
+        self._strategy = get_strategy(name)
+
+    def _parallel_stats(self) -> dict:
+        total_busy = sum(w.busy_turns for w in self.workers)
+        total_turns = sum(w.busy_turns + w.idle_turns for w in self.workers)
+        return {
+            "workers": len(self.workers),
+            "peak_busy_workers": self.peak_busy,
+            "occupancy": total_busy / total_turns if total_turns else 0.0,
+            "guest_instructions": sum(
+                w.vcpu.vmcs.guest_instructions for w in self.workers
+            ),
+            "vm_exits": sum(w.vcpu.vmcs.exits for w in self.workers),
+            "snapshots_taken": self.manager.stats.taken,
+            "snapshots_peak_live": self.manager.stats.peak_live,
+            "frames_peak": self.pool.peak_live_frames,
+        }

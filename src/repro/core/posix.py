@@ -1,0 +1,133 @@
+"""Backtracking Python guests over real ``os.fork`` (kernel COW).
+
+§3 opens with exactly this design: "Sequential depth-first-search
+exploration of a search problem could be implemented by simply issuing a
+fork before exploring any extension off that partial candidate, and
+having the child process explore the subtree while the parent waits for
+completion."  The paper then rejects it — fork creates a runnable thread
+per candidate, forked processes share file descriptors, and the
+overheads are large.  We implement it anyway, carefully contained, for
+two reasons: it demonstrates the programming model on *real* OS
+copy-on-write, and it is the honest measurement point for the paper's
+§3 critique (E2 discusses it; the engines' cost counters quantify what
+the libOS design fixes).
+
+Caveats (all inherent to the approach, per the paper):
+
+* DFS only — the "scheduler" is the process tree itself;
+* solutions stream back over a pipe, so values must be JSON-serialisable
+  and solution lines must fit in PIPE_BUF;
+* guests must not hold locks/threads across guesses (fork semantics).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys as _sys
+from typing import Any, Callable, NoReturn, Optional, Sequence
+
+from repro.core.errors import GuessError, GuessFail
+from repro.core.result import SearchResult, SearchStats, Solution
+
+
+class _ForkSys:
+    """The guest-visible ``sys`` object; every guess forks for real."""
+
+    def __init__(self, write_fd: int, max_depth: int):
+        self._write_fd = write_fd
+        self._max_depth = max_depth
+        self.path: list[int] = []
+
+    def guess(self, n: int, hints: Optional[Sequence[float]] = None) -> int:
+        if n < 0:
+            raise GuessError(f"guess fan-out must be >= 0, got {n}")
+        if n == 0:
+            self.fail()
+        if len(self.path) >= self._max_depth:
+            self.fail()
+        for choice in range(n):
+            pid = os.fork()
+            if pid == 0:
+                # The child IS the extension step: the parent's entire
+                # address space was snapshotted by the kernel's COW fork.
+                self.path.append(choice)
+                return choice
+            os.waitpid(pid, 0)
+        # All extensions explored; this process was only the candidate.
+        os._exit(0)
+
+    def fail(self) -> NoReturn:
+        os._exit(0)
+
+    def strategy(self, name: str) -> bool:
+        if name.lower() != "dfs":
+            raise GuessError("the fork engine only supports DFS")
+        return True
+
+    def emit_solution(self, value: Any) -> None:
+        line = json.dumps({"path": self.path, "value": value}) + "\n"
+        os.write(self._write_fd, line.encode())
+
+
+class PosixEngine:
+    """Explore a Python guest with one OS process per candidate."""
+
+    def __init__(self, max_depth: int = 64, max_solutions: Optional[int] = None):
+        self.max_depth = max_depth
+        self.max_solutions = max_solutions
+
+    def run(self, guest: Callable[..., Any], *args: Any, **kwargs: Any) -> SearchResult:
+        """Run *guest* under fork-based DFS and collect its solutions.
+
+        The guest runs in a child process tree; the calling process only
+        reads results, so engine state in the caller never sees the
+        forks.
+        """
+        read_fd, write_fd = os.pipe()
+        root = os.fork()
+        if root == 0:
+            os.close(read_fd)
+            status = 0
+            try:
+                fork_sys = _ForkSys(write_fd, self.max_depth)
+                try:
+                    value = guest(fork_sys, *args, **kwargs)
+                except GuessFail:
+                    os._exit(0)
+                fork_sys.emit_solution(value)
+            except BaseException:  # noqa: BLE001 - child must never escape
+                status = 1
+            finally:
+                try:
+                    _sys.stdout.flush()
+                    _sys.stderr.flush()
+                finally:
+                    os._exit(status)
+
+        os.close(write_fd)
+        chunks = []
+        while True:
+            chunk = os.read(read_fd, 65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        os.close(read_fd)
+        os.waitpid(root, 0)
+
+        solutions = []
+        for line in b"".join(chunks).splitlines():
+            record = json.loads(line)
+            solutions.append(
+                Solution(value=record["value"], path=tuple(record["path"]))
+            )
+            if self.max_solutions is not None and len(solutions) >= self.max_solutions:
+                break
+        stats = SearchStats()
+        stats.completions = len(solutions)
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy="dfs",
+            exhausted=self.max_solutions is None or len(solutions) < self.max_solutions,
+        )

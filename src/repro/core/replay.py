@@ -1,0 +1,260 @@
+"""Replay-based backtracking engine for Python guests.
+
+CPython cannot snapshot its own interpreter stack, so this engine realises
+the paper's programming model — write a "single path to solution" program,
+let the system appear to guess every decision — with *decision-prefix
+replay*: a partial candidate is the sequence of guess outcomes that leads
+to a choice point, and evaluating an extension re-executes the guest,
+feeding it the recorded prefix, until it asks a new question.
+
+From the guest's point of view the semantics are exactly Figure 1: it
+calls ``sys.guess(n)``, receives an extension number, calls ``sys.fail()``
+to backtrack, and never undoes anything by hand.  The *cost model* differs
+from lightweight snapshots (restore is O(path work) instead of O(1)),
+which is precisely the overhead the machine engine's snapshots remove —
+benchmarks E3/E6 measure the two against each other.
+
+Guests must be deterministic given the same guess outcomes; the engine
+verifies fan-outs on replay and raises :class:`GuessError` on divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, NoReturn, Optional, Protocol, Sequence
+
+from repro.core.errors import GuessError, GuessFail
+from repro.core.result import SearchResult, SearchStats, Solution
+from repro.search import Extension, Strategy, get_strategy
+
+
+class SysAPI(Protocol):
+    """The guest-visible system interface (the paper's three syscalls)."""
+
+    def guess(self, n: int, hints: Optional[Sequence[float]] = None) -> int:
+        """Create a partial candidate with *n* extensions and return the
+        extension number the search strategy chose (0 .. n-1)."""
+        ...
+
+    def fail(self) -> NoReturn:
+        """Abandon the current extension step; never returns."""
+        ...
+
+    def strategy(self, name: str) -> bool:
+        """Select the search strategy (before the first guess)."""
+        ...
+
+
+class _PathCandidate:
+    """A partial candidate: the decision prefix reaching a choice point.
+
+    ``fanouts[i]`` records the fan-out of the guess answered by
+    ``prefix[i]`` so replays can detect nondeterministic guests.
+    """
+
+    __slots__ = ("prefix", "fanouts", "n", "hints")
+
+    def __init__(
+        self,
+        prefix: tuple[int, ...],
+        fanouts: tuple[int, ...],
+        n: int,
+        hints: Optional[tuple[float, ...]],
+    ):
+        self.prefix = prefix
+        self.fanouts = fanouts
+        self.n = n
+        self.hints = hints
+
+    @property
+    def depth(self) -> int:
+        return len(self.prefix)
+
+
+class _Suspend(Exception):
+    """Internal: the guest reached a new choice point."""
+
+    def __init__(self, n: int, hints: Optional[tuple[float, ...]]):
+        self.n = n
+        self.hints = hints
+
+
+class _ReplayContext:
+    """The ``sys`` object handed to a guest for one evaluation."""
+
+    def __init__(self, engine: "ReplayEngine", feed: tuple[int, ...],
+                 fanouts: tuple[int, ...]):
+        self._engine = engine
+        self._feed = feed
+        self._fanouts = fanouts
+        self._pos = 0
+
+    @property
+    def decisions_taken(self) -> tuple[int, ...]:
+        """The guess outcomes consumed so far in this evaluation."""
+        return self._feed[: self._pos]
+
+    def guess(self, n: int, hints: Optional[Sequence[float]] = None) -> int:
+        if n < 0:
+            raise GuessError(f"guess fan-out must be >= 0, got {n}")
+        if hints is not None and len(hints) != n:
+            raise GuessError(
+                f"got {len(hints)} hints for fan-out {n}; lengths must match"
+            )
+        if n == 0:
+            # A choice with no extensions is a dead end, same as fail().
+            raise GuessFail()
+        if self._pos < len(self._feed):
+            expected = self._fanouts[self._pos]
+            if n != expected:
+                raise GuessError(
+                    "nondeterministic guest: replayed guess at depth "
+                    f"{self._pos} had fan-out {expected}, now {n}"
+                )
+            value = self._feed[self._pos]
+            self._pos += 1
+            self._engine._stats.replayed_decisions += 1
+            return value
+        raise _Suspend(n, tuple(hints) if hints is not None else None)
+
+    def fail(self) -> NoReturn:
+        raise GuessFail()
+
+    def strategy(self, name: str) -> bool:
+        self._engine._select_strategy(name)
+        return True
+
+
+class ReplayEngine:
+    """Explore a Python guest's search space by deterministic replay.
+
+    Parameters
+    ----------
+    strategy:
+        Registry name (``"dfs"``, ``"bfs"``, ``"astar"``, ...) or a
+        ready-made :class:`Strategy` instance.
+    max_evaluations / max_solutions / max_depth:
+        Optional exploration budgets.  Hitting one stops the search and
+        marks the result as not exhausted.
+
+    Example
+    -------
+    >>> def coin(sys):
+    ...     return sys.guess(2)
+    >>> ReplayEngine().run(coin).solution_values
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        strategy: str | Strategy = "dfs",
+        max_evaluations: Optional[int] = None,
+        max_solutions: Optional[int] = None,
+        max_depth: Optional[int] = None,
+    ):
+        if isinstance(strategy, Strategy):
+            self._strategy = strategy
+        else:
+            self._strategy = get_strategy(strategy)
+        self.max_evaluations = max_evaluations
+        self.max_solutions = max_solutions
+        self.max_depth = max_depth
+        self._stats = SearchStats()
+        self._locked = False
+
+    # ------------------------------------------------------------------
+
+    def _select_strategy(self, name: str) -> None:
+        """Honour a guest's ``sys_guess_strategy`` call."""
+        if name.lower() == self._strategy.name:
+            return
+        if self._locked:
+            raise GuessError(
+                f"cannot switch strategy to {name!r} after the first guess"
+            )
+        self._strategy = get_strategy(name)
+
+    def run(self, guest: Callable[..., Any], *args: Any, **kwargs: Any) -> SearchResult:
+        """Explore every path of *guest* and collect its solutions.
+
+        *guest* is called as ``guest(sys, *args, **kwargs)``; each time it
+        runs to completion, its return value becomes a solution and the
+        engine backtracks to enumerate further paths (the paper's
+        "use backtracking to print all answers").
+        """
+        self._stats = SearchStats()
+        self._locked = False
+        stats = self._stats
+        solutions: list[Solution] = []
+        stop_reason: Optional[str] = None
+
+        def evaluate(prefix: tuple[int, ...], fanouts: tuple[int, ...]) -> None:
+            """Run one candidate extension step to fail/suspend/completion."""
+            nonlocal stop_reason
+            ctx = _ReplayContext(self, prefix, fanouts)
+            stats.evaluations += 1
+            try:
+                value = guest(ctx, *args, **kwargs)
+            except GuessFail:
+                stats.fails += 1
+                return
+            except _Suspend as sus:
+                if self.max_depth is not None and len(prefix) >= self.max_depth:
+                    stats.fails += 1
+                    stop_reason = stop_reason or "max_depth"
+                    return
+                candidate = _PathCandidate(prefix, fanouts, sus.n, sus.hints)
+                stats.candidates += 1
+                self._locked = True
+                self._strategy.add(
+                    Extension(
+                        candidate,
+                        number=i,
+                        hint=sus.hints[i] if sus.hints is not None else None,
+                        depth=candidate.depth,
+                    )
+                    for i in range(sus.n)
+                )
+                return
+            stats.completions += 1
+            solutions.append(Solution(value=value, path=ctx.decisions_taken))
+
+        # The root evaluation: run the guest with nothing recorded.
+        evaluate((), ())
+        exhausted = True
+        while True:
+            if self.max_solutions is not None and len(solutions) >= self.max_solutions:
+                exhausted = False
+                stop_reason = "max_solutions"
+                break
+            if self.max_evaluations is not None and stats.evaluations >= self.max_evaluations:
+                exhausted = False
+                stop_reason = "max_evaluations"
+                break
+            ext = self._strategy.next()
+            if ext is None:
+                break
+            cand: _PathCandidate = ext.candidate
+            evaluate(cand.prefix + (ext.number,), cand.fanouts + (cand.n,))
+        if exhausted and stop_reason == "max_depth":
+            exhausted = False
+        self._strategy.drain()
+        stats.peak_frontier = self._strategy.stats.peak_frontier
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy=self._strategy.name,
+            exhausted=exhausted,
+            stop_reason=stop_reason,
+        )
+
+    def first_solution(
+        self, guest: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Optional[Solution]:
+        """Convenience: stop at the first completed path."""
+        saved = self.max_solutions
+        self.max_solutions = 1
+        try:
+            result = self.run(guest, *args, **kwargs)
+        finally:
+            self.max_solutions = saved
+        return result.first

@@ -1,0 +1,192 @@
+"""Replay-based exploration of machine guests (the no-snapshot baseline).
+
+This engine runs the *same assembly guests* as :class:`MachineEngine`
+but without snapshots: a partial candidate is a decision prefix, and
+evaluating an extension re-executes the guest binary from its entry
+point, feeding recorded guess outcomes until the new territory begins.
+
+It exists as the baseline the snapshot engine is measured against in
+E3/E6: replay cost grows with (work per level x depth), which is exactly
+the re-execution overhead lightweight snapshots eliminate.  Semantics
+are identical — the engines must produce the same solution sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.errors import GuessError
+from repro.core.result import SearchResult, SearchStats, Solution
+from repro.cpu.assembler import Program, assemble
+from repro.interpose.policy import InterpositionPolicy
+from repro.libos.files import HostFS
+from repro.libos.libos import LibOS
+from repro.mem.frames import FramePool
+from repro.search import Extension, Strategy, get_strategy
+from repro.vmm.vcpu import VCpu
+from repro.libos.syscalls import (
+    ContinueAction,
+    ExitAction,
+    GuessAction,
+    GuessFailAction,
+    KillAction,
+    StrategyAction,
+)
+
+
+class _PrefixCandidate:
+    __slots__ = ("prefix", "fanouts", "n", "hints")
+
+    def __init__(self, prefix, fanouts, n, hints):
+        self.prefix = prefix
+        self.fanouts = fanouts
+        self.n = n
+        self.hints = hints
+
+    @property
+    def depth(self):
+        return len(self.prefix)
+
+
+class ReplayMachineEngine:
+    """Machine-guest exploration by deterministic re-execution."""
+
+    def __init__(
+        self,
+        strategy: Union[str, Strategy] = "dfs",
+        policy: Optional[InterpositionPolicy] = None,
+        hostfs: Optional[HostFS] = None,
+        max_steps_per_path: int = 5_000_000,
+        max_evaluations: Optional[int] = None,
+        max_solutions: Optional[int] = None,
+    ):
+        if isinstance(strategy, Strategy):
+            self._strategy = strategy
+        else:
+            self._strategy = get_strategy(strategy)
+        self.libos = LibOS(policy=policy, hostfs=hostfs)
+        self.max_steps_per_path = max_steps_per_path
+        self.max_evaluations = max_evaluations
+        self.max_solutions = max_solutions
+        self.pool = FramePool()
+        self.vcpu = VCpu()
+        self._locked = False
+
+    def run(self, guest: Union[str, Program]) -> SearchResult:
+        program = assemble(guest) if isinstance(guest, str) else guest
+        stats = SearchStats()
+        solutions: list[Solution] = []
+        stop_reason: Optional[str] = None
+        self._locked = False
+
+        def evaluate(prefix: tuple[int, ...], fanouts: tuple[int, ...]) -> None:
+            """One full re-execution of the guest with scripted guesses."""
+            stats.evaluations += 1
+            state, regs = self.libos.load(program, self.pool)
+            self.vcpu.regs.load(regs.frozen())
+            self.vcpu.attach(state.space)
+            position = 0
+            steps = 0
+            try:
+                while True:
+                    budget = self.max_steps_per_path - steps
+                    exit_event = self.vcpu.enter(max_steps=max(budget, 1))
+                    steps += exit_event.steps
+                    action = self.libos.handle_exit(exit_event, self.vcpu, state)
+                    if isinstance(action, ContinueAction):
+                        if steps >= self.max_steps_per_path:
+                            stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                            return
+                        continue
+                    if isinstance(action, StrategyAction):
+                        self._select_strategy(action.name)
+                        continue
+                    if isinstance(action, GuessAction):
+                        if position < len(prefix):
+                            if action.n != fanouts[position]:
+                                raise GuessError(
+                                    "nondeterministic guest: fan-out changed "
+                                    f"at depth {position}"
+                                )
+                            self.vcpu.regs.rax = prefix[position]
+                            position += 1
+                            stats.replayed_decisions += 1
+                            continue
+                        if action.n == 0:
+                            stats.fails += 1
+                            return
+                        self._locked = True
+                        candidate = _PrefixCandidate(
+                            prefix, fanouts, action.n, action.hints
+                        )
+                        stats.candidates += 1
+                        self._strategy.add(
+                            Extension(
+                                candidate,
+                                number=i,
+                                hint=(action.hints[i]
+                                      if action.hints is not None else None),
+                                depth=candidate.depth,
+                            )
+                            for i in range(action.n)
+                        )
+                        return
+                    if isinstance(action, GuessFailAction):
+                        stats.fails += 1
+                        return
+                    if isinstance(action, ExitAction):
+                        stats.completions += 1
+                        solutions.append(
+                            Solution(
+                                value=(action.status, state.console.text),
+                                path=prefix[:position] if position < len(prefix)
+                                else prefix,
+                            )
+                        )
+                        return
+                    if isinstance(action, KillAction):
+                        stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                        return
+                    raise AssertionError(f"unhandled {action!r}")  # pragma: no cover
+            finally:
+                state.free()
+
+        evaluate((), ())
+        exhausted = True
+        while True:
+            if self.max_solutions is not None and len(solutions) >= self.max_solutions:
+                exhausted = False
+                stop_reason = "max_solutions"
+                break
+            if (
+                self.max_evaluations is not None
+                and stats.evaluations >= self.max_evaluations
+            ):
+                exhausted = False
+                stop_reason = "max_evaluations"
+                break
+            ext = self._strategy.next()
+            if ext is None:
+                break
+            cand: _PrefixCandidate = ext.candidate
+            evaluate(cand.prefix + (ext.number,), cand.fanouts + (cand.n,))
+        self._strategy.drain()
+        stats.peak_frontier = self._strategy.stats.peak_frontier
+        stats.extra["guest_instructions"] = self.vcpu.vmcs.guest_instructions
+        stats.extra["vm_exits"] = self.vcpu.vmcs.exits
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy=self._strategy.name,
+            exhausted=exhausted,
+            stop_reason=stop_reason,
+        )
+
+    def _select_strategy(self, name: str) -> None:
+        if name == self._strategy.name:
+            return
+        if self._locked:
+            raise GuessError(
+                f"cannot switch strategy to {name!r} after the first guess"
+            )
+        self._strategy = get_strategy(name)

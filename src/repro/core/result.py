@@ -1,0 +1,87 @@
+"""Search results and exploration statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One completed path through the search space.
+
+    Attributes
+    ----------
+    value:
+        What the guest produced: the return value for Python guests, the
+        (exit_code, stdout) pair for machine guests.
+    path:
+        The sequence of guess outcomes that leads to this solution — the
+        "single path to solution" the guest appeared to execute.
+    depth:
+        Number of guesses along the path.
+    """
+
+    value: Any
+    path: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one exploration run."""
+
+    #: Partial candidates created (snapshots taken / choice points found).
+    candidates: int = 0
+    #: Candidate extension steps evaluated.
+    evaluations: int = 0
+    #: Extension steps that ended in ``sys_guess_fail``.
+    fails: int = 0
+    #: Extension steps that completed (produced a solution).
+    completions: int = 0
+    #: For the replay engine: guesses answered from recorded prefixes
+    #: (pure re-execution overhead; the machine engine keeps this at 0).
+    replayed_decisions: int = 0
+    #: Peak number of unevaluated extensions in the strategy frontier.
+    peak_frontier: int = 0
+    #: Engine-specific extras (VM exits, pages copied, ...).
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """The outcome of exploring a guest program's search space."""
+
+    solutions: list[Solution]
+    stats: SearchStats
+    strategy: str
+    #: True if the frontier emptied; False if a budget stopped the search.
+    exhausted: bool
+    #: Why the search stopped early, if it did.
+    stop_reason: Optional[str] = None
+
+    @property
+    def solution_values(self) -> list[Any]:
+        """Just the guest-produced values, in discovery order."""
+        return [s.value for s in self.solutions]
+
+    @property
+    def first(self) -> Optional[Solution]:
+        """The first solution found, or None."""
+        return self.solutions[0] if self.solutions else None
+
+    def __bool__(self) -> bool:
+        return bool(self.solutions)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        s = self.stats
+        return (
+            f"{len(self.solutions)} solution(s) via {self.strategy}: "
+            f"{s.candidates} candidates, {s.evaluations} evaluations, "
+            f"{s.fails} fails"
+            + ("" if self.exhausted else f" (stopped: {self.stop_reason})")
+        )

@@ -1,0 +1,41 @@
+"""System-call numbers for guest binaries.
+
+The POSIX-ish numbers follow the Linux x86-64 convention the paper's
+Dune-based libOS would interpose on; the guess calls live in a private
+range (0x1000+) as new system calls added by the backtracking libOS
+(§3.1, "New system calls").
+"""
+
+# POSIX-ish calls the libOS interposes on (Linux x86-64 numbering).
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_OPEN = 2
+SYS_CLOSE = 3
+SYS_LSEEK = 8
+SYS_MMAP = 9
+SYS_MUNMAP = 11
+SYS_BRK = 12
+SYS_EXIT = 60
+
+# New system calls introduced by the paper (§3.1).
+SYS_GUESS = 0x1000
+SYS_GUESS_FAIL = 0x1001
+SYS_GUESS_STRATEGY = 0x1002
+#: Extended guess: like SYS_GUESS but with a pointer to a vector of
+#: goal-distance hints for informed strategies (A*, SM-A*).
+SYS_GUESS_HINT = 0x1003
+
+#: Strategy ids for SYS_GUESS_STRATEGY's argument (guest-visible ABI).
+STRATEGY_IDS = {
+    "dfs": 0,
+    "bfs": 1,
+    "astar": 2,
+    "sma": 3,
+    "best": 4,
+    "random": 5,
+    "coverage": 6,
+    "external": 7,
+}
+
+#: Reverse map: id -> registry name.
+STRATEGY_NAMES = {v: k for k, v in STRATEGY_IDS.items()}

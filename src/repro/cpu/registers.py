@@ -1,0 +1,116 @@
+"""The guest register file.
+
+A register file plus an address space is exactly what a lightweight
+snapshot captures (§3.1: "a copy of the register file and an immutable
+logical copy of the entire address space").  :meth:`RegisterFile.frozen`
+produces the immutable value stored in snapshots; :meth:`RegisterFile.load`
+restores one into a mutable file when the scheduler resumes an extension.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+MASK64 = (1 << 64) - 1
+
+#: Register index constants (order defines the guest-visible numbering).
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+R8, R9, R10, R11, R12, R13, R14, R15 = range(8, 16)
+
+#: Index -> canonical name, x86-64 order.
+REG_NAMES = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+
+#: Name -> index.
+REG_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+
+
+class FrozenRegisters(NamedTuple):
+    """An immutable register-file value (the snapshot half of state)."""
+
+    gprs: tuple[int, ...]
+    rip: int
+    zf: bool
+    sf: bool
+    cf: bool
+    of: bool
+
+
+class RegisterFile:
+    """Sixteen 64-bit GPRs, an instruction pointer, and four flags."""
+
+    __slots__ = ("gprs", "rip", "zf", "sf", "cf", "of")
+
+    def __init__(self) -> None:
+        self.gprs = [0] * 16
+        self.rip = 0
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.of = False
+
+    # -- named accessors used by syscall handlers and tests ------------
+
+    def __getitem__(self, name_or_index) -> int:
+        if isinstance(name_or_index, str):
+            return self.gprs[REG_INDEX[name_or_index]]
+        return self.gprs[name_or_index]
+
+    def __setitem__(self, name_or_index, value: int) -> None:
+        if isinstance(name_or_index, str):
+            self.gprs[REG_INDEX[name_or_index]] = value & MASK64
+        else:
+            self.gprs[name_or_index] = value & MASK64
+
+    @property
+    def rax(self) -> int:
+        return self.gprs[RAX]
+
+    @rax.setter
+    def rax(self, value: int) -> None:
+        self.gprs[RAX] = value & MASK64
+
+    @property
+    def rsp(self) -> int:
+        return self.gprs[RSP]
+
+    @rsp.setter
+    def rsp(self, value: int) -> None:
+        self.gprs[RSP] = value & MASK64
+
+    @property
+    def rdi(self) -> int:
+        return self.gprs[RDI]
+
+    @property
+    def rsi(self) -> int:
+        return self.gprs[RSI]
+
+    @property
+    def rdx(self) -> int:
+        return self.gprs[RDX]
+
+    # -- snapshot support ----------------------------------------------
+
+    def frozen(self) -> FrozenRegisters:
+        """Capture an immutable copy of the whole register state."""
+        return FrozenRegisters(
+            tuple(self.gprs), self.rip, self.zf, self.sf, self.cf, self.of
+        )
+
+    def load(self, frozen: FrozenRegisters) -> None:
+        """Restore a previously captured register state."""
+        self.gprs = list(frozen.gprs)
+        self.rip = frozen.rip
+        self.zf = frozen.zf
+        self.sf = frozen.sf
+        self.cf = frozen.cf
+        self.of = frozen.of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(
+            f"{name}={self.gprs[i]:#x}" for i, name in enumerate(REG_NAMES[:8])
+        )
+        return f"RegisterFile(rip={self.rip:#x}, {regs})"

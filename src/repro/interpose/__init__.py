@@ -1,0 +1,34 @@
+"""System-call interposition policies.
+
+"The framework intercepts system calls to ensure the isolated execution
+of the extension. [...] This interposition logic can easily be made sound
+by supporting only the minimal required set of conditions (e.g., only
+open regular files but not devices) and failing all others." (§5)
+
+* :class:`SoundMinimalPolicy` -- the paper's design point: a small
+  allowlist, everything else refused.
+* :class:`PermissivePolicy` -- allows every implemented call (useful for
+  tests and for measuring the policy's own overhead).
+* :class:`AuditLog` -- records every interposed call, its verdict, and
+  how its side effect is contained (COW fork vs explicit reversal).
+"""
+
+from repro.interpose.policy import (
+    AuditLog,
+    AuditRecord,
+    Containment,
+    InterpositionPolicy,
+    PermissivePolicy,
+    SoundMinimalPolicy,
+    Verdict,
+)
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "Containment",
+    "InterpositionPolicy",
+    "PermissivePolicy",
+    "SoundMinimalPolicy",
+    "Verdict",
+]

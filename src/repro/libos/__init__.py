@@ -1,0 +1,46 @@
+"""The backtracking libOS.
+
+The libOS of Figure 2: it loads the guest at (simulated) ring 3, handles
+every VM exit, interposes on all guest system calls so extension side
+effects stay contained, and cooperates with the snapshot manager and the
+search-strategy scheduler.
+
+* :mod:`repro.libos.loader` -- maps an assembled program into a fresh
+  address space (text RX, data RW, stack, heap).
+* :mod:`repro.libos.files` -- the copy-on-write file layer giving each
+  extension an "immutable logical copy of open disk files" (§4).
+* :mod:`repro.libos.console` -- per-path capture of guest stdout/stderr.
+* :mod:`repro.libos.syscalls` -- the syscall dispatch table; guess calls
+  surface as typed actions for the engine's scheduler.
+* :mod:`repro.libos.libos` -- :class:`LibOS`, tying the above together.
+"""
+
+from repro.libos.console import Console
+from repro.libos.files import FileTable, HostFS
+from repro.libos.libos import ExecState, LibOS
+from repro.libos.loader import load_program
+from repro.libos.syscalls import (
+    Action,
+    ContinueAction,
+    ExitAction,
+    GuessAction,
+    GuessFailAction,
+    KillAction,
+    StrategyAction,
+)
+
+__all__ = [
+    "Action",
+    "Console",
+    "ContinueAction",
+    "ExecState",
+    "ExitAction",
+    "FileTable",
+    "GuessAction",
+    "GuessFailAction",
+    "HostFS",
+    "KillAction",
+    "LibOS",
+    "StrategyAction",
+    "load_program",
+]

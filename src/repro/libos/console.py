@@ -1,0 +1,49 @@
+"""Per-path console capture.
+
+Guest writes to stdout/stderr are part of the *path's* state: two sibling
+extensions must each see only their own output (Figure 1 prints one board
+per solution path).  The console is therefore forked together with the
+address space and file table on every snapshot.
+"""
+
+from __future__ import annotations
+
+
+class Console:
+    """An append-only output buffer with cheap forking.
+
+    Forks share the already-written chunks (they are immutable bytes) and
+    append independently, mirroring how the COW layers share history and
+    diverge from the snapshot point.
+    """
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self, _chunks: tuple[bytes, ...] = ()):
+        self._chunks: list[bytes] = list(_chunks)
+
+    def write(self, data: bytes) -> int:
+        """Append guest output; returns the byte count (like write(2))."""
+        if data:
+            self._chunks.append(bytes(data))
+        return len(data)
+
+    def fork_cow(self) -> "Console":
+        """Fork the console at the current output position."""
+        return Console(tuple(self._chunks))
+
+    @property
+    def data(self) -> bytes:
+        """Everything written along this path so far."""
+        return b"".join(self._chunks)
+
+    @property
+    def text(self) -> str:
+        """Output decoded as UTF-8 (replacement on invalid bytes)."""
+        return self.data.decode("utf-8", errors="replace")
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Console({len(self)} bytes)"

@@ -1,0 +1,244 @@
+"""Copy-on-write file layer.
+
+Each partial candidate includes "a logical copy of open disk files" (§4).
+We realise that with whole-file copy-on-write: file contents live in
+refcounted :class:`FileData` blocks; forking a :class:`FileTable` shares
+every block and copies it only when an extension writes.  This fixes the
+fork-based strawman's flaw that "changes made to files are visible to
+other processes" (§3): siblings never see each other's file writes.
+
+The :class:`HostFS` is the immutable backing store (the host filesystem
+as the libOS sees it); guests materialise private COW copies on open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.interpose.policy import (
+    AuditLog,
+    Containment,
+    InterpositionPolicy,
+    PermissivePolicy,
+    Verdict,
+)
+
+EBADF = 9
+EACCES = 13
+ENOENT = 2
+EINVAL = 22
+
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 64
+_ACCMODE = 3
+
+
+class HostFS:
+    """Immutable host-side backing files (path -> initial contents)."""
+
+    def __init__(self, files: Optional[dict[str, bytes]] = None):
+        self._files = dict(files or {})
+
+    def add(self, path: str, data: bytes) -> None:
+        self._files[path] = bytes(data)
+
+    def get(self, path: str) -> Optional[bytes]:
+        return self._files.get(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+
+class FileData:
+    """Refcounted file contents; copied when a sharer writes."""
+
+    __slots__ = ("data", "refcount")
+
+    def __init__(self, data: bytes = b""):
+        self.data = bytearray(data)
+        self.refcount = 1
+
+
+@dataclass
+class _OpenFile:
+    """Per-table fd state (position is private; data may be shared)."""
+
+    path: str
+    fdata: FileData
+    pos: int
+    writable: bool
+
+
+class FileTable:
+    """A guest's view of its files, forkable in O(open files).
+
+    Forking copies the fd table and the name->data namespace but shares
+    all :class:`FileData` blocks; a write to a shared block copies it
+    first (whole-file COW — file granularity keeps the model simple while
+    preserving the isolation property the paper needs).
+    """
+
+    def __init__(
+        self,
+        hostfs: Optional[HostFS] = None,
+        policy: Optional[InterpositionPolicy] = None,
+        audit: Optional[AuditLog] = None,
+    ):
+        self.hostfs = hostfs if hostfs is not None else HostFS()
+        self.policy = policy if policy is not None else PermissivePolicy()
+        self.audit = audit if audit is not None else AuditLog()
+        self._fds: dict[int, _OpenFile] = {}
+        #: This path's view of file contents by name (COW-shared blocks).
+        self._namespace: dict[str, FileData] = {}
+        self._next_fd = 3  # 0-2 are stdio, handled by the console
+        #: Bytes physically copied by file-level COW (cost accounting).
+        self.cow_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Forking
+    # ------------------------------------------------------------------
+
+    def fork_cow(self) -> "FileTable":
+        """Logical copy: shared data blocks, private positions."""
+        clone = FileTable(self.hostfs, self.policy, self.audit)
+        clone._next_fd = self._next_fd
+        for name, fdata in self._namespace.items():
+            fdata.refcount += 1
+            clone._namespace[name] = fdata
+        for fd, of in self._fds.items():
+            of.fdata.refcount += 1
+            clone._fds[fd] = _OpenFile(of.path, of.fdata, of.pos, of.writable)
+        return clone
+
+    def free(self) -> None:
+        """Drop all references held by this table."""
+        for of in self._fds.values():
+            of.fdata.refcount -= 1
+        for fdata in self._namespace.values():
+            fdata.refcount -= 1
+        self._fds.clear()
+        self._namespace.clear()
+
+    def _own(self, of: _OpenFile) -> FileData:
+        """Make *of*'s data block exclusive to this table (COW).
+
+        A block is exclusive when every reference to it comes from this
+        table (its fds plus its namespace entry).  Otherwise the block is
+        shared with a snapshot or sibling and must be copied, rebinding
+        all of this table's aliases to the private copy.
+        """
+        fdata = of.fdata
+        local_refs = sum(1 for o in self._fds.values() if o.fdata is fdata)
+        if self._namespace.get(of.path) is fdata:
+            local_refs += 1
+        if fdata.refcount == local_refs:
+            return fdata
+        fresh = FileData(bytes(fdata.data))
+        fresh.refcount = 0
+        self.cow_bytes += len(fresh.data)
+        for other in self._fds.values():
+            if other.fdata is fdata:
+                other.fdata = fresh
+                fresh.refcount += 1
+                fdata.refcount -= 1
+        if self._namespace.get(of.path) is fdata:
+            self._namespace[of.path] = fresh
+            fresh.refcount += 1
+            fdata.refcount -= 1
+        return fresh
+
+    # ------------------------------------------------------------------
+    # POSIX-ish operations (return value >= 0, or -errno)
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, flags: int) -> int:
+        errno = self.policy.check_open(path, flags)
+        if errno is not None:
+            self.audit.note("open", path, Verdict.DENY)
+            return -errno
+        if path in self._namespace:
+            fdata = self._namespace[path]
+        else:
+            backing = self.hostfs.get(path)
+            if backing is None:
+                if not flags & O_CREAT:
+                    self.audit.note("open", f"{path} (ENOENT)", Verdict.DENY)
+                    return -ENOENT
+                fdata = FileData()
+            else:
+                fdata = FileData(backing)
+            self._namespace[path] = fdata
+        fdata.refcount += 1
+        fd = self._next_fd
+        self._next_fd += 1
+        writable = (flags & _ACCMODE) in (O_WRONLY, O_RDWR)
+        self._fds[fd] = _OpenFile(path, fdata, 0, writable)
+        self.audit.note("open", path, Verdict.ALLOW, Containment.COW)
+        return fd
+
+    def close(self, fd: int) -> int:
+        of = self._fds.pop(fd, None)
+        if of is None:
+            return -EBADF
+        of.fdata.refcount -= 1
+        self.audit.note("close", of.path, Verdict.ALLOW)
+        return 0
+
+    def read(self, fd: int, n: int) -> bytes | int:
+        of = self._fds.get(fd)
+        if of is None:
+            return -EBADF
+        data = bytes(of.fdata.data[of.pos : of.pos + n])
+        of.pos += len(data)
+        self.audit.note("read", f"{of.path} {len(data)}B", Verdict.ALLOW)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        of = self._fds.get(fd)
+        if of is None:
+            return -EBADF
+        if not of.writable:
+            self.audit.note("write", f"{of.path} (RO)", Verdict.DENY)
+            return -EACCES
+        fdata = self._own(of)
+        end = of.pos + len(data)
+        if end > len(fdata.data):
+            fdata.data.extend(bytes(end - len(fdata.data)))
+        fdata.data[of.pos : end] = data
+        of.pos = end
+        self.audit.note(
+            "write", f"{of.path} {len(data)}B", Verdict.ALLOW, Containment.COW
+        )
+        return len(data)
+
+    def lseek(self, fd: int, offset: int, whence: int) -> int:
+        of = self._fds.get(fd)
+        if of is None:
+            return -EBADF
+        if whence == 0:
+            pos = offset
+        elif whence == 1:
+            pos = of.pos + offset
+        elif whence == 2:
+            pos = len(of.fdata.data) + offset
+        else:
+            return -EINVAL
+        if pos < 0:
+            return -EINVAL
+        of.pos = pos
+        return pos
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def contents(self, path: str) -> Optional[bytes]:
+        """This path's view of *path* (None if never materialised)."""
+        fdata = self._namespace.get(path)
+        return bytes(fdata.data) if fdata is not None else None
+
+    def open_fds(self) -> list[int]:
+        return sorted(self._fds)

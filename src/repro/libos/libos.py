@@ -1,0 +1,105 @@
+"""The libOS facade: guest lifecycle and VM-exit handling.
+
+One :class:`LibOS` instance manages one guest program's executions.  It
+owns the loader, the syscall dispatcher and the interposition policy; the
+engine (:mod:`repro.core.machine`) owns the snapshot manager and the
+search strategy and consumes the typed actions produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.assembler import Program
+from repro.cpu.registers import RegisterFile
+from repro.interpose.policy import (
+    AuditLog,
+    InterpositionPolicy,
+    SoundMinimalPolicy,
+)
+from repro.libos.console import Console
+from repro.libos.files import FileTable, HostFS
+from repro.libos.loader import load_program
+from repro.libos.syscalls import (
+    Action,
+    ContinueAction,
+    ExitAction,
+    KillAction,
+    SyscallDispatcher,
+)
+from repro.mem.addrspace import AddressSpace
+from repro.mem.frames import FramePool
+from repro.vmm.vcpu import VCpu, VmExit, VmExitReason
+
+
+@dataclass
+class ExecState:
+    """The mutable state of one executing extension step."""
+
+    space: AddressSpace
+    files: FileTable
+    console: Console
+
+    def free(self) -> None:
+        self.space.free()
+        self.files.free()
+
+
+class LibOS:
+    """The backtracking libOS of Figure 2 (mechanism only, no policy).
+
+    Parameters
+    ----------
+    policy:
+        Interposition policy; defaults to the paper's sound-but-minimal
+        design point.
+    hostfs:
+        Backing files visible to guests via ``open``.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[InterpositionPolicy] = None,
+        hostfs: Optional[HostFS] = None,
+    ):
+        self.policy = policy if policy is not None else SoundMinimalPolicy()
+        self.hostfs = hostfs if hostfs is not None else HostFS()
+        self.audit = AuditLog()
+        self.dispatcher = SyscallDispatcher(self.policy)
+        #: Page faults the libOS saw escape the COW layer (hard faults).
+        self.hard_faults = 0
+
+    def load(self, program: Program, pool: FramePool) -> tuple[ExecState, RegisterFile]:
+        """Create the initial execution state for *program*."""
+        space, regs = load_program(program, pool)
+        files = FileTable(self.hostfs, self.policy, self.audit)
+        return ExecState(space, files, Console()), regs
+
+    def handle_exit(self, exit_event: VmExit, vcpu: VCpu, state: ExecState) -> Action:
+        """Turn a VM exit into an engine-visible action.
+
+        ``SYSCALL`` exits are dispatched; ``HLT`` is treated as a clean
+        ``exit(rax)`` (the idiom our guests use to finish); faults and
+        step-budget expiry kill the offending extension, mirroring how
+        the real libOS would reflect an unhandled fault.
+        """
+        reason = exit_event.reason
+        if reason is VmExitReason.SYSCALL:
+            return self.dispatcher.dispatch(vcpu, state.space, state.files,
+                                            state.console)
+        if reason is VmExitReason.HLT:
+            return ExitAction(status=_low32(vcpu.regs.rax))
+        if reason is VmExitReason.PAGE_FAULT:
+            self.hard_faults += 1
+            return KillAction(f"unhandled page fault: {exit_event.fault}")
+        if reason is VmExitReason.CPU_EXCEPTION:
+            return KillAction(f"cpu exception: {exit_event.fault}")
+        if reason is VmExitReason.STEP_LIMIT:
+            return KillAction("extension step budget exhausted")
+        raise AssertionError(f"unhandled exit {exit_event!r}")  # pragma: no cover
+
+
+def _low32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value

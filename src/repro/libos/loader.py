@@ -1,0 +1,70 @@
+"""Guest program loader.
+
+Maps an assembled :class:`~repro.cpu.assembler.Program` into a fresh
+address space the way the Dune sandbox loads an application at ring 3:
+
+* ``.text`` read-execute at the program's text base;
+* ``.data`` read-write, followed by a BSS-like scratch area;
+* a demand-zero stack below :data:`~repro.mem.layout.STACK_TOP`;
+* the heap break initialised at :data:`~repro.mem.layout.HEAP_BASE`
+  (grown on demand via the ``brk`` system call).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.assembler import Program
+from repro.cpu.registers import RegisterFile
+from repro.mem.addrspace import AddressSpace
+from repro.mem.frames import FramePool
+from repro.mem.layout import (
+    DEFAULT_STACK_PAGES,
+    HEAP_BASE,
+    MMAP_BASE,
+    PAGE_SIZE,
+    STACK_TOP,
+    page_align_up,
+)
+from repro.mem.pagetable import Permission
+
+
+def load_program(
+    program: Program,
+    pool: FramePool,
+    stack_pages: int = DEFAULT_STACK_PAGES,
+    bss_pages: int = 16,
+    name: Optional[str] = None,
+) -> tuple[AddressSpace, RegisterFile]:
+    """Build the initial address space and register file for *program*.
+
+    Returns ``(space, regs)`` with ``rip`` at the entry point and ``rsp``
+    at the stack top.
+    """
+    space = AddressSpace(pool, name=name or "guest")
+
+    text_len = max(len(program.text), 1)
+    space.map_region(program.text_base, text_len, Permission.RX,
+                     data=program.text or b"\x00")
+
+    data_len = page_align_up(max(len(program.data), 1)) + bss_pages * PAGE_SIZE
+    if program.data:
+        data_pages = page_align_up(len(program.data))
+        space.map_region(program.data_base, data_pages, Permission.RW,
+                         data=program.data)
+        if bss_pages:
+            space.map_region(program.data_base + data_pages,
+                             bss_pages * PAGE_SIZE, Permission.RW)
+    else:
+        space.map_region(program.data_base, data_len, Permission.RW)
+
+    stack_base = STACK_TOP - stack_pages * PAGE_SIZE
+    space.map_region(stack_base, stack_pages * PAGE_SIZE, Permission.RW)
+
+    space.set_brk_base(HEAP_BASE)
+    space.mmap_next = MMAP_BASE
+
+    regs = RegisterFile()
+    regs.rip = program.entry
+    regs.rsp = STACK_TOP
+    return space, regs

@@ -1,0 +1,263 @@
+"""System-call dispatch.
+
+The libOS "interposes on these calls to ensure that all visible side
+effects are contained within the extension" (§4).  POSIX-ish calls are
+serviced directly against the per-path COW state (file table, console,
+heap); the three guess calls are *not* serviced here — they surface as
+typed actions so the engine's scheduler (the search strategy) decides
+what runs next, keeping policy out of the libOS mechanism.
+
+Guest ABI (simulated, modelled on Linux x86-64):
+
+=================  =====  ==========================================
+call               rax    arguments
+=================  =====  ==========================================
+read               0      rdi=fd, rsi=buf, rdx=len -> rax=n or -errno
+write              1      rdi=fd, rsi=buf, rdx=len -> rax=n or -errno
+open               2      rdi=path (cstr), rsi=flags -> rax=fd/-errno
+close              3      rdi=fd
+lseek              8      rdi=fd, rsi=off, rdx=whence
+brk                12     rdi=new break (0 queries) -> rax=break
+exit               60     rdi=status (never returns)
+sys_guess          0x1000 rdi=n -> rax=extension number
+sys_guess_fail     0x1001 never returns
+sys_guess_strategy 0x1002 rdi=strategy id -> rax=1
+sys_guess_hint     0x1003 rdi=n, rsi=ptr to n signed i64 hints
+=================  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core import sysno
+from repro.core.sysno import STRATEGY_NAMES
+from repro.interpose.policy import (
+    Containment,
+    InterpositionPolicy,
+    Verdict,
+    ENOSYS,
+)
+from repro.libos.console import Console
+from repro.libos.files import FileTable
+from repro.mem.addrspace import AddressSpace
+from repro.mem.faults import PageFaultError
+from repro.vmm.vcpu import VCpu
+
+_EFAULT = 14
+_EBADF = 9
+_EINVAL_ = 22
+_I64_SIGN = 1 << 63
+
+from repro.mem.pagetable import Permission as _Permission
+
+_RW_PERM = _Permission.RW
+
+
+@dataclass
+class ContinueAction:
+    """Syscall fully handled; re-enter the guest."""
+
+
+@dataclass
+class ExitAction:
+    """Guest called exit(status): the path completed."""
+
+    status: int
+
+
+@dataclass
+class GuessAction:
+    """Guest called sys_guess(n): take a snapshot, fan out n extensions."""
+
+    n: int
+    hints: Optional[tuple[float, ...]] = None
+
+
+@dataclass
+class GuessFailAction:
+    """Guest called sys_guess_fail(): discard this extension."""
+
+
+@dataclass
+class StrategyAction:
+    """Guest called sys_guess_strategy(id)."""
+
+    name: str
+
+
+@dataclass
+class KillAction:
+    """The path must be terminated by policy or error."""
+
+    reason: str
+
+
+Action = Union[
+    ContinueAction, ExitAction, GuessAction, GuessFailAction,
+    StrategyAction, KillAction,
+]
+
+_CONTINUE = ContinueAction()
+
+
+class SyscallDispatcher:
+    """Decodes and services guest system calls for one libOS instance."""
+
+    def __init__(self, policy: InterpositionPolicy):
+        self.policy = policy
+        #: Per-call counts for the F2 accounting benchmark.
+        self.counts: dict[int, int] = {}
+
+    def dispatch(
+        self,
+        vcpu: VCpu,
+        space: AddressSpace,
+        files: FileTable,
+        console: Console,
+    ) -> Action:
+        """Service the syscall encoded in the vCPU's registers."""
+        regs = vcpu.regs
+        number = regs.rax
+        self.counts[number] = self.counts.get(number, 0) + 1
+        try:
+            return self._dispatch(number, regs, space, files, console)
+        except PageFaultError:
+            # Guest passed a bad pointer; mirror Linux and return -EFAULT.
+            regs.rax = -_EFAULT & ((1 << 64) - 1)
+            return _CONTINUE
+
+    def _dispatch(self, number, regs, space, files, console) -> Action:
+        if number == sysno.SYS_WRITE:
+            return self._write(regs, space, files, console)
+        if number == sysno.SYS_READ:
+            return self._read(regs, space, files)
+        if number == sysno.SYS_OPEN:
+            return self._open(regs, space, files)
+        if number == sysno.SYS_CLOSE:
+            regs.rax = files.close(regs.rdi)
+            return _CONTINUE
+        if number == sysno.SYS_LSEEK:
+            regs.rax = files.lseek(regs.rdi, _signed(regs.rsi), regs.rdx)
+            return _CONTINUE
+        if number == sysno.SYS_BRK:
+            return self._brk(regs, space, files)
+        if number == sysno.SYS_MMAP:
+            return self._mmap(regs, space, files)
+        if number == sysno.SYS_MUNMAP:
+            return self._munmap(regs, space, files)
+        if number == sysno.SYS_EXIT:
+            return ExitAction(status=_signed(regs.rdi))
+        if number == sysno.SYS_GUESS:
+            return GuessAction(n=regs.rdi)
+        if number == sysno.SYS_GUESS_FAIL:
+            return GuessFailAction()
+        if number == sysno.SYS_GUESS_STRATEGY:
+            name = STRATEGY_NAMES.get(regs.rdi)
+            if name is None:
+                return KillAction(f"unknown strategy id {regs.rdi}")
+            regs.rax = 1
+            return StrategyAction(name)
+        if number == sysno.SYS_GUESS_HINT:
+            n = regs.rdi
+            ptr = regs.rsi
+            hints = tuple(
+                float(_signed(space.read_u64(ptr + 8 * i))) for i in range(n)
+            )
+            return GuessAction(n=n, hints=hints)
+        # Unknown syscall: the §5 soundness rule decides.
+        files.audit.note("syscall", f"#{number}", Verdict.DENY)
+        if self.policy.check_unknown_syscall(number) == "kill":
+            return KillAction(f"refused syscall #{number}")
+        regs.rax = -ENOSYS & ((1 << 64) - 1)
+        return _CONTINUE
+
+    # ------------------------------------------------------------------
+
+    def _write(self, regs, space, files, console) -> Action:
+        fd, buf, length = regs.rdi, regs.rsi, regs.rdx
+        data = space.read(buf, length)
+        if fd in (1, 2):
+            files.audit.note(
+                "write", f"fd{fd} {length}B", Verdict.ALLOW, Containment.OUTPUT
+            )
+            regs.rax = console.write(data)
+        else:
+            regs.rax = _errno64(files.write(fd, data))
+        return _CONTINUE
+
+    def _read(self, regs, space, files) -> Action:
+        fd, buf, length = regs.rdi, regs.rsi, regs.rdx
+        if fd in (0, 1, 2):
+            regs.rax = 0  # no interactive stdin in a search extension
+            return _CONTINUE
+        result = files.read(fd, length)
+        if isinstance(result, int):
+            regs.rax = _errno64(result)
+        else:
+            space.write(buf, result)
+            regs.rax = len(result)
+        return _CONTINUE
+
+    def _open(self, regs, space, files) -> Action:
+        path = space.read_cstr(regs.rdi).decode("utf-8", errors="replace")
+        regs.rax = _errno64(files.open(path, regs.rsi))
+        return _CONTINUE
+
+    def _mmap(self, regs, space, files) -> Action:
+        """Anonymous private mappings only: mmap(0, length) -> base.
+
+        Address hints, file-backed mappings and protection flags beyond
+        RW are refused (-EINVAL): §5's sound-minimal rule applied to the
+        memory API.  Regions grow downward from the libOS-chosen mmap
+        base and are demand-zero (COW of the zero frame).
+        """
+        hint, length = regs.rdi, regs.rsi
+        if hint != 0 or length == 0:
+            regs.rax = -_EINVAL_ & ((1 << 64) - 1)
+            return _CONTINUE
+        size = (length + 4095) & ~4095
+        base = (space.mmap_next - size) & ~4095
+        space.map_region(base, size, _RW_PERM)
+        space.mmap_next = base
+        files.audit.note(
+            "mmap", f"{size // 1024}KiB at {base:#x}", Verdict.ALLOW,
+            Containment.COW,
+        )
+        regs.rax = base
+        return _CONTINUE
+
+    def _munmap(self, regs, space, files) -> Action:
+        addr, length = regs.rdi, regs.rsi
+        if addr & 4095 or length == 0:
+            regs.rax = -_EINVAL_ & ((1 << 64) - 1)
+            return _CONTINUE
+        space.unmap_region(addr, length)
+        files.audit.note("munmap", f"{addr:#x}", Verdict.ALLOW,
+                         Containment.COW)
+        regs.rax = 0
+        return _CONTINUE
+
+    def _brk(self, regs, space, files) -> Action:
+        target = regs.rdi
+        current = space.brk_end
+        if target == 0 or target < space.brk_base:
+            regs.rax = current
+            return _CONTINUE
+        space.sbrk(target - current)
+        files.audit.note(
+            "brk", f"{current:#x} -> {target:#x}", Verdict.ALLOW,
+            Containment.LOGGED,
+        )
+        regs.rax = space.brk_end
+        return _CONTINUE
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _I64_SIGN else value
+
+
+def _errno64(value: int) -> int:
+    """Encode a possibly-negative errno return as unsigned 64-bit."""
+    return value & ((1 << 64) - 1)

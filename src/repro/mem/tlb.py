@@ -1,0 +1,87 @@
+"""Software TLB model.
+
+A real implementation of lightweight snapshots must invalidate cached
+translations when a snapshot is taken (so the next write faults and COWs)
+and when one is restored (the address space just changed wholesale).  We
+model that explicitly: the :class:`TLB` caches ``vpn -> TLBEntry`` and the
+address space flushes it at the same points hardware would require a TLB
+shootdown.  Hit/miss/flush counters feed the F2 architecture accounting
+benchmark.
+
+The TLB also gives the pure-Python simulator an important fast path: a hit
+avoids the 4-level radix walk entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
+
+from repro.mem.frames import Frame
+from repro.mem.pagetable import Permission
+
+
+class TLBEntry(NamedTuple):
+    """A cached translation: the frame and the permissions it was cached
+    under.  ``writable`` is False for pages that must COW-fault on write
+    even though their PTE says WRITE (i.e. shared frames)."""
+
+    frame: Frame
+    perms: Permission
+    writable: bool
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+
+class TLB:
+    """A bounded translation cache with LRU-ish eviction.
+
+    Capacity defaults to 1024 entries (a generous L2 TLB).  Eviction pops
+    an arbitrary old entry via dict ordering, which approximates FIFO and
+    is cheap; the simulator only needs the flush semantics to be exact,
+    not the replacement policy.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, TLBEntry] = {}
+        self.stats = TLBStats()
+
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        """Return the cached entry for *vpn*, or None on a miss."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def insert(self, vpn: int, entry: TLBEntry) -> None:
+        """Cache a translation, evicting if at capacity."""
+        if vpn not in self._entries and len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
+        self._entries[vpn] = entry
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop the cached translation for one page (INVLPG)."""
+        if self._entries.pop(vpn, None) is not None:
+            self.stats.invalidations += 1
+
+    def flush(self) -> None:
+        """Drop every cached translation (CR3 reload / shootdown)."""
+        self._entries.clear()
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

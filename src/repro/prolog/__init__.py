@@ -1,0 +1,33 @@
+"""A Prolog engine in the WAM tradition (the XSB stand-in).
+
+§5 compares the snapshot prototype against "a Prolog implementation
+running on XSB"; §6 relates ``sys_guess`` to WAM choice points.  This
+package provides the comparison point: an SLD-resolution engine with
+
+* structure terms, logic variables with in-place binding,
+* a **trail** for O(1) undo on backtracking (the WAM mechanism the
+  paper's snapshots replace with page-level COW),
+* chronological backtracking via choice points,
+* arithmetic and comparison builtins, negation as failure,
+* a small Prolog text parser (:mod:`repro.prolog.parser`).
+
+The engine counts logical inferences, choice points and trail writes so
+E1 can report the bookkeeping cost that system-level backtracking moves
+out of the runtime.
+"""
+
+from repro.prolog.engine import Database, PrologEngine
+from repro.prolog.parser import parse_program, parse_query
+from repro.prolog.terms import Struct, Var, from_list, make_list, walk
+
+__all__ = [
+    "Database",
+    "PrologEngine",
+    "Struct",
+    "Var",
+    "from_list",
+    "make_list",
+    "parse_program",
+    "parse_query",
+    "walk",
+]

@@ -1,0 +1,326 @@
+"""SLD resolution with trail-based chronological backtracking.
+
+The engine realises what §6 calls "the WAM choice points": each clause
+alternative is a choice point; bindings made while trying one alternative
+are recorded on the **trail** and unwound when it fails.  This per-binding
+bookkeeping is exactly the cost that the paper's page-granular
+copy-on-write snapshots amortise away, so the engine counts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.prolog.terms import (
+    CONS,
+    Struct,
+    Term,
+    Var,
+    rename,
+    reify,
+    term_vars,
+    walk,
+)
+
+
+@dataclass
+class PrologStats:
+    """Work counters (the "bookkeeping" E1 reports)."""
+
+    inferences: int = 0
+    choice_points: int = 0
+    trail_writes: int = 0
+    unifications: int = 0
+
+
+class PrologError(Exception):
+    """Malformed program or unsupported goal."""
+
+
+class Database:
+    """Clause storage indexed by predicate indicator."""
+
+    def __init__(self) -> None:
+        self._clauses: dict[tuple[str, int], list[tuple[Term, tuple]]] = {}
+
+    def add(self, head: Term, body: tuple = ()) -> None:
+        """Add ``head :- body`` (facts have an empty body)."""
+        head = walk(head)
+        if isinstance(head, str):
+            head = Struct(head)
+        if not isinstance(head, Struct):
+            raise PrologError(f"clause head must be callable: {head!r}")
+        self._clauses.setdefault(head.indicator, []).append((head, tuple(body)))
+
+    def clauses_for(self, goal: Struct) -> list[tuple[Term, tuple]]:
+        return self._clauses.get(goal.indicator, [])
+
+    def __contains__(self, indicator: tuple[str, int]) -> bool:
+        return indicator in self._clauses
+
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+}
+
+
+_NO_MORE = object()
+
+
+class PrologEngine:
+    """Queries a :class:`Database` by SLD resolution.
+
+    >>> db = Database()
+    >>> db.add(Struct("parent", ("tom", "bob")))
+    >>> engine = PrologEngine(db)
+    >>> x = Var("X")
+    >>> [walk(x) for _ in engine.solve((Struct("parent", ("tom", x)),))]
+    ['bob']
+    """
+
+    def __init__(self, db: Database, max_depth: int = 100_000):
+        self.db = db
+        self.max_depth = max_depth
+        self.stats = PrologStats()
+        self._trail: list[Var] = []
+
+    # ------------------------------------------------------------------
+    # Unification with trailing
+    # ------------------------------------------------------------------
+
+    def _bind(self, var: Var, term: Term) -> None:
+        var.ref = term
+        self._trail.append(var)
+        self.stats.trail_writes += 1
+
+    def _undo_to(self, mark: int) -> None:
+        trail = self._trail
+        while len(trail) > mark:
+            trail.pop().ref = None
+
+    def unify(self, a: Term, b: Term) -> bool:
+        """Unify, trailing bindings for backtracking."""
+        self.stats.unifications += 1
+        stack = [(a, b)]
+        while stack:
+            x, y = stack.pop()
+            x, y = walk(x), walk(y)
+            if x is y:
+                continue
+            if isinstance(x, Var):
+                self._bind(x, y)
+            elif isinstance(y, Var):
+                self._bind(y, x)
+            elif isinstance(x, Struct) and isinstance(y, Struct):
+                if x.functor != y.functor or len(x.args) != len(y.args):
+                    return False
+                stack.extend(zip(x.args, y.args))
+            elif x != y:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def evaluate(self, term: Term) -> int:
+        """Evaluate an arithmetic expression term to an integer."""
+        term = walk(term)
+        if isinstance(term, int):
+            return term
+        if isinstance(term, Var):
+            raise PrologError("arguments are not sufficiently instantiated")
+        if isinstance(term, Struct):
+            if term.functor == "abs" and len(term.args) == 1:
+                return abs(self.evaluate(term.args[0]))
+            if term.functor == "-" and len(term.args) == 1:
+                return -self.evaluate(term.args[0])
+            op = _ARITH.get(term.functor)
+            if op is not None and len(term.args) == 2:
+                return op(self.evaluate(term.args[0]), self.evaluate(term.args[1]))
+        raise PrologError(f"unknown arithmetic expression: {term!r}")
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def solve(self, goals: tuple) -> Iterator[None]:
+        """Yield once per solution of the conjunction *goals*.
+
+        Bindings are live at yield time; callers must read them (e.g.
+        via :func:`reify`) before requesting the next solution.
+
+        The machine is iterative: an explicit stack of choice-point
+        frames (alternatives iterator + trail mark), so resolution depth
+        is bounded by the engine's ``max_depth``, not Python's recursion
+        limit — structurally the WAM's choice-point stack.
+        """
+        stack: list[tuple[Iterator[tuple], int]] = [
+            (iter((goals,)), len(self._trail))
+        ]
+        while stack:
+            alts, mark = stack[-1]
+            self._undo_to(mark)
+            nxt = next(alts, _NO_MORE)
+            if nxt is _NO_MORE:
+                stack.pop()
+                continue
+            if not nxt:
+                yield  # a solution; backtracking resumes on re-entry
+                continue
+            if len(stack) > self.max_depth:
+                raise PrologError("depth limit exceeded")
+            goal, rest = walk(nxt[0]), nxt[1:]
+            self.stats.inferences += 1
+            if isinstance(goal, str):
+                goal = Struct(goal)
+            if not isinstance(goal, Struct):
+                raise PrologError(f"callable expected: {goal!r}")
+            stack.append((self._expand(goal, rest), len(self._trail)))
+
+    def _expand(self, goal: Struct, rest: tuple) -> Iterator[tuple]:
+        """Yield successor goal-tuples for one resolution step.
+
+        Bindings made while producing an alternative are undone by the
+        main loop (to the frame's trail mark) before the next one is
+        requested, so each alternative starts from a clean store.
+        """
+        functor, arity = goal.indicator
+
+        # --- control builtins ------------------------------------------
+        if functor == "true" and arity == 0:
+            yield rest
+            return
+        if functor == "fail" and arity == 0:
+            return
+        if functor == "," and arity == 2:
+            yield (goal.args[0], goal.args[1]) + rest
+            return
+        if functor == "\\+" and arity == 1:
+            mark = len(self._trail)
+            succeeded = False
+            for _ in self.solve((goal.args[0],)):
+                succeeded = True
+                break
+            self._undo_to(mark)
+            if not succeeded:
+                yield rest
+            return
+        if functor == "once" and arity == 1:
+            # Like call/1 but committed to the first solution.
+            mark = len(self._trail)
+            for _ in self.solve((goal.args[0],)):
+                yield rest
+                break
+            self._undo_to(mark)
+            return
+        if functor == "findall" and arity == 3:
+            template, subgoal, out = goal.args
+            mark = len(self._trail)
+            collected = []
+            for _ in self.solve((subgoal,)):
+                collected.append(reify(template))
+            self._undo_to(mark)
+            from repro.prolog.terms import make_list
+
+            mark = len(self._trail)
+            if self.unify(out, make_list(collected)):
+                yield rest
+            else:
+                self._undo_to(mark)
+            return
+
+        # --- unification and arithmetic builtins -----------------------
+        if functor == "=" and arity == 2:
+            mark = len(self._trail)
+            if self.unify(goal.args[0], goal.args[1]):
+                yield rest
+            else:
+                self._undo_to(mark)
+            return
+        if functor == "\\=" and arity == 2:
+            mark = len(self._trail)
+            ok = self.unify(goal.args[0], goal.args[1])
+            self._undo_to(mark)
+            if not ok:
+                yield rest
+            return
+        if functor == "is" and arity == 2:
+            value = self.evaluate(goal.args[1])
+            mark = len(self._trail)
+            if self.unify(goal.args[0], value):
+                yield rest
+            else:
+                self._undo_to(mark)
+            return
+        if functor in _COMPARISONS and arity == 2:
+            lhs = self.evaluate(goal.args[0])
+            rhs = self.evaluate(goal.args[1])
+            if _COMPARISONS[functor](lhs, rhs):
+                yield rest
+            return
+        if functor == "between" and arity == 3:
+            low = self.evaluate(goal.args[0])
+            high = self.evaluate(goal.args[1])
+            mark = len(self._trail)
+            for value in range(low, high + 1):
+                self.stats.choice_points += 1
+                if self.unify(goal.args[2], value):
+                    yield rest
+                else:
+                    self._undo_to(mark)
+            return
+
+        # --- user clauses ----------------------------------------------
+        clauses = self.db.clauses_for(goal)
+        if not clauses and goal.indicator not in self.db:
+            raise PrologError(f"unknown predicate {functor}/{arity}")
+        multiple = len(clauses) > 1
+        mark = len(self._trail)
+        for head, body in clauses:
+            if multiple:
+                self.stats.choice_points += 1
+            mapping: dict[int, Var] = {}
+            if self.unify(goal, rename(head, mapping)):
+                yield tuple(rename(b, mapping) for b in body) + rest
+            else:
+                self._undo_to(mark)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def query(self, *goals: Term, limit: Optional[int] = None) -> list[dict[str, Term]]:
+        """Collect solutions as ``{var_name: value}`` dicts."""
+        variables = []
+        for goal in goals:
+            term_vars(goal, variables)
+        out = []
+        for _ in self.solve(tuple(goals)):
+            out.append({v.name: reify(v) for v in variables})
+            if limit is not None and len(out) >= limit:
+                break
+        self._undo_to(0)
+        return out
+
+    def count(self, *goals: Term) -> int:
+        """Number of solutions of the conjunction."""
+        n = 0
+        for _ in self.solve(tuple(goals)):
+            n += 1
+        self._undo_to(0)
+        return n

@@ -1,0 +1,59 @@
+"""Standard library predicates and the n-queens program.
+
+``PRELUDE`` provides the list predicates the workloads need; the
+n-queens source is the classic incremental-placement formulation, the
+closest Prolog analogue of Figure 1 (place one queen per column, fail
+early on attack).
+"""
+
+from repro.prolog.engine import Database, PrologEngine
+from repro.prolog.parser import parse_program, parse_query
+
+PRELUDE = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+length_([], 0).
+length_([_|T], N) :- length_(T, M), N is M + 1.
+
+range(L, H, []) :- L > H.
+range(L, H, [L|T]) :- L =< H, L1 is L + 1, range(L1, H, T).
+"""
+
+NQUEENS = """
+queens(N, Qs) :-
+    range(1, N, Ns),
+    place(Ns, [], Qs).
+
+place([], Acc, Acc).
+place(Unplaced, Acc, Qs) :-
+    select(Q, Unplaced, Rest),
+    no_attack(Q, Acc, 1),
+    place(Rest, [Q|Acc], Qs).
+
+no_attack(_, [], _).
+no_attack(Q, [P|Ps], D) :-
+    Q =\\= P + D,
+    Q =\\= P - D,
+    D1 is D + 1,
+    no_attack(Q, Ps, D1).
+"""
+
+
+def nqueens_database() -> Database:
+    """The prelude plus the n-queens program, ready to query."""
+    return parse_program(PRELUDE + NQUEENS)
+
+
+def count_nqueens_solutions(n: int) -> tuple[int, PrologEngine]:
+    """Count all n-queens solutions; returns (count, engine) so callers
+    can inspect the engine's bookkeeping statistics."""
+    engine = PrologEngine(nqueens_database())
+    goals = parse_query(f"queens({n}, Qs)")
+    return engine.count(*goals), engine

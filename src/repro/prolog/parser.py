@@ -1,0 +1,212 @@
+"""A small Prolog reader.
+
+Supports the subset the experiments need: facts and rules, conjunctive
+bodies, atoms, integers, variables, compound terms, lists with ``|``
+tails, arithmetic expressions with standard precedence, comparison
+operators, negation as failure (``\\+``), and ``%`` comments.
+
+>>> db = parse_program("even(0). even(N) :- N > 0, M is N - 2, even(M).")
+>>> from repro.prolog.engine import PrologEngine
+>>> PrologEngine(db).count(*parse_query("even(8)"))
+1
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.prolog.engine import Database
+from repro.prolog.terms import Struct, Term, Var, make_list
+
+
+class PrologSyntaxError(Exception):
+    """Malformed Prolog text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|%[^\n]*)
+    | (?P<int>\d+)
+    | (?P<op>:-|=\\=|=:=|=<|>=|\\\+|\\=|//|[=<>+\-*,|()\[\]])
+    | (?P<name>[a-z][A-Za-z0-9_]*)
+    | (?P<var>[A-Z_][A-Za-z0-9_]*)
+    | (?P<quoted>'(?:[^'\\]|\\.)*')
+    | (?P<end>\.(?=\s|$))
+    """,
+    re.VERBOSE,
+)
+
+_CMP_OPS = {"<", ">", "=<", ">=", "=:=", "=\\=", "=", "\\="}
+_ADD_OPS = {"+", "-"}
+_MUL_OPS = {"*", "//", "mod"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise PrologSyntaxError(f"bad character at: {text[pos:pos+20]!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            self.items.append((kind, match.group()))
+        self.pos = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise PrologSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def accept(self, value: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, value: str) -> None:
+        tok = self.next()
+        if tok[1] != value:
+            raise PrologSyntaxError(f"expected {value!r}, got {tok[1]!r}")
+
+
+class _Parser:
+    def __init__(self, tokens: _Tokens):
+        self.tokens = tokens
+        self.varmap: dict[str, Var] = {}
+
+    def fresh_scope(self) -> None:
+        self.varmap = {}
+
+    # term at comparison level (goals and expressions)
+    def term(self) -> Term:
+        left = self.additive()
+        tok = self.tokens.peek()
+        if tok is not None and tok[1] in _CMP_OPS:
+            op = self.tokens.next()[1]
+            right = self.additive()
+            return Struct(op, (left, right))
+        if tok is not None and tok[0] == "name" and tok[1] == "is":
+            self.tokens.next()
+            right = self.additive()
+            return Struct("is", (left, right))
+        return left
+
+    def additive(self) -> Term:
+        left = self.multiplicative()
+        while True:
+            tok = self.tokens.peek()
+            if tok is None or tok[1] not in _ADD_OPS:
+                return left
+            op = self.tokens.next()[1]
+            left = Struct(op, (left, self.multiplicative()))
+
+    def multiplicative(self) -> Term:
+        left = self.primary()
+        while True:
+            tok = self.tokens.peek()
+            if tok is None or tok[1] not in _MUL_OPS:
+                return left
+            op = self.tokens.next()[1]
+            left = Struct(op, (left, self.primary()))
+
+    def primary(self) -> Term:
+        kind, value = self.tokens.next()
+        if kind == "int":
+            return int(value)
+        if value == "-":
+            operand = self.primary()
+            if isinstance(operand, int):
+                return -operand
+            return Struct("-", (operand,))
+        if value == "\\+":
+            return Struct("\\+", (self.term(),))
+        if value == "(":
+            inner = self.term()
+            self.tokens.expect(")")
+            return inner
+        if value == "[":
+            return self.list_term()
+        if kind == "var":
+            if value == "_":
+                return Var("_")
+            var = self.varmap.get(value)
+            if var is None:
+                var = Var(value)
+                self.varmap[value] = var
+            return var
+        if kind == "quoted":
+            value = value[1:-1].replace("\\'", "'")
+            kind = "name"
+        if kind == "name":
+            if value == "mod":
+                raise PrologSyntaxError("mod used as a term")
+            if self.tokens.accept("("):
+                args = [self.term()]
+                while self.tokens.accept(","):
+                    args.append(self.term())
+                self.tokens.expect(")")
+                return Struct(value, tuple(args))
+            return value  # plain atom
+        raise PrologSyntaxError(f"unexpected token {value!r}")
+
+    def list_term(self) -> Term:
+        if self.tokens.accept("]"):
+            return "[]"
+        items = [self.term()]
+        while self.tokens.accept(","):
+            items.append(self.term())
+        tail: Term = "[]"
+        if self.tokens.accept("|"):
+            tail = self.term()
+        self.tokens.expect("]")
+        return make_list(items, tail)
+
+    def body(self) -> tuple:
+        goals = [self.term()]
+        while self.tokens.accept(","):
+            goals.append(self.term())
+        return tuple(goals)
+
+    def clause(self) -> tuple[Term, tuple]:
+        self.fresh_scope()
+        head = self.term()
+        if self.tokens.accept(":-"):
+            goals = self.body()
+        else:
+            goals = ()
+        tok = self.tokens.next()
+        if tok[0] != "end":
+            raise PrologSyntaxError(f"expected '.', got {tok[1]!r}")
+        return head, goals
+
+
+def parse_program(text: str) -> Database:
+    """Parse clauses into a fresh :class:`Database`."""
+    db = Database()
+    tokens = _Tokens(text)
+    parser = _Parser(tokens)
+    while tokens.peek() is not None:
+        head, body = parser.clause()
+        db.add(head, body)
+    return db
+
+
+def parse_query(text: str) -> tuple:
+    """Parse a conjunctive query (no trailing dot required)."""
+    tokens = _Tokens(text.rstrip().rstrip("."))
+    parser = _Parser(tokens)
+    goals = parser.body()
+    if tokens.peek() is not None:
+        raise PrologSyntaxError(f"trailing tokens after query: {tokens.peek()[1]!r}")
+    return goals

@@ -1,0 +1,175 @@
+"""Prolog terms: logic variables, atoms, integers, structures.
+
+Representation choices follow the WAM: variables are mutable cells bound
+in place and undone via the trail; atoms are Python strings; integers are
+Python ints; compound terms are :class:`Struct`.  Lists use the usual
+``'.'/2`` cons cells with the atom ``[]`` as nil.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional
+
+_var_ids = itertools.count()
+
+#: The empty-list atom.
+NIL = "[]"
+
+#: The cons functor.
+CONS = "."
+
+
+class Var:
+    """A logic variable: an initially-unbound mutable cell."""
+
+    __slots__ = ("ref", "name", "vid")
+
+    def __init__(self, name: Optional[str] = None):
+        self.ref: Any = None  # None = unbound; otherwise the bound term
+        self.vid = next(_var_ids)
+        self.name = name or f"_G{self.vid}"
+
+    def __repr__(self) -> str:
+        target = walk(self)
+        if target is self:
+            return self.name
+        return repr(target)
+
+
+class Struct:
+    """A compound term ``functor(arg1, ..., argN)``."""
+
+    __slots__ = ("functor", "args")
+
+    def __init__(self, functor: str, args: tuple = ()):
+        self.functor = functor
+        self.args = args
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The predicate indicator ``functor/arity``."""
+        return (self.functor, len(self.args))
+
+    def __repr__(self) -> str:
+        listified = to_list(self)
+        if listified is not None:
+            return "[" + ", ".join(repr(x) for x in listified) + "]"
+        if not self.args:
+            return self.functor
+        return f"{self.functor}({', '.join(repr(a) for a in self.args)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Struct)
+            and self.functor == other.functor
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.functor, self.args))
+
+
+Term = Any  # Var | Struct | str (atom) | int
+
+
+def walk(term: Term) -> Term:
+    """Dereference a chain of bound variables to its representative."""
+    while isinstance(term, Var) and term.ref is not None:
+        term = term.ref
+    return term
+
+
+def make_list(items: Iterable[Term], tail: Term = NIL) -> Term:
+    """Build a Prolog list term from Python items."""
+    result = tail
+    for item in reversed(list(items)):
+        result = Struct(CONS, (item, result))
+    return result
+
+
+def from_list(term: Term) -> list[Term]:
+    """Convert a proper Prolog list term to a Python list.
+
+    Raises ValueError on a partial (open-tailed) list.
+    """
+    out = []
+    term = walk(term)
+    while True:
+        if term == NIL:
+            return out
+        if isinstance(term, Struct) and term.functor == CONS and len(term.args) == 2:
+            out.append(walk(term.args[0]))
+            term = walk(term.args[1])
+        else:
+            raise ValueError(f"not a proper list: {term!r}")
+
+
+def to_list(term: Term) -> Optional[list[Term]]:
+    """Like :func:`from_list` but returns None instead of raising."""
+    try:
+        return from_list(term)
+    except ValueError:
+        return None
+
+
+def term_vars(term: Term, acc: Optional[list[Var]] = None) -> list[Var]:
+    """Collect the distinct unbound variables in *term*, in order.
+
+    Iterative so arbitrarily deep terms (long lists) cannot overflow the
+    Python stack.
+    """
+    if acc is None:
+        acc = []
+    stack = [term]
+    while stack:
+        current = walk(stack.pop())
+        if isinstance(current, Var):
+            if current not in acc:
+                acc.append(current)
+        elif isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+    return acc
+
+
+def rename(term: Term, mapping: dict[int, Var]) -> Term:
+    """Copy *term* with fresh variables (clause renaming-apart)."""
+    term = walk(term)
+    if isinstance(term, Var):
+        fresh = mapping.get(term.vid)
+        if fresh is None:
+            fresh = Var(term.name)
+            mapping[term.vid] = fresh
+        return fresh
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(rename(a, mapping) for a in term.args))
+    return term
+
+
+def reify(term: Term) -> Term:
+    """Resolve every bound variable in *term* into a ground-ish copy.
+
+    Iterative postorder rebuild, safe for arbitrarily deep terms.
+    """
+    term = walk(term)
+    if not isinstance(term, Struct):
+        return term
+    values: list[Term] = []
+    work: list[tuple[Term, bool]] = [(term, False)]
+    while work:
+        node, rebuild = work.pop()
+        if rebuild:
+            arity = len(node.args)
+            args = tuple(values[len(values) - arity :]) if arity else ()
+            if arity:
+                del values[len(values) - arity :]
+            values.append(Struct(node.functor, args))
+            continue
+        node = walk(node)
+        if isinstance(node, Struct):
+            work.append((node, True))
+            for arg in reversed(node.args):
+                work.append((arg, False))
+        else:
+            values.append(node)
+    return values[0]

@@ -1,0 +1,33 @@
+"""Incremental SAT solving (the paper's Z3 stand-in).
+
+§2 motivates lightweight snapshots with incremental SMT solving: "an
+incremental solver given formula p immediately followed by formula p∧q
+can solve both in less time than solving p and then solving p∧q from
+scratch".  This package provides:
+
+* :mod:`repro.sat.cnf` -- CNF formulas, DIMACS I/O;
+* :mod:`repro.sat.solver` -- a CDCL solver (watched literals, 1UIP
+  learning, VSIDS, phase saving, restarts) with assumption-based
+  incremental ``push``/``pop`` and O(state) cloning;
+* :mod:`repro.sat.gen` -- seeded formula generators (random k-SAT,
+  pigeonhole, graph coloring encodings);
+* :mod:`repro.sat.service` -- the multi-path incremental solver service
+  of §3.2, where clients branch solved problems by opaque reference.
+"""
+
+from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
+from repro.sat.gen import pigeonhole, random_ksat
+from repro.sat.service import IncrementalSolverService, SolveOutcome
+from repro.sat.solver import Solver, SolverResult
+
+__all__ = [
+    "CNF",
+    "IncrementalSolverService",
+    "Solver",
+    "SolveOutcome",
+    "SolverResult",
+    "parse_dimacs",
+    "pigeonhole",
+    "random_ksat",
+    "to_dimacs",
+]

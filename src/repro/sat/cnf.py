@@ -1,0 +1,90 @@
+"""CNF formulas and DIMACS I/O.
+
+Literals follow the DIMACS convention: variable *v* is the positive
+integer ``v``, its negation ``-v``.  Variable numbering starts at 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class CNF:
+    """A formula in conjunctive normal form."""
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Append a clause, growing ``num_vars`` as needed."""
+        clause = tuple(lits)
+        if not clause:
+            raise ValueError("empty clause")
+        if any(lit == 0 for lit in clause):
+            raise ValueError("literal 0 is reserved (DIMACS terminator)")
+        self.num_vars = max(self.num_vars, max(abs(l) for l in clause))
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, model: dict[int, bool]) -> bool:
+        """True if *model* (var -> bool) satisfies every clause."""
+        for clause in self.clauses:
+            if not any(
+                model.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse a DIMACS CNF document.
+
+    Accepts comments (``c ...``), the problem line (``p cnf V C``), and
+    clauses possibly spanning lines, each terminated by ``0``.
+    """
+    cnf = CNF()
+    declared_vars: Optional[int] = None
+    pending: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                if pending:
+                    cnf.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf
+
+
+def to_dimacs(cnf: CNF, comment: str = "") -> str:
+    """Serialise *cnf* as a DIMACS document."""
+    lines = []
+    if comment:
+        for c in comment.splitlines():
+            lines.append(f"c {c}")
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,114 @@
+"""Seeded formula generators for experiments.
+
+All generators are deterministic under their ``seed`` so experiment runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sat.cnf import CNF
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int = 0,
+    planted: bool = False,
+) -> CNF:
+    """Uniform random k-SAT.
+
+    With ``planted=True`` a hidden satisfying assignment is planted: each
+    clause is resampled until the hidden model satisfies it, guaranteeing
+    SAT instances for incremental-solving experiments at any density.
+    """
+    if k > num_vars:
+        raise ValueError("k cannot exceed num_vars")
+    rng = random.Random(seed)
+    hidden = {v: rng.random() < 0.5 for v in range(1, num_vars + 1)}
+    cnf = CNF(num_vars=num_vars)
+    while len(cnf.clauses) < num_clauses:
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        if planted and not any(hidden[abs(l)] == (l > 0) for l in clause):
+            continue
+        cnf.clauses.append(clause)
+    return cnf
+
+
+def pigeonhole(holes: int) -> CNF:
+    """PHP(holes+1, holes): provably UNSAT, exponentially hard for
+    resolution — a stress test for clause learning."""
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    cnf = CNF(num_vars=pigeons * holes)
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+def graph_coloring(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    colors: int,
+) -> CNF:
+    """Encode k-coloring of a graph (nodes numbered from 0)."""
+
+    def var(node: int, color: int) -> int:
+        return node * colors + color + 1
+
+    cnf = CNF(num_vars=num_nodes * colors)
+    for node in range(num_nodes):
+        cnf.add_clause([var(node, c) for c in range(colors)])
+        for c1 in range(colors):
+            for c2 in range(c1 + 1, colors):
+                cnf.add_clause([-var(node, c1), -var(node, c2)])
+    for a, b in edges:
+        for c in range(colors):
+            cnf.add_clause([-var(a, c), -var(b, c)])
+    return cnf
+
+
+def random_graph(
+    num_nodes: int, edge_prob: float, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Erdős–Rényi G(n, p) edge list."""
+    rng = random.Random(seed)
+    return [
+        (a, b)
+        for a in range(num_nodes)
+        for b in range(a + 1, num_nodes)
+        if rng.random() < edge_prob
+    ]
+
+
+def incremental_batches(
+    num_vars: int,
+    base_clauses: int,
+    batch_clauses: int,
+    batches: int,
+    k: int = 3,
+    seed: int = 0,
+) -> tuple[CNF, list[list[tuple[int, ...]]]]:
+    """A base formula p plus successive clause batches q1, q2, ... with a
+    planted model satisfying the whole conjunction, so every prefix
+    p ∧ q1 ∧ ... ∧ qi is SAT (the §2 incremental-solver workload)."""
+    total = base_clauses + batch_clauses * batches
+    full = random_ksat(num_vars, total, k=k, seed=seed, planted=True)
+    base = CNF(num_vars=num_vars, clauses=list(full.clauses[:base_clauses]))
+    steps = [
+        list(full.clauses[base_clauses + i * batch_clauses :
+                          base_clauses + (i + 1) * batch_clauses])
+        for i in range(batches)
+    ]
+    return base, steps

@@ -1,0 +1,420 @@
+"""CDCL SAT solver.
+
+A conflict-driven clause-learning solver in the MiniSat tradition:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with clause learning and backjumping;
+* VSIDS variable activity with exponential decay and phase saving;
+* geometric restarts and learned-clause database reduction;
+* assumption-based solving, and :meth:`Solver.push` / :meth:`Solver.pop`
+  built on selector literals (clauses added inside a push carry the
+  negated selector, so popping deactivates them *and* every learned
+  clause derived from them — the standard sound incremental scheme);
+* :meth:`Solver.clone` -- an O(state) logical copy used by the
+  multi-path solver service (§3.2) to branch a solved problem.
+
+The solver is deterministic for a given seed and clause order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class SolverStats:
+    """Work counters for one solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0
+    learned_literals: int = 0
+    restarts: int = 0
+    db_reductions: int = 0
+    clones: int = 0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one ``solve`` call."""
+
+    sat: Optional[bool]  # True / False / None (budget exhausted)
+    model: dict[int, bool] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.sat is True
+
+
+class Solver:
+    """A CDCL solver over integer literals (DIMACS convention)."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.learned: list[list[int]] = []
+        self._watches: dict[int, list[list[int]]] = {}
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, Optional[list[int]]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._activity: dict[int, float] = {}
+        self._var_inc = 1.0
+        self._cla_activity: dict[int, float] = {}
+        self._phase: dict[int, bool] = {}
+        self._units: list[int] = []  # level-0 facts from 1-literal clauses
+        self._selectors: list[int] = []
+        self.stats = SolverStats()
+        self._max_learned = 4000
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def _grow_to(self, var: int) -> None:
+        if var > self.num_vars:
+            self.num_vars = var
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a problem clause (tagged with the current push selector)."""
+        clause = list(dict.fromkeys(lits))  # dedupe, keep order
+        if not clause:
+            raise ValueError("empty clause makes the formula trivially UNSAT")
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        for lit in clause:
+            self._grow_to(abs(lit))
+        if self._selectors:
+            clause.append(-self._selectors[-1])
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        self.clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: list[int]) -> None:
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Incremental interface
+    # ------------------------------------------------------------------
+
+    def push(self) -> None:
+        """Open a scope; clauses added until the matching pop are
+        retractable."""
+        self._selectors.append(self.new_var())
+
+    def pop(self) -> None:
+        """Retract the most recent scope (and all learning based on it)."""
+        if not self._selectors:
+            raise ValueError("pop without matching push")
+        selector = self._selectors.pop()
+        # Permanently satisfy the scope's clauses; learned clauses that
+        # depend on them carry -selector and die with them.
+        self._units.append(-selector)
+
+    def clone(self) -> "Solver":
+        """An independent logical copy (clauses, learning, heuristics).
+
+        This is the solver-state "snapshot": branching a solved problem
+        keeps every learned clause and activity score, which is exactly
+        the intermediate state §2 wants to reuse for p∧q after p.
+        """
+        other = Solver.__new__(Solver)
+        other.num_vars = self.num_vars
+        other.clauses = [list(c) for c in self.clauses]
+        other.learned = [list(c) for c in self.learned]
+        other._watches = {}
+        for clause in other.clauses:
+            other._watch(clause)
+        for clause in other.learned:
+            other._watch(clause)
+        other._assign = {}
+        other._level = {}
+        other._reason = {}
+        other._trail = []
+        other._trail_lim = []
+        other._qhead = 0
+        other._activity = dict(self._activity)
+        other._var_inc = self._var_inc
+        other._cla_activity = {}
+        other._phase = dict(self._phase)
+        other._units = list(self._units)
+        other._selectors = list(self._selectors)
+        other.stats = SolverStats(clones=self.stats.clones + 1)
+        other._max_learned = self._max_learned
+        return other
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> Optional[bool]:
+        val = self._assign.get(abs(lit))
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
+        val = self._value(lit)
+        if val is not None:
+            return val
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        split = self._trail_lim[level]
+        for lit in self._trail[split:]:
+            var = abs(lit)
+            self._phase[var] = self._assign[var]
+            del self._assign[var]
+            del self._level[var]
+            self._reason.pop(var, None)
+        del self._trail[split:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            neg = -lit
+            watchers = self._watches.get(neg)
+            if not watchers:
+                continue
+            self._watches[neg] = kept = []
+            idx = 0
+            n = len(watchers)
+            while idx < n:
+                clause = watchers[idx]
+                idx += 1
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(first) is False:
+                    kept.extend(watchers[idx:])
+                    return clause
+                self._enqueue(first, clause)
+                self.stats.propagations += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        if self._activity[var] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """Derive the 1UIP learned clause and the backjump level."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = [0]  # slot 0 gets the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        lit = None
+        reason: Optional[list[int]] = conflict
+        index = len(self._trail) - 1
+
+        while True:
+            assert reason is not None
+            for q in reason:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if var in seen or self._level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen.discard(var)
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            reason = self._reason.get(var)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+        back = levels[0]
+        # Put a literal of the backjump level in watch slot 1.
+        for i, l in enumerate(learned[1:], start=1):
+            if self._level[abs(l)] == back:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, back
+
+    def _record_learned(self, clause: list[int]) -> None:
+        self.stats.learned += 1
+        self.stats.learned_literals += len(clause)
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        self.learned.append(clause)
+        self._watch(clause)
+        self._cla_activity[id(clause)] = self.stats.conflicts
+        if len(self.learned) > self._max_learned:
+            self._reduce_db()
+
+    def _reduce_db(self) -> None:
+        """Drop the colder half of the learned-clause database."""
+        self.stats.db_reductions += 1
+        locked = {id(r) for r in self._reason.values() if r is not None}
+        ranked = sorted(
+            self.learned,
+            key=lambda c: self._cla_activity.get(id(c), 0.0),
+            reverse=True,
+        )
+        keep_count = len(ranked) // 2
+        keep, drop = ranked[:keep_count], ranked[keep_count:]
+        survivors = keep + [c for c in drop if id(c) in locked or len(c) <= 2]
+        dropped = {id(c) for c in drop} - {id(c) for c in survivors}
+        if not dropped:
+            self.learned = survivors
+            return
+        self.learned = survivors
+        for lit, watchers in list(self._watches.items()):
+            self._watches[lit] = [c for c in watchers if id(c) not in dropped]
+        for cid in dropped:
+            self._cla_activity.pop(cid, None)
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_act = None, -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self._assign:
+                act = self._activity.get(var, 0.0)
+                if act > best_act:
+                    best_var, best_act = var, act
+        if best_var is None:
+            return None
+        polarity = self._phase.get(best_var, False)
+        return best_var if polarity else -best_var
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Iterable[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> SolverResult:
+        """Decide satisfiability under *assumptions*.
+
+        Returns ``SolverResult(sat=None)`` if *max_conflicts* ran out.
+        The solver is reusable after every outcome.
+        """
+        assumed = list(assumptions) + list(self._selectors)
+        self._backtrack(0)
+        self._qhead = 0
+        for unit in self._units:
+            if not self._enqueue(unit, None):
+                return SolverResult(sat=False)
+        if self._propagate() is not None:
+            return SolverResult(sat=False)
+
+        restart_limit = 100.0
+        conflicts_here = 0
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                conflicts_since_restart += 1
+                if len(self._trail_lim) == 0:
+                    return SolverResult(sat=False)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learned(learned)
+                self._enqueue(learned[0], learned if len(learned) > 1 else None)
+                self._var_inc /= 0.95
+                if max_conflicts is not None and conflicts_here >= max_conflicts:
+                    self._backtrack(0)
+                    return SolverResult(sat=None)
+                if (
+                    conflicts_since_restart >= restart_limit
+                    and len(self._trail_lim) > len(assumed)
+                ):
+                    self.stats.restarts += 1
+                    restart_limit *= 1.5
+                    conflicts_since_restart = 0
+                    self._backtrack(len(assumed))
+                continue
+
+            level = len(self._trail_lim)
+            if level < len(assumed):
+                lit = assumed[level]
+                val = self._value(lit)
+                if val is False:
+                    self._backtrack(0)
+                    return SolverResult(sat=False)
+                self._new_decision_level()
+                if val is None:
+                    self._enqueue(lit, None)
+                continue
+
+            lit = self._pick_branch()
+            if lit is None:
+                model = {
+                    v: self._assign[v]
+                    for v in range(1, self.num_vars + 1)
+                    if v in self._assign
+                }
+                self._backtrack(0)
+                return SolverResult(sat=True, model=model)
+            self.stats.decisions += 1
+            self._new_decision_level()
+            self._enqueue(lit, None)

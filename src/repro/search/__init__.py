@@ -1,0 +1,42 @@
+"""Search strategies that schedule candidate extension steps.
+
+Snapshots are "not scheduled by a traditional OS scheduler, but instead by
+one of the various well-understood search strategies, such as DFS, BFS or
+A*" (§1).  This package provides the strategy abstraction and the classic
+strategies the paper names, plus the externally-controlled strategy of
+§3.1 and the coverage-optimized strategy S2E uses (§3.2).
+
+A strategy is a priority queue over :class:`Extension` edges; it never
+touches snapshots itself, keeping policy (which extension next) separate
+from mechanism (snapshot take/restore), exactly as §3.1 prescribes.
+"""
+
+from repro.search.extension import Extension
+from repro.search.strategy import (
+    AStarStrategy,
+    BeamStrategy,
+    BestFirstStrategy,
+    BFSStrategy,
+    CoverageStrategy,
+    DFSStrategy,
+    ExternalStrategy,
+    RandomStrategy,
+    SMAStarStrategy,
+    Strategy,
+    get_strategy,
+)
+
+__all__ = [
+    "AStarStrategy",
+    "BeamStrategy",
+    "BFSStrategy",
+    "BestFirstStrategy",
+    "CoverageStrategy",
+    "DFSStrategy",
+    "Extension",
+    "ExternalStrategy",
+    "RandomStrategy",
+    "SMAStarStrategy",
+    "Strategy",
+    "get_strategy",
+]

@@ -1,0 +1,37 @@
+"""Symbolic execution of guest binaries (the S2E stand-in).
+
+§2's first motivating application: an automated path explorer that forks
+the entire machine state at every branch whose condition depends on
+symbolic data.  This package provides a KLEE-style engine for
+:mod:`repro.cpu` binaries with **two interchangeable state-forking
+backends**, which is exactly the comparison the paper proposes:
+
+* :class:`SnapshotBackend` -- state forking via lightweight snapshots:
+  guest writes are *uninstrumented* (page-level COW catches them), and
+  forking is O(1) in the size of the state;
+* :class:`SWCowBackend` -- the S2E status quo: copy-on-write emulated in
+  software inside the engine, which must interpose on *every* memory
+  write and pays O(state pages) per fork for share-marking.
+
+Path feasibility is decided by bounded enumeration over the (small)
+input domains — the Z3 substitution documented in DESIGN.md §2.
+"""
+
+from repro.symex.backends import SnapshotBackend, SWCowBackend
+from repro.symex.expr import BinExpr, Const, SymVar, simplify
+from repro.symex.explorer import ExploreResult, SymbolicExplorer
+from repro.symex.solver import PathConstraints, is_satisfiable, solve_assignment
+
+__all__ = [
+    "BinExpr",
+    "Const",
+    "ExploreResult",
+    "PathConstraints",
+    "SWCowBackend",
+    "SnapshotBackend",
+    "SymVar",
+    "SymbolicExplorer",
+    "is_satisfiable",
+    "simplify",
+    "solve_assignment",
+]

@@ -1,0 +1,232 @@
+"""Symbolic expressions over guest machine words.
+
+Expressions are immutable trees over 64-bit unsigned semantics (matching
+the CPU's wrap-around arithmetic).  ``evaluate`` interprets a tree under
+a concrete assignment of the symbolic variables; the solver enumerates
+assignments, so expressions only need evaluation, not algebraic solving.
+
+Constant folding in :func:`simplify` keeps trees small along deep paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+MASK64 = (1 << 64) - 1
+
+_ARITH_OPS = {
+    "add": lambda a, b: (a + b) & MASK64,
+    "sub": lambda a, b: (a - b) & MASK64,
+    "mul": lambda a, b: (a * b) & MASK64,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 63)) & MASK64,
+    "shr": lambda a, b: a >> (b & 63),
+}
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+_CMP_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ult": lambda a, b: a < b,
+    "uge": lambda a, b: a >= b,
+    "slt": lambda a, b: _signed(a) < _signed(b),
+    "sle": lambda a, b: _signed(a) <= _signed(b),
+    "sgt": lambda a, b: _signed(a) > _signed(b),
+    "sge": lambda a, b: _signed(a) >= _signed(b),
+}
+
+
+class Expr:
+    """Base class for symbolic expression nodes."""
+
+    __slots__ = ()
+
+    def vars(self) -> set[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+class Const(Expr):
+    """A concrete 64-bit constant (used at expression leaves)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value & MASK64
+
+    def vars(self) -> set[str]:
+        return set()
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:#x}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class SymVar(Expr):
+    """A named symbolic input with a bounded domain.
+
+    The domain bound is what makes enumeration-based solving tractable;
+    symbolic inputs in the experiments are bytes or smaller.
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: int = 256):
+        if domain < 2:
+            raise ValueError("domain must allow at least two values")
+        self.name = name
+        self.domain = domain
+
+    def vars(self) -> set[str]:
+        return {self.name}
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        return assignment[self.name] & MASK64
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name))
+
+
+class BinExpr(Expr):
+    """An arithmetic/logical operation over two sub-expressions."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in _ARITH_OPS:
+            raise ValueError(f"unknown operation {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def vars(self) -> set[str]:
+        return self.lhs.vars() | self.rhs.vars()
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        return _ARITH_OPS[self.op](
+            self.lhs.evaluate(assignment), self.rhs.evaluate(assignment)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class CmpExpr(Expr):
+    """A comparison producing 1 (true) or 0 (false)."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def vars(self) -> set[str]:
+        return self.lhs.vars() | self.rhs.vars()
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        return int(
+            _CMP_OPS[self.op](
+                self.lhs.evaluate(assignment), self.rhs.evaluate(assignment)
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class NotExpr(Expr):
+    """Boolean negation of a comparison."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def vars(self) -> set[str]:
+        return self.inner.vars()
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        return int(not self.inner.evaluate(assignment))
+
+    def __repr__(self) -> str:
+        return f"!({self.inner!r})"
+
+
+Value = Union[int, Expr]
+
+
+def is_concrete(value: Value) -> bool:
+    return isinstance(value, int)
+
+
+def to_expr(value: Value) -> Expr:
+    return Const(value) if isinstance(value, int) else value
+
+
+def simplify(op: str, lhs: Value, rhs: Value) -> Value:
+    """Build ``lhs op rhs``, folding when both sides are concrete."""
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        return _ARITH_OPS[op](lhs, rhs)
+    return BinExpr(op, to_expr(lhs), to_expr(rhs))
+
+
+def compare(op: str, lhs: Value, rhs: Value) -> Value:
+    """Build the comparison ``lhs op rhs``, folding concretes to 0/1."""
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        return int(_CMP_OPS[op](lhs, rhs))
+    return CmpExpr(op, to_expr(lhs), to_expr(rhs))
+
+
+def negate(cond: Expr) -> Expr:
+    """Logical negation, cancelling double negation."""
+    if isinstance(cond, NotExpr):
+        return cond.inner
+    if isinstance(cond, CmpExpr):
+        flipped = {
+            "eq": "ne", "ne": "eq", "ult": "uge", "uge": "ult",
+            "slt": "sge", "sge": "slt", "sle": "sgt", "sgt": "sle",
+        }[cond.op]
+        return CmpExpr(flipped, cond.lhs, cond.rhs)
+    return NotExpr(cond)
+
+
+def collect_symvars(expr: Expr, registry: Optional[dict[str, "SymVar"]] = None,
+                    acc: Optional[dict[str, SymVar]] = None) -> dict[str, SymVar]:
+    """Map variable names in *expr* to their SymVar nodes."""
+    if acc is None:
+        acc = {}
+    stack: list[Any] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SymVar):
+            acc[node.name] = node
+        elif isinstance(node, (BinExpr, CmpExpr)):
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        elif isinstance(node, NotExpr):
+            stack.append(node.inner)
+    return acc

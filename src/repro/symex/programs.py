@@ -1,0 +1,116 @@
+"""Sample guests for the symbolic-execution experiments."""
+
+from __future__ import annotations
+
+from repro.symex.expr import SymVar
+
+#: Where symbolic inputs are planted in guest memory.
+INPUT_BASE = 0x0060_0000
+
+
+def password_check(secret: bytes) -> tuple[str, list[tuple[int, int, SymVar]]]:
+    """A byte-by-byte password check (the classic KLEE demo).
+
+    Exits 1 iff the symbolic input equals *secret*; symbolic execution
+    must discover the single accepting path and synthesise the secret.
+    """
+    lines = ["mov r8, 0x600000"]
+    for i, byte in enumerate(secret):
+        lines += [
+            f"movb r9, [r8 + {i}]",
+            f"cmp r9, {byte}",
+            "jne reject",
+        ]
+    lines += [
+        "mov rdi, 1",
+        "mov rax, 60",
+        "syscall",
+        "reject:",
+        "mov rdi, 0",
+        "mov rax, 60",
+        "syscall",
+    ]
+    symbolic = [
+        (INPUT_BASE + i, 1, SymVar(f"pw{i}", domain=256))
+        for i in range(len(secret))
+    ]
+    return "\n".join(lines), symbolic
+
+
+def branch_tree(depth: int, domain: int = 2,
+                writes_per_level: int = 1) -> tuple[str, list]:
+    """A guest with *depth* sequential symbolic branches -> 2^depth paths.
+
+    Each level stores into guest memory ``writes_per_level`` times so
+    forking has real dirty state to contend with — the knob E4 uses to
+    scale touched pages independently of path count.
+    """
+    lines = ["mov r8, 0x600000", "mov r15, 0"]
+    for level in range(depth):
+        lines += [
+            f"movb r9, [r8 + {level}]",
+            "and r9, 1",
+            "shl r15, 1",
+            "add r15, r9",
+        ]
+        for w in range(writes_per_level):
+            # Touch a distinct page per write to spread dirty state.  The
+            # stored value is concrete so the write exercises the
+            # backend's concrete-memory path (symbolic values live in
+            # the engine overlay and would bypass it).
+            lines += [
+                f"mov r10, {0x601000 + (level * writes_per_level + w) * 4096}",
+                f"mov r11, {level + 1}",
+                "mov [r10], r11",
+            ]
+        lines += [
+            "cmp r9, 0",
+            f"je skip{level}",
+            "nop",
+            f"skip{level}:",
+        ]
+    lines += [
+        "mov rdi, r15",
+        "mov rax, 60",
+        "syscall",
+    ]
+    symbolic = [
+        (INPUT_BASE + i, 1, SymVar(f"b{i}", domain=domain))
+        for i in range(depth)
+    ]
+    return "\n".join(lines), symbolic
+
+
+def div_by_zero_bug() -> tuple[str, list]:
+    """Computes ``100 / (x - 7)``: divide-by-zero reachable iff x == 7."""
+    src = """
+    mov r8, 0x600000
+    movb r9, [r8]
+    sub r9, 7
+    mov rax, 100
+    udiv rax, r9
+    mov rdi, rax
+    mov rax, 60
+    syscall
+    """
+    return src, [(INPUT_BASE, 1, SymVar("x", domain=16))]
+
+
+def unreachable_bug() -> tuple[str, list]:
+    """A division guarded by a contradictory branch: never divides by 0."""
+    src = """
+    mov r8, 0x600000
+    movb r9, [r8]
+    cmp r9, 3
+    jne safe
+    cmp r9, 5
+    jne safe          ; r9 == 3 here, so r9 == 5 is impossible
+    mov rax, 100
+    mov r10, 0
+    udiv rax, r10     ; unreachable
+    safe:
+    mov rdi, 0
+    mov rax, 60
+    syscall
+    """
+    return src, [(INPUT_BASE, 1, SymVar("x", domain=16))]

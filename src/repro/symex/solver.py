@@ -1,0 +1,101 @@
+"""Path-constraint feasibility by bounded enumeration.
+
+The paper's systems use Z3; our symbolic inputs have small bounded
+domains (bytes or less), so a backtracking enumeration with per-variable
+constraint filtering is sound and complete here, and keeps the entire
+stack dependency-free (substitution documented in DESIGN.md §2).
+
+The search assigns variables one at a time and checks every constraint
+as soon as its full support is bound, pruning early.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.symex.expr import Expr, SymVar, collect_symvars
+
+
+class PathConstraints:
+    """An immutable-ish conjunction of boolean expressions.
+
+    ``extend`` returns a new object sharing the prefix, mirroring how a
+    child state's constraint set extends its parent's.
+    """
+
+    __slots__ = ("exprs",)
+
+    def __init__(self, exprs: tuple[Expr, ...] = ()):
+        self.exprs = exprs
+
+    def extend(self, expr: Expr) -> "PathConstraints":
+        return PathConstraints(self.exprs + (expr,))
+
+    def __len__(self) -> int:
+        return len(self.exprs)
+
+    def __iter__(self):
+        return iter(self.exprs)
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(e) for e in self.exprs) or "true"
+
+
+def _variables(constraints: Iterable[Expr]) -> dict[str, SymVar]:
+    acc: dict[str, SymVar] = {}
+    for expr in constraints:
+        collect_symvars(expr, acc=acc)
+    return acc
+
+
+def solve_assignment(
+    constraints: Iterable[Expr],
+    budget: int = 2_000_000,
+) -> Optional[dict[str, int]]:
+    """Find a satisfying assignment, or None if none exists.
+
+    Raises RuntimeError if the enumeration *budget* (number of partial
+    assignments tried) is exhausted — a signal that the workload's
+    symbolic inputs are too wide for enumeration.
+    """
+    exprs = list(constraints)
+    variables = sorted(_variables(exprs).values(), key=lambda v: v.name)
+    if not variables:
+        return {} if all(e.evaluate({}) for e in exprs) else None
+
+    # Bind each constraint to the index of its last-assigned variable so
+    # it is checked as early as possible.
+    order = {var.name: i for i, var in enumerate(variables)}
+    check_at: list[list[Expr]] = [[] for _ in variables]
+    for expr in exprs:
+        support = expr.vars()
+        last = max(order[name] for name in support)
+        check_at[last].append(expr)
+
+    assignment: dict[str, int] = {}
+    tried = 0
+
+    def backtrack(index: int) -> bool:
+        nonlocal tried
+        if index == len(variables):
+            return True
+        var = variables[index]
+        for value in range(var.domain):
+            tried += 1
+            if tried > budget:
+                raise RuntimeError("constraint enumeration budget exhausted")
+            assignment[var.name] = value
+            if all(e.evaluate(assignment) for e in check_at[index]):
+                if backtrack(index + 1):
+                    return True
+        del assignment[var.name]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def is_satisfiable(constraints: Iterable[Expr], budget: int = 2_000_000) -> bool:
+    """True if some assignment satisfies every constraint."""
+    return solve_assignment(constraints, budget=budget) is not None

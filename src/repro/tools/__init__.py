@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.run_guest prog.s`` -- assemble and explore a
+  guest binary under system-level backtracking;
+* ``python -m repro.tools.solve_cnf file.cnf`` -- run the CDCL solver on
+  a DIMACS formula.
+"""

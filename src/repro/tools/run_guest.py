@@ -1,0 +1,115 @@
+"""Assemble and explore a guest program from the command line.
+
+Usage::
+
+    python -m repro.tools.run_guest path/to/guest.s [options]
+
+Options let you pick the engine (snapshot / replay / parallel), the
+search strategy, budgets, and the snapshot substrate; the tool prints
+each solution's exit code, path and console output, plus the engine's
+cost counters — a one-command view of the whole system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.machine import MachineEngine
+from repro.core.parallel import ParallelMachineEngine
+from repro.core.replay_machine import ReplayMachineEngine
+from repro.cpu.assembler import AssemblyError, assemble
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.run_guest",
+        description="Explore a guest binary with system-level backtracking.",
+    )
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument(
+        "--engine", choices=["snapshot", "replay", "parallel"],
+        default="snapshot", help="exploration engine (default: snapshot)",
+    )
+    parser.add_argument(
+        "--strategy", default="dfs",
+        help="search strategy: dfs, bfs, astar, sma, coverage, random",
+    )
+    parser.add_argument(
+        "--snapshot-mode", choices=["cow", "eager", "dirty-eager"],
+        default="cow", help="snapshot substrate (snapshot engine only)",
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count (parallel engine only)")
+    parser.add_argument("--max-solutions", type=int, default=None)
+    parser.add_argument("--max-steps", type=int, default=5_000_000,
+                        help="instruction budget per extension step")
+    parser.add_argument("--transcript", action="store_true",
+                        help="also print failed paths' console output")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as err:
+        print(f"error: cannot read {args.source}: {err}", file=sys.stderr)
+        return 2
+    try:
+        program = assemble(source)
+    except AssemblyError as err:
+        print(f"assembly error: {err}", file=sys.stderr)
+        return 2
+
+    if args.engine == "snapshot":
+        engine = MachineEngine(
+            strategy=args.strategy,
+            snapshot_mode=args.snapshot_mode,
+            max_solutions=args.max_solutions,
+            max_steps_per_extension=args.max_steps,
+        )
+    elif args.engine == "parallel":
+        engine = ParallelMachineEngine(
+            workers=args.workers,
+            strategy=args.strategy,
+            max_solutions=args.max_solutions,
+            max_steps_per_extension=args.max_steps,
+        )
+    else:
+        engine = ReplayMachineEngine(
+            strategy=args.strategy,
+            max_solutions=args.max_solutions,
+            max_steps_per_path=args.max_steps,
+        )
+
+    result = engine.run(program)
+    print(result.summary())
+    if not args.quiet:
+        for solution in result.solutions:
+            status, text = solution.value
+            line = f"  path={solution.path} exit={status}"
+            if text:
+                line += f" output={text.strip()!r}"
+            print(line)
+        if args.transcript and hasattr(engine, "failed_output"):
+            for text in engine.failed_output():
+                print(f"  [failed path] {text.strip()!r}")
+        extra = result.stats.extra
+        if "guest_instructions" in extra:
+            print(f"  guest instructions: {extra['guest_instructions']:,}")
+        if "snapshots_taken" in extra:
+            print(
+                f"  snapshots: {extra['snapshots_taken']} taken, "
+                f"{extra.get('snapshots_restored', 0)} restored; "
+                f"COW pages copied: {extra.get('frames_copied', 0)}"
+            )
+    return 0 if result.solutions or result.exhausted else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Solve a DIMACS CNF file with the CDCL solver.
+
+Usage::
+
+    python -m repro.tools.solve_cnf formula.cnf [--model] [--stats]
+
+Prints ``SATISFIABLE`` / ``UNSATISFIABLE`` (and, with ``--model``, a
+DIMACS ``v`` line), mirroring the conventional SAT-solver interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.sat import Solver, parse_dimacs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.solve_cnf",
+        description="CDCL SAT solver over a DIMACS file.",
+    )
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument("--model", action="store_true",
+                        help="print the satisfying assignment")
+    parser.add_argument("--stats", action="store_true",
+                        help="print solver statistics")
+    parser.add_argument("--max-conflicts", type=int, default=None,
+                        help="give up after this many conflicts")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.cnf) as handle:
+            cnf = parse_dimacs(handle.read())
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    solver = Solver()
+    for clause in cnf.clauses:
+        solver.add_clause(clause)
+    solver._grow_to(cnf.num_vars)
+    result = solver.solve(max_conflicts=args.max_conflicts)
+
+    if result.sat is None:
+        print("s UNKNOWN")
+        code = 0
+    elif result.sat:
+        print("s SATISFIABLE")
+        if args.model:
+            lits = [
+                str(v if result.model.get(v) else -v)
+                for v in range(1, cnf.num_vars + 1)
+            ]
+            print("v " + " ".join(lits) + " 0")
+        code = 10
+    else:
+        print("s UNSATISFIABLE")
+        code = 20
+    if args.stats:
+        stats = solver.stats
+        print(f"c decisions    {stats.decisions}")
+        print(f"c propagations {stats.propagations}")
+        print(f"c conflicts    {stats.conflicts}")
+        print(f"c learned      {stats.learned}")
+        print(f"c restarts     {stats.restarts}")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Workloads: the guest programs the experiments run.
+
+Each workload module provides the same problem in the forms the
+experiment matrix needs — a Python guest for the replay/posix engines,
+an assembly guest for the machine engine, and usually a hand-coded
+native solver as the baseline the paper compares against (§5).
+"""
+
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    nqueens_asm,
+    nqueens_python,
+)
+
+__all__ = ["KNOWN_SOLUTION_COUNTS", "nqueens_asm", "nqueens_python"]

@@ -1,0 +1,44 @@
+"""Graph coloring as a guest program (also available as CNF via
+:func:`repro.sat.gen.graph_coloring` for cross-checking)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def coloring_guest(sys, num_nodes: int, edges: list[tuple[int, int]],
+                   colors: int) -> tuple[int, ...]:
+    """Color nodes one by one; fail on any conflicting edge."""
+    adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    assignment: list[Optional[int]] = [None] * num_nodes
+    for node in range(num_nodes):
+        color = sys.guess(colors)
+        if any(assignment[nb] == color for nb in adjacency[node]
+               if nb < node):
+            sys.fail()
+        assignment[node] = color
+    return tuple(assignment)  # type: ignore[arg-type]
+
+
+def is_proper_coloring(assignment: tuple[int, ...],
+                       edges: list[tuple[int, int]]) -> bool:
+    """True if no edge connects same-colored nodes."""
+    return all(assignment[a] != assignment[b] for a, b in edges)
+
+
+#: A wheel graph W5 (hub 0 + 5-cycle): chromatic number 4.
+WHEEL5_NODES = 6
+WHEEL5_EDGES = [(0, i) for i in range(1, 6)] + [
+    (1, 2), (2, 3), (3, 4), (4, 5), (5, 1),
+]
+
+#: The Petersen graph: chromatic number 3.
+PETERSEN_NODES = 10
+PETERSEN_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),       # outer cycle
+    (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),       # inner star
+    (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),       # spokes
+]

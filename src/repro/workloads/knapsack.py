@@ -1,0 +1,59 @@
+"""Subset-sum and 0/1 knapsack guests (branch-and-prune workloads)."""
+
+from __future__ import annotations
+
+import random
+
+
+def subset_sum_guest(sys, values: list[int], target: int) -> tuple[int, ...]:
+    """Pick a subset summing exactly to *target*.
+
+    Prunes with the classic bound: fail as soon as the running sum
+    exceeds the target or the remaining values cannot reach it.
+    """
+    total = sum(values)
+    running = 0
+    chosen: list[int] = []
+    remaining = total
+    for value in values:
+        take = sys.guess(2)
+        remaining -= value
+        if take:
+            running += value
+            chosen.append(value)
+        if running > target or running + remaining < target:
+            sys.fail()
+    if running != target:
+        sys.fail()
+    return tuple(chosen)
+
+
+def knapsack_guest(sys, weights: list[int], profits: list[int],
+                   capacity: int, min_profit: int) -> tuple[int, ...]:
+    """Find a selection within *capacity* achieving >= *min_profit*."""
+    weight = 0
+    profit = 0
+    chosen: list[int] = []
+    rest_profit = sum(profits)
+    for i, (w, p) in enumerate(zip(weights, profits)):
+        take = sys.guess(2)
+        rest_profit -= p
+        if take:
+            weight += w
+            profit += p
+            chosen.append(i)
+        if weight > capacity or profit + rest_profit < min_profit:
+            sys.fail()
+    if profit < min_profit:
+        sys.fail()
+    return tuple(chosen)
+
+
+def random_instance(n: int, seed: int = 0) -> tuple[list[int], int]:
+    """A subset-sum instance with at least one witness subset."""
+    rng = random.Random(seed)
+    values = [rng.randrange(1, 50) for _ in range(n)]
+    witness = [v for v in values if rng.random() < 0.5]
+    if not witness:
+        witness = [values[0]]
+    return values, sum(witness)

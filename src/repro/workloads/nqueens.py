@@ -1,0 +1,228 @@
+"""The n-queens workload (Figure 1 of the paper).
+
+Three renditions of the same program:
+
+* :func:`nqueens_python` -- the Figure 1 C code transliterated into a
+  Python guest for the replay/posix engines;
+* :func:`nqueens_asm` -- the same program as an assembly guest for the
+  machine engine, using the real ``sys_guess`` ABI;
+* the hand-coded baseline lives in :mod:`repro.baselines.handcoded`.
+
+All use Figure 1's data structures: ``col[c]`` (queen row per column),
+``row[r]`` occupancy, and the two diagonal occupancy arrays ``ld[r+c]``
+and ``rd[N+r-c]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.sysno import (
+    STRATEGY_IDS,
+    SYS_EXIT,
+    SYS_GUESS,
+    SYS_GUESS_FAIL,
+    SYS_GUESS_STRATEGY,
+    SYS_WRITE,
+)
+
+#: Number of distinct n-queens solutions, for verification.
+KNOWN_SOLUTION_COUNTS = {
+    1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724,
+}
+
+
+def nqueens_python(sys, n: int) -> str:
+    """Figure 1 as a Python guest: returns the board as a digit string.
+
+    Note the absence of any undo logic — exactly the paper's point.  The
+    arrays are recreated per evaluation (the replay engine re-executes
+    the guest), so mutation needs no cleanup on backtrack.
+    """
+    col = [0] * n
+    row = [0] * n
+    ld = [0] * (2 * n)
+    rd = [0] * (2 * n)
+    for c in range(n):
+        r = sys.guess(n)  # a little magic
+        if row[r] or ld[r + c] or rd[n + r - c]:
+            sys.fail()  # backtrack
+        col[c] = r
+        row[r] = c + 1
+        ld[r + c] = 1
+        rd[n + r - c] = 1
+    return "".join(str(col[c]) for c in range(n))
+
+
+def nqueens_asm(
+    n: int,
+    fig1_style: bool = False,
+    select_strategy: bool = True,
+    ballast_pages: int = 0,
+) -> str:
+    """Generate the assembly guest for *n* queens.
+
+    With ``fig1_style=False`` (default) each solved board is printed and
+    the path exits; the engine records a Solution and backtracks, so the
+    run enumerates every solution.  With ``fig1_style=True`` the guest
+    prints and then calls ``sys_guess_fail`` — the literal Figure 1
+    pattern ("we can simply use backtracking to print all answers"); the
+    boards then appear in the engine transcript rather than as Solutions.
+
+    ``ballast_pages`` grows the guest heap by that many pages, each
+    touched once at startup — E2's knob for scaling address-space size
+    without changing the search (eager forking must copy the ballast on
+    every snapshot, COW never touches it again).
+    """
+    if not (1 <= n <= 10):
+        raise ValueError("n must be in 1..10 (single-digit board printing)")
+    ballast_preamble = (
+        f"""
+        mov   rax, 12               ; brk(0) -> heap base
+        mov   rdi, 0
+        syscall
+        mov   r13, rax
+        mov   rdi, r13              ; grow heap by the ballast
+        add   rdi, {ballast_pages * 4096}
+        mov   rax, 12
+        syscall
+        mov   r9, {ballast_pages}   ; touch each ballast page once
+        mov   r8, r13
+        mov   r10, 1
+    ballast_loop:
+        cmp   r9, 0
+        je    ballast_done
+        mov   [r8], r10
+        add   r8, 4096
+        dec   r9
+        jmp   ballast_loop
+    ballast_done:
+        """
+        if ballast_pages
+        else ""
+    )
+    after_print = (
+        f"""
+        mov   rax, {SYS_GUESS_FAIL:#x}      ; print all answers (Fig. 1)
+        syscall
+        """
+        if fig1_style
+        else f"""
+        mov   rax, {SYS_EXIT}               ; complete this path
+        mov   rdi, 0
+        syscall
+        """
+    )
+    strategy_preamble = (
+        f"""
+        mov   rax, {SYS_GUESS_STRATEGY:#x}  ; sys_guess_strategy(DFS)
+        mov   rdi, {STRATEGY_IDS['dfs']}
+        syscall
+        """
+        if select_strategy
+        else ""
+    )
+    return f"""
+    ; n-queens with system-level backtracking (paper Figure 1), N = {n}
+    .data
+    col:  .zero {n}
+    row:  .zero {n}
+    ld:   .zero {2 * n}
+    rd:   .zero {2 * n}
+    buf:  .zero {n + 1}
+
+    .text
+    _start:
+        {strategy_preamble}
+        {ballast_preamble}
+        mov   rbx, 0                ; c = 0
+    col_loop:
+        cmp   rbx, {n}
+        jge   solved
+        mov   rax, {SYS_GUESS:#x}   ; r = sys_guess(N)
+        mov   rdi, {n}
+        syscall
+        mov   r12, rax              ; r
+
+        mov   r8, row               ; if (row[r]) fail
+        movb  r9, [r8 + r12]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r10, r12              ; if (ld[r+c]) fail
+        add   r10, rbx
+        mov   r8, ld
+        movb  r9, [r8 + r10]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r10, r12              ; if (rd[N+r-c]) fail
+        add   r10, {n}
+        sub   r10, rbx
+        mov   r8, rd
+        movb  r9, [r8 + r10]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r8, col               ; col[c] = r
+        movb  [r8 + rbx], r12
+        mov   r11, rbx              ; row[r] = c + 1
+        inc   r11
+        mov   r8, row
+        movb  [r8 + r12], r11
+        mov   r11, 1
+        mov   r10, r12              ; ld[r+c] = 1
+        add   r10, rbx
+        mov   r8, ld
+        movb  [r8 + r10], r11
+        mov   r10, r12              ; rd[N+r-c] = 1
+        add   r10, {n}
+        sub   r10, rbx
+        mov   r8, rd
+        movb  [r8 + r10], r11
+
+        inc   rbx
+        jmp   col_loop
+
+    solved:                         ; printboard(N)
+        mov   rbx, 0
+        mov   r8, col
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, {n}
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + {n}], r10
+        mov   rax, {SYS_WRITE}      ; write(1, buf, N+1)
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, {n + 1}
+        syscall
+        {after_print}
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}  ; sys_guess_fail()
+        syscall
+    """
+
+
+def boards_from_result(result) -> list[str]:
+    """Extract board strings from a machine-engine SearchResult."""
+    return [value[1].strip() for value in result.solution_values]
+
+
+def is_valid_board(board: str) -> bool:
+    """Check one printed board: one queen per row/column/diagonal."""
+    rows = [int(ch) for ch in board.strip()]
+    n = len(rows)
+    if len(set(rows)) != n:
+        return False
+    for c1 in range(n):
+        for c2 in range(c1 + 1, n):
+            if abs(rows[c1] - rows[c2]) == c2 - c1:
+                return False
+    return True

@@ -1,0 +1,93 @@
+"""The 8-puzzle: the informed-search workload for E7.
+
+A shortest-path problem where the extended guess call's goal-distance
+hints (§3.1) pay off: the guest passes the Manhattan-distance heuristic
+of each successor, so A* expands far fewer candidates than BFS while
+still finding a minimum-length solution (the heuristic is admissible).
+
+Boards are tuples of 9 ints, 0 = blank, goal = (1..8, 0).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+GOAL = (1, 2, 3, 4, 5, 6, 7, 8, 0)
+
+#: blank position -> legal successor blank positions.
+_MOVES: dict[int, tuple[int, ...]] = {
+    0: (1, 3), 1: (0, 2, 4), 2: (1, 5),
+    3: (0, 4, 6), 4: (1, 3, 5, 7), 5: (2, 4, 8),
+    6: (3, 7), 7: (4, 6, 8), 8: (5, 7),
+}
+
+
+def manhattan(board: tuple[int, ...]) -> int:
+    """Sum of tile distances to their goal cells (admissible)."""
+    total = 0
+    for pos, tile in enumerate(board):
+        if tile == 0:
+            continue
+        goal_pos = tile - 1
+        total += abs(pos // 3 - goal_pos // 3) + abs(pos % 3 - goal_pos % 3)
+    return total
+
+
+def apply_move(board: tuple[int, ...], new_blank: int) -> tuple[int, ...]:
+    """Slide the tile at *new_blank* into the blank."""
+    blank = board.index(0)
+    cells = list(board)
+    cells[blank], cells[new_blank] = cells[new_blank], 0
+    return tuple(cells)
+
+
+def successors(board: tuple[int, ...]) -> list[tuple[int, ...]]:
+    blank = board.index(0)
+    return [apply_move(board, nb) for nb in _MOVES[blank]]
+
+
+def scramble(steps: int, seed: int = 0) -> tuple[int, ...]:
+    """Scramble the goal with *steps* random moves (always solvable)."""
+    rng = random.Random(seed)
+    board = GOAL
+    previous = None
+    for _ in range(steps):
+        options = [b for b in successors(board) if b != previous]
+        previous = board
+        board = rng.choice(options)
+    return board
+
+
+def puzzle_guest(sys, start: tuple[int, ...], max_moves: int,
+                 use_hints: bool = True) -> tuple[tuple[int, ...], ...]:
+    """Walk the puzzle to the goal, one guessed move at a time.
+
+    With ``use_hints`` the guest supplies the Manhattan distance of each
+    successor as the goal-distance hint — the extended guess call of
+    §3.1.  Cycle avoidance keeps the search finite: revisiting any board
+    along the current path fails.
+    """
+    board = start
+    path = [board]
+    for _ in range(max_moves):
+        if board == GOAL:
+            return tuple(path)
+        succs = successors(board)
+        hints = [float(manhattan(s)) for s in succs] if use_hints else None
+        board = succs[sys.guess(len(succs), hints=hints)]
+        if board in path:
+            sys.fail()
+        path.append(board)
+    if board == GOAL:
+        return tuple(path)
+    sys.fail()
+
+
+def solve(engine_factory, start: tuple[int, ...], max_moves: int,
+          use_hints: bool = True):
+    """Find one solution with the given engine factory; returns
+    (solution_path, SearchResult)."""
+    engine = engine_factory()
+    result = engine.run(puzzle_guest, start, max_moves, use_hints)
+    return (result.first.value if result.first else None), result

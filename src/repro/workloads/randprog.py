@@ -1,0 +1,139 @@
+"""Random deterministic guest programs (differential-testing workload).
+
+Generates structured random assembly guests: a handful of levels, each
+optionally mutating guest memory, guessing with a random fan-out, and
+pruning some branches based on the guess and the accumulated state.
+Every generated program is deterministic given the guess outcomes, so
+all engines (snapshot, replay, parallel, eager, ...) must produce the
+same solution multiset — the differential-testing property used by the
+engine equivalence tests.
+
+A Python reference implementation (:func:`reference_solutions`) computes
+the expected solution set independently of any engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.sysno import SYS_EXIT, SYS_GUESS, SYS_GUESS_FAIL
+
+_CELLS = 8  # 64-bit state cells at DATA_BASE
+_DATA = 0x60_0000
+
+
+@dataclass
+class _Level:
+    fanout: int
+    #: cell mutated before the guess: (index, multiplier, addend)
+    pre: tuple[int, int, int]
+    #: prune rule: fail if (guess + cell[idx]) % mod == rem
+    prune: tuple[int, int, int]  # (cell index, mod, rem)
+    #: cell absorbing the guess: cell[idx] = cell[idx]*3 + guess
+    absorb: int
+
+
+@dataclass
+class RandomProgram:
+    seed: int
+    levels: list[_Level] = field(default_factory=list)
+
+    @property
+    def source(self) -> str:
+        return generate_source(self)
+
+
+def make_program(seed: int, max_depth: int = 4, max_fanout: int = 3) -> RandomProgram:
+    """Build a random program description from *seed*."""
+    rng = random.Random(seed)
+    depth = rng.randint(1, max_depth)
+    levels = []
+    for _ in range(depth):
+        levels.append(
+            _Level(
+                fanout=rng.randint(1, max_fanout),
+                pre=(rng.randrange(_CELLS), rng.randint(1, 5), rng.randint(0, 9)),
+                prune=(rng.randrange(_CELLS), rng.randint(2, 4),
+                       rng.randint(0, 3)),
+                absorb=rng.randrange(_CELLS),
+            )
+        )
+    return RandomProgram(seed=seed, levels=levels)
+
+
+def generate_source(program: RandomProgram) -> str:
+    """Emit the program as assembly for the machine engines."""
+    lines = [f"; random guest, seed={program.seed}", "mov r15, 0"]
+    for i, level in enumerate(program.levels):
+        pre_idx, mul, add = level.pre
+        prune_idx, mod, rem = level.prune
+        lines += [
+            f"; --- level {i} ---",
+            f"mov r8, {_DATA + 8 * pre_idx}",
+            "mov r9, [r8]",
+            f"imul r9, {mul}",
+            f"add r9, {add}",
+            "mov [r8], r9",
+            f"mov rax, {SYS_GUESS:#x}",
+            f"mov rdi, {level.fanout}",
+            "syscall",
+            "mov r12, rax",
+            f"mov r8, {_DATA + 8 * prune_idx}",
+            "mov r9, [r8]",
+            "add r9, r12",
+            f"mov r10, {mod}",
+            "umod r9, r10",
+            f"cmp r9, {rem}",
+            f"jne level{i}_ok",
+            f"mov rax, {SYS_GUESS_FAIL:#x}",
+            "syscall",
+            f"level{i}_ok:",
+            f"mov r8, {_DATA + 8 * level.absorb}",
+            "mov r9, [r8]",
+            "imul r9, 3",
+            "add r9, r12",
+            "mov [r8], r9",
+            "imul r15, 7",
+            "add r15, r12",
+        ]
+    lines += [
+        "mov rdi, r15",
+        f"mov rax, {SYS_EXIT}",
+        "syscall",
+    ]
+    return "\n".join(lines)
+
+
+def reference_solutions(program: RandomProgram) -> list[tuple[tuple[int, ...], int]]:
+    """Engine-free reference: enumerate (path, exit code) by recursion."""
+    out: list[tuple[tuple[int, ...], int]] = []
+
+    def walk(level_index: int, cells: tuple[int, ...], acc: int,
+             path: tuple[int, ...]) -> None:
+        if level_index == len(program.levels):
+            # acc stays tiny (max fanout 3, depth 4), far below the
+            # 32-bit exit-status truncation boundary.
+            out.append((path, acc))
+            return
+        level = program.levels[level_index]
+        pre_idx, mul, add = level.pre
+        mutated = list(cells)
+        mutated[pre_idx] = (mutated[pre_idx] * mul + add) & ((1 << 64) - 1)
+        for guess in range(level.fanout):
+            prune_idx, mod, rem = level.prune
+            if (mutated[prune_idx] + guess) % mod == rem:
+                continue  # pruned branch
+            absorbed = list(mutated)
+            absorbed[level.absorb] = (
+                absorbed[level.absorb] * 3 + guess
+            ) & ((1 << 64) - 1)
+            walk(
+                level_index + 1,
+                tuple(absorbed),
+                (acc * 7 + guess) & ((1 << 64) - 1),
+                path + (guess,),
+            )
+
+    walk(0, (0,) * _CELLS, 0, ())
+    return out

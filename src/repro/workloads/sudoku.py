@@ -1,0 +1,93 @@
+"""Sudoku as a guest program.
+
+A Figure 1-style "single path to solution" guest: guess a digit for each
+blank cell, fail on any rule violation, return the solved grid.  Used by
+the E7 strategy experiments and the examples.
+
+Grids are strings of ``size*size`` characters, ``0`` for blanks, read
+row-major.  ``box_rows``/``box_cols`` define the sub-box shape (2x2 for
+4x4 grids, 3x3 for 9x9).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def sudoku_guest(sys, grid: str, size: int = 4, box_rows: int = 2,
+                 box_cols: int = 2) -> str:
+    """Solve *grid* with system-level backtracking; returns the solution."""
+    cells = [int(ch) for ch in grid]
+    if len(cells) != size * size:
+        raise ValueError("grid length does not match size")
+
+    def conflicts(index: int, value: int) -> bool:
+        r, c = divmod(index, size)
+        for k in range(size):
+            if cells[r * size + k] == value or cells[k * size + c] == value:
+                return True
+        box_r = (r // box_rows) * box_rows
+        box_c = (c // box_cols) * box_cols
+        for dr in range(box_rows):
+            for dc in range(box_cols):
+                if cells[(box_r + dr) * size + (box_c + dc)] == value:
+                    return True
+        return False
+
+    for index in range(size * size):
+        if cells[index] != 0:
+            continue
+        value = sys.guess(size) + 1
+        if conflicts(index, value):
+            sys.fail()
+        cells[index] = value
+    return "".join(str(v) for v in cells)
+
+
+def is_valid_solution(grid: str, size: int = 4, box_rows: int = 2,
+                      box_cols: int = 2) -> bool:
+    """Check a completed grid for row/column/box validity."""
+    cells = [int(ch) for ch in grid]
+    want = set(range(1, size + 1))
+    for r in range(size):
+        if {cells[r * size + c] for c in range(size)} != want:
+            return False
+    for c in range(size):
+        if {cells[r * size + c] for r in range(size)} != want:
+            return False
+    for box_r in range(0, size, box_rows):
+        for box_c in range(0, size, box_cols):
+            box = {
+                cells[(box_r + dr) * size + (box_c + dc)]
+                for dr in range(box_rows)
+                for dc in range(box_cols)
+            }
+            if box != want:
+                return False
+    return True
+
+
+def make_puzzle(blanks: int, seed: int = 0, size: int = 4, box_rows: int = 2,
+                box_cols: int = 2) -> str:
+    """Generate a 4x4 puzzle by blanking cells of a shuffled solution."""
+    rng = random.Random(seed)
+    base = _solved_grid(size, box_rows, box_cols, rng)
+    cells = list(base)
+    for index in rng.sample(range(size * size), blanks):
+        cells[index] = "0"
+    return "".join(cells)
+
+
+def _solved_grid(size: int, box_rows: int, box_cols: int,
+                 rng: random.Random) -> str:
+    """A random valid solved grid via the pattern construction."""
+    digits = list(range(1, size + 1))
+    rng.shuffle(digits)
+
+    def pattern(r: int, c: int) -> int:
+        return (box_cols * (r % box_rows) + r // box_rows + c) % size
+
+    rows = []
+    for r in range(size):
+        rows.append("".join(str(digits[pattern(r, c)]) for c in range(size)))
+    return "".join(rows)

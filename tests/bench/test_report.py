@@ -1,0 +1,52 @@
+"""Tests for the plain-text table renderer and timing helpers."""
+
+import pytest
+
+from repro.bench import Table, fmt_ratio, time_once
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        table = Table("demo", ["a", "b"])
+        table.add(1, "x")
+        table.add(22, "yy")
+        text = table.render()
+        assert "demo" in text
+        assert "22" in text
+        assert "yy" in text
+
+    def test_columns_aligned(self):
+        table = Table("t", ["col"])
+        table.add(123456)
+        lines = table.render().splitlines()
+        assert lines[-1].strip() == "123,456"
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add(0.00123)
+        assert "0.00123" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "t" in Table("t", ["a"]).render()
+
+    def test_show_prints(self, capsys):
+        table = Table("printed", ["x"])
+        table.add(1)
+        table.show()
+        assert "printed" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_fmt_ratio(self):
+        assert fmt_ratio(10, 2) == "5.0x"
+        assert fmt_ratio(1, 0) == "inf"
+
+    def test_time_once_returns_result(self):
+        elapsed, value = time_once(lambda: 42)
+        assert value == 42
+        assert elapsed >= 0

@@ -1,0 +1,67 @@
+"""Differential testing: every engine explores random guests identically.
+
+Random deterministic guests (random fan-outs, state-dependent pruning,
+memory mutation between guesses) are run on every machine-guest engine
+and on every snapshot substrate; all must produce the same (path, exit
+code) multiset as an engine-free Python reference.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.machine import MachineEngine
+from repro.core.parallel import ParallelMachineEngine
+from repro.core.replay_machine import ReplayMachineEngine
+from repro.workloads.randprog import make_program, reference_solutions
+
+
+def engine_solutions(result):
+    return sorted((s.path, s.value[0]) for s in result.solutions)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_machine_matches_reference(seed):
+    program = make_program(seed)
+    expected = sorted(reference_solutions(program))
+    result = MachineEngine().run(program.source)
+    assert engine_solutions(result) == expected
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 3))
+def test_all_engines_agree(seed):
+    program = make_program(seed)
+    expected = sorted(reference_solutions(program))
+    engines = [
+        MachineEngine("dfs"),
+        MachineEngine("bfs"),
+        MachineEngine(snapshot_mode="eager"),
+        MachineEngine(snapshot_mode="dirty-eager"),
+        ReplayMachineEngine("dfs"),
+        ParallelMachineEngine(workers=3, quantum=9),
+    ]
+    for engine in engines:
+        result = engine.run(program.source)
+        assert engine_solutions(result) == expected, type(engine).__name__
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_property_snapshot_vs_replay(seed):
+    program = make_program(seed)
+    snap = MachineEngine().run(program.source)
+    replay = ReplayMachineEngine().run(program.source)
+    assert engine_solutions(snap) == engine_solutions(replay)
+    assert engine_solutions(snap) == sorted(reference_solutions(program))
+
+
+@given(seed=st.integers(0, 10_000), workers=st.integers(1, 6),
+       quantum=st.integers(1, 60))
+@settings(max_examples=15, deadline=None)
+def test_property_parallel_interleaving_safe(seed, workers, quantum):
+    """Any worker count and any timeslice produce the same solutions."""
+    program = make_program(seed)
+    expected = sorted(reference_solutions(program))
+    result = ParallelMachineEngine(workers=workers, quantum=quantum).run(
+        program.source
+    )
+    assert engine_solutions(result) == expected

@@ -1,0 +1,66 @@
+"""Machine-engine informed search: the extended guess call with hints."""
+
+from repro.core.machine import MachineEngine
+from repro.core.sysno import SYS_EXIT, SYS_GUESS_HINT
+
+# A two-level tree where the hint vector marks one golden path: A* must
+# reach it first even though DFS order would visit others earlier.
+GOLDEN = f"""
+.data
+hints1: .quad 9, 9, 0       ; level 1: extension 2 is closest to goal
+hints2: .quad 9, 0, 9       ; level 2: extension 1 is the goal
+.text
+    mov rax, {SYS_GUESS_HINT:#x}
+    mov rdi, 3
+    mov rsi, hints1
+    syscall
+    mov rbx, rax
+    imul rbx, 3
+    mov rax, {SYS_GUESS_HINT:#x}
+    mov rdi, 3
+    mov rsi, hints2
+    syscall
+    add rbx, rax
+    mov rdi, rbx
+    mov rax, {SYS_EXIT}
+    syscall
+"""
+
+
+class TestMachineHints:
+    def test_astar_follows_hints_first(self):
+        result = MachineEngine("astar", max_solutions=1).run(GOLDEN)
+        assert result.solution_values[0][0] == 2 * 3 + 1  # path (2, 1)
+
+    def test_best_first_also_guided(self):
+        result = MachineEngine("best", max_solutions=1).run(GOLDEN)
+        assert result.solution_values[0][0] == 7
+
+    def test_dfs_ignores_hints(self):
+        result = MachineEngine("dfs", max_solutions=1).run(GOLDEN)
+        assert result.solution_values[0][0] == 0  # path (0, 0)
+
+    def test_exhaustive_astar_finds_everything(self):
+        result = MachineEngine("astar").run(GOLDEN)
+        assert sorted(v[0] for v in result.solution_values) == list(range(9))
+
+    def test_coverage_strategy_on_machine(self):
+        result = MachineEngine("coverage").run(GOLDEN)
+        assert len(result.solutions) == 9
+        assert result.strategy == "coverage"
+
+    def test_negative_hints_accepted(self):
+        src = f"""
+        .data
+        hints: .quad -5, 3
+        .text
+        mov rax, {SYS_GUESS_HINT:#x}
+        mov rdi, 2
+        mov rsi, hints
+        syscall
+        mov rdi, rax
+        mov rax, {SYS_EXIT}
+        syscall
+        """
+        result = MachineEngine("best", max_solutions=1).run(src)
+        assert result.solution_values[0][0] == 0  # hint -5 preferred

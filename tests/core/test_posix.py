@@ -1,0 +1,96 @@
+"""Tests for the fork-based engine (real kernel COW).
+
+Skipped automatically where fork is unavailable.
+"""
+
+import os
+
+import pytest
+
+from repro.core.errors import GuessError
+from repro.workloads.nqueens import KNOWN_SOLUTION_COUNTS, nqueens_python
+
+posix = pytest.importorskip("repro.core.posix")
+
+
+def _fork_works() -> bool:
+    try:
+        pid = os.fork()
+    except OSError:
+        return False
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return True
+
+
+pytestmark = pytest.mark.skipif(not _fork_works(), reason="fork unavailable")
+
+
+def two_bits(sys):
+    return sys.guess(2) * 2 + sys.guess(2)
+
+
+class TestPosixEngine:
+    def test_enumerates_in_dfs_order(self):
+        result = posix.PosixEngine().run(two_bits)
+        assert result.solution_values == [0, 1, 2, 3]
+        assert [s.path for s in result.solutions] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_nqueens(self):
+        result = posix.PosixEngine().run(nqueens_python, 5)
+        assert len(result.solutions) == KNOWN_SOLUTION_COUNTS[5]
+
+    def test_fail_prunes(self):
+        def guest(sys):
+            x = sys.guess(4)
+            if x % 2:
+                sys.fail()
+            return x
+
+        result = posix.PosixEngine().run(guest)
+        assert result.solution_values == [0, 2]
+
+    def test_forked_state_is_isolated(self):
+        # Mutations before a guess must be private per extension: the
+        # kernel's COW gives each child its own copy of `state`.
+        def guest(sys):
+            state = [0]
+            state[0] = sys.guess(3)
+            sys.guess(1)  # second choice point after the mutation
+            return state[0]
+
+        result = posix.PosixEngine().run(guest)
+        assert sorted(result.solution_values) == [0, 1, 2]
+
+    def test_max_depth_prunes(self):
+        def bottomless(sys):
+            while True:
+                sys.guess(2)
+
+        result = posix.PosixEngine(max_depth=4).run(bottomless)
+        assert result.solution_values == []
+
+    def test_guess_zero_fails_path(self):
+        def guest(sys):
+            if sys.guess(2) == 0:
+                sys.guess(0)
+            return "ok"
+
+        result = posix.PosixEngine().run(guest)
+        assert result.solution_values == ["ok"]
+
+    def test_max_solutions(self):
+        result = posix.PosixEngine(max_solutions=2).run(two_bits)
+        assert len(result.solutions) == 2
+
+    def test_only_dfs_supported(self):
+        def guest(sys):
+            sys.strategy("bfs")
+            return 1
+
+        result = posix.PosixEngine().run(guest)
+        # The strategy error kills the child tree; no solutions emerge.
+        assert result.solution_values == []

@@ -1,0 +1,88 @@
+"""Differential testing for the Python-guest engines.
+
+Random deterministic Python guests run on the replay engine and (where
+fork works) the posix engine; both must agree with a direct recursive
+reference.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ReplayEngine
+
+
+def _fork_works() -> bool:
+    try:
+        pid = os.fork()
+    except OSError:
+        return False
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return True
+
+
+FORK_OK = _fork_works()
+
+
+def make_guest(seed: int):
+    """A random deterministic guest: depth, fan-outs and pruning rules
+    all derived from *seed*."""
+    rng = random.Random(seed)
+    depth = rng.randint(1, 4)
+    fanouts = [rng.randint(1, 3) for _ in range(depth)]
+    prune = [(rng.randint(2, 4), rng.randint(0, 3)) for _ in range(depth)]
+
+    def guest(sys):
+        acc = 0
+        for level in range(depth):
+            choice = sys.guess(fanouts[level])
+            mod, rem = prune[level]
+            if (acc + choice) % mod == rem:
+                sys.fail()
+            acc = acc * 5 + choice
+        return acc
+
+    def reference():
+        out = []
+
+        def walk(level, acc, path):
+            if level == depth:
+                out.append((path, acc))
+                return
+            for choice in range(fanouts[level]):
+                mod, rem = prune[level]
+                if (acc + choice) % mod == rem:
+                    continue
+                walk(level + 1, acc * 5 + choice, path + (choice,))
+
+        walk(0, 0, ())
+        return out
+
+    return guest, reference
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_replay_matches_reference(seed):
+    guest, reference = make_guest(seed)
+    result = ReplayEngine().run(guest)
+    assert sorted((s.path, s.value) for s in result.solutions) == sorted(
+        reference()
+    )
+
+
+@pytest.mark.skipif(not FORK_OK, reason="fork unavailable")
+@pytest.mark.parametrize("seed", range(0, 40, 7))
+def test_posix_matches_replay(seed):
+    from repro.core.posix import PosixEngine
+
+    guest, reference = make_guest(seed)
+    replay = ReplayEngine().run(guest)
+    posix = PosixEngine().run(guest)
+    assert sorted((s.path, s.value) for s in posix.solutions) == sorted(
+        (s.path, s.value) for s in replay.solutions
+    )

@@ -1,0 +1,225 @@
+"""Unit tests for the replay-based backtracking engine (Python guests)."""
+
+import pytest
+
+from repro.core import GuessError, ReplayEngine
+from repro.core.errors import GuessFail
+from repro.search import get_strategy
+
+
+def coin(sys):
+    return sys.guess(2)
+
+
+def two_bits(sys):
+    hi = sys.guess(2)
+    lo = sys.guess(2)
+    return hi * 2 + lo
+
+
+def pick_even(sys):
+    x = sys.guess(6)
+    if x % 2:
+        sys.fail()
+    return x
+
+
+class TestBasics:
+    def test_enumerates_all_paths(self):
+        result = ReplayEngine().run(two_bits)
+        assert result.solution_values == [0, 1, 2, 3]
+        assert result.exhausted
+
+    def test_fail_prunes(self):
+        result = ReplayEngine().run(pick_even)
+        assert result.solution_values == [0, 2, 4]
+        assert result.stats.fails == 3
+
+    def test_solution_paths_recorded(self):
+        result = ReplayEngine().run(two_bits)
+        assert [s.path for s in result.solutions] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+        assert result.solutions[0].depth == 2
+
+    def test_no_guess_single_path(self):
+        result = ReplayEngine().run(lambda sys: "only")
+        assert result.solution_values == ["only"]
+        assert result.stats.candidates == 0
+        assert result.stats.evaluations == 1
+
+    def test_all_paths_fail(self):
+        def hopeless(sys):
+            sys.guess(3)
+            sys.fail()
+
+        result = ReplayEngine().run(hopeless)
+        assert result.solution_values == []
+        assert result.exhausted
+        assert not result
+
+    def test_guess_zero_is_dead_end(self):
+        def guest(sys):
+            if sys.guess(2) == 0:
+                sys.guess(0)
+            return "survivor"
+
+        result = ReplayEngine().run(guest)
+        assert result.solution_values == ["survivor"]
+
+    def test_extra_args_forwarded(self):
+        def guest(sys, lo, hi=10):
+            return lo + hi + sys.guess(1)
+
+        result = ReplayEngine().run(guest, 5, hi=20)
+        assert result.solution_values == [25]
+
+    def test_stats_shape(self):
+        result = ReplayEngine().run(two_bits)
+        s = result.stats
+        assert s.candidates == 3  # root guess + two second-level guesses
+        assert s.evaluations == 7  # 1 root + 2 + 4
+        assert s.completions == 4
+        assert s.replayed_decisions > 0
+
+    def test_result_summary_readable(self):
+        text = ReplayEngine().run(coin).summary()
+        assert "2 solution(s)" in text
+        assert "dfs" in text
+
+
+class TestStrategies:
+    def test_bfs_order_differs_from_dfs(self):
+        def guest(sys):
+            a = sys.guess(2)
+            b = sys.guess(2)
+            return (a, b)
+
+        dfs = ReplayEngine("dfs").run(guest).solution_values
+        bfs = ReplayEngine("bfs").run(guest).solution_values
+        assert sorted(dfs) == sorted(bfs)
+        assert dfs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_guest_selects_strategy(self):
+        def guest(sys):
+            assert sys.strategy("bfs")
+            return sys.guess(2)
+
+        result = ReplayEngine("dfs").run(guest)
+        assert result.strategy == "bfs"
+        assert len(result.solutions) == 2
+
+    def test_strategy_switch_after_guess_rejected(self):
+        def guest(sys):
+            sys.guess(2)
+            sys.strategy("bfs")
+
+        with pytest.raises(GuessError, match="switch strategy"):
+            ReplayEngine("dfs").run(guest)
+
+    def test_strategy_instance_accepted(self):
+        engine = ReplayEngine(get_strategy("bfs"))
+        assert engine.run(coin).strategy == "bfs"
+
+    def test_astar_uses_hints(self):
+        # Two-level tree; hints lead straight to (1, 1).
+        def guest(sys):
+            a = sys.guess(2, hints=[10.0, 0.0])
+            b = sys.guess(2, hints=[10.0, 0.0])
+            return (a, b)
+
+        engine = ReplayEngine("astar", max_solutions=1)
+        result = engine.run(guest)
+        assert result.solution_values == [(1, 1)]
+
+
+class TestBudgets:
+    def test_max_solutions(self):
+        result = ReplayEngine(max_solutions=2).run(two_bits)
+        assert len(result.solutions) == 2
+        assert not result.exhausted
+        assert result.stop_reason == "max_solutions"
+
+    def test_max_evaluations(self):
+        result = ReplayEngine(max_evaluations=3).run(two_bits)
+        assert not result.exhausted
+        assert result.stop_reason == "max_evaluations"
+        assert result.stats.evaluations <= 3
+
+    def test_max_depth_prunes(self):
+        def bottomless(sys):
+            while True:
+                sys.guess(2)
+
+        result = ReplayEngine(max_depth=5).run(bottomless)
+        assert result.solution_values == []
+        assert not result.exhausted
+        assert result.stop_reason == "max_depth"
+
+    def test_first_solution_helper(self):
+        engine = ReplayEngine()
+        sol = engine.first_solution(two_bits)
+        assert sol.value == 0
+        # Budget restored: a full run still enumerates everything.
+        assert len(engine.run(two_bits).solutions) == 4
+
+
+class TestGuestContract:
+    def test_nondeterministic_fanout_detected(self):
+        calls = {"n": 0}
+
+        def shifty(sys):
+            calls["n"] += 1
+            return sys.guess(2 if calls["n"] == 1 else 3)
+
+        with pytest.raises(GuessError, match="nondeterministic"):
+            ReplayEngine().run(shifty)
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(GuessError, match="fan-out"):
+            ReplayEngine().run(lambda sys: sys.guess(-1))
+
+    def test_hint_length_mismatch_rejected(self):
+        with pytest.raises(GuessError, match="hints"):
+            ReplayEngine().run(lambda sys: sys.guess(3, hints=[1.0]))
+
+    def test_guest_exceptions_propagate(self):
+        def broken(sys):
+            raise RuntimeError("guest bug")
+
+        with pytest.raises(RuntimeError, match="guest bug"):
+            ReplayEngine().run(broken)
+
+    def test_guest_must_not_catch_fail(self):
+        # A guest swallowing GuessFail breaks the illusion; the engine
+        # then sees a completion, which is the documented behaviour.
+        def naughty(sys):
+            try:
+                sys.fail()
+            except GuessFail:
+                return "swallowed"
+
+        result = ReplayEngine().run(naughty)
+        assert result.solution_values == ["swallowed"]
+
+
+class TestDeepSearch:
+    def test_binary_tree_depth_10(self):
+        def guest(sys):
+            return tuple(sys.guess(2) for _ in range(10))
+
+        result = ReplayEngine().run(guest)
+        assert len(result.solutions) == 1024
+        assert len(set(result.solutions)) == 1024
+
+    def test_factorial_enumeration(self):
+        def perms(sys, n=5):
+            remaining = list(range(n))
+            out = []
+            while remaining:
+                out.append(remaining.pop(sys.guess(len(remaining))))
+            return tuple(out)
+
+        result = ReplayEngine().run(perms)
+        assert len(result.solutions) == 120
+        assert len(set(result.solution_values)) == 120

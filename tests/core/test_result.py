@@ -1,0 +1,67 @@
+"""Unit tests for Solution / SearchStats / SearchResult."""
+
+from repro.core.result import SearchResult, SearchStats, Solution
+
+
+def make_result(n_solutions=2, exhausted=True, stop_reason=None):
+    solutions = [
+        Solution(value=f"v{i}", path=(0,) * (i + 1)) for i in range(n_solutions)
+    ]
+    return SearchResult(
+        solutions=solutions,
+        stats=SearchStats(candidates=3, evaluations=7, fails=2,
+                          completions=n_solutions),
+        strategy="dfs",
+        exhausted=exhausted,
+        stop_reason=stop_reason,
+    )
+
+
+class TestSolution:
+    def test_depth_is_path_length(self):
+        assert Solution(value=1, path=(0, 1, 2)).depth == 3
+
+    def test_frozen(self):
+        s = Solution(value=1, path=())
+        try:
+            s.value = 2
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated
+
+
+class TestSearchResult:
+    def test_truthiness(self):
+        assert make_result(1)
+        assert not make_result(0)
+
+    def test_first(self):
+        assert make_result(2).first.value == "v0"
+        assert make_result(0).first is None
+
+    def test_solution_values(self):
+        assert make_result(2).solution_values == ["v0", "v1"]
+
+    def test_summary_exhausted(self):
+        text = make_result(2).summary()
+        assert "2 solution(s)" in text
+        assert "dfs" in text
+        assert "stopped" not in text
+
+    def test_summary_truncated(self):
+        text = make_result(1, exhausted=False,
+                           stop_reason="max_solutions").summary()
+        assert "stopped: max_solutions" in text
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        stats = SearchStats()
+        assert stats.candidates == 0
+        assert stats.extra == {}
+
+    def test_extra_is_per_instance(self):
+        a, b = SearchStats(), SearchStats()
+        a.extra["x"] = 1
+        assert "x" not in b.extra

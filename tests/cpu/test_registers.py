@@ -1,0 +1,60 @@
+"""Unit tests for the register file."""
+
+from repro.cpu import RegisterFile
+from repro.cpu.registers import MASK64, REG_NAMES
+
+
+class TestAccess:
+    def test_starts_zeroed(self):
+        regs = RegisterFile()
+        assert all(regs[name] == 0 for name in REG_NAMES)
+        assert regs.rip == 0
+
+    def test_name_and_index_access_agree(self):
+        regs = RegisterFile()
+        regs["rbx"] = 42
+        assert regs[3] == 42
+
+    def test_wraps_to_64_bits(self):
+        regs = RegisterFile()
+        regs["rax"] = 1 << 70
+        assert regs["rax"] == (1 << 70) & MASK64
+
+    def test_properties(self):
+        regs = RegisterFile()
+        regs.rax = 7
+        regs.rsp = 0x1000
+        assert regs["rax"] == 7
+        assert regs["rsp"] == 0x1000
+        regs["rdi"], regs["rsi"], regs["rdx"] = 1, 2, 3
+        assert (regs.rdi, regs.rsi, regs.rdx) == (1, 2, 3)
+
+
+class TestFrozen:
+    def test_roundtrip(self):
+        regs = RegisterFile()
+        for i, name in enumerate(REG_NAMES):
+            regs[name] = i * 1000
+        regs.rip = 0xABCD
+        regs.zf = regs.cf = True
+        frozen = regs.frozen()
+
+        other = RegisterFile()
+        other.load(frozen)
+        assert other.frozen() == frozen
+        assert other["r15"] == 15000
+
+    def test_frozen_is_immutable_value(self):
+        regs = RegisterFile()
+        regs.rax = 1
+        frozen = regs.frozen()
+        regs.rax = 2
+        assert frozen.gprs[0] == 1
+
+    def test_load_detaches_from_source(self):
+        regs = RegisterFile()
+        frozen = regs.frozen()
+        other = RegisterFile()
+        other.load(frozen)
+        other.rax = 99
+        assert regs.rax == 0

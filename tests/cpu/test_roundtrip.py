@@ -1,0 +1,109 @@
+"""Property tests: the decoder inverts the assembler.
+
+Random well-formed instructions are assembled and then decoded by the
+interpreter's decoder; operands and lengths must round-trip exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Interpreter, assemble
+from repro.cpu import isa
+from repro.cpu.registers import REG_NAMES
+from repro.mem import AddressSpace, FramePool, Permission
+
+regs = st.sampled_from(REG_NAMES)
+imm32 = st.integers(-(2**31), 2**31 - 1)
+imm64 = st.integers(-(2**63), 2**64 - 1)
+disp = st.integers(-(2**16), 2**16)
+scale = st.sampled_from([1, 2, 4, 8])
+
+
+def decode_all(source):
+    program = assemble(source)
+    pool = FramePool()
+    space = AddressSpace(pool)
+    space.map_region(program.text_base, max(len(program.text), 1),
+                     Permission.RX, data=program.text)
+    cpu = Interpreter(space)
+    decoded = []
+    rip = program.text_base
+    end = program.text_base + len(program.text)
+    while rip < end:
+        fields = cpu._decode(rip)
+        decoded.append(fields)
+        rip = fields[-1]
+    return decoded
+
+
+@given(reg=regs, value=imm64)
+@settings(max_examples=60, deadline=None)
+def test_movi_roundtrip(reg, value):
+    decoded = decode_all(f"mov {reg}, {value}")
+    assert decoded[0][0] == isa.MOVI
+    assert decoded[0][1] == REG_NAMES.index(reg)
+    assert decoded[0][2] == value % (1 << 64)
+
+
+@given(dst=regs, base=regs, offset=disp)
+@settings(max_examples=60, deadline=None)
+def test_load_roundtrip(dst, base, offset):
+    sign = "+" if offset >= 0 else "-"
+    decoded = decode_all(f"mov {dst}, [{base} {sign} {abs(offset)}]")
+    op, d, b, disp_val, _next = decoded[0]
+    assert op == isa.LOAD
+    assert (d, b, disp_val) == (
+        REG_NAMES.index(dst), REG_NAMES.index(base), offset,
+    )
+
+
+@given(dst=regs, base=regs, index=regs, s=scale, offset=disp)
+@settings(max_examples=60, deadline=None)
+def test_indexed_roundtrip(dst, base, index, s, offset):
+    sign = "+" if offset >= 0 else "-"
+    decoded = decode_all(
+        f"mov {dst}, [{base} + {index}*{s} {sign} {abs(offset)}]"
+    )
+    op, d, b, i, sc, disp_val, _next = decoded[0]
+    assert op == isa.LOADX
+    assert (d, b, i, sc, disp_val) == (
+        REG_NAMES.index(dst), REG_NAMES.index(base),
+        REG_NAMES.index(index), s, offset,
+    )
+
+
+@given(reg=regs, value=imm32,
+       mnemonic=st.sampled_from(["add", "sub", "imul", "and", "or", "xor", "cmp"]))
+@settings(max_examples=60, deadline=None)
+def test_alu_imm_roundtrip(reg, value, mnemonic):
+    decoded = decode_all(f"{mnemonic} {reg}, {value}")
+    assert decoded[0][1] == REG_NAMES.index(reg)
+    assert decoded[0][2] == value
+
+
+@given(n_nops=st.integers(0, 40))
+@settings(max_examples=30, deadline=None)
+def test_branch_target_resolution(n_nops):
+    nops = "\n".join("nop" for _ in range(n_nops))
+    decoded = decode_all(f"jmp target\n{nops}\ntarget: hlt")
+    target = decoded[0][1]
+    # The target must be the hlt's address.
+    assert decoded[-1][0] == isa.HLT
+    hlt_addr = decoded[-1][-1] - 1
+    assert target == hlt_addr
+
+
+@given(
+    seq=st.lists(
+        st.sampled_from(
+            ["nop", "ret", "syscall", "push rax", "pop rbx", "inc rcx",
+             "mov rax, 7", "add rdx, 3", "mov rsi, [rbp - 8]", "hlt"]
+        ),
+        min_size=1, max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_instruction_stream_lengths(seq):
+    """Decoded lengths tile the text segment exactly."""
+    decoded = decode_all("\n".join(seq))
+    assert len(decoded) == len(seq)

@@ -1,0 +1,61 @@
+"""Unit tests for interposition policies and the audit log."""
+
+from repro.interpose import (
+    AuditLog,
+    Containment,
+    PermissivePolicy,
+    SoundMinimalPolicy,
+    Verdict,
+)
+from repro.interpose.policy import EACCES
+
+
+class TestSoundMinimalPolicy:
+    def test_regular_files_allowed(self):
+        policy = SoundMinimalPolicy()
+        assert policy.check_open("/home/user/data.txt", 0) is None
+        assert policy.check_open("relative/path", 2) is None
+
+    def test_devices_refused(self):
+        policy = SoundMinimalPolicy()
+        assert policy.check_open("/dev/null", 0) == EACCES
+        assert policy.check_open("/proc/self/mem", 0) == EACCES
+        assert policy.check_open("/sys/kernel/x", 0) == EACCES
+
+    def test_sockets_refused(self):
+        policy = SoundMinimalPolicy()
+        assert policy.check_open("socket:1.2.3.4:80", 2) == EACCES
+        assert policy.check_open("tcp:host:99", 2) == EACCES
+
+    def test_unknown_syscalls_kill(self):
+        assert SoundMinimalPolicy().check_unknown_syscall(41) == "kill"
+
+
+class TestPermissivePolicy:
+    def test_everything_allowed(self):
+        policy = PermissivePolicy()
+        assert policy.check_open("/dev/null", 0) is None
+        assert policy.check_unknown_syscall(41) == "errno"
+
+
+class TestAuditLog:
+    def test_note_and_filter(self):
+        log = AuditLog()
+        log.note("open", "/a", Verdict.ALLOW, Containment.COW)
+        log.note("open", "/dev/x", Verdict.DENY)
+        log.note("brk", "grow", Verdict.ALLOW, Containment.LOGGED)
+        assert len(log.records) == 3
+        assert len(log.denials) == 1
+        assert len(log.allowed) == 2
+        assert log.count("open") == 2
+
+    def test_records_are_immutable(self):
+        log = AuditLog()
+        log.note("open", "/a", Verdict.ALLOW)
+        record = log.records[0]
+        try:
+            record.verdict = Verdict.DENY
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

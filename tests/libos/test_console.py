@@ -1,0 +1,46 @@
+"""Unit tests for per-path console capture."""
+
+from repro.libos import Console
+
+
+class TestConsole:
+    def test_write_appends(self):
+        c = Console()
+        assert c.write(b"hello ") == 6
+        c.write(b"world")
+        assert c.data == b"hello world"
+        assert c.text == "hello world"
+
+    def test_empty_write_is_noop(self):
+        c = Console()
+        assert c.write(b"") == 0
+        assert len(c) == 0
+
+    def test_len(self):
+        c = Console()
+        c.write(b"abc")
+        c.write(b"de")
+        assert len(c) == 5
+
+    def test_fork_shares_history(self):
+        c = Console()
+        c.write(b"common|")
+        fork = c.fork_cow()
+        assert fork.data == b"common|"
+
+    def test_fork_diverges(self):
+        c = Console()
+        c.write(b"common|")
+        a = c.fork_cow()
+        b = c.fork_cow()
+        a.write(b"A")
+        b.write(b"B")
+        c.write(b"parent")
+        assert a.data == b"common|A"
+        assert b.data == b"common|B"
+        assert c.data == b"common|parent"
+
+    def test_invalid_utf8_replaced(self):
+        c = Console()
+        c.write(b"\xff\xfe")
+        assert "�" in c.text

@@ -1,0 +1,200 @@
+"""Unit tests for the copy-on-write file layer."""
+
+import pytest
+
+from repro.interpose import PermissivePolicy, SoundMinimalPolicy
+from repro.libos.files import (
+    EACCES,
+    EBADF,
+    ENOENT,
+    FileTable,
+    HostFS,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+)
+
+
+@pytest.fixture
+def hostfs():
+    return HostFS({"/etc/config": b"key=value\n", "/data/input": b"0123456789"})
+
+
+@pytest.fixture
+def table(hostfs):
+    return FileTable(hostfs, PermissivePolicy())
+
+
+class TestOpenClose:
+    def test_open_backing_file(self, table):
+        fd = table.open("/etc/config", O_RDONLY)
+        assert fd >= 3
+        assert table.read(fd, 100) == b"key=value\n"
+
+    def test_open_missing_enoent(self, table):
+        assert table.open("/nope", O_RDONLY) == -ENOENT
+
+    def test_create_missing(self, table):
+        fd = table.open("/new", O_RDWR | O_CREAT)
+        assert fd >= 3
+        assert table.read(fd, 10) == b""
+
+    def test_fds_unique(self, table):
+        a = table.open("/etc/config", O_RDONLY)
+        b = table.open("/etc/config", O_RDONLY)
+        assert a != b
+
+    def test_close(self, table):
+        fd = table.open("/etc/config", O_RDONLY)
+        assert table.close(fd) == 0
+        assert table.read(fd, 1) == -EBADF
+
+    def test_close_bad_fd(self, table):
+        assert table.close(99) == -EBADF
+
+
+class TestReadWrite:
+    def test_sequential_reads_advance(self, table):
+        fd = table.open("/data/input", O_RDONLY)
+        assert table.read(fd, 4) == b"0123"
+        assert table.read(fd, 4) == b"4567"
+        assert table.read(fd, 4) == b"89"
+        assert table.read(fd, 4) == b""
+
+    def test_write_to_readonly_fd_denied(self, table):
+        fd = table.open("/data/input", O_RDONLY)
+        assert table.write(fd, b"x") == -EACCES
+
+    def test_write_and_readback(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        assert table.write(fd, b"hello") == 5
+        table.lseek(fd, 0, 0)
+        assert table.read(fd, 5) == b"hello"
+
+    def test_write_extends_file(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.lseek(fd, 10, 0)
+        table.write(fd, b"x")
+        assert table.contents("/out") == bytes(10) + b"x"
+
+    def test_write_does_not_touch_hostfs(self, table, hostfs):
+        fd = table.open("/data/input", O_RDWR)
+        table.write(fd, b"XXX")
+        assert hostfs.get("/data/input") == b"0123456789"
+        assert table.contents("/data/input")[:3] == b"XXX"
+
+    def test_lseek_whence(self, table):
+        fd = table.open("/data/input", O_RDONLY)
+        assert table.lseek(fd, 2, 0) == 2
+        assert table.lseek(fd, 3, 1) == 5
+        assert table.lseek(fd, -1, 2) == 9
+        assert table.lseek(fd, 0, 9) == -22  # EINVAL
+        assert table.lseek(fd, -100, 0) == -22
+
+
+class TestForkCow:
+    def test_fork_sees_parent_content(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"base")
+        child = table.fork_cow()
+        assert child.contents("/out") == b"base"
+
+    def test_child_write_invisible_to_parent(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"base")
+        child = table.fork_cow()
+        child.lseek(fd, 0, 0)
+        child.write(fd, b"CHILD")
+        assert table.contents("/out") == b"base"
+        assert child.contents("/out") == b"CHILD"
+
+    def test_parent_write_invisible_to_child(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"base")
+        child = table.fork_cow()
+        table.lseek(fd, 0, 0)
+        table.write(fd, b"PAR!")
+        assert child.contents("/out") == b"base"
+
+    def test_sibling_isolation(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"....")
+        a = table.fork_cow()
+        b = table.fork_cow()
+        a.lseek(fd, 0, 0)
+        a.write(fd, b"AAAA")
+        b.lseek(fd, 0, 0)
+        b.write(fd, b"BBBB")
+        assert a.contents("/out") == b"AAAA"
+        assert b.contents("/out") == b"BBBB"
+        assert table.contents("/out") == b"...."
+
+    def test_fd_positions_are_private(self, table):
+        fd = table.open("/data/input", O_RDONLY)
+        child = table.fork_cow()
+        table.read(fd, 5)
+        assert child.read(fd, 3) == b"012"
+
+    def test_no_copy_until_write(self, table):
+        fd = table.open("/data/input", O_RDWR)
+        child = table.fork_cow()
+        assert child.cow_bytes == 0
+        child.write(fd, b"X")
+        assert child.cow_bytes == 10
+
+    def test_second_write_free(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"0123456789")
+        child = table.fork_cow()
+        child.write(fd, b"a")
+        copied = child.cow_bytes
+        child.write(fd, b"b")
+        assert child.cow_bytes == copied
+
+    def test_same_file_two_fds_stay_consistent_after_cow(self, table):
+        fd1 = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd1, b"hello")
+        fd2 = table.open("/out", O_RDWR)
+        child = table.fork_cow()
+        child.write(fd2, b"WORLD")
+        # Both of the child's fds see the private copy.
+        child.lseek(fd1, 0, 0)
+        assert child.read(fd1, 5) == b"WORLD"
+        assert table.contents("/out") == b"hello"
+
+    def test_open_after_fork_sees_path_view(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"data")
+        child = table.fork_cow()
+        fd2 = child.open("/out", O_RDONLY)
+        assert child.read(fd2, 4) == b"data"
+
+    def test_free_releases_refs(self, table):
+        fd = table.open("/out", O_RDWR | O_CREAT)
+        table.write(fd, b"x")
+        child = table.fork_cow()
+        fdata = child._fds[fd].fdata
+        before = fdata.refcount
+        child.free()
+        assert fdata.refcount < before
+
+
+class TestPolicy:
+    def test_sound_policy_refuses_devices(self, hostfs):
+        table = FileTable(hostfs, SoundMinimalPolicy())
+        assert table.open("/dev/null", O_RDONLY) == -EACCES
+        assert table.open("/proc/self/maps", O_RDONLY) == -EACCES
+
+    def test_sound_policy_refuses_sockets(self, hostfs):
+        table = FileTable(hostfs, SoundMinimalPolicy())
+        assert table.open("socket:127.0.0.1:80", O_RDWR) == -EACCES
+
+    def test_sound_policy_allows_regular(self, hostfs):
+        table = FileTable(hostfs, SoundMinimalPolicy())
+        assert table.open("/etc/config", O_RDONLY) >= 3
+
+    def test_denials_audited(self, hostfs):
+        table = FileTable(hostfs, SoundMinimalPolicy())
+        table.open("/dev/null", O_RDONLY)
+        assert len(table.audit.denials) == 1
+        assert table.audit.denials[0].syscall == "open"

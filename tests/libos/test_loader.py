@@ -1,0 +1,75 @@
+"""Unit tests for the guest program loader."""
+
+import pytest
+
+from repro.cpu import assemble
+from repro.libos.loader import load_program
+from repro.mem import FramePool, NotMappedError, PAGE_SIZE, ProtectionError
+from repro.mem.layout import HEAP_BASE, MMAP_BASE, STACK_TOP
+
+
+@pytest.fixture
+def pool():
+    return FramePool()
+
+
+def load(source, pool, **kwargs):
+    return load_program(assemble(source), pool, **kwargs)
+
+
+class TestLoadProgram:
+    def test_entry_and_stack(self, pool):
+        program = assemble("_start: hlt")
+        space, regs = load_program(program, pool)
+        assert regs.rip == program.entry
+        assert regs.rsp == STACK_TOP
+
+    def test_text_is_read_execute(self, pool):
+        space, _ = load("nop\nhlt", pool)
+        program = assemble("nop\nhlt")
+        assert space.fetch(program.text_base, 2) == program.text[:2]
+        with pytest.raises(ProtectionError):
+            space.write(program.text_base, b"\x00")
+
+    def test_data_loaded_and_writable(self, pool):
+        space, _ = load('.data\nmsg: .asciz "hi"\n.text\nhlt', pool)
+        program = assemble('.data\nmsg: .asciz "hi"\n.text\nhlt')
+        assert space.read_cstr(program.data_base) == b"hi"
+        space.write(program.data_base, b"yo")  # must not fault
+
+    def test_bss_pages_beyond_data(self, pool):
+        space, _ = load(".data\nx: .quad 1\n.text\nhlt", pool, bss_pages=4)
+        program = assemble(".data\nx: .quad 1\n.text\nhlt")
+        bss_addr = program.data_base + PAGE_SIZE + 3 * PAGE_SIZE
+        assert space.read_u64(bss_addr) == 0
+        space.write_u64(bss_addr, 5)
+
+    def test_stack_writable_below_top(self, pool):
+        space, _ = load("hlt", pool, stack_pages=2)
+        space.write_u64(STACK_TOP - 8, 1)
+        space.write_u64(STACK_TOP - 2 * PAGE_SIZE, 2)
+        with pytest.raises(NotMappedError):
+            space.write_u64(STACK_TOP - 3 * PAGE_SIZE, 3)
+
+    def test_heap_configured_but_unmapped(self, pool):
+        space, _ = load("hlt", pool)
+        assert space.brk_base == HEAP_BASE
+        assert space.brk_end == HEAP_BASE
+        with pytest.raises(NotMappedError):
+            space.read(HEAP_BASE, 1)
+        space.sbrk(PAGE_SIZE)
+        space.write_u64(HEAP_BASE, 7)
+
+    def test_mmap_base_configured(self, pool):
+        space, _ = load("hlt", pool)
+        assert space.mmap_next == MMAP_BASE
+
+    def test_empty_program_loads(self, pool):
+        space, regs = load_program(assemble(""), pool)
+        assert space.mapped_pages() > 0
+
+    def test_demand_zero_stack_costs_no_frames(self, pool):
+        load("hlt", pool, stack_pages=64)
+        # Text + data pages are materialised; the 64 stack pages are
+        # demand-zero, so the pool holds far fewer frames than mappings.
+        assert pool.live_frames < 20

@@ -1,0 +1,103 @@
+"""Unit tests for the physical frame pool."""
+
+import pytest
+
+from repro.mem.frames import FramePool, OutOfMemoryError
+from repro.mem.layout import PAGE_SIZE
+
+
+class TestAlloc:
+    def test_fresh_frame_is_zeroed(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        assert frame.data == bytearray(PAGE_SIZE)
+        assert frame.is_zero()
+
+    def test_fresh_frame_has_refcount_one(self):
+        pool = FramePool()
+        assert pool.alloc().refcount == 1
+
+    def test_pfns_are_unique(self):
+        pool = FramePool()
+        pfns = {pool.alloc().pfn for _ in range(100)}
+        assert len(pfns) == 100
+
+    def test_alloc_with_data(self):
+        pool = FramePool()
+        data = bytearray(b"\xab" * PAGE_SIZE)
+        frame = pool.alloc(data)
+        assert frame.data is data
+        assert not frame.is_zero()
+
+    def test_live_counting(self):
+        pool = FramePool()
+        frames = [pool.alloc() for _ in range(5)]
+        assert pool.live_frames == 5
+        for f in frames:
+            pool.put(f)
+        assert pool.live_frames == 0
+        assert pool.peak_live_frames == 5
+
+
+class TestRefcounting:
+    def test_get_bumps_refcount(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        pool.get(frame)
+        assert frame.refcount == 2
+
+    def test_put_frees_at_zero(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        pool.get(frame)
+        pool.put(frame)
+        assert pool.live_frames == 1
+        pool.put(frame)
+        assert pool.live_frames == 0
+
+    def test_double_free_raises(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        pool.put(frame)
+        with pytest.raises(ValueError, match="double free"):
+            pool.put(frame)
+
+
+class TestCopy:
+    def test_copy_duplicates_bytes(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        frame.data[0:4] = b"abcd"
+        clone = pool.copy(frame)
+        assert clone.data == frame.data
+        assert clone.data is not frame.data
+        assert clone.pfn != frame.pfn
+
+    def test_copy_is_independent(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        clone = pool.copy(frame)
+        clone.data[0] = 0xFF
+        assert frame.data[0] == 0
+
+    def test_copy_counted(self):
+        pool = FramePool()
+        frame = pool.alloc()
+        pool.copy(frame)
+        assert pool.stats.copied == 1
+        assert pool.stats.allocated == 2
+
+
+class TestLimit:
+    def test_limit_enforced(self):
+        pool = FramePool(limit=2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc()
+
+    def test_freeing_makes_room(self):
+        pool = FramePool(limit=1)
+        frame = pool.alloc()
+        pool.put(frame)
+        pool.alloc()  # must not raise

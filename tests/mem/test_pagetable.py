@@ -1,0 +1,195 @@
+"""Unit tests for the persistent radix page table."""
+
+import pytest
+
+from repro.mem.frames import FramePool
+from repro.mem.pagetable import PageTable, Permission
+
+
+@pytest.fixture
+def pool():
+    return FramePool()
+
+
+@pytest.fixture
+def table(pool):
+    return PageTable(pool)
+
+
+def map_page(table, vpn, fill=None, perms=Permission.RW):
+    frame = table.pool.alloc()
+    if fill is not None:
+        frame.data[0] = fill
+    table.map(vpn, frame, perms)
+    return frame
+
+
+class TestBasicMapping:
+    def test_lookup_unmapped_is_none(self, table):
+        assert table.lookup(0x123) is None
+        assert not table.is_mapped(0x123)
+
+    def test_map_then_lookup(self, table):
+        frame = map_page(table, 0x42)
+        pte = table.lookup(0x42)
+        assert pte is not None
+        assert pte.frame is frame
+        assert pte.perms == Permission.RW
+
+    def test_sparse_distant_vpns(self, table):
+        # VPNs landing in different top-level slots.
+        vpns = [0, 1, 0x1FF, 0x200, 1 << 27, (1 << 36) - 1]
+        for i, vpn in enumerate(vpns):
+            map_page(table, vpn, fill=i + 1)
+        for i, vpn in enumerate(vpns):
+            assert table.lookup(vpn).frame.data[0] == i + 1
+
+    def test_remap_replaces_and_frees_old(self, table, pool):
+        map_page(table, 7)
+        assert pool.live_frames == 1
+        new = map_page(table, 7, fill=9)
+        assert pool.live_frames == 1
+        assert table.lookup(7).frame is new
+
+    def test_unmap(self, table, pool):
+        map_page(table, 7)
+        assert table.unmap(7)
+        assert table.lookup(7) is None
+        assert pool.live_frames == 0
+
+    def test_unmap_absent_returns_false(self, table):
+        assert not table.unmap(999)
+
+    def test_items_sorted(self, table):
+        for vpn in [500, 3, 0x10000, 77]:
+            map_page(table, vpn)
+        assert [vpn for vpn, _ in table.items()] == [3, 77, 500, 0x10000]
+
+    def test_entry_count(self, table):
+        for vpn in range(10):
+            map_page(table, vpn)
+        assert table.entry_count() == 10
+
+    def test_set_perms(self, table):
+        map_page(table, 1)
+        table.set_perms(1, Permission.READ)
+        assert table.lookup(1).perms == Permission.READ
+
+    def test_set_perms_unmapped_raises(self, table):
+        with pytest.raises(KeyError):
+            table.set_perms(1, Permission.READ)
+
+
+class TestClone:
+    def test_clone_shares_root(self, table):
+        map_page(table, 1)
+        clone = table.clone()
+        assert clone.shares_root_with(table)
+
+    def test_clone_sees_same_mappings(self, table):
+        frame = map_page(table, 1, fill=5)
+        clone = table.clone()
+        assert clone.lookup(1).frame is frame
+
+    def test_clone_is_constant_cost(self, table, pool):
+        for vpn in range(200):
+            map_page(table, vpn)
+        live_before = pool.live_frames
+        nodes_before = table.nodes_copied
+        table.clone()
+        assert pool.live_frames == live_before  # no frames copied
+        assert table.nodes_copied == nodes_before  # no nodes copied
+
+    def test_write_after_clone_unshares_path_only(self, table):
+        for vpn in range(8):
+            map_page(table, vpn)
+        clone = table.clone()
+        clone.make_private(3)
+        assert not clone.shares_root_with(table)
+        # Only the touched page's frame differs.
+        for vpn in range(8):
+            mine = table.lookup(vpn).frame
+            theirs = clone.lookup(vpn).frame
+            if vpn == 3:
+                assert mine is not theirs
+            else:
+                assert mine is theirs
+
+    def test_mutation_in_clone_invisible_to_original(self, table):
+        map_page(table, 1, fill=5)
+        clone = table.clone()
+        pte = clone.make_private(1)
+        pte.frame.data[0] = 99
+        assert table.lookup(1).frame.data[0] == 5
+
+    def test_map_in_clone_invisible_to_original(self, table):
+        map_page(table, 1)
+        clone = table.clone()
+        f = table.pool.alloc()
+        clone.map(2, f, Permission.RW)
+        assert table.lookup(2) is None
+        assert clone.lookup(2) is not None
+
+    def test_unmap_in_original_keeps_clone_mapping(self, table):
+        map_page(table, 1, fill=5)
+        clone = table.clone()
+        table.unmap(1)
+        assert table.lookup(1) is None
+        assert clone.lookup(1).frame.data[0] == 5
+
+    def test_chain_of_clones(self, table):
+        map_page(table, 0, fill=1)
+        clones = [table]
+        for i in range(10):
+            clones.append(clones[-1].clone())
+        # Deepest clone privatises; everyone else still shares frame.
+        deepest = clones[-1]
+        deepest.make_private(0).frame.data[0] = 42
+        for t in clones[:-1]:
+            assert t.lookup(0).frame.data[0] == 1
+
+
+class TestMakePrivate:
+    def test_exclusive_frame_untouched(self, table):
+        frame = map_page(table, 1)
+        pte = table.make_private(1)
+        assert pte.frame is frame
+
+    def test_shared_frame_copied(self, table, pool):
+        frame = map_page(table, 1, fill=7)
+        clone = table.clone()
+        pte = clone.make_private(1)
+        assert pte.frame is not frame
+        assert pte.frame.data[0] == 7
+        assert pool.stats.copied == 1
+
+    def test_unmapped_raises(self, table):
+        with pytest.raises(KeyError):
+            table.make_private(1)
+
+
+class TestFree:
+    def test_free_releases_frames(self, table, pool):
+        for vpn in range(20):
+            map_page(table, vpn)
+        table.free()
+        assert pool.live_frames == 0
+
+    def test_free_with_live_clone_keeps_frames(self, table, pool):
+        for vpn in range(20):
+            map_page(table, vpn)
+        clone = table.clone()
+        table.free()
+        assert pool.live_frames == 20
+        assert clone.lookup(5) is not None
+        clone.free()
+        assert pool.live_frames == 0
+
+    def test_free_after_partial_unshare(self, table, pool):
+        for vpn in range(8):
+            map_page(table, vpn)
+        clone = table.clone()
+        clone.make_private(3)
+        table.free()
+        clone.free()
+        assert pool.live_frames == 0

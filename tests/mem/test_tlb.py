@@ -1,0 +1,64 @@
+"""Unit tests for the software TLB model."""
+
+import pytest
+
+from repro.mem.frames import FramePool
+from repro.mem.pagetable import Permission
+from repro.mem.tlb import TLB, TLBEntry
+
+
+def entry(pool):
+    return TLBEntry(pool.alloc(), Permission.RW, writable=True)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        pool = FramePool()
+        tlb = TLB()
+        assert tlb.lookup(5) is None
+        e = entry(pool)
+        tlb.insert(5, e)
+        assert tlb.lookup(5) is e
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_invalidate_single(self):
+        pool = FramePool()
+        tlb = TLB()
+        tlb.insert(5, entry(pool))
+        tlb.invalidate(5)
+        assert tlb.lookup(5) is None
+        assert tlb.stats.invalidations == 1
+
+    def test_invalidate_absent_not_counted(self):
+        tlb = TLB()
+        tlb.invalidate(5)
+        assert tlb.stats.invalidations == 0
+
+    def test_flush_clears_all(self):
+        pool = FramePool()
+        tlb = TLB()
+        for vpn in range(10):
+            tlb.insert(vpn, entry(pool))
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.stats.flushes == 1
+
+    def test_capacity_eviction(self):
+        pool = FramePool()
+        tlb = TLB(capacity=4)
+        for vpn in range(6):
+            tlb.insert(vpn, entry(pool))
+        assert len(tlb) == 4
+        assert tlb.stats.evictions == 2
+
+    def test_reinsert_same_vpn_no_eviction(self):
+        pool = FramePool()
+        tlb = TLB(capacity=2)
+        tlb.insert(1, entry(pool))
+        tlb.insert(1, entry(pool))
+        assert tlb.stats.evictions == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(capacity=0)

@@ -1,0 +1,178 @@
+"""Unit tests for terms, unification, and SLD resolution."""
+
+import pytest
+
+from repro.prolog import Database, PrologEngine, Struct, Var, make_list, walk
+from repro.prolog.engine import PrologError
+from repro.prolog.terms import from_list, reify, term_vars
+
+
+@pytest.fixture
+def family():
+    db = Database()
+    db.add(Struct("parent", ("tom", "bob")))
+    db.add(Struct("parent", ("tom", "liz")))
+    db.add(Struct("parent", ("bob", "ann")))
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+    db.add(
+        Struct("grandparent", (x, z)),
+        (Struct("parent", (x, y)), Struct("parent", (y, z))),
+    )
+    return PrologEngine(db)
+
+
+class TestUnify:
+    def test_var_binds(self):
+        eng = PrologEngine(Database())
+        v = Var()
+        assert eng.unify(v, "hello")
+        assert walk(v) == "hello"
+
+    def test_struct_unification(self):
+        eng = PrologEngine(Database())
+        a, b = Var(), Var()
+        assert eng.unify(Struct("f", (a, "y")), Struct("f", ("x", b)))
+        assert walk(a) == "x"
+        assert walk(b) == "y"
+
+    def test_functor_mismatch(self):
+        eng = PrologEngine(Database())
+        assert not eng.unify(Struct("f", (1,)), Struct("g", (1,)))
+
+    def test_arity_mismatch(self):
+        eng = PrologEngine(Database())
+        assert not eng.unify(Struct("f", (1,)), Struct("f", (1, 2)))
+
+    def test_var_to_var_aliasing(self):
+        eng = PrologEngine(Database())
+        a, b = Var(), Var()
+        assert eng.unify(a, b)
+        assert eng.unify(a, 42)
+        assert walk(b) == 42
+
+    def test_trail_undo(self):
+        eng = PrologEngine(Database())
+        v = Var()
+        mark = len(eng._trail)
+        eng.unify(v, 1)
+        eng._undo_to(mark)
+        assert walk(v) is v
+
+
+class TestTerms:
+    def test_list_roundtrip(self):
+        items = [1, 2, "three"]
+        assert from_list(make_list(items)) == items
+
+    def test_open_list_rejected(self):
+        with pytest.raises(ValueError):
+            from_list(make_list([1], tail=Var()))
+
+    def test_term_vars_order(self):
+        a, b = Var("A"), Var("B")
+        found = term_vars(Struct("f", (a, Struct("g", (b, a)))))
+        assert found == [a, b]
+
+    def test_reify_deep_list(self):
+        deep = make_list(list(range(5000)))
+        # Structural equality on deep terms would itself recurse, so
+        # compare via the iterative list conversion.
+        assert from_list(reify(deep)) == list(range(5000))
+
+    def test_repr_shows_lists(self):
+        assert repr(make_list([1, 2])) == "[1, 2]"
+
+
+class TestResolution:
+    def test_facts(self, family):
+        x = Var("X")
+        result = family.query(Struct("parent", ("tom", x)))
+        assert [r["X"] for r in result] == ["bob", "liz"]
+
+    def test_rule_with_join(self, family):
+        who = Var("Who")
+        result = family.query(Struct("grandparent", ("tom", who)))
+        assert [r["Who"] for r in result] == ["ann"]
+
+    def test_no_solutions(self, family):
+        assert family.query(Struct("parent", ("ann", Var()))) == []
+
+    def test_count(self, family):
+        assert family.count(Struct("parent", (Var(), Var()))) == 3
+
+    def test_unknown_predicate_raises(self, family):
+        with pytest.raises(PrologError, match="unknown predicate"):
+            family.query(Struct("sibling", (Var(), Var())))
+
+    def test_limit(self, family):
+        result = family.query(Struct("parent", (Var("A"), Var("B"))), limit=2)
+        assert len(result) == 2
+
+    def test_conjunction_query(self, family):
+        x = Var("X")
+        result = family.query(
+            Struct("parent", ("tom", x)), Struct("parent", (x, "ann"))
+        )
+        assert [r["X"] for r in result] == ["bob"]
+
+
+class TestBuiltins:
+    def engine(self):
+        return PrologEngine(Database())
+
+    def test_is_evaluates(self):
+        eng = self.engine()
+        x = Var("X")
+        result = eng.query(Struct("is", (x, Struct("+", (2, Struct("*", (3, 4)))))))
+        assert result[0]["X"] == 14
+
+    def test_comparisons(self):
+        eng = self.engine()
+        assert eng.count(Struct("<", (1, 2))) == 1
+        assert eng.count(Struct(">", (1, 2))) == 0
+        assert eng.count(Struct("=\\=", (3, Struct("+", (1, 1))))) == 1
+
+    def test_between_enumerates(self):
+        eng = self.engine()
+        x = Var("X")
+        result = eng.query(Struct("between", (1, 4, x)))
+        assert [r["X"] for r in result] == [1, 2, 3, 4]
+
+    def test_negation_as_failure(self):
+        db = Database()
+        db.add(Struct("p", (1,)))
+        eng = PrologEngine(db)
+        assert eng.count(Struct("\\+", (Struct("p", (2,)),))) == 1
+        assert eng.count(Struct("\\+", (Struct("p", (1,)),))) == 0
+
+    def test_negation_leaves_no_bindings(self):
+        db = Database()
+        db.add(Struct("p", (1,)))
+        eng = PrologEngine(db)
+        x = Var("X")
+        # \+ p(X) fails (p(1) exists), and X must remain unbound after.
+        assert eng.count(Struct("\\+", (Struct("p", (x,)),))) == 0
+        assert walk(x) is x
+
+    def test_unbound_arithmetic_raises(self):
+        eng = self.engine()
+        with pytest.raises(PrologError, match="instantiated"):
+            eng.query(Struct("is", (Var(), Struct("+", (Var(), 1)))))
+
+    def test_disequality(self):
+        eng = self.engine()
+        assert eng.count(Struct("\\=", (1, 2))) == 1
+        assert eng.count(Struct("\\=", (1, 1))) == 0
+
+    def test_fail_and_true(self):
+        eng = self.engine()
+        assert eng.count("true") == 1
+        assert eng.count("fail") == 0
+
+
+class TestStats:
+    def test_counters_move(self, family):
+        family.count(Struct("grandparent", (Var(), Var())))
+        assert family.stats.inferences > 0
+        assert family.stats.choice_points > 0
+        assert family.stats.trail_writes > 0

@@ -1,0 +1,157 @@
+"""Unit tests for the Prolog reader and the library programs."""
+
+import pytest
+
+from repro.prolog import PrologEngine, parse_program, parse_query
+from repro.prolog.library import PRELUDE, count_nqueens_solutions
+from repro.prolog.parser import PrologSyntaxError
+from repro.prolog.terms import Struct, from_list
+
+
+def run(program, query, limit=None):
+    return PrologEngine(parse_program(program)).query(
+        *parse_query(query), limit=limit
+    )
+
+
+class TestParsing:
+    def test_fact_and_query(self):
+        assert run("likes(mary, wine).", "likes(mary, X)") == [{"X": "wine"}]
+
+    def test_rule(self):
+        out = run("p(1). q(X) :- p(X).", "q(X)")
+        assert out == [{"X": 1}]
+
+    def test_variables_scoped_per_clause(self):
+        out = run("p(X, X).", "p(1, Y)")
+        assert out == [{"Y": 1}]
+
+    def test_anonymous_variable_is_fresh(self):
+        out = run("pair(_, _).", "pair(1, 2)")
+        assert len(out) == 1
+
+    def test_lists(self):
+        out = run("head([H|_], H).", "head([a, b, c], X)")
+        assert out == [{"X": "a"}]
+
+    def test_list_tail_pattern(self):
+        out = run("tail([_|T], T).", "tail([1, 2, 3], X)")
+        assert from_list(out[0]["X"]) == [2, 3]
+
+    def test_empty_list(self):
+        assert run("nilcheck([]).", "nilcheck([])") == [{}]
+
+    def test_arithmetic_precedence(self):
+        out = run("calc(X) :- X is 2 + 3 * 4.", "calc(X)")
+        assert out == [{"X": 14}]
+
+    def test_parenthesised_arithmetic(self):
+        out = run("calc(X) :- X is (2 + 3) * 4.", "calc(X)")
+        assert out == [{"X": 20}]
+
+    def test_negative_number(self):
+        out = run("neg(X) :- X is 0 - 5.", "neg(X)")
+        assert out == [{"X": -5}]
+
+    def test_comparison_operators(self):
+        assert run("ok :- 3 =< 3, 4 >= 2, 1 < 2, 5 > 1, 2 =:= 2, 1 =\\= 2.", "ok")
+
+    def test_comments_ignored(self):
+        assert run("p(1). % a comment\n% full line\np(2).", "p(X)") == [
+            {"X": 1}, {"X": 2},
+        ]
+
+    def test_quoted_atoms(self):
+        out = run("says('Hello World').", "says(X)")
+        assert out == [{"X": "Hello World"}]
+
+    def test_negation_in_body(self):
+        out = run("p(1). p(2). q(X) :- p(X), \\+ X =:= 1.", "q(X)")
+        assert out == [{"X": 2}]
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("p(1")
+
+    def test_missing_dot(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("p(1) p(2).")
+
+
+class TestLibrary:
+    def test_append(self):
+        out = run(PRELUDE, "append([1, 2], [3], X)", limit=1)
+        assert from_list(out[0]["X"]) == [1, 2, 3]
+
+    def test_append_backwards(self):
+        out = run(PRELUDE, "append(X, Y, [1, 2])")
+        assert len(out) == 3  # ([],[1,2]) ([1],[2]) ([1,2],[])
+
+    def test_member(self):
+        out = run(PRELUDE, "member(X, [a, b])")
+        assert [r["X"] for r in out] == ["a", "b"]
+
+    def test_select(self):
+        out = run(PRELUDE, "select(X, [1, 2, 3], Rest)")
+        assert [r["X"] for r in out] == [1, 2, 3]
+        assert from_list(out[0]["Rest"]) == [2, 3]
+
+    def test_range(self):
+        out = run(PRELUDE, "range(1, 4, X)", limit=1)
+        assert from_list(out[0]["X"]) == [1, 2, 3, 4]
+
+    def test_length(self):
+        out = run(PRELUDE, "length_([a, b, c], N)", limit=1)
+        assert out[0]["N"] == 3
+
+
+class TestHigherOrderBuiltins:
+    def test_findall_collects_all(self):
+        out = run("p(1). p(2). p(3).", "findall(X, p(X), L)", limit=1)
+        assert from_list(out[0]["L"]) == [1, 2, 3]
+
+    def test_findall_empty_on_failure(self):
+        out = run("p(1).", "findall(X, fail, L)", limit=1)
+        assert from_list(out[0]["L"]) == []
+
+    def test_findall_with_template(self):
+        out = run("p(1). p(2).", "findall(pair(X, X), p(X), L)", limit=1)
+        pairs = from_list(out[0]["L"])
+        assert [p.args for p in pairs] == [(1, 1), (2, 2)]
+
+    def test_findall_leaves_no_bindings(self):
+        out = run("p(1). p(2).", "findall(X, p(X), _), X = unbound", limit=1)
+        assert out[0]["X"] == "unbound"
+
+    def test_once_commits_to_first(self):
+        out = run("p(1). p(2).", "once(p(X))")
+        assert out == [{"X": 1}]
+
+    def test_once_fails_when_goal_fails(self):
+        assert run("p(1).", "once(p(9))") == []
+
+    def test_hanoi_move_count(self):
+        program = PRELUDE + """
+        hanoi(0, _, _, _, []).
+        hanoi(N, From, To, Via, Moves) :-
+            N > 0,
+            M is N - 1,
+            hanoi(M, From, Via, To, Before),
+            hanoi(M, Via, To, From, After),
+            append(Before, [move(From, To)|After], Moves).
+        """
+        out = run(program, "hanoi(5, a, c, b, Moves), length_(Moves, N)",
+                  limit=1)
+        assert out[0]["N"] == 31  # 2^5 - 1
+
+
+class TestNQueens:
+    @pytest.mark.parametrize("n,expected", [(4, 2), (5, 10), (6, 4)])
+    def test_solution_counts(self, n, expected):
+        count, _engine = count_nqueens_solutions(n)
+        assert count == expected
+
+    def test_bookkeeping_grows_with_n(self):
+        _, small = count_nqueens_solutions(4)
+        _, large = count_nqueens_solutions(6)
+        assert large.stats.trail_writes > small.stats.trail_writes

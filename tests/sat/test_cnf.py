@@ -1,0 +1,63 @@
+"""Unit tests for CNF containers and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import CNF, parse_dimacs, to_dimacs
+
+
+class TestCNF:
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -5])
+        assert cnf.num_vars == 5
+        assert len(cnf) == 1
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([1, 0])
+
+    def test_evaluate_satisfied(self):
+        cnf = CNF()
+        cnf.extend([[1, 2], [-1, 2]])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: False})
+
+    def test_evaluate_missing_var_counts_false(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        assert not cnf.evaluate({})
+
+
+class TestDimacs:
+    DOC = """c example
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+    def test_parse(self):
+        cnf = parse_dimacs(self.DOC)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3)]
+
+    def test_parse_multiline_clause(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_parse_declared_vars_respected(self):
+        cnf = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert cnf.num_vars == 10
+
+    def test_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p sat 3 2\n")
+
+    def test_roundtrip(self):
+        cnf = parse_dimacs(self.DOC)
+        again = parse_dimacs(to_dimacs(cnf, comment="roundtrip"))
+        assert again.clauses == cnf.clauses
+        assert again.num_vars == cnf.num_vars

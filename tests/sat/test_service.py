@@ -1,0 +1,105 @@
+"""Tests for the multi-path incremental solver service (§3.2)."""
+
+import pytest
+
+from repro.sat import CNF, IncrementalSolverService
+from repro.sat.gen import incremental_batches, random_ksat
+
+
+def base_problem():
+    cnf = CNF()
+    cnf.extend([[1, 2], [-1, 3], [2, 3]])
+    return cnf
+
+
+class TestService:
+    def test_solve_returns_ref_and_model(self):
+        service = IncrementalSolverService()
+        outcome = service.solve(base_problem())
+        assert outcome.sat is True
+        assert outcome.ref > 0
+        assert base_problem().evaluate(outcome.model)
+
+    def test_extend_conjoins(self):
+        service = IncrementalSolverService()
+        p = service.solve(base_problem())
+        pq = service.extend(p.ref, [[-3]])
+        assert pq.sat is True
+        assert pq.model[3] is False
+
+    def test_extend_to_unsat(self):
+        service = IncrementalSolverService()
+        p = service.solve(base_problem())
+        pq = service.extend(p.ref, [[-2], [-3]])
+        assert pq.sat is False
+
+    def test_branching_siblings_are_isolated(self):
+        # The multi-path property: two clients extend the same p with
+        # contradictory q's; both must get correct, independent answers.
+        service = IncrementalSolverService()
+        p = service.solve(base_problem())
+        # p = (1|2) & (-1|3) & (2|3).  -3 forces 1=F; 3 & 1 is also fine.
+        left = service.extend(p.ref, [[-3]])
+        right = service.extend(p.ref, [[3], [1]])
+        assert left.sat is True and left.model[1] is False
+        assert right.sat is True and right.model[1] is True
+        # And p itself is still extendable (immutability of the parent).
+        again = service.extend(p.ref, [[2]])
+        assert again.sat is True
+
+    def test_deep_chain(self):
+        service = IncrementalSolverService()
+        cnf = random_ksat(30, 60, seed=4, planted=True)
+        outcome = service.solve(cnf)
+        ref = outcome.ref
+        for step in range(5):
+            outcome = service.extend(ref, [[(step % 30) + 1, -((step + 5) % 30 + 1)]])
+            assert outcome.sat is True
+            ref = outcome.ref
+
+    def test_unknown_ref_rejected(self):
+        service = IncrementalSolverService()
+        with pytest.raises(KeyError):
+            service.extend(999, [[1]])
+
+    def test_release(self):
+        service = IncrementalSolverService()
+        p = service.solve(base_problem())
+        child = service.extend(p.ref, [[1]])
+        service.release(p.ref)
+        with pytest.raises(KeyError):
+            service.extend(p.ref, [[2]])
+        # Children survive parent release (snapshot-tree semantics).
+        assert service.extend(child.ref, [[2]]).sat is True
+
+    def test_inherited_learned_reported(self):
+        service = IncrementalSolverService()
+        cnf = random_ksat(40, 168, seed=9)
+        p = service.solve(cnf)
+        child = service.extend(p.ref, [[1, 2]])
+        assert child.inherited_learned >= 0
+
+    def test_incremental_agrees_with_scratch(self):
+        base, steps = incremental_batches(40, 160, 10, 4, seed=11)
+        inc = IncrementalSolverService(incremental=True)
+        scr = IncrementalSolverService(incremental=False)
+        ri, rs = inc.solve(base), scr.solve(base)
+        assert ri.sat == rs.sat
+        ref_i, ref_s = ri.ref, rs.ref
+        for batch in steps:
+            ri = inc.extend(ref_i, batch)
+            rs = scr.extend(ref_s, batch)
+            assert ri.sat == rs.sat
+            ref_i, ref_s = ri.ref, rs.ref
+
+    def test_incremental_cheaper_on_hard_base(self):
+        # The §2 claim: p then p∧q incrementally beats from-scratch.
+        base, steps = incremental_batches(100, 420, 15, 4, seed=7)
+        inc = IncrementalSolverService(incremental=True)
+        scr = IncrementalSolverService(incremental=False)
+        ref_i = inc.solve(base).ref
+        ref_s = scr.solve(base).ref
+        for batch in steps:
+            ref_i = inc.extend(ref_i, batch).ref
+            ref_s = scr.extend(ref_s, batch).ref
+        assert inc.total_conflicts < scr.total_conflicts

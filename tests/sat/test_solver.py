@@ -1,0 +1,228 @@
+"""Unit and property tests for the CDCL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, Solver, pigeonhole, random_ksat
+from repro.sat.gen import graph_coloring, random_graph
+
+
+def solver_for(cnf):
+    solver = Solver()
+    for clause in cnf.clauses:
+        solver.add_clause(clause)
+    solver._grow_to(cnf.num_vars)
+    return solver
+
+
+def brute_force_sat(cnf):
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate({i + 1: b for i, b in enumerate(bits)}):
+            return True
+    return False
+
+
+class TestBasic:
+    def test_trivial_sat(self):
+        s = Solver()
+        s.add_clause([1])
+        result = s.solve()
+        assert result.sat is True
+        assert result.model[1] is True
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve().sat is False
+
+    def test_unit_propagation_chain(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        result = s.solve()
+        assert result.sat and result.model[3] is True
+
+    def test_tautology_skipped(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve().sat is True
+        assert s.clauses == []
+
+    def test_duplicate_literals_deduped(self):
+        s = Solver()
+        s.add_clause([1, 1, 2])
+        assert len(s.clauses[0]) == 2
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([])
+
+    def test_solver_reusable_after_solve(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve().sat is True
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve().sat is False
+
+
+class TestAssumptions:
+    def test_assumption_forces_polarity(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        result = s.solve(assumptions=[-1])
+        assert result.sat and result.model[2] is True
+
+    def test_conflicting_assumptions_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve(assumptions=[-1]).sat is False
+
+    def test_assumptions_do_not_persist(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1, -2]).sat is False
+        assert s.solve().sat is True
+
+
+class TestPushPop:
+    def test_pop_restores_sat(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.push()
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve().sat is False
+        s.pop()
+        assert s.solve().sat is True
+
+    def test_nested_scopes(self):
+        s = Solver()
+        s.add_clause([1])
+        s.push()
+        s.add_clause([2])
+        s.push()
+        s.add_clause([-1])
+        assert s.solve().sat is False
+        s.pop()
+        result = s.solve()
+        assert result.sat and result.model[2] is True
+        s.pop()
+        assert s.solve().sat is True
+
+    def test_pop_without_push(self):
+        with pytest.raises(ValueError):
+            Solver().pop()
+
+    def test_learning_survives_pop_soundly(self):
+        # Learned clauses derived inside a popped scope must not leak.
+        s = Solver()
+        cnf = random_ksat(20, 60, seed=5)
+        for c in cnf.clauses:
+            s.add_clause(c)
+        baseline = s.solve().sat
+        s.push()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, -1])  # contradiction inside the scope
+        assert s.solve().sat is False
+        s.pop()
+        assert s.solve().sat is baseline
+
+
+class TestClone:
+    def test_clone_is_equisatisfiable(self):
+        cnf = random_ksat(15, 50, seed=1)
+        s = solver_for(cnf)
+        expected = s.solve().sat
+        clone = s.clone()
+        assert clone.solve().sat is expected
+
+    def test_clone_keeps_learned_clauses(self):
+        cnf = random_ksat(30, 120, seed=2)
+        s = solver_for(cnf)
+        s.solve()
+        clone = s.clone()
+        assert len(clone.learned) == len(s.learned)
+
+    def test_clone_diverges_independently(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        a = s.clone()
+        b = s.clone()
+        a.add_clause([-1])
+        b.add_clause([-2])
+        ra, rb = a.solve(), b.solve()
+        assert ra.model[2] is True
+        assert rb.model[1] is True
+        # Original unaffected.
+        assert s.solve().sat is True
+
+    def test_clone_watch_lists_are_private(self):
+        # Mutating the clone's clause order must not corrupt the parent.
+        cnf = random_ksat(12, 40, seed=3)
+        s = solver_for(cnf)
+        clone = s.clone()
+        clone.solve()
+        assert s.solve().sat is clone.solve().sat
+
+
+class TestHardFormulas:
+    @pytest.mark.parametrize("holes", [3, 4, 5])
+    def test_pigeonhole_unsat(self, holes):
+        s = solver_for(pigeonhole(holes))
+        assert s.solve().sat is False
+
+    def test_pigeonhole_learns(self):
+        s = solver_for(pigeonhole(5))
+        s.solve()
+        assert s.stats.conflicts > 10
+        assert s.stats.learned > 10
+
+    def test_coloring_triangle_needs_three(self):
+        triangle = [(0, 1), (1, 2), (0, 2)]
+        assert solver_for(graph_coloring(3, triangle, 2)).solve().sat is False
+        assert solver_for(graph_coloring(3, triangle, 3)).solve().sat is True
+
+    def test_conflict_budget(self):
+        s = solver_for(pigeonhole(7))
+        assert s.solve(max_conflicts=5).sat is None
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_small_random(self, seed):
+        cnf = random_ksat(8, 34, seed=seed)
+        s = solver_for(cnf)
+        result = s.solve()
+        assert result.sat == brute_force_sat(cnf)
+        if result.sat:
+            assert cnf.evaluate(result.model)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    num_vars=st.integers(4, 10),
+    ratio=st.floats(2.0, 6.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_model_satisfies(seed, num_vars, ratio):
+    cnf = random_ksat(num_vars, int(num_vars * ratio), seed=seed)
+    s = solver_for(cnf)
+    result = s.solve()
+    if result.sat:
+        assert cnf.evaluate(result.model)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_planted_always_sat(seed):
+    cnf = random_ksat(20, 100, seed=seed, planted=True)
+    s = solver_for(cnf)
+    result = s.solve()
+    assert result.sat is True
+    assert cnf.evaluate(result.model)

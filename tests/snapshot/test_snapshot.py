@@ -1,0 +1,182 @@
+"""Unit tests for Snapshot and SnapshotManager."""
+
+import pytest
+
+from repro.mem import AddressSpace, FramePool, PAGE_SIZE, Permission
+from repro.snapshot import SnapshotManager
+
+BASE = 0x40_0000
+
+
+@pytest.fixture
+def mgr():
+    return SnapshotManager()
+
+
+@pytest.fixture
+def space(mgr):
+    s = AddressSpace(mgr.pool, name="guest")
+    s.map_region(BASE, 8 * PAGE_SIZE, Permission.RW)
+    return s
+
+
+class TestTake:
+    def test_take_returns_live_snapshot(self, mgr, space):
+        snap = mgr.take(space, regs={"rip": 1})
+        assert snap.alive
+        assert snap.regs == {"rip": 1}
+
+    def test_take_is_frame_free(self, mgr, space):
+        space.write(BASE, b"x" * PAGE_SIZE)
+        live = mgr.pool.live_frames
+        mgr.take(space)
+        assert mgr.pool.live_frames == live
+
+    def test_take_links_parent(self, mgr, space):
+        parent = mgr.take(space)
+        child = mgr.take(space, parent=parent)
+        assert child.parent is parent
+        assert child in parent.children
+        assert child.depth == parent.depth + 1
+
+    def test_foreign_pool_rejected(self, mgr):
+        other = AddressSpace(FramePool())
+        with pytest.raises(ValueError, match="pool"):
+            mgr.take(other)
+
+    def test_stats(self, mgr, space):
+        mgr.take(space)
+        mgr.take(space)
+        assert mgr.stats.taken == 2
+        assert mgr.stats.live == 2
+        assert mgr.stats.peak_live == 2
+
+
+class TestImmutability:
+    def test_later_writes_invisible_to_snapshot(self, mgr, space):
+        space.write(BASE, b"before")
+        snap = mgr.take(space)
+        space.write(BASE, b"AFTER!")
+        assert snap.space.read(BASE, 6) == b"before"
+
+    def test_restore_write_invisible_to_snapshot(self, mgr, space):
+        space.write(BASE, b"before")
+        snap = mgr.take(space)
+        _, restored, _ = mgr.restore(snap)
+        restored.write(BASE, b"child!")
+        assert snap.space.read(BASE, 6) == b"before"
+
+    def test_sibling_restores_isolated(self, mgr, space):
+        snap = mgr.take(space)
+        _, a, _ = mgr.restore(snap)
+        _, b, _ = mgr.restore(snap)
+        a.write(BASE, b"AAAA")
+        b.write(BASE, b"BBBB")
+        assert a.read(BASE, 4) == b"AAAA"
+        assert b.read(BASE, 4) == b"BBBB"
+
+
+class TestRestore:
+    def test_restore_returns_regs_and_fork(self, mgr, space):
+        space.write(BASE, b"state")
+        snap = mgr.take(space, regs=(1, 2, 3), files="F")
+        regs, restored, files = mgr.restore(snap)
+        assert regs == (1, 2, 3)
+        assert files == "F"
+        assert restored.read(BASE, 5) == b"state"
+
+    def test_restore_many_times(self, mgr, space):
+        space.write(BASE, b"v0")
+        snap = mgr.take(space)
+        for _ in range(10):
+            _, r, _ = mgr.restore(snap)
+            assert r.read(BASE, 2) == b"v0"
+        assert mgr.stats.restored == 10
+
+    def test_restore_discarded_raises(self, mgr, space):
+        snap = mgr.take(space)
+        mgr.discard(snap)
+        with pytest.raises(ValueError, match="discarded"):
+            mgr.restore(snap)
+
+    def test_restore_is_frame_free_until_write(self, mgr, space):
+        space.write(BASE, b"x" * (4 * PAGE_SIZE))
+        snap = mgr.take(space)
+        live = mgr.pool.live_frames
+        _, restored, _ = mgr.restore(snap)
+        assert mgr.pool.live_frames == live
+        restored.write(BASE, b"y")
+        assert mgr.pool.live_frames == live + 1
+
+
+class TestDiscard:
+    def test_discard_frees_private_frames(self, mgr, space):
+        snap = mgr.take(space)
+        _, r, _ = mgr.restore(snap)
+        r.write(BASE, b"dirty" * 100)
+        child = mgr.take(r, parent=snap)
+        live = mgr.pool.live_frames
+        mgr.discard(child)
+        # Child shared everything with r; nothing private to free.
+        assert mgr.pool.live_frames == live
+        r.free()
+
+    def test_discard_idempotent(self, mgr, space):
+        snap = mgr.take(space)
+        mgr.discard(snap)
+        mgr.discard(snap)
+        assert mgr.stats.discarded == 1
+
+    def test_discard_detaches_from_parent(self, mgr, space):
+        parent = mgr.take(space)
+        child = mgr.take(space, parent=parent)
+        mgr.discard(child)
+        assert child not in parent.children
+
+    def test_children_survive_parent_discard(self, mgr, space):
+        space.write(BASE, b"keep")
+        parent = mgr.take(space)
+        child = mgr.take(space, parent=parent)
+        mgr.discard(parent)
+        assert child.space.read(BASE, 4) == b"keep"
+
+    def test_discard_subtree(self, mgr, space):
+        root = mgr.take(space)
+        a = mgr.take(space, parent=root)
+        b = mgr.take(space, parent=root)
+        aa = mgr.take(space, parent=a)
+        count = mgr.discard_subtree(root)
+        assert count == 4
+        assert not any(s.alive for s in (root, a, b, aa))
+
+
+class TestAncestry:
+    def test_ancestry_path(self, mgr, space):
+        root = mgr.take(space)
+        mid = mgr.take(space, parent=root)
+        leaf = mgr.take(space, parent=mid)
+        assert leaf.ancestry() == [root, mid, leaf]
+
+    def test_delta_pages_measures_divergence(self, mgr, space):
+        parent = mgr.take(space)
+        space.write(BASE, b"one page changed")
+        child = mgr.take(space, parent=parent)
+        assert child.delta_pages(parent) == 1
+        assert parent.delta_pages(child) == 1
+        # Identical snapshots have zero delta.
+        twin = mgr.take(space)
+        assert twin.delta_pages(child) == 0
+
+    def test_delta_counts_unmapped_divergence(self, mgr, space):
+        parent = mgr.take(space)
+        space.unmap_region(BASE, PAGE_SIZE)
+        child = mgr.take(space, parent=parent)
+        assert child.delta_pages(parent) == 1
+
+    def test_private_pages_counts_unshared(self, mgr, space):
+        space.write(BASE, b"x")
+        snap = mgr.take(space)
+        # The snapshot shares its single dirty page with `space`.
+        assert snap.private_pages() == 0
+        space.write(BASE, b"y")  # space privatises; snapshot's copy now exclusive
+        assert snap.private_pages() == 1

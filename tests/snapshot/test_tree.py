@@ -1,0 +1,180 @@
+"""Unit tests for SnapshotTree bookkeeping and pruning."""
+
+import pytest
+
+from repro.mem import AddressSpace, PAGE_SIZE, Permission
+from repro.snapshot import SnapshotManager, SnapshotTree
+
+BASE = 0x40_0000
+
+
+@pytest.fixture
+def mgr():
+    return SnapshotManager()
+
+
+@pytest.fixture
+def space(mgr):
+    s = AddressSpace(mgr.pool)
+    s.map_region(BASE, 4 * PAGE_SIZE, Permission.RW)
+    return s
+
+
+def build_chain(mgr, tree, space, depth):
+    snaps = []
+    parent = None
+    for _ in range(depth):
+        snap = mgr.take(space, parent=parent)
+        tree.add(snap)
+        snaps.append(snap)
+        parent = snap
+    return snaps
+
+
+class TestStructure:
+    def test_first_parentless_snapshot_is_root(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        snap = mgr.take(space)
+        tree.add(snap)
+        assert tree.root is snap
+
+    def test_duplicate_add_rejected(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        snap = mgr.take(space)
+        tree.add(snap)
+        with pytest.raises(ValueError):
+            tree.add(snap)
+
+    def test_get_by_id(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        snap = mgr.take(space)
+        tree.add(snap)
+        assert tree.get(snap.sid) is snap
+
+    def test_walk_preorder(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        root = mgr.take(space)
+        a = mgr.take(space, parent=root)
+        b = mgr.take(space, parent=root)
+        aa = mgr.take(space, parent=a)
+        for s in (root, a, b, aa):
+            tree.add(s)
+        assert [s.sid for s in tree.walk()] == [root.sid, a.sid, aa.sid, b.sid]
+
+    def test_max_depth(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        build_chain(mgr, tree, space, 5)
+        assert tree.max_depth() == 4
+
+    def test_empty_tree(self, mgr):
+        tree = SnapshotTree(mgr)
+        assert tree.max_depth() == -1
+        assert len(tree) == 0
+        assert list(tree.walk()) == []
+
+
+class TestPinning:
+    def test_unpin_to_zero_prunes_leaf(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        snap = mgr.take(space)
+        tree.add(snap)
+        tree.pin(snap, 2)
+        tree.unpin(snap)
+        assert snap.alive
+        tree.unpin(snap)
+        assert not snap.alive
+        assert len(tree) == 0
+
+    def test_prune_cascades_to_parent(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        parent = mgr.take(space)
+        tree.add(parent)
+        tree.pin(parent, 1)
+        child = mgr.take(space, parent=parent)
+        tree.add(child)
+        tree.pin(child, 1)
+        # Parent's only pending work was creating the child.
+        tree.unpin(parent)
+        assert parent.alive  # still has a live child
+        tree.unpin(child)
+        assert not child.alive
+        assert not parent.alive  # cascaded
+
+    def test_pinned_parent_survives_child_pruning(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        parent = mgr.take(space)
+        tree.add(parent)
+        tree.pin(parent, 2)
+        child = mgr.take(space, parent=parent)
+        tree.add(child)
+        tree.pin(child, 1)
+        tree.unpin(child)
+        assert not child.alive
+        assert parent.alive
+        tree.unpin(parent)
+        tree.unpin(parent)
+        assert not parent.alive
+
+    def test_pruning_frees_frames(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        space.write(BASE, b"x")
+        snap = mgr.take(space)
+        tree.add(snap)
+        tree.pin(snap, 1)
+        space.write(BASE, b"y")  # snapshot's page becomes private
+        live = mgr.pool.live_frames
+        tree.unpin(snap)
+        assert mgr.pool.live_frames == live - 1
+
+
+class TestStats:
+    def test_total_private_pages(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        space.write(BASE, b"a")
+        snap = mgr.take(space)
+        tree.add(snap)
+        assert tree.total_private_pages() == 0
+        space.write(BASE, b"b")
+        assert tree.total_private_pages() == 1
+
+    def test_apply(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        build_chain(mgr, tree, space, 3)
+        seen = []
+        tree.apply(lambda s: seen.append(s.sid))
+        assert len(seen) == 3
+
+
+class TestDotExport:
+    def test_dot_structure(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        root = mgr.take(space)
+        child = mgr.take(space, parent=root)
+        tree.add(root)
+        tree.add(child)
+        dot = tree.to_dot()
+        assert dot.startswith("digraph snapshots {")
+        assert f"n{root.sid} -> n{child.sid};" in dot
+        assert dot.count("[label=") == 2
+
+    def test_pinned_nodes_highlighted(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        snap = mgr.take(space)
+        tree.add(snap)
+        tree.pin(snap, 2)
+        assert "fillcolor" in tree.to_dot()
+
+    def test_custom_label(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        tree.add(mgr.take(space))
+        dot = tree.to_dot(label=lambda s: f"CUSTOM-{s.sid}")
+        assert "CUSTOM-" in dot
+
+    def test_dead_snapshots_excluded(self, mgr, space):
+        tree = SnapshotTree(mgr)
+        root = mgr.take(space)
+        child = mgr.take(space, parent=root)
+        tree.add(root)
+        tree.add(child)
+        mgr.discard(child)
+        assert f"n{child.sid}" not in tree.to_dot()

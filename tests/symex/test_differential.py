@@ -1,0 +1,40 @@
+"""Differential property: both symex backends agree on random trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symex import SymbolicExplorer
+from repro.symex.programs import branch_tree, password_check
+
+
+@given(
+    depth=st.integers(1, 5),
+    writes=st.integers(0, 3),
+    ballast_pages=st.integers(0, 16),
+)
+@settings(max_examples=15, deadline=None)
+def test_backends_agree_on_random_trees(depth, writes, ballast_pages):
+    src, sym = branch_tree(depth, writes_per_level=writes)
+    snap = SymbolicExplorer(src, sym, backend="snapshot",
+                            ballast=ballast_pages * 4096).run()
+    sw = SymbolicExplorer(src, sym, backend="swcow",
+                          ballast=ballast_pages * 4096).run()
+    assert snap.path_count == sw.path_count == 2 ** depth
+    assert sorted(p.status for p in snap.paths) == sorted(
+        p.status for p in sw.paths
+    )
+    assert snap.coverage == sw.coverage
+
+
+@given(secret=st.binary(min_size=1, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_password_always_recovered(secret):
+    src, sym = password_check(secret)
+    result = SymbolicExplorer(src, sym).run()
+    accepting = [p for p in result.paths if p.status == 1]
+    assert len(accepting) == 1
+    recovered = bytes(
+        accepting[0].example[f"pw{i}"] for i in range(len(secret))
+    )
+    assert recovered == secret
+    # One rejecting path per distinguishable prefix position.
+    assert result.path_count == len(secret) + 1

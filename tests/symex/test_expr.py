@@ -1,0 +1,131 @@
+"""Unit tests for symbolic expressions and the enumeration solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symex.expr import (
+    BinExpr,
+    CmpExpr,
+    Const,
+    MASK64,
+    NotExpr,
+    SymVar,
+    compare,
+    negate,
+    simplify,
+)
+from repro.symex.solver import PathConstraints, is_satisfiable, solve_assignment
+
+
+class TestExpr:
+    def test_const_folding(self):
+        assert simplify("add", 2, 3) == 5
+        assert simplify("sub", 0, 1) == MASK64
+
+    def test_symbolic_builds_tree(self):
+        x = SymVar("x")
+        expr = simplify("add", x, 1)
+        assert isinstance(expr, BinExpr)
+        assert expr.evaluate({"x": 41}) == 42
+
+    def test_compare_folds(self):
+        assert compare("eq", 3, 3) == 1
+        assert compare("ult", 5, 3) == 0
+
+    def test_signed_comparison(self):
+        x = SymVar("x")
+        expr = compare("slt", simplify("sub", x, 1), 0)
+        assert expr.evaluate({"x": 0}) == 1  # -1 < 0 signed
+        assert expr.evaluate({"x": 2}) == 0
+
+    def test_unsigned_comparison_wraps(self):
+        expr = compare("ult", simplify("sub", SymVar("x"), 1), 10)
+        assert expr.evaluate({"x": 0}) == 0  # 0-1 wraps to huge
+
+    def test_negate_flips_comparison(self):
+        x = SymVar("x")
+        cond = compare("eq", x, 5)
+        neg = negate(cond)
+        assert isinstance(neg, CmpExpr) and neg.op == "ne"
+        assert negate(neg).op == "eq"
+
+    def test_negate_generic(self):
+        inner = NotExpr(compare("eq", SymVar("x"), 0))
+        assert negate(inner) is inner.inner
+
+    def test_vars_collected(self):
+        x, y = SymVar("x"), SymVar("y")
+        expr = simplify("add", simplify("mul", x, 2), y)
+        assert expr.vars() == {"x", "y"}
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            SymVar("x", domain=1)
+
+
+class TestSolver:
+    def test_no_constraints_sat(self):
+        assert solve_assignment([]) == {}
+
+    def test_single_equality(self):
+        x = SymVar("x", domain=256)
+        model = solve_assignment([compare("eq", x, 77)])
+        assert model == {"x": 77}
+
+    def test_conjunction(self):
+        x = SymVar("x", domain=16)
+        constraints = [
+            compare("ne", x, 0),
+            compare("ult", x, 5),
+            compare("ne", x, 3),
+        ]
+        model = solve_assignment(constraints)
+        assert model["x"] in (1, 2, 4)
+
+    def test_unsat(self):
+        x = SymVar("x", domain=16)
+        assert solve_assignment([compare("eq", x, 3), compare("eq", x, 4)]) is None
+        assert not is_satisfiable([compare("eq", x, 3), compare("ne", x, 3)])
+
+    def test_multi_variable(self):
+        x = SymVar("x", domain=8)
+        y = SymVar("y", domain=8)
+        model = solve_assignment([compare("eq", simplify("add", x, y), 9)])
+        assert (model["x"] + model["y"]) & MASK64 == 9
+
+    def test_budget_enforced(self):
+        wide = [compare("eq", SymVar(f"v{i}", domain=256), 255) for i in range(4)]
+        with pytest.raises(RuntimeError, match="budget"):
+            solve_assignment(wide, budget=10)
+
+    def test_constraint_checked_early(self):
+        # x's constraint prunes before y is even assigned: tiny budget OK.
+        x = SymVar("a", domain=256)
+        y = SymVar("b", domain=256)
+        model = solve_assignment(
+            [compare("eq", x, 200), compare("eq", y, 100)], budget=600
+        )
+        assert model == {"a": 200, "b": 100}
+
+
+class TestPathConstraints:
+    def test_extend_shares_prefix(self):
+        x = SymVar("x")
+        base = PathConstraints()
+        a = base.extend(compare("eq", x, 1))
+        b = base.extend(compare("eq", x, 2))
+        assert len(base) == 0
+        assert len(a) == len(b) == 1
+        assert repr(base) == "true"
+
+
+@given(
+    vals=st.lists(st.integers(0, 255), min_size=2, max_size=2),
+    op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_eval_matches_concrete(vals, op):
+    a, b = vals
+    x = SymVar("x")
+    expr = simplify(op, x, b)
+    assert expr.evaluate({"x": a}) == simplify(op, a, b)

@@ -1,0 +1,89 @@
+"""Unit tests for the VCpu VM-entry/exit boundary."""
+
+import pytest
+
+from repro.cpu import assemble
+from repro.libos.loader import load_program
+from repro.mem import FramePool
+from repro.vmm import Ring, VCpu, VmExitReason
+
+
+def boot(source, pool=None):
+    program = assemble(source)
+    pool = pool or FramePool()
+    space, regs = load_program(program, pool)
+    vcpu = VCpu()
+    vcpu.regs.load(regs.frozen())
+    vcpu.attach(space)
+    return vcpu, space
+
+
+class TestEnter:
+    def test_hlt_exit(self):
+        vcpu, _ = boot("mov rax, 5\nhlt")
+        exit_event = vcpu.enter()
+        assert exit_event.reason is VmExitReason.HLT
+        assert vcpu.regs.rax == 5
+
+    def test_syscall_exit(self):
+        vcpu, _ = boot("mov rax, 60\nsyscall")
+        assert vcpu.enter().reason is VmExitReason.SYSCALL
+
+    def test_page_fault_exit(self):
+        vcpu, _ = boot("mov rbx, 0x900000000\nmov rax, [rbx]\nhlt")
+        exit_event = vcpu.enter()
+        assert exit_event.reason is VmExitReason.PAGE_FAULT
+        assert exit_event.fault is not None
+
+    def test_cpu_exception_exit(self):
+        vcpu, _ = boot("mov rax, 1\nmov rbx, 0\nudiv rax, rbx\nhlt")
+        assert vcpu.enter().reason is VmExitReason.CPU_EXCEPTION
+
+    def test_step_limit_exit(self):
+        vcpu, _ = boot("spin: jmp spin")
+        assert vcpu.enter(max_steps=100).reason is VmExitReason.STEP_LIMIT
+
+    def test_enter_requires_space(self):
+        vcpu = VCpu()
+        with pytest.raises(RuntimeError, match="no address space"):
+            vcpu.enter()
+
+
+class TestVmcsAccounting:
+    def test_exit_counts_by_reason(self):
+        vcpu, _ = boot("syscall\nsyscall\nhlt")
+        vcpu.enter()
+        vcpu.enter()
+        vcpu.enter()
+        counts = vcpu.vmcs.exit_counts
+        assert counts[VmExitReason.SYSCALL] == 2
+        assert counts[VmExitReason.HLT] == 1
+        assert vcpu.vmcs.entries == 3
+        assert vcpu.vmcs.exits == 3
+
+    def test_guest_instruction_accounting(self):
+        vcpu, _ = boot("nop\nnop\nnop\nhlt")
+        vcpu.enter()
+        assert vcpu.vmcs.guest_instructions == 4
+
+    def test_ring_returns_to_libos(self):
+        vcpu, _ = boot("hlt")
+        vcpu.enter()
+        assert vcpu.vmcs.current_ring is Ring.NON_ROOT_RING0
+
+    def test_resume_after_syscall(self):
+        vcpu, _ = boot("syscall\nmov rax, 9\nhlt")
+        vcpu.enter()
+        vcpu.enter()
+        assert vcpu.regs.rax == 9
+
+
+class TestAttachSwap:
+    def test_attach_new_space_switches_state(self):
+        vcpu, space = boot("mov rbx, 0x600000\nmov rax, [rbx]\nhlt")
+        space.write_u64(0x600000, 42)
+        fork = space.fork_cow()
+        fork.write_u64(0x600000, 77)
+        vcpu.attach(fork)
+        vcpu.enter()
+        assert vcpu.regs.rax == 77

@@ -1,0 +1,35 @@
+"""9x9 sudoku: the generic grid machinery at full size."""
+
+import pytest
+
+from repro import ReplayEngine
+from repro.workloads.sudoku import is_valid_solution, make_puzzle, sudoku_guest
+
+
+class TestSudoku9x9:
+    def test_generator_produces_valid_base(self):
+        solved = make_puzzle(blanks=0, seed=4, size=9, box_rows=3, box_cols=3)
+        assert is_valid_solution(solved, size=9, box_rows=3, box_cols=3)
+
+    def test_solves_sparse_puzzle(self):
+        puzzle = make_puzzle(blanks=10, seed=7, size=9, box_rows=3, box_cols=3)
+        result = ReplayEngine(max_solutions=1).run(
+            sudoku_guest, puzzle, 9, 3, 3
+        )
+        assert result.first is not None
+        solution = result.first.value
+        assert is_valid_solution(solution, size=9, box_rows=3, box_cols=3)
+        for given, got in zip(puzzle, solution):
+            if given != "0":
+                assert given == got
+
+    def test_machine_strategy_choice_does_not_matter(self):
+        puzzle = make_puzzle(blanks=8, seed=2, size=9, box_rows=3, box_cols=3)
+        dfs = ReplayEngine("dfs", max_solutions=1).run(
+            sudoku_guest, puzzle, 9, 3, 3
+        )
+        bfs = ReplayEngine("bfs", max_solutions=1).run(
+            sudoku_guest, puzzle, 9, 3, 3
+        )
+        assert is_valid_solution(dfs.first.value, 9, 3, 3)
+        assert is_valid_solution(bfs.first.value, 9, 3, 3)

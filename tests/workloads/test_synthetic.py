@@ -1,0 +1,89 @@
+"""Cross-implementation agreement for the synthetic E3 kernel."""
+
+import pytest
+
+from repro import ReplayEngine
+from repro.core.machine import MachineEngine
+from repro.core.replay_machine import ReplayMachineEngine
+from repro.workloads.synthetic import (
+    synthetic_asm,
+    synthetic_handcoded,
+    synthetic_python_guest,
+)
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("depth,fanout", [(2, 2), (3, 3), (4, 2)])
+    def test_all_implementations_agree(self, depth, fanout):
+        expected = fanout ** depth
+        assert synthetic_handcoded(depth, fanout, 10, 1) == expected
+        machine = MachineEngine().run(synthetic_asm(depth, fanout, 10, 1))
+        assert len(machine.solutions) == expected
+        replay_m = ReplayMachineEngine().run(synthetic_asm(depth, fanout, 10, 1))
+        assert len(replay_m.solutions) == expected
+        replay_p = ReplayEngine().run(
+            synthetic_python_guest, depth, fanout, 10, 1
+        )
+        assert len(replay_p.solutions) == expected
+
+    def test_path_values_distinct(self):
+        result = MachineEngine().run(synthetic_asm(3, 2, 5, 1))
+        codes = sorted(v[0] for v in result.solution_values)
+        assert codes == list(range(8))
+
+    def test_replay_executes_more_instructions(self):
+        source = synthetic_asm(4, 2, 500, 1)
+        snap = MachineEngine().run(source)
+        replay = ReplayMachineEngine().run(source)
+        assert (
+            replay.stats.extra["guest_instructions"]
+            > 2 * snap.stats.extra["guest_instructions"]
+        )
+
+    def test_cow_copies_track_pages_touched(self):
+        few = MachineEngine().run(synthetic_asm(3, 2, 10, 1))
+        many = MachineEngine().run(synthetic_asm(3, 2, 10, 8))
+        assert (
+            many.stats.extra["frames_copied"]
+            > 3 * few.stats.extra["frames_copied"]
+        )
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_asm(0, 2, 1, 1)
+        with pytest.raises(ValueError):
+            synthetic_asm(2, 0, 1, 1)
+
+
+class TestReplayMachineEngine:
+    def test_nqueens_agreement(self):
+        from repro.workloads.nqueens import (
+            KNOWN_SOLUTION_COUNTS,
+            boards_from_result,
+            nqueens_asm,
+        )
+
+        snap = MachineEngine().run(nqueens_asm(5))
+        replay = ReplayMachineEngine().run(nqueens_asm(5))
+        assert len(replay.solutions) == KNOWN_SOLUTION_COUNTS[5]
+        assert sorted(boards_from_result(snap)) == sorted(
+            boards_from_result(replay)
+        )
+
+    def test_solution_paths_match(self):
+        source = synthetic_asm(3, 2, 1, 1)
+        snap = MachineEngine().run(source)
+        replay = ReplayMachineEngine().run(source)
+        assert sorted(s.path for s in snap.solutions) == sorted(
+            s.path for s in replay.solutions
+        )
+
+    def test_budgets(self):
+        source = synthetic_asm(5, 2, 1, 1)
+        result = ReplayMachineEngine(max_solutions=3).run(source)
+        assert len(result.solutions) == 3
+        assert not result.exhausted
+
+    def test_replayed_decisions_counted(self):
+        result = ReplayMachineEngine().run(synthetic_asm(3, 2, 1, 1))
+        assert result.stats.replayed_decisions > 0

@@ -1,0 +1,185 @@
+"""Tests for the workload guests (n-queens, sudoku, coloring, puzzles)."""
+
+import pytest
+
+from repro import ReplayEngine
+from repro.core.machine import MachineEngine
+from repro.workloads.coloring import (
+    PETERSEN_EDGES,
+    PETERSEN_NODES,
+    WHEEL5_EDGES,
+    WHEEL5_NODES,
+    coloring_guest,
+    is_proper_coloring,
+)
+from repro.workloads.knapsack import (
+    knapsack_guest,
+    random_instance,
+    subset_sum_guest,
+)
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    is_valid_board,
+    nqueens_python,
+)
+from repro.workloads.puzzle8 import (
+    GOAL,
+    apply_move,
+    manhattan,
+    puzzle_guest,
+    scramble,
+    successors,
+)
+from repro.workloads.sudoku import (
+    is_valid_solution,
+    make_puzzle,
+    sudoku_guest,
+)
+
+
+class TestNQueensPython:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_counts(self, n):
+        result = ReplayEngine().run(nqueens_python, n)
+        assert len(result.solutions) == KNOWN_SOLUTION_COUNTS[n]
+
+    def test_boards_valid(self):
+        result = ReplayEngine().run(nqueens_python, 5)
+        assert all(is_valid_board(b) for b in result.solution_values)
+
+    def test_python_and_machine_agree(self):
+        from repro.workloads.nqueens import boards_from_result, nqueens_asm
+
+        py = ReplayEngine().run(nqueens_python, 5)
+        asm = MachineEngine().run(nqueens_asm(5))
+        assert sorted(py.solution_values) == sorted(boards_from_result(asm))
+
+
+class TestSudoku:
+    def test_solves_generated_puzzle(self):
+        puzzle = make_puzzle(blanks=8, seed=1)
+        result = ReplayEngine(max_solutions=1).run(sudoku_guest, puzzle)
+        assert result.first is not None
+        assert is_valid_solution(result.first.value)
+
+    def test_solution_respects_givens(self):
+        puzzle = make_puzzle(blanks=6, seed=2)
+        result = ReplayEngine(max_solutions=1).run(sudoku_guest, puzzle)
+        solution = result.first.value
+        for given, got in zip(puzzle, solution):
+            if given != "0":
+                assert given == got
+
+    def test_full_grid_needs_no_guess(self):
+        solved = make_puzzle(blanks=0, seed=3)
+        result = ReplayEngine().run(sudoku_guest, solved)
+        assert result.stats.candidates == 0
+        assert result.solution_values == [solved]
+
+    def test_bad_grid_length_raises(self):
+        with pytest.raises(ValueError):
+            ReplayEngine().run(sudoku_guest, "123")
+
+    def test_validator_rejects_bad_grid(self):
+        assert not is_valid_solution("1111222233334444")
+
+    def test_puzzle_generator_deterministic(self):
+        assert make_puzzle(4, seed=9) == make_puzzle(4, seed=9)
+
+
+class TestColoring:
+    def test_wheel5_needs_four_colors(self):
+        three = ReplayEngine(max_solutions=1).run(
+            coloring_guest, WHEEL5_NODES, WHEEL5_EDGES, 3
+        )
+        four = ReplayEngine(max_solutions=1).run(
+            coloring_guest, WHEEL5_NODES, WHEEL5_EDGES, 4
+        )
+        assert not three
+        assert four
+
+    def test_petersen_three_colorable(self):
+        result = ReplayEngine(max_solutions=1).run(
+            coloring_guest, PETERSEN_NODES, PETERSEN_EDGES, 3
+        )
+        assert result
+        assert is_proper_coloring(result.first.value, PETERSEN_EDGES)
+
+    def test_agrees_with_sat_encoding(self):
+        from repro.sat import Solver
+        from repro.sat.gen import graph_coloring
+
+        for colors in (2, 3):
+            guest = ReplayEngine(max_solutions=1).run(
+                coloring_guest, PETERSEN_NODES, PETERSEN_EDGES, colors
+            )
+            cnf = graph_coloring(PETERSEN_NODES, PETERSEN_EDGES, colors)
+            solver = Solver()
+            for clause in cnf.clauses:
+                solver.add_clause(clause)
+            assert bool(guest) == bool(solver.solve().sat)
+
+
+class TestPuzzle8:
+    def test_manhattan_zero_at_goal(self):
+        assert manhattan(GOAL) == 0
+
+    def test_manhattan_positive_off_goal(self):
+        assert manhattan(scramble(6, seed=1)) > 0
+
+    def test_successors_reversible(self):
+        board = scramble(5, seed=2)
+        for succ in successors(board):
+            assert board in successors(succ)
+
+    def test_apply_move_swaps(self):
+        board = apply_move(GOAL, 5)  # slide tile 6 into the blank
+        assert board[8] == 6 and board[5] == 0
+
+    def test_astar_solves_optimally(self):
+        start = scramble(10, seed=4)
+        bfs = ReplayEngine("bfs", max_solutions=1).run(
+            puzzle_guest, start, 12, False
+        )
+        astar = ReplayEngine("astar", max_solutions=1).run(
+            puzzle_guest, start, 12, True
+        )
+        assert bfs and astar
+        assert len(astar.first.value) == len(bfs.first.value)
+        assert astar.stats.evaluations <= bfs.stats.evaluations
+
+    def test_goal_start_trivial(self):
+        result = ReplayEngine(max_solutions=1).run(puzzle_guest, GOAL, 4, True)
+        assert result.first.value == (GOAL,)
+
+
+class TestSubsetSum:
+    def test_finds_witness(self):
+        values, target = random_instance(10, seed=5)
+        result = ReplayEngine(max_solutions=1).run(
+            subset_sum_guest, values, target
+        )
+        assert result.first is not None
+        assert sum(result.first.value) == target
+
+    def test_enumerates_all_subsets(self):
+        result = ReplayEngine().run(subset_sum_guest, [1, 2, 3, 4], 5)
+        found = sorted(tuple(sorted(v)) for v in result.solution_values)
+        assert found == [(1, 4), (2, 3)]
+
+    def test_impossible_target(self):
+        result = ReplayEngine().run(subset_sum_guest, [2, 4, 6], 5)
+        assert not result
+
+    def test_knapsack_respects_capacity(self):
+        weights = [3, 5, 7, 2]
+        profits = [4, 6, 9, 2]
+        result = ReplayEngine().run(knapsack_guest, weights, profits, 10, 10)
+        assert result
+        for picks in result.solution_values:
+            assert sum(weights[i] for i in picks) <= 10
+            assert sum(profits[i] for i in picks) >= 10
+
+    def test_knapsack_infeasible_profit(self):
+        result = ReplayEngine().run(knapsack_guest, [1], [1], 10, 99)
+        assert not result
