@@ -7,9 +7,49 @@ Run with::
 Each module regenerates one experiment from DESIGN.md §4, printing the
 rows EXPERIMENTS.md records and asserting the claim's *shape* (who wins,
 by roughly what factor) rather than absolute numbers.
+
+Pass ``--obs-trace=PATH`` to record the full observability event stream
+(snapshot lifecycle, COW faults, syscalls, search decisions) of every
+benchmark into one JSONL file, then summarize it with::
+
+    python -m repro.tools.trace_report PATH
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="record the observability event trace of the whole run "
+        "to PATH as JSONL (see repro.obs and repro.tools.trace_report)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_trace(request):
+    """Attach a JSONL sink to the process tracer for the whole session.
+
+    The default-None ``getoption`` keeps this conftest harmless when the
+    option was never registered (e.g. a bare ``pytest`` run from the
+    repository root, where this is not an initial conftest).
+    """
+    path = request.config.getoption("--obs-trace", default=None)
+    if not path:
+        yield None
+        return
+    from repro.obs.trace import TRACER, JsonlSink
+
+    sink = JsonlSink(path)
+    TRACER.attach(sink)
+    try:
+        yield sink
+    finally:
+        TRACER.detach(sink)
+        sink.close()
 
 
 @pytest.fixture(scope="session")

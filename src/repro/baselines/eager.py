@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.errors import SnapshotDiscardedError
 from repro.mem.addrspace import AddressSpace
 from repro.snapshot.snapshot import Snapshot, SnapshotManager
 
@@ -31,17 +32,15 @@ class EagerSnapshotManager(SnapshotManager):
         frozen_space = space.fork_eager(name=f"eagersnap-of-{space.name}")
         frozen_files = files.fork_cow() if hasattr(files, "fork_cow") else files
         snap = Snapshot(regs, frozen_space, frozen_files, parent)
-        self.stats.taken += 1
-        self.stats.live += 1
-        self.stats.peak_live = max(self.stats.peak_live, self.stats.live)
+        self._note_take(snap)
         return snap
 
     def restore(self, snap: Snapshot) -> tuple[Any, AddressSpace, Any]:
         if not snap.alive:
-            raise ValueError(f"restore of discarded snapshot {snap.sid}")
+            raise SnapshotDiscardedError(snap.sid, "restore")
         space = snap.space.fork_eager(name=f"eager-restore-{snap.sid}")
         files = (
             snap.files.fork_cow() if hasattr(snap.files, "fork_cow") else snap.files
         )
-        self.stats.restored += 1
+        self._note_restore(snap, space)
         return snap.regs, space, files

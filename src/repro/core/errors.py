@@ -21,6 +21,27 @@ class GuessError(SearchError):
     hint-length mismatch, nondeterministic guest detected, ...)."""
 
 
+class SnapshotError(SearchError):
+    """Base class for snapshot lifecycle violations."""
+
+
+class SnapshotDiscardedError(SnapshotError, ValueError):
+    """An operation targeted a snapshot that was already discarded.
+
+    Raised by ``SnapshotManager.restore`` (restoring freed state would
+    read freed frames) and by ``SnapshotManager.discard`` on a double
+    discard (the classic use-after-free shape the Silhouette snapshot-bug
+    corpus catalogues; silently ignoring it hides refcount bugs).
+    Subclasses ``ValueError`` for compatibility with callers that caught
+    the old untyped error.
+    """
+
+    def __init__(self, sid: int, operation: str):
+        self.sid = sid
+        self.operation = operation
+        super().__init__(f"{operation} of discarded snapshot {sid}")
+
+
 class BudgetExceeded(SearchError):
     """An exploration budget (evaluations, solutions, depth) was hit.
 

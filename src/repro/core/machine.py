@@ -32,6 +32,9 @@ from repro.libos.files import HostFS
 from repro.libos.libos import ExecState, LibOS
 from repro.interpose.policy import InterpositionPolicy
 from repro.mem.frames import FramePool
+from repro.obs import events as _events
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TRACER as _TRACER
 from repro.search import Extension, Strategy, get_strategy
 from repro.snapshot.snapshot import Snapshot, SnapshotManager
 from repro.snapshot.tree import SnapshotTree
@@ -133,19 +136,25 @@ class MachineEngine:
         self.max_solutions = max_solutions
         self.max_total_steps = max_total_steps
         self.pool = FramePool(limit=pool_limit)
+        #: One registry for the whole engine: snapshot lifecycle and
+        #: search counters share it, so a single ``as_dict()`` captures
+        #: the run (each engine instance gets its own namespace).
+        self.registry = MetricsRegistry("machine-engine")
         if snapshot_mode == "cow":
-            self.manager = SnapshotManager(self.pool)
+            self.manager = SnapshotManager(self.pool, registry=self.registry)
         elif snapshot_mode == "eager":
             # The §3 naive-fork baseline: full copies per take/restore.
             from repro.baselines.eager import EagerSnapshotManager
 
-            self.manager = EagerSnapshotManager(self.pool)
+            self.manager = EagerSnapshotManager(self.pool, registry=self.registry)
         elif snapshot_mode == "dirty-eager":
             # DESIGN.md §5 ablation: pre-copy the dirty working set at
             # take time instead of faulting per page afterwards.
             from repro.baselines.dirty import DirtyEagerSnapshotManager
 
-            self.manager = DirtyEagerSnapshotManager(self.pool)
+            self.manager = DirtyEagerSnapshotManager(
+                self.pool, registry=self.registry
+            )
         else:
             raise ValueError(f"unknown snapshot_mode {snapshot_mode!r}")
         self.snapshot_mode = snapshot_mode
@@ -162,7 +171,7 @@ class MachineEngine:
     def run(self, guest: Union[str, Program]) -> SearchResult:
         """Assemble (if needed), load, and explore *guest* exhaustively."""
         program = assemble(guest) if isinstance(guest, str) else guest
-        stats = SearchStats()
+        stats = SearchStats(registry=self.registry)
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
         self._locked = False
@@ -239,10 +248,18 @@ class MachineEngine:
                 return self._handle_guess(action, pending, stats)
             if isinstance(action, GuessFailAction):
                 stats.fails += 1
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
                 self._finish(pending, "fail", stats)
                 return "fail"
             if isinstance(action, ExitAction):
                 stats.completions += 1
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.SEARCH_SOLUTION,
+                        depth=len(pending.path),
+                        path=list(pending.path),
+                    )
                 solutions.append(
                     Solution(
                         value=(action.status, pending.state.console.text),
@@ -291,6 +308,10 @@ class MachineEngine:
         self.tree.add(snap)
         self.tree.pin(snap, n)
         stats.candidates += 1
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.SEARCH_GUESS, n=n, depth=len(pending.path), sid=snap.sid
+            )
         self._strategy.add(
             Extension(
                 cand,

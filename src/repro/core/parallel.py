@@ -38,6 +38,9 @@ from repro.libos.syscalls import (
     StrategyAction,
 )
 from repro.mem.frames import FramePool
+from repro.obs import events as _events
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TRACER as _TRACER
 from repro.search import Extension, Strategy, get_strategy
 from repro.snapshot.snapshot import SnapshotManager
 from repro.snapshot.tree import SnapshotTree
@@ -95,7 +98,8 @@ class ParallelMachineEngine:
         self.quantum = quantum
         self.libos = LibOS(policy=policy, hostfs=hostfs)
         self.pool = FramePool()
-        self.manager = SnapshotManager(self.pool)
+        self.registry = MetricsRegistry("parallel-engine")
+        self.manager = SnapshotManager(self.pool, registry=self.registry)
         self.tree = SnapshotTree(self.manager)
         self.max_steps_per_extension = max_steps_per_extension
         self.max_solutions = max_solutions
@@ -111,7 +115,7 @@ class ParallelMachineEngine:
 
     def run(self, guest: Union[str, Program]) -> SearchResult:
         program = assemble(guest) if isinstance(guest, str) else guest
-        stats = SearchStats()
+        stats = SearchStats(registry=self.registry)
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
         self._locked = False
@@ -182,6 +186,13 @@ class ParallelMachineEngine:
         worker.path = cand.path + (ext.number,)
         worker.parent = cand
         worker.steps_used = 0
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.PARALLEL_SCHEDULE,
+                worker=worker.vcpu.cpu_id,
+                ext=ext.number,
+                depth=len(cand.path),
+            )
 
     def _turn(self, worker: _Worker, stats: SearchStats,
               solutions: list[Solution]) -> None:
@@ -192,6 +203,12 @@ class ParallelMachineEngine:
         if exit_event.reason is VmExitReason.STEP_LIMIT:
             # End of timeslice, not a runaway guest: the extension stays
             # in flight and resumes on the worker's next turn.
+            if _TRACER.enabled:
+                _TRACER.emit(
+                    _events.PARALLEL_PREEMPT,
+                    worker=worker.vcpu.cpu_id,
+                    steps=worker.steps_used,
+                )
             if worker.steps_used >= self.max_steps_per_extension:
                 stats.extra["kills"] = stats.extra.get("kills", 0) + 1
                 self._finish(worker, stats)
@@ -211,10 +228,18 @@ class ParallelMachineEngine:
             return
         if isinstance(action, GuessFailAction):
             stats.fails += 1
+            if _TRACER.enabled:
+                _TRACER.emit(_events.SEARCH_FAIL, depth=len(worker.path))
             self._finish(worker, stats)
             return
         if isinstance(action, ExitAction):
             stats.completions += 1
+            if _TRACER.enabled:
+                _TRACER.emit(
+                    _events.SEARCH_SOLUTION,
+                    depth=len(worker.path),
+                    path=list(worker.path),
+                )
             solutions.append(
                 Solution(
                     value=(action.status, worker.state.console.text),
@@ -249,6 +274,10 @@ class ParallelMachineEngine:
         self.tree.add(snap)
         self.tree.pin(snap, n)
         stats.candidates += 1
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.SEARCH_GUESS, n=n, depth=len(worker.path), sid=snap.sid
+            )
         self._strategy.add(
             Extension(
                 cand,

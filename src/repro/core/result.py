@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
+
+from repro.obs.registry import MetricsRegistry, metric_view
 
 
 @dataclass(frozen=True)
@@ -30,25 +32,75 @@ class Solution:
         return len(self.path)
 
 
-@dataclass
 class SearchStats:
-    """Counters describing one exploration run."""
+    """Counters describing one exploration run.
 
-    #: Partial candidates created (snapshots taken / choice points found).
-    candidates: int = 0
-    #: Candidate extension steps evaluated.
-    evaluations: int = 0
-    #: Extension steps that ended in ``sys_guess_fail``.
-    fails: int = 0
-    #: Extension steps that completed (produced a solution).
-    completions: int = 0
-    #: For the replay engine: guesses answered from recorded prefixes
-    #: (pure re-execution overhead; the machine engine keeps this at 0).
-    replayed_decisions: int = 0
-    #: Peak number of unevaluated extensions in the strategy frontier.
-    peak_frontier: int = 0
-    #: Engine-specific extras (VM exits, pages copied, ...).
-    extra: dict = field(default_factory=dict)
+    Registry-backed under ``search.*``; attributes are live views over
+    the registry metrics (see :mod:`repro.obs.registry`), so engines can
+    keep incrementing ``stats.fails`` while reports enumerate the same
+    numbers as ``search.fails``.
+
+    Fields:
+
+    * ``candidates`` — partial candidates created (snapshots taken /
+      choice points found).
+    * ``evaluations`` — candidate extension steps evaluated.
+    * ``fails`` — extension steps that ended in ``sys_guess_fail``.
+    * ``completions`` — extension steps that produced a solution.
+    * ``replayed_decisions`` — for the replay engine: guesses answered
+      from recorded prefixes (pure re-execution overhead; the machine
+      engine keeps this at 0).
+    * ``peak_frontier`` — peak unevaluated extensions in the frontier.
+    * ``extra`` — engine-specific extras dict (VM exits, pages copied…).
+    """
+
+    candidates = metric_view("candidates")
+    evaluations = metric_view("evaluations")
+    fails = metric_view("fails")
+    completions = metric_view("completions")
+    replayed_decisions = metric_view("replayed_decisions")
+    peak_frontier = metric_view("peak_frontier")
+
+    def __init__(
+        self,
+        candidates: int = 0,
+        evaluations: int = 0,
+        fails: int = 0,
+        completions: int = 0,
+        replayed_decisions: int = 0,
+        peak_frontier: int = 0,
+        extra: Optional[dict] = None,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "search",
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry(prefix)
+        self._metrics = {
+            "candidates": self.registry.counter(f"{prefix}.candidates"),
+            "evaluations": self.registry.counter(f"{prefix}.evaluations"),
+            "fails": self.registry.counter(f"{prefix}.fails"),
+            "completions": self.registry.counter(f"{prefix}.completions"),
+            "replayed_decisions": self.registry.counter(
+                f"{prefix}.replayed_decisions"
+            ),
+            "peak_frontier": self.registry.gauge(f"{prefix}.peak_frontier"),
+        }
+        for metric in self._metrics.values():
+            metric.reset()
+        self.candidates = candidates
+        self.evaluations = evaluations
+        self.fails = fails
+        self.completions = completions
+        self.replayed_decisions = replayed_decisions
+        self.peak_frontier = peak_frontier
+        self.extra: dict = extra if extra is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchStats(candidates={self.candidates}, "
+            f"evaluations={self.evaluations}, fails={self.fails}, "
+            f"completions={self.completions}, "
+            f"peak_frontier={self.peak_frontier})"
+        )
 
 
 @dataclass

@@ -25,6 +25,29 @@ SYS_GUESS_STRATEGY = 0x1002
 #: goal-distance hints for informed strategies (A*, SM-A*).
 SYS_GUESS_HINT = 0x1003
 
+#: Human-readable names per syscall number (trace events and reports).
+SYSCALL_NAMES = {
+    SYS_READ: "read",
+    SYS_WRITE: "write",
+    SYS_OPEN: "open",
+    SYS_CLOSE: "close",
+    SYS_LSEEK: "lseek",
+    SYS_MMAP: "mmap",
+    SYS_MUNMAP: "munmap",
+    SYS_BRK: "brk",
+    SYS_EXIT: "exit",
+    SYS_GUESS: "guess",
+    SYS_GUESS_FAIL: "guess_fail",
+    SYS_GUESS_STRATEGY: "guess_strategy",
+    SYS_GUESS_HINT: "guess_hint",
+}
+
+
+def syscall_name(number: int) -> str:
+    """Name for *number*, or ``sys_<n>`` for unknown calls."""
+    return SYSCALL_NAMES.get(number, f"sys_{number}")
+
+
 #: Strategy ids for SYS_GUESS_STRATEGY's argument (guest-visible ABI).
 STRATEGY_IDS = {
     "dfs": 0,

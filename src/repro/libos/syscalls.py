@@ -32,7 +32,9 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core import sysno
-from repro.core.sysno import STRATEGY_NAMES
+from repro.core.sysno import STRATEGY_NAMES, syscall_name
+from repro.obs import events as _events
+from repro.obs.trace import TRACER as _TRACER
 from repro.interpose.policy import (
     Containment,
     InterpositionPolicy,
@@ -121,6 +123,10 @@ class SyscallDispatcher:
         regs = vcpu.regs
         number = regs.rax
         self.counts[number] = self.counts.get(number, 0) + 1
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.LIBOS_SYSCALL, nr=number, name=syscall_name(number)
+            )
         try:
             return self._dispatch(number, regs, space, files, console)
         except PageFaultError:

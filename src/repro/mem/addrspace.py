@@ -36,6 +36,8 @@ from repro.mem.layout import (
 )
 from repro.mem.pagetable import PTE, PageTable, Permission
 from repro.mem.tlb import TLB, TLBEntry
+from repro.obs import events as _events
+from repro.obs.trace import TRACER as _TRACER
 
 _as_ids = itertools.count()
 
@@ -130,6 +132,13 @@ class AddressSpace:
         if data is not None and len(data) > size:
             raise ValueError("data larger than region")
         npages = page_align_up(size) >> PAGE_SHIFT
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.MEM_PAGE_ALLOC,
+                asid=self.asid,
+                pages=npages,
+                kind="data" if data is not None else ("eager" if eager else "zero"),
+            )
         for i in range(npages):
             vpn = (base >> PAGE_SHIFT) + i
             if self.table.is_mapped(vpn):
@@ -236,10 +245,16 @@ class AddressSpace:
             if pte.frame is not old_frame:
                 if old_frame is self._zero_frame:
                     self.faults.demand_zero_faults += 1
+                    kind = "zero"
                 else:
                     self.faults.cow_faults += 1
+                    kind = "cow"
                 self.faults.pages_copied += 1
                 self.faults.bytes_copied += PAGE_SIZE
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.MEM_COW_FAULT, asid=self.asid, vpn=vpn, kind=kind
+                    )
             # Only a write that ran make_private may cache writability:
             # the read path cannot tell a node-shared frame from an
             # exclusive one.

@@ -11,7 +11,9 @@ unresolvable faults propagating to the VMM as VM exits.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, metric_view
 
 
 class AccessKind(enum.Enum):
@@ -48,7 +50,16 @@ class ProtectionError(PageFaultError):
     """Access violating the page's permission bits (e.g. write to RO)."""
 
 
-@dataclass
+_FAULT_FIELDS = (
+    "cow_faults",
+    "demand_zero_faults",
+    "hard_faults",
+    "pages_copied",
+    "nodes_copied",
+    "bytes_copied",
+)
+
+
 class FaultStats:
     """Counters for fault activity in one address space.
 
@@ -57,15 +68,56 @@ class FaultStats:
     ``nodes_copied`` / ``bytes_copied`` measure the physical work done by
     copy-on-write, which is the paper's key cost metric for snapshot
     maintenance.
+
+    The counts are ``mem.*`` counters in an observability registry; the
+    attributes here are views over them (``faults.cow_faults += 1`` and
+    ``registry.get("mem.cow_faults").inc()`` are the same write).
     """
 
-    cow_faults: int = 0
-    demand_zero_faults: int = 0
-    hard_faults: int = 0
-    pages_copied: int = 0
-    nodes_copied: int = 0
-    bytes_copied: int = 0
-    extra: dict = field(default_factory=dict)
+    cow_faults = metric_view("cow_faults")
+    demand_zero_faults = metric_view("demand_zero_faults")
+    hard_faults = metric_view("hard_faults")
+    pages_copied = metric_view("pages_copied")
+    nodes_copied = metric_view("nodes_copied")
+    bytes_copied = metric_view("bytes_copied")
+
+    def __init__(
+        self,
+        cow_faults: int = 0,
+        demand_zero_faults: int = 0,
+        hard_faults: int = 0,
+        pages_copied: int = 0,
+        nodes_copied: int = 0,
+        bytes_copied: int = 0,
+        extra: Optional[dict] = None,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "mem",
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry(prefix)
+        self._metrics = {
+            name: self.registry.counter(f"{prefix}.{name}")
+            for name in _FAULT_FIELDS
+        }
+        for metric in self._metrics.values():
+            metric.reset()
+        self.cow_faults = cow_faults
+        self.demand_zero_faults = demand_zero_faults
+        self.hard_faults = hard_faults
+        self.pages_copied = pages_copied
+        self.nodes_copied = nodes_copied
+        self.bytes_copied = bytes_copied
+        self.extra: dict = extra if extra is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{name}={getattr(self, name)}" for name in _FAULT_FIELDS)
+        return f"FaultStats({body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in _FAULT_FIELDS
+        ) and self.extra == other.extra
 
     def snapshot(self) -> "FaultStats":
         """Return an independent copy of the current counters."""

@@ -1,0 +1,60 @@
+"""Unified observability: the metrics registry and the structured trace.
+
+The paper's claims are *cost-shape* claims — O(1) take/restore,
+O(private pages) discard, per-page COW faults — so every subsystem needs
+to report costs in one schema, and cross-subsystem causality ("this
+restore caused these COW faults") needs an ordered event trace.  This
+package provides both:
+
+* :mod:`repro.obs.registry` — named counters, gauges, monotonic timers
+  and fixed-bucket histograms.  The legacy per-subsystem stats objects
+  (``SnapshotStats``, ``FaultStats``, ``StrategyStats``, ``SearchStats``)
+  are now thin attribute views over registry metrics, so their public
+  fields keep working while everything is uniformly enumerable.
+* :mod:`repro.obs.events` — the typed event schema
+  (``snapshot.take/restore/discard``, ``mem.cow_fault`` …).
+* :mod:`repro.obs.trace` — the process-wide :class:`Tracer` with
+  monotonic ordering, JSONL export, and near-zero overhead when no sink
+  is attached.
+
+``python -m repro.tools.trace_report trace.jsonl`` summarizes an
+exported trace; ``pytest benchmarks/ --obs-trace=PATH`` records one.
+"""
+
+from repro.obs.events import EVENT_FIELDS, EVENT_TYPES, validate_event
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    metric_view,
+)
+from repro.obs.trace import (
+    TRACER,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    get_tracer,
+    normalize_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+    "metric_view",
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "validate_event",
+    "TRACER",
+    "Tracer",
+    "JsonlSink",
+    "MemorySink",
+    "get_tracer",
+    "normalize_events",
+]

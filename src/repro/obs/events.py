@@ -1,0 +1,86 @@
+"""The typed trace-event schema.
+
+One flat namespace of dotted event types, each with a declared set of
+required fields.  The tracer validates known types at emit time (tracing
+is opt-in, so validation costs nothing on the default path); unknown
+types pass through so downstream workloads can add events without
+touching this table, at the cost of no field checking.
+
+Field conventions:
+
+* ``sid`` — snapshot id; ``parent`` is a sid or None.
+* ``asid`` — address-space id.  ``snapshot.restore`` records the asid of
+  the fresh COW fork it returns, which is what lets a report join later
+  ``mem.cow_fault`` events back to the restore that caused them.
+* ``vpn`` — virtual page number.
+* ``depth`` — search depth (number of guesses on the path).
+* ``worker`` — logical core id in the parallel engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+# -- snapshot lifecycle ------------------------------------------------
+SNAPSHOT_TAKE = "snapshot.take"
+SNAPSHOT_RESTORE = "snapshot.restore"
+SNAPSHOT_DISCARD = "snapshot.discard"
+SNAPSHOT_PRUNE = "snapshot.prune"
+
+# -- memory subsystem --------------------------------------------------
+MEM_COW_FAULT = "mem.cow_fault"
+MEM_PAGE_ALLOC = "mem.page_alloc"
+
+# -- libOS -------------------------------------------------------------
+LIBOS_SYSCALL = "libos.syscall"
+
+# -- search engine -----------------------------------------------------
+SEARCH_GUESS = "search.guess"
+SEARCH_FAIL = "search.fail"
+SEARCH_SOLUTION = "search.solution"
+
+# -- parallel scheduler ------------------------------------------------
+PARALLEL_SCHEDULE = "parallel.schedule"
+PARALLEL_PREEMPT = "parallel.preempt"
+
+#: Required fields per event type.  Extra fields are always allowed.
+EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    SNAPSHOT_TAKE: ("sid", "parent", "live"),
+    SNAPSHOT_RESTORE: ("sid", "asid"),
+    SNAPSHOT_DISCARD: ("sid", "private_pages"),
+    SNAPSHOT_PRUNE: ("sid", "depth"),
+    MEM_COW_FAULT: ("asid", "vpn", "kind"),
+    MEM_PAGE_ALLOC: ("asid", "pages", "kind"),
+    LIBOS_SYSCALL: ("nr", "name"),
+    SEARCH_GUESS: ("n", "depth"),
+    SEARCH_FAIL: ("depth",),
+    SEARCH_SOLUTION: ("depth", "path"),
+    PARALLEL_SCHEDULE: ("worker", "ext", "depth"),
+    PARALLEL_PREEMPT: ("worker", "steps"),
+}
+
+EVENT_TYPES = frozenset(EVENT_FIELDS)
+
+#: The subsystem prefix of each event type (`snapshot`, `mem`, ...).
+def subsystem(etype: str) -> str:
+    return etype.split(".", 1)[0]
+
+
+class EventSchemaError(ValueError):
+    """A known event type was emitted with required fields missing."""
+
+
+def validate_event(etype: str, fields: Mapping[str, Any]) -> None:
+    """Check *fields* against the schema for *etype*.
+
+    Raises :class:`EventSchemaError` when a known type misses a required
+    field; unknown types are accepted as-is.
+    """
+    required = EVENT_FIELDS.get(etype)
+    if required is None:
+        return
+    missing = [key for key in required if key not in fields]
+    if missing:
+        raise EventSchemaError(
+            f"event {etype!r} missing required field(s): {', '.join(missing)}"
+        )

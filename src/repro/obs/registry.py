@@ -1,0 +1,324 @@
+"""The metrics registry: named counters, gauges, timers, histograms.
+
+Design constraints (in priority order):
+
+1. **Hot-path cheapness.**  ``Counter.inc`` is one attribute add on a
+   slotted object; nothing formats, allocates, or takes a lock (the
+   simulator is single-threaded by construction).  Attaching a sink or
+   rendering a report pays all presentation costs.
+2. **Uniform enumeration.**  Every metric has a dotted name
+   (``snapshot.taken``, ``mem.cow_faults``) and a scalar-ish value, so
+   one ``as_dict()`` call snapshots a whole subsystem for reports,
+   benches and invariant checks.
+3. **Backward-compatible views.**  The legacy stats dataclasses expose
+   their old attributes through :class:`metric_view` descriptors, so
+   ``manager.stats.taken`` and ``stats.taken += 1`` keep working while
+   the single source of truth lives here.
+
+Registries are instantiable (one per engine/manager keeps concurrent
+sessions from double-counting); :func:`get_registry` returns the
+process-wide default for code without a natural owner.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+
+class Counter:
+    """A monotonically-growing event count (decrements are not policed,
+    but reports assume counters only go up)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A level that moves both ways (live snapshots, frontier size).
+
+    Tracks its own high-water mark: ``peak`` is the largest value ever
+    ``set``/``inc``-ed, which is what footprint experiments report.
+    """
+
+    __slots__ = ("name", "value", "peak")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, n: int = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: int = 1) -> None:
+        self.value -= n
+
+    def reset(self) -> None:
+        self.value = 0
+        self.peak = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value}, peak={self.peak})"
+
+
+class Timer:
+    """Accumulated wall-clock spent in a region (monotonic clock).
+
+    ``with timer.time(): ...`` adds one sample; ``mean_s`` is the average
+    duration.  The clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("name", "count", "total_s", "_clock")
+    kind = "timer"
+
+    def __init__(self, name: str, clock: Callable[[], float] = time.perf_counter):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self._clock = clock
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative duration")
+        self.count += 1
+        self.total_s += seconds
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> float:
+        """Total seconds (the scalar ``as_dict`` exposes)."""
+        return self.total_s
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.name!r}, n={self.count}, total={self.total_s:.6f}s)"
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._timer.record(self._timer._clock() - self._start)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    *bounds* are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one implicit overflow bucket catches everything above the
+    last edge.  Bucketing is a linear scan — bound lists are short (the
+    point of *fixed* buckets is a cheap, allocation-free observe path).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = list(bounds)
+        if ordered != sorted(ordered):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.bounds = tuple(ordered)
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> float:
+        """Total of observed values (the scalar ``as_dict`` exposes)."""
+        return self.total
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def bucket_pairs(self) -> list[tuple[str, int]]:
+        """``[("<=bound", count), ..., (">last", count)]`` for reports."""
+        labels = [f"<={b:g}" for b in self.bounds] + [f">{self.bounds[-1]:g}"]
+        return list(zip(labels, self.counts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+Metric = Any  # Counter | Gauge | Timer | Histogram
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use by dotted name.
+
+    The accessors are get-or-create: asking twice for the same name
+    returns the same object, and asking for an existing name as a
+    different metric kind raises (names are the schema).
+    """
+
+    def __init__(self, name: str = "default"):
+        self.name = name
+        self._metrics: dict[str, Metric] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if bounds is not None and tuple(bounds) != existing.bounds:
+                raise ValueError(f"metric {name!r} re-registered with new bounds")
+            return existing
+        if bounds is None:
+            raise ValueError(f"first registration of histogram {name!r} needs bounds")
+        metric = Histogram(name, bounds)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- enumeration ---------------------------------------------------
+
+    def get(self, name: str) -> Metric:
+        """Look up an existing metric (KeyError if never registered)."""
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat ``{name: scalar value}`` snapshot of every metric.
+
+        Gauges additionally export ``name.peak``; timers export
+        ``name.count`` next to their total seconds.
+        """
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[name] = metric.value
+            if isinstance(metric, Gauge):
+                out[f"{name}.peak"] = metric.peak
+            elif isinstance(metric, (Timer, Histogram)):
+                out[f"{name}.count"] = metric.count
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric (keeps registrations and bounds)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({self.name!r}, {len(self._metrics)} metrics)"
+
+
+class metric_view:
+    """Descriptor exposing a registry metric as a plain numeric attribute.
+
+    The legacy stats objects use this to stay source-compatible: reading
+    the attribute reads ``metric.value``, assigning writes it (so the
+    pre-registry ``stats.taken += 1`` call sites still work).  The owning
+    instance must keep its metrics in a ``_metrics`` dict keyed by the
+    view's *key*.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def __get__(self, obj: Any, objtype: Any = None) -> Any:
+        if obj is None:
+            return self
+        return obj._metrics[self.key].value
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        metric = obj._metrics[self.key]
+        if isinstance(metric, Gauge):
+            metric.set(value)
+        else:
+            metric.value = value
+
+
+_GLOBAL = MetricsRegistry("global")
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL

@@ -1,0 +1,188 @@
+"""The structured event trace: emit, order, export, compare.
+
+One process-wide :data:`TRACER` (the simulator is single-threaded; the
+parallel engine is simulated concurrency on one thread) receives typed
+events from every subsystem.  The contract rr's engineering report
+argues for — a cheap, always-on-able event stream — translates here to:
+
+* **Disabled is (almost) free.**  ``TRACER.emit(...)`` with no sink
+  attached is one attribute test and a return.  Hot paths additionally
+  guard with ``if TRACER.enabled:`` so even the kwargs dict is never
+  built.
+* **Total order.**  Every event carries a monotonically increasing
+  ``seq`` and a monotonic-clock ``ts``; within one process, ``seq`` is
+  the ground-truth ordering (timestamps can tie).
+* **JSONL export.**  One JSON object per line, flat schema
+  ``{"seq", "ts", "type", ...fields}``; ``repro.tools.trace_report``
+  consumes this.
+* **Comparability.**  :func:`normalize_events` strips the volatile parts
+  (timestamps, global id allocation) so two traces of the same logical
+  run compare equal — the determinism guard the differential tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, IO, Iterable, Iterator, Optional, Union
+
+from repro.obs.events import validate_event
+
+
+class MemorySink:
+    """Collects events in a list (tests and in-process analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # symmetry with JsonlSink
+        pass
+
+
+class JsonlSink:
+    """Writes one JSON object per event to a file (or file-like object)."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.written = 0
+
+    def write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, default=_json_default))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON encoding for event field values."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, bytes):
+        return value.decode("utf-8", errors="replace")
+    return str(value)
+
+
+class Tracer:
+    """Dispatches typed events to attached sinks in monotonic order."""
+
+    __slots__ = ("enabled", "_sinks", "_next_seq", "_clock")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        #: True iff at least one sink is attached.  Hot call sites read
+        #: this before building event fields.
+        self.enabled = False
+        self._sinks: list[Any] = []
+        self._next_seq = 0
+        self._clock = clock
+
+    # -- sink management -----------------------------------------------
+
+    def attach(self, sink: Any) -> Any:
+        """Attach *sink* (anything with ``write(event)``); returns it."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def detach(self, sink: Any) -> None:
+        """Detach *sink*; unknown sinks are ignored."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
+
+    @contextmanager
+    def capture(self) -> Iterator[MemorySink]:
+        """Collect events into a MemorySink for the duration of a block."""
+        sink = MemorySink()
+        self.attach(sink)
+        try:
+            yield sink
+        finally:
+            self.detach(sink)
+
+    @contextmanager
+    def to_file(self, path: Union[str, IO[str]]) -> Iterator[JsonlSink]:
+        """Stream events to a JSONL file for the duration of a block."""
+        sink = JsonlSink(path)
+        self.attach(sink)
+        try:
+            yield sink
+        finally:
+            self.detach(sink)
+            sink.close()
+
+    # -- emission ------------------------------------------------------
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        """Record one event (no-op when no sink is attached).
+
+        Known event types are validated against the schema; the event
+        dict is shared across sinks (sinks must not mutate it).
+        """
+        if not self.enabled:
+            return
+        validate_event(etype, fields)
+        event = {"seq": self._next_seq, "ts": self._clock(), "type": etype}
+        event.update(fields)
+        self._next_seq += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+
+#: The process-wide tracer every instrumented subsystem emits to.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+# ----------------------------------------------------------------------
+# Trace comparison
+# ----------------------------------------------------------------------
+
+#: Fields holding globally-allocated ids, grouped by id space: two runs
+#: of the same program allocate different raw sids/asids, but the *k*-th
+#: distinct id observed must line up.  ``parent`` refers to sids.
+_ID_SPACES = {"sid": "sid", "parent": "sid", "asid": "asid"}
+
+
+def normalize_events(events: Iterable[dict]) -> list[dict]:
+    """Rewrite a trace into its run-independent canonical form.
+
+    Drops ``ts``, rebases ``seq`` to start at 0, and remaps every id
+    field to its first-occurrence index within its id space.  Two traces
+    of deterministic runs normalize to equal lists; any divergence
+    (ordering, fan-out, fault pattern) survives normalization.
+    """
+    out: list[dict] = []
+    maps: dict[str, dict[Any, int]] = {"sid": {}, "asid": {}}
+    base_seq: Optional[int] = None
+    for event in events:
+        canon = dict(event)
+        canon.pop("ts", None)
+        if base_seq is None:
+            base_seq = canon.get("seq", 0)
+        if "seq" in canon:
+            canon["seq"] -= base_seq
+        for field_name, space in _ID_SPACES.items():
+            if field_name in canon and canon[field_name] is not None:
+                mapping = maps[space]
+                raw = canon[field_name]
+                if raw not in mapping:
+                    mapping[raw] = len(mapping)
+                canon[field_name] = mapping[raw]
+        out.append(canon)
+    return out

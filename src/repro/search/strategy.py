@@ -13,20 +13,53 @@ import heapq
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.registry import MetricsRegistry, metric_view
 from repro.search.extension import Extension
 
 
-@dataclass
 class StrategyStats:
-    """Frontier accounting for one search run."""
+    """Frontier accounting for one search run.
 
-    added: int = 0
-    popped: int = 0
-    dropped: int = 0
-    peak_frontier: int = 0
+    Registry-backed (``search.frontier.*``): the attributes below are
+    views over counters/gauges so strategy internals and external
+    observers read the same numbers.
+    """
+
+    added = metric_view("added")
+    popped = metric_view("popped")
+    dropped = metric_view("dropped")
+    peak_frontier = metric_view("peak_frontier")
+
+    def __init__(
+        self,
+        added: int = 0,
+        popped: int = 0,
+        dropped: int = 0,
+        peak_frontier: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "search.frontier",
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry(prefix)
+        self._metrics = {
+            "added": self.registry.counter(f"{prefix}.added"),
+            "popped": self.registry.counter(f"{prefix}.popped"),
+            "dropped": self.registry.counter(f"{prefix}.dropped"),
+            "peak_frontier": self.registry.gauge(f"{prefix}.peak_frontier"),
+        }
+        for metric in self._metrics.values():
+            metric.reset()
+        self.added = added
+        self.popped = popped
+        self.dropped = dropped
+        self.peak_frontier = peak_frontier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StrategyStats(added={self.added}, popped={self.popped}, "
+            f"dropped={self.dropped}, peak_frontier={self.peak_frontier})"
+        )
 
 
 class Strategy(ABC):

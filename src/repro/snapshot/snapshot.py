@@ -19,24 +19,66 @@ Cost model (matching §4 of the paper):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.core.errors import SnapshotDiscardedError
 from repro.mem.addrspace import AddressSpace
 from repro.mem.frames import FramePool
+from repro.obs import events
+from repro.obs.registry import MetricsRegistry, metric_view
+from repro.obs.trace import TRACER
 
 _snapshot_ids = itertools.count(1)
 
 
-@dataclass
 class SnapshotStats:
-    """Lifecycle counters for a :class:`SnapshotManager`."""
+    """Lifecycle counters for a :class:`SnapshotManager`.
 
-    taken: int = 0
-    restored: int = 0
-    discarded: int = 0
-    live: int = 0
-    peak_live: int = 0
+    The counts live in a :class:`repro.obs.registry.MetricsRegistry`
+    under ``snapshot.*``; the historical attributes (``taken``,
+    ``restored``, ``discarded``, ``live``, ``peak_live``) are views over
+    those metrics, so both spellings read and write the same numbers.
+    ``live`` is a gauge whose own high-water mark backs ``peak_live``.
+    """
+
+    taken = metric_view("taken")
+    restored = metric_view("restored")
+    discarded = metric_view("discarded")
+    live = metric_view("live")
+    peak_live = metric_view("peak_live")
+
+    def __init__(
+        self,
+        taken: int = 0,
+        restored: int = 0,
+        discarded: int = 0,
+        live: int = 0,
+        peak_live: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "snapshot",
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry(prefix)
+        self._metrics = {
+            "taken": self.registry.counter(f"{prefix}.taken"),
+            "restored": self.registry.counter(f"{prefix}.restored"),
+            "discarded": self.registry.counter(f"{prefix}.discarded"),
+            "live": self.registry.gauge(f"{prefix}.live"),
+            "peak_live": self.registry.gauge(f"{prefix}.peak_live"),
+        }
+        for metric in self._metrics.values():
+            metric.reset()
+        self.taken = taken
+        self.restored = restored
+        self.discarded = discarded
+        self.live = live
+        self.peak_live = peak_live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotStats(taken={self.taken}, restored={self.restored}, "
+            f"discarded={self.discarded}, live={self.live}, "
+            f"peak_live={self.peak_live})"
+        )
 
 
 class Snapshot:
@@ -136,9 +178,14 @@ class SnapshotManager:
     footprint accounting are global across the snapshot tree.
     """
 
-    def __init__(self, pool: Optional[FramePool] = None):
+    def __init__(
+        self,
+        pool: Optional[FramePool] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.pool = pool if pool is not None else FramePool()
-        self.stats = SnapshotStats()
+        self.registry = registry if registry is not None else MetricsRegistry("snapshot")
+        self.stats = SnapshotStats(registry=self.registry)
 
     # ------------------------------------------------------------------
 
@@ -161,10 +208,22 @@ class SnapshotManager:
         frozen_space = space.fork_cow(name=f"snap-of-{space.name}")
         frozen_files = files.fork_cow() if hasattr(files, "fork_cow") else files
         snap = Snapshot(regs, frozen_space, frozen_files, parent)
+        self._note_take(snap)
+        return snap
+
+    def _note_take(self, snap: Snapshot) -> None:
+        """Account one successful take (shared with the baselines)."""
         self.stats.taken += 1
         self.stats.live += 1
         self.stats.peak_live = max(self.stats.peak_live, self.stats.live)
-        return snap
+        if TRACER.enabled:
+            TRACER.emit(
+                events.SNAPSHOT_TAKE,
+                sid=snap.sid,
+                parent=snap.parent.sid if snap.parent is not None else None,
+                live=self.stats.live,
+                depth=snap.depth,
+            )
 
     def restore(self, snap: Snapshot) -> tuple[Any, AddressSpace, Any]:
         """Materialise a fresh mutable execution state from *snap*.
@@ -176,23 +235,45 @@ class SnapshotManager:
         number of times.
         """
         if not snap.alive:
-            raise ValueError(f"restore of discarded snapshot {snap.sid}")
+            raise SnapshotDiscardedError(snap.sid, "restore")
         space = snap.space.fork_cow(name=f"restore-{snap.sid}")
         files = (
             snap.files.fork_cow() if hasattr(snap.files, "fork_cow") else snap.files
         )
-        self.stats.restored += 1
+        self._note_restore(snap, space)
         return snap.regs, space, files
 
+    def _note_restore(self, snap: Snapshot, space: AddressSpace) -> None:
+        """Account one successful restore (shared with the baselines).
+
+        The restore event records the fresh space's asid: later
+        ``mem.cow_fault`` events carry the same asid, which is how a
+        trace report attributes COW work back to the restore that
+        incurred it.
+        """
+        self.stats.restored += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                events.SNAPSHOT_RESTORE, sid=snap.sid, asid=space.asid
+            )
+
     def discard(self, snap: Snapshot) -> None:
-        """Release *snap*'s resources.  Idempotent.
+        """Release *snap*'s resources.
 
         Only pages not shared with relatives are actually freed (the
         refcounted page table takes care of that).  Children keep working:
         they hold their own references to every frame they share.
+
+        Discarding an already-discarded snapshot raises
+        :class:`repro.core.errors.SnapshotDiscardedError`: a double
+        discard means the caller's liveness bookkeeping is wrong, and
+        silently ignoring it is how use-after-free bugs hide.  Callers
+        that legitimately race lifecycle decisions check ``snap.alive``
+        first (as :class:`repro.snapshot.tree.SnapshotTree` does).
         """
         if not snap.alive:
-            return
+            raise SnapshotDiscardedError(snap.sid, "discard")
+        private = snap.space.resident_private_pages() if TRACER.enabled else 0
         snap.alive = False
         snap.space.free()
         if hasattr(snap.files, "free"):
@@ -201,6 +282,13 @@ class SnapshotManager:
             snap.parent.children.remove(snap)
         self.stats.discarded += 1
         self.stats.live -= 1
+        if TRACER.enabled:
+            TRACER.emit(
+                events.SNAPSHOT_DISCARD,
+                sid=snap.sid,
+                private_pages=private,
+                live=self.stats.live,
+            )
 
     def discard_subtree(self, snap: Snapshot) -> int:
         """Discard *snap* and every live descendant; returns the count."""

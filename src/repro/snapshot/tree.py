@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
+from repro.obs import events
+from repro.obs.trace import TRACER
 from repro.snapshot.snapshot import Snapshot, SnapshotManager
 
 
@@ -24,6 +26,9 @@ class SnapshotTree:
         #: Reference counts of *pending work*: how many unevaluated
         #: extensions (or running evaluations) still need each snapshot.
         self._pins: dict[int, int] = {}
+        #: Snapshots discarded by pin-exhaustion pruning (frontier
+        #: hygiene, as opposed to explicit engine discards).
+        self._pruned = manager.registry.counter("snapshot.pruned")
 
     # ------------------------------------------------------------------
 
@@ -89,7 +94,10 @@ class SnapshotTree:
             and self._pins.get(snap.sid, 0) == 0
         ):
             parent = snap.parent
+            if TRACER.enabled:
+                TRACER.emit(events.SNAPSHOT_PRUNE, sid=snap.sid, depth=snap.depth)
             self.manager.discard(snap)
+            self._pruned.inc()
             del self._by_id[snap.sid]
             if snap is self.root:
                 self.root = None

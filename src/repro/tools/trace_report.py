@@ -1,0 +1,317 @@
+"""Summarize an observability trace (JSONL) into per-subsystem tables.
+
+Usage::
+
+    python -m repro.tools.trace_report trace.jsonl [--json]
+
+The input is the event stream :class:`repro.obs.trace.JsonlSink` writes
+(one JSON object per line, ``{"seq", "ts", "type", ...fields}``), for
+example from::
+
+    pytest benchmarks/ --benchmark-only --obs-trace=trace.jsonl
+
+The report answers the questions the paper's cost model poses:
+
+* snapshot lifecycle — how many takes/restores/discards/prunes, peak
+  live snapshots (recomputed from the event stream, not trusted from
+  counters);
+* **COW faults per restore** — each ``snapshot.restore`` records the
+  asid of the space it materialized; ``mem.cow_fault`` events carry the
+  faulting asid, so joining the two attributes per-page COW work to the
+  restore that incurred it.  O(1) restore + per-page faults is *the*
+  headline claim, and this is its direct measurement;
+* syscall mix and search shape (guesses / fails / solutions / depth);
+* parallel scheduling activity per worker.
+
+``--json`` emits the same summary as one machine-readable JSON object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.bench.report import Table
+from repro.obs import events as ev
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number (a truncated trace should be loud, not a
+    silently shorter report).
+    """
+    out: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(f"{path}:{lineno}: bad JSONL line: {err}") from None
+            if not isinstance(event, dict) or "type" not in event:
+                raise ValueError(f"{path}:{lineno}: not a trace event")
+            out.append(event)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Summaries (plain data, shared by table and JSON output)
+# ----------------------------------------------------------------------
+
+
+def summarize(events: Iterable[dict]) -> dict[str, Any]:
+    """Reduce an event stream to the per-subsystem summary dict."""
+    events = list(events)
+    type_counts = TallyCounter(e["type"] for e in events)
+
+    # -- snapshot lifecycle, recomputed from the stream ----------------
+    live = 0
+    peak_live = 0
+    for e in events:
+        if e["type"] == ev.SNAPSHOT_TAKE:
+            live += 1
+            peak_live = max(peak_live, live)
+        elif e["type"] == ev.SNAPSHOT_DISCARD:
+            live -= 1
+    snapshot = {
+        "taken": type_counts.get(ev.SNAPSHOT_TAKE, 0),
+        "restored": type_counts.get(ev.SNAPSHOT_RESTORE, 0),
+        "discarded": type_counts.get(ev.SNAPSHOT_DISCARD, 0),
+        "pruned": type_counts.get(ev.SNAPSHOT_PRUNE, 0),
+        "peak_live": peak_live,
+        "end_live": live,
+        "private_pages_freed": sum(
+            e.get("private_pages", 0)
+            for e in events
+            if e["type"] == ev.SNAPSHOT_DISCARD
+        ),
+    }
+
+    # -- COW-faults-per-restore correlation ----------------------------
+    faults_by_asid: dict[Any, int] = defaultdict(int)
+    zero_fills_by_asid: dict[Any, int] = defaultdict(int)
+    for e in events:
+        if e["type"] == ev.MEM_COW_FAULT:
+            if e.get("kind") == "zero":
+                zero_fills_by_asid[e["asid"]] += 1
+            else:
+                faults_by_asid[e["asid"]] += 1
+    restores = [e for e in events if e["type"] == ev.SNAPSHOT_RESTORE]
+    per_restore = [
+        {
+            "sid": e["sid"],
+            "asid": e["asid"],
+            "cow_faults": faults_by_asid.get(e["asid"], 0),
+            "zero_fills": zero_fills_by_asid.get(e["asid"], 0),
+        }
+        for e in restores
+    ]
+    fault_counts = [r["cow_faults"] for r in per_restore]
+    restore_asids = {e["asid"] for e in restores}
+    cow = {
+        "restores": len(per_restore),
+        "cow_faults_total": sum(faults_by_asid.values()),
+        "cow_faults_in_restored_spaces": sum(fault_counts),
+        "zero_fills_total": sum(zero_fills_by_asid.values()),
+        "per_restore_mean": (
+            sum(fault_counts) / len(fault_counts) if fault_counts else 0.0
+        ),
+        "per_restore_max": max(fault_counts, default=0),
+        "per_restore_min": min(fault_counts, default=0),
+        # Faults in spaces that were never the product of a restore
+        # (the mutable pre-guess execution spaces).
+        "cow_faults_elsewhere": sum(
+            n for asid, n in faults_by_asid.items() if asid not in restore_asids
+        ),
+        "hottest": sorted(
+            per_restore, key=lambda r: r["cow_faults"], reverse=True
+        )[:5],
+    }
+
+    # -- syscalls ------------------------------------------------------
+    sys_tally: dict[tuple[Any, Any], int] = defaultdict(int)
+    for e in events:
+        if e["type"] == ev.LIBOS_SYSCALL:
+            sys_tally[(e.get("nr"), e.get("name", "?"))] += 1
+    syscalls = [
+        {"nr": nr, "name": name, "count": count}
+        for (nr, name), count in sorted(
+            sys_tally.items(), key=lambda item: item[1], reverse=True
+        )
+    ]
+
+    # -- search shape --------------------------------------------------
+    guesses = [e for e in events if e["type"] == ev.SEARCH_GUESS]
+    search = {
+        "guesses": len(guesses),
+        "fails": type_counts.get(ev.SEARCH_FAIL, 0),
+        "solutions": type_counts.get(ev.SEARCH_SOLUTION, 0),
+        "total_fanout": sum(e.get("n", 0) for e in guesses),
+        "max_depth": max(
+            (
+                e.get("depth", 0)
+                for e in events
+                if e["type"]
+                in (ev.SEARCH_GUESS, ev.SEARCH_FAIL, ev.SEARCH_SOLUTION)
+            ),
+            default=0,
+        ),
+    }
+
+    # -- parallel scheduling -------------------------------------------
+    sched_by_worker: dict[Any, int] = defaultdict(int)
+    preempt_by_worker: dict[Any, int] = defaultdict(int)
+    for e in events:
+        if e["type"] == ev.PARALLEL_SCHEDULE:
+            sched_by_worker[e["worker"]] += 1
+        elif e["type"] == ev.PARALLEL_PREEMPT:
+            preempt_by_worker[e["worker"]] += 1
+    workers = sorted(set(sched_by_worker) | set(preempt_by_worker))
+    parallel = {
+        "workers": [
+            {
+                "worker": w,
+                "schedules": sched_by_worker.get(w, 0),
+                "preempts": preempt_by_worker.get(w, 0),
+            }
+            for w in workers
+        ],
+        "schedules": sum(sched_by_worker.values()),
+        "preempts": sum(preempt_by_worker.values()),
+    }
+
+    # -- memory --------------------------------------------------------
+    allocs = [e for e in events if e["type"] == ev.MEM_PAGE_ALLOC]
+    mem = {
+        "cow_faults": cow["cow_faults_total"],
+        "zero_fills": cow["zero_fills_total"],
+        "page_alloc_calls": len(allocs),
+        "pages_allocated": sum(e.get("pages", 0) for e in allocs),
+    }
+
+    return {
+        "events": len(events),
+        "event_counts": dict(sorted(type_counts.items())),
+        "snapshot": snapshot,
+        "cow_per_restore": cow,
+        "mem": mem,
+        "syscalls": syscalls,
+        "search": search,
+        "parallel": parallel,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+
+
+def build_tables(summary: dict[str, Any]) -> list[Table]:
+    tables: list[Table] = []
+
+    counts = Table("Trace events", ["event type", "count"])
+    for etype, count in summary["event_counts"].items():
+        counts.add(etype, count)
+    counts.add("total", summary["events"])
+    tables.append(counts)
+
+    snap = summary["snapshot"]
+    lifecycle = Table("Snapshot lifecycle", ["metric", "value"])
+    for key in (
+        "taken", "restored", "discarded", "pruned",
+        "peak_live", "end_live", "private_pages_freed",
+    ):
+        lifecycle.add(key, snap[key])
+    tables.append(lifecycle)
+
+    cow = summary["cow_per_restore"]
+    corr = Table("COW faults per restore", ["metric", "value"])
+    corr.add("restores", cow["restores"])
+    corr.add("cow faults (total)", cow["cow_faults_total"])
+    corr.add("cow faults (in restored spaces)", cow["cow_faults_in_restored_spaces"])
+    corr.add("cow faults (elsewhere)", cow["cow_faults_elsewhere"])
+    corr.add("zero fills (total)", cow["zero_fills_total"])
+    corr.add("mean per restore", round(cow["per_restore_mean"], 3))
+    corr.add("min per restore", cow["per_restore_min"])
+    corr.add("max per restore", cow["per_restore_max"])
+    tables.append(corr)
+
+    if cow["hottest"]:
+        hot = Table(
+            "Hottest restores (by COW faults)",
+            ["snapshot", "asid", "cow faults", "zero fills"],
+        )
+        for row in cow["hottest"]:
+            hot.add(row["sid"], row["asid"], row["cow_faults"], row["zero_fills"])
+        tables.append(hot)
+
+    if summary["syscalls"]:
+        sys_table = Table("Syscalls", ["name", "nr", "count"])
+        for row in summary["syscalls"]:
+            sys_table.add(row["name"], row["nr"], row["count"])
+        tables.append(sys_table)
+
+    search = summary["search"]
+    search_table = Table("Search", ["metric", "value"])
+    for key in ("guesses", "total_fanout", "fails", "solutions", "max_depth"):
+        search_table.add(key, search[key])
+    tables.append(search_table)
+
+    if summary["parallel"]["workers"]:
+        par = Table("Parallel workers", ["worker", "schedules", "preempts"])
+        for row in summary["parallel"]["workers"]:
+            par.add(row["worker"], row["schedules"], row["preempts"])
+        tables.append(par)
+
+    return tables
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace_report",
+        description="Summarize an observability trace (JSONL) into tables.",
+    )
+    parser.add_argument("trace", help="JSONL trace file (from --obs-trace "
+                        "or repro.obs.trace.JsonlSink)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the summary as one JSON object")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except OSError as err:
+        print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    summary = summarize(events)
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not events:
+        print(f"{args.trace}: empty trace")
+        return 0
+    for table in build_tables(summary):
+        print(table.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,14 +1,25 @@
 """Stateful property tests for the snapshot tree.
 
 Random interleavings of take / restore / write / discard must preserve
-the core invariant: every live snapshot's image equals the byte model
-captured when it was taken, no matter what happens around it.
+the core invariants, no matter what happens around them:
+
+* every live snapshot's image equals the byte model captured when it was
+  taken (COW immutability);
+* the lifecycle counters never drift: ``live`` equals the number of
+  snapshots taken and not yet discarded, ``peak_live`` is its high-water
+  mark, and ``taken == discarded + live`` at every step;
+* the observability registry and the legacy ``SnapshotStats`` attributes
+  are views of the *same* numbers (the PR-1 migration contract);
+* a discarded snapshot can never be restored, and a double discard is a
+  typed error — the Silhouette bug-8 shape (operating on freed snapshot
+  state) must be impossible to reach silently.
 """
 
 import pytest
 from hypothesis import settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
+from repro.core.errors import SnapshotDiscardedError
 from repro.mem import AddressSpace, PAGE_SIZE, Permission
 from repro.snapshot import SnapshotManager
 
@@ -65,7 +76,38 @@ class SnapshotInvariants(RuleBasedStateMachine):
         if not self.snaps:
             return
         snap, _ = self.snaps[idx % len(self.snaps)]
+        if not snap.alive:
+            return
         self.manager.discard(snap)
+
+    # -- lifecycle misuse must be loud, never silent -------------------
+
+    @rule(idx=st.integers(0, 63))
+    def restore_from_discarded_is_refused(self, idx):
+        """The Silhouette bug-8 shape: using freed snapshot state."""
+        if not self.snaps:
+            return
+        snap, _ = self.snaps[idx % len(self.snaps)]
+        if snap.alive:
+            return
+        before = self.manager.stats.restored
+        with pytest.raises(SnapshotDiscardedError):
+            self.manager.restore(snap)
+        assert self.manager.stats.restored == before
+
+    @rule(idx=st.integers(0, 63))
+    def double_discard_is_refused(self, idx):
+        if not self.snaps:
+            return
+        snap, _ = self.snaps[idx % len(self.snaps)]
+        if snap.alive:
+            return
+        before = self.manager.stats.discarded
+        with pytest.raises(SnapshotDiscardedError):
+            self.manager.discard(snap)
+        assert self.manager.stats.discarded == before
+
+    # -- invariants ----------------------------------------------------
 
     @invariant()
     def live_snapshots_match_their_models(self):
@@ -87,12 +129,37 @@ class SnapshotInvariants(RuleBasedStateMachine):
                 model[off : off + PAGE_SIZE]
             )
 
+    @invariant()
+    def lifecycle_counters_never_drift(self):
+        stats = self.manager.stats
+        alive = sum(1 for snap, _ in self.snaps if snap.alive)
+        assert stats.live == alive
+        assert stats.taken == len(self.snaps)
+        assert stats.taken == stats.discarded + stats.live
+        assert stats.peak_live >= stats.live
+        assert stats.restored >= 0
+
+    @invariant()
+    def registry_equals_legacy_stats(self):
+        """The registry metrics ARE the legacy fields, not a copy."""
+        stats = self.manager.stats
+        metrics = self.manager.registry.as_dict()
+        assert metrics["snapshot.taken"] == stats.taken
+        assert metrics["snapshot.restored"] == stats.restored
+        assert metrics["snapshot.discarded"] == stats.discarded
+        assert metrics["snapshot.live"] == stats.live
+        assert metrics["snapshot.peak_live"] == stats.peak_live
+        # peak is maintained by the gauge itself, not by caller max().
+        assert metrics["snapshot.live.peak"] == stats.peak_live
+
     def teardown(self):
         for snap, _ in self.snaps:
-            self.manager.discard(snap)
+            if snap.alive:
+                self.manager.discard(snap)
         for space, _ in self.spaces:
             space.free()
         assert self.manager.pool.live_frames <= 1  # zero frame only
+        assert self.manager.stats.live == 0
 
 
 SnapshotInvariants.TestCase.settings = settings(

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.errors import SnapshotDiscardedError
 from repro.mem import AddressSpace, FramePool, PAGE_SIZE, Permission
 from repro.snapshot import SnapshotManager
 
@@ -99,6 +100,14 @@ class TestRestore:
         with pytest.raises(ValueError, match="discarded"):
             mgr.restore(snap)
 
+    def test_restore_discarded_raises_typed_error(self, mgr, space):
+        snap = mgr.take(space)
+        mgr.discard(snap)
+        with pytest.raises(SnapshotDiscardedError) as excinfo:
+            mgr.restore(snap)
+        assert excinfo.value.sid == snap.sid
+        assert excinfo.value.operation == "restore"
+
     def test_restore_is_frame_free_until_write(self, mgr, space):
         space.write(BASE, b"x" * (4 * PAGE_SIZE))
         snap = mgr.take(space)
@@ -121,11 +130,23 @@ class TestDiscard:
         assert mgr.pool.live_frames == live
         r.free()
 
-    def test_discard_idempotent(self, mgr, space):
+    def test_double_discard_raises_typed_error(self, mgr, space):
         snap = mgr.take(space)
         mgr.discard(snap)
-        mgr.discard(snap)
+        with pytest.raises(SnapshotDiscardedError) as excinfo:
+            mgr.discard(snap)
+        assert excinfo.value.sid == snap.sid
+        assert excinfo.value.operation == "discard"
+        # The failed discard must not corrupt the lifecycle counters.
         assert mgr.stats.discarded == 1
+        assert mgr.stats.live == 0
+
+    def test_double_discard_error_is_a_value_error(self, mgr, space):
+        # Compatibility: pre-typed-error callers caught ValueError.
+        snap = mgr.take(space)
+        mgr.discard(snap)
+        with pytest.raises(ValueError, match="discarded"):
+            mgr.discard(snap)
 
     def test_discard_detaches_from_parent(self, mgr, space):
         parent = mgr.take(space)

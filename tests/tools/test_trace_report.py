@@ -1,0 +1,153 @@
+"""Tests for the trace_report CLI: loading, summarizing, rendering."""
+
+import json
+
+import pytest
+
+from repro.core.machine import MachineEngine
+from repro.obs import events as ev
+from repro.obs.trace import TRACER
+from repro.tools import trace_report
+from repro.workloads.nqueens import nqueens_asm
+
+
+@pytest.fixture(scope="module")
+def nqueens_trace(tmp_path_factory):
+    """A real trace: MachineEngine solving 4-queens, written as JSONL."""
+    path = str(tmp_path_factory.mktemp("trace") / "nqueens.jsonl")
+    with TRACER.to_file(path):
+        MachineEngine().run(nqueens_asm(4))
+    return path
+
+
+class TestLoadEvents:
+    def test_loads_real_trace(self, nqueens_trace):
+        events = trace_report.load_events(nqueens_trace)
+        assert events
+        assert all("type" in e and "seq" in e for e in events)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq": 0, "ts": 0.0, "type": "x"}\n\n\n')
+        assert len(trace_report.load_events(str(path))) == 1
+
+    def test_bad_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq": 0, "ts": 0.0, "type": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            trace_report.load_events(str(path))
+
+    def test_non_event_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not a trace event"):
+            trace_report.load_events(str(path))
+
+
+class TestSummarize:
+    def test_real_run_summary(self, nqueens_trace):
+        events = trace_report.load_events(nqueens_trace)
+        summary = trace_report.summarize(events)
+
+        snap = summary["snapshot"]
+        assert snap["taken"] == snap["discarded"] > 0
+        assert snap["end_live"] == 0
+        assert snap["peak_live"] >= 1
+        assert snap["pruned"] > 0
+
+        cow = summary["cow_per_restore"]
+        assert cow["restores"] == snap["restored"] > 0
+        assert cow["per_restore_max"] >= cow["per_restore_mean"] >= 0
+        assert len(cow["hottest"]) <= 5
+
+        search = summary["search"]
+        assert search["solutions"] == 2  # 4-queens
+        assert search["guesses"] > 0
+        assert search["max_depth"] == 4
+        assert search["total_fanout"] == 4 * search["guesses"]
+
+        names = {row["name"] for row in summary["syscalls"]}
+        assert {"guess", "exit"} <= names
+        assert summary["parallel"]["workers"] == []  # serial engine
+
+    def test_cow_join_attributes_faults_to_restores(self):
+        events = [
+            {"seq": 0, "ts": 0.0, "type": ev.SNAPSHOT_RESTORE, "sid": 1, "asid": 10},
+            {"seq": 1, "ts": 0.1, "type": ev.MEM_COW_FAULT,
+             "asid": 10, "vpn": 5, "kind": "cow"},
+            {"seq": 2, "ts": 0.2, "type": ev.MEM_COW_FAULT,
+             "asid": 10, "vpn": 6, "kind": "cow"},
+            {"seq": 3, "ts": 0.3, "type": ev.MEM_COW_FAULT,
+             "asid": 99, "vpn": 7, "kind": "cow"},
+        ]
+        cow = trace_report.summarize(events)["cow_per_restore"]
+        assert cow["restores"] == 1
+        assert cow["cow_faults_in_restored_spaces"] == 2
+        assert cow["cow_faults_elsewhere"] == 1
+        assert cow["per_restore_mean"] == 2.0
+        assert cow["hottest"][0]["cow_faults"] == 2
+
+    def test_zero_fills_counted_separately(self):
+        events = [
+            {"seq": 0, "ts": 0.0, "type": ev.SNAPSHOT_RESTORE, "sid": 1, "asid": 10},
+            {"seq": 1, "ts": 0.1, "type": ev.MEM_COW_FAULT,
+             "asid": 10, "vpn": 5, "kind": "zero"},
+        ]
+        cow = trace_report.summarize(events)["cow_per_restore"]
+        assert cow["cow_faults_in_restored_spaces"] == 0
+        assert cow["zero_fills_total"] == 1
+
+    def test_empty_stream(self):
+        summary = trace_report.summarize([])
+        assert summary["events"] == 0
+        assert summary["snapshot"]["peak_live"] == 0
+        assert summary["cow_per_restore"]["per_restore_mean"] == 0.0
+
+
+class TestTablesAndCli:
+    def test_cli_prints_expected_tables(self, nqueens_trace, capsys):
+        assert trace_report.main([nqueens_trace]) == 0
+        out = capsys.readouterr().out
+        for heading in (
+            "Trace events",
+            "Snapshot lifecycle",
+            "COW faults per restore",
+            "Syscalls",
+            "Search",
+        ):
+            assert heading in out
+        assert "peak_live" in out
+        assert "mean per restore" in out
+        assert "guess" in out
+
+    def test_cli_json_mode_round_trips(self, nqueens_trace, capsys):
+        assert trace_report.main([nqueens_trace, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+        assert summary["snapshot"]["taken"] > 0
+
+    def test_cli_missing_file_fails(self, tmp_path, capsys):
+        assert trace_report.main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_cli_corrupt_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n")
+        assert trace_report.main([str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_empty_file_succeeds(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert trace_report.main([str(path)]) == 0
+        assert "empty trace" in capsys.readouterr().out
+
+    def test_parallel_trace_gets_worker_table(self, tmp_path, capsys):
+        from repro.core.parallel import ParallelMachineEngine
+
+        path = str(tmp_path / "par.jsonl")
+        with TRACER.to_file(path):
+            ParallelMachineEngine(workers=2, quantum=64).run(nqueens_asm(4))
+        assert trace_report.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "Parallel workers" in out
