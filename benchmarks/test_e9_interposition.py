@@ -112,7 +112,7 @@ def test_e9_refusals(benchmark, show):
     eacces = (-13) & 0xFFFFFFFF
     statuses = [v[0] for v in result.solution_values]
     assert statuses == [-13]
-    assert result.stats.extra.get("kills") == 1
+    assert result.stats.kills == 1
     denials = engine.libos.audit.denials
     assert any(r.syscall == "open" for r in denials)
     assert any(r.syscall == "syscall" for r in denials)

@@ -1,0 +1,717 @@
+"""Process-parallel exploration with replay-based rehydration.
+
+§3 contrasts sequential DFS with "a parallel depth-first-search strategy
+[that] might simply fork without waiting", and Figure 2 draws one
+extension-evaluation box per CPU core.  :class:`ProcessParallelEngine`
+realises that architecture with real OS processes:
+
+* a **coordinator** owns a frontier of :class:`~repro.search.shard.PrefixTask`
+  subtree roots — decision prefixes, not snapshots, because page tables
+  must never cross a process boundary;
+* N **workers**, each owning a full engine stack (libOS, frame pool,
+  snapshot manager, vCPU), rehydrate an assigned task by deterministically
+  replaying its guess prefix from the program start (the record/replay
+  lever of user-space replay systems), then explore the whole subtree
+  under it *locally* with lightweight snapshots — amortizing the replay
+  cost over every extension inside the subtree;
+* when a worker exceeds its depth or step budget it converts its local
+  snapshot frontier back into prefix tasks and **spills** them to the
+  coordinator, which shards them to idle workers.
+
+Robustness: a per-task wall-clock timeout, worker-crash detection with
+bounded retry of the lost tasks, and graceful shutdown.  Observability:
+per-worker registry snapshots are merged into the coordinator's registry
+(:meth:`~repro.obs.registry.MetricsRegistry.merge_state`), and the
+coordinator emits ``parallel.*`` trace events.
+
+Within one worker the semantics are exactly :class:`MachineEngine`'s;
+across workers the solution *set* is identical while discovery order is
+nondeterministic — the differential suite pins this down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Optional, Union
+
+from repro.core.errors import GuessError
+from repro.core.result import SearchResult, SearchStats, Solution
+from repro.cpu.assembler import Program, assemble
+from repro.libos.libos import ExecState, LibOS
+from repro.libos.syscalls import (
+    ContinueAction,
+    ExitAction,
+    GuessAction,
+    GuessFailAction,
+    KillAction,
+    StrategyAction,
+)
+from repro.mem.frames import FramePool
+from repro.obs import events as _events
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TRACER as _TRACER
+from repro.search import get_strategy
+from repro.search.extension import Extension
+from repro.search.shard import PrefixTask, TaskFrontier, spill_extension
+from repro.snapshot.snapshot import Snapshot, SnapshotManager
+from repro.snapshot.tree import SnapshotTree
+from repro.vmm.vcpu import VCpu
+
+
+class WorkerError(RuntimeError):
+    """A worker process reported an unrecoverable guest/engine error."""
+
+    def __init__(self, worker_id: int, detail: str):
+        self.worker_id = worker_id
+        self.detail = detail
+        super().__init__(f"worker {worker_id}: {detail}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Picklable knobs shipped to every worker process."""
+
+    strategy: str = "dfs"
+    max_steps_per_extension: int = 5_000_000
+    #: Spill choice points deeper than this many guesses below the task
+    #: root (None = no depth limit; rely on the step budget).
+    subtree_depth: Optional[int] = None
+    #: Guest instructions of *new* exploration per task before the local
+    #: frontier is spilled back (replay of the prefix is not charged).
+    task_step_budget: Optional[int] = 25_000
+    #: Test hook, called as ``fault_hook(task)`` in the worker before
+    #: each task — fault-injection tests crash or stall here.
+    fault_hook: Optional[Callable[[PrefixTask], None]] = None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _Candidate:
+    """Worker-local partial candidate: snapshot + full path + fanouts.
+
+    Unlike :class:`MachineEngine`'s candidate, this one keeps the fanout
+    chain so any unevaluated extension can be converted back into a
+    replayable :class:`PrefixTask` at spill time — local snapshot state
+    is always *rebuildable*, which is what makes it safe to throw away.
+    """
+
+    __slots__ = ("snapshot", "path", "fanouts", "n", "console")
+
+    def __init__(self, snapshot: Snapshot, path: tuple[int, ...],
+                 fanouts: tuple[int, ...], n: int, console):
+        self.snapshot = snapshot
+        self.path = path
+        self.fanouts = fanouts
+        self.n = n
+        self.console = console
+
+
+@dataclass
+class _Pending:
+    """The extension step currently executing in the worker."""
+
+    state: ExecState
+    path: tuple[int, ...]
+    fanouts: tuple[int, ...]
+    parent: Optional[_Candidate]
+    steps_used: int = 0
+    #: Guess outcomes still to feed from the task prefix (replay mode
+    #: while nonzero remain).
+    replay_pos: int = 0
+
+
+class _SubtreeWorker:
+    """One worker's engine stack: rehydrate a task, explore its subtree.
+
+    Created once per worker process; :meth:`explore` is called per task.
+    All snapshot state is torn down at the end of every task, so frames
+    never accumulate across tasks and the registry gauges return to
+    zero between result messages (which is what makes delta-shipping the
+    registry sound).
+    """
+
+    def __init__(self, program: Program, config: ClusterConfig):
+        self.program = program
+        self.config = config
+        self.libos = LibOS()
+        self.pool = FramePool()
+        self.registry = MetricsRegistry("cluster-worker")
+        self.manager = SnapshotManager(self.pool, registry=self.registry)
+        self.vcpu = VCpu()
+        self.stats = SearchStats(registry=self.registry)
+        self._steps_counter = self.registry.counter("parallel.guest_steps")
+        self._replay_counter = self.registry.counter("parallel.replay_steps")
+        self._task_timer = self.registry.timer("parallel.task_time")
+        # FramePool keeps its stats on the pool object, not in a registry;
+        # ship per-task deltas so the coordinator sees copy totals.
+        self._frames_copied = self.registry.counter("mem.frames_copied")
+        self._last_copied = 0
+
+    # -- public entry point --------------------------------------------
+
+    def explore(self, task: PrefixTask, solutions_budget: Optional[int]):
+        """Run one task to completion; returns (solutions, spilled).
+
+        ``solutions`` is a list of ``(path, status, text)`` triples;
+        ``spilled`` the prefix tasks for subtrees this worker did not
+        enter (budget exceedances and solution-budget early stops).
+        """
+        with self._task_timer.time():
+            return self._explore(task, solutions_budget)
+
+    def _explore(self, task: PrefixTask, solutions_budget: Optional[int]):
+        cfg = self.config
+        strategy = get_strategy(cfg.strategy)
+        tree = SnapshotTree(self.manager)
+        solutions: list[tuple[tuple[int, ...], int, str]] = []
+        spilled: list[PrefixTask] = []
+        explore_steps = 0
+
+        state, regs = self.libos.load(self.program, self.pool)
+        self.vcpu.regs.load(regs.frozen())
+        self.stats.evaluations += 1
+        pending = _Pending(state, task.prefix, task.fanouts, None)
+
+        def over_budget() -> bool:
+            return (
+                cfg.task_step_budget is not None
+                and explore_steps >= cfg.task_step_budget
+            )
+
+        def finish(pending: _Pending) -> None:
+            pending.state.free()
+            if pending.parent is not None:
+                tree.unpin(pending.parent.snapshot)
+
+        def handle_guess(action: GuessAction, pending: _Pending) -> None:
+            n = action.n
+            if action.hints is not None and len(action.hints) != n:
+                raise GuessError("hint vector length does not match fan-out")
+            if n == 0:
+                self.stats.fails += 1
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
+                finish(pending)
+                return
+            hints = tuple(action.hints) if action.hints is not None else None
+            local_depth = len(pending.path) - task.depth
+            if (
+                (cfg.subtree_depth is not None
+                 and local_depth >= cfg.subtree_depth)
+                or over_budget()
+                or (solutions_budget is not None
+                    and len(solutions) >= solutions_budget)
+            ):
+                # Outside this task's budget: hand the whole choice point
+                # back to the coordinator as replayable subtree roots.
+                spilled.extend(
+                    spill_extension(pending.path, pending.fanouts, n, hints)
+                )
+                finish(pending)
+                return
+            parent_snap = pending.parent.snapshot if pending.parent else None
+            snap = self.manager.take(
+                pending.state.space,
+                regs=self.vcpu.regs.frozen(),
+                files=pending.state.files,
+                parent=parent_snap if parent_snap and parent_snap.alive else None,
+            )
+            cand = _Candidate(snap, pending.path, pending.fanouts, n,
+                              pending.state.console.fork_cow())
+            tree.add(snap)
+            tree.pin(snap, n)
+            self.stats.candidates += 1
+            if _TRACER.enabled:
+                _TRACER.emit(
+                    _events.SEARCH_GUESS, n=n, depth=len(pending.path),
+                    sid=snap.sid,
+                )
+            strategy.add(
+                Extension(
+                    cand,
+                    number=i,
+                    hint=hints[i] if hints is not None else None,
+                    depth=len(pending.path),
+                )
+                for i in range(n)
+            )
+            finish(pending)
+
+        def run_pending(pending: _Pending) -> None:
+            nonlocal explore_steps
+            prefix = task.prefix
+            replaying = pending.replay_pos < len(prefix)
+            while True:
+                budget = self.config.max_steps_per_extension - pending.steps_used
+                self.vcpu.attach(pending.state.space)
+                exit_event = self.vcpu.enter(max_steps=max(budget, 1))
+                pending.steps_used += exit_event.steps
+                if replaying:
+                    self._replay_counter.inc(exit_event.steps)
+                else:
+                    self._steps_counter.inc(exit_event.steps)
+                    explore_steps += exit_event.steps
+                action = self.libos.handle_exit(exit_event, self.vcpu,
+                                                pending.state)
+                if isinstance(action, ContinueAction):
+                    if pending.steps_used >= self.config.max_steps_per_extension:
+                        self.stats.kills += 1
+                        finish(pending)
+                        return
+                    continue
+                if isinstance(action, StrategyAction):
+                    # Guest strategy selection is coordinator policy in
+                    # the cluster engine; acknowledge and ignore.
+                    continue
+                if isinstance(action, GuessAction):
+                    if pending.replay_pos < len(prefix):
+                        pos = pending.replay_pos
+                        if action.n != pending.fanouts[pos]:
+                            raise GuessError(
+                                "nondeterministic guest: replayed guess at "
+                                f"depth {pos} had fan-out "
+                                f"{pending.fanouts[pos]}, now {action.n}"
+                            )
+                        self.vcpu.regs.rax = prefix[pos]
+                        pending.replay_pos = pos + 1
+                        self.stats.replayed_decisions += 1
+                        replaying = pending.replay_pos < len(prefix)
+                        continue
+                    handle_guess(action, pending)
+                    return
+                if pending.replay_pos < len(prefix):
+                    raise GuessError(
+                        "nondeterministic guest: path ended at depth "
+                        f"{pending.replay_pos} during replay of a prefix "
+                        f"of length {len(prefix)}"
+                    )
+                if isinstance(action, GuessFailAction):
+                    self.stats.fails += 1
+                    if _TRACER.enabled:
+                        _TRACER.emit(_events.SEARCH_FAIL,
+                                     depth=len(pending.path))
+                    finish(pending)
+                    return
+                if isinstance(action, ExitAction):
+                    self.stats.completions += 1
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.SEARCH_SOLUTION,
+                            depth=len(pending.path),
+                            path=list(pending.path),
+                        )
+                    solutions.append(
+                        (pending.path, action.status,
+                         pending.state.console.text)
+                    )
+                    finish(pending)
+                    return
+                if isinstance(action, KillAction):
+                    self.stats.kills += 1
+                    finish(pending)
+                    return
+                raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
+
+        run_pending(pending)
+        while True:
+            if (
+                solutions_budget is not None
+                and len(solutions) >= solutions_budget
+            ) or over_budget():
+                break
+            ext = strategy.next()
+            if ext is None:
+                break
+            self.stats.evaluations += 1
+            cand: _Candidate = ext.candidate
+            regs2, space, files = self.manager.restore(cand.snapshot)
+            self.vcpu.regs.load(regs2)
+            self.vcpu.regs.rax = ext.number
+            run_pending(
+                _Pending(
+                    ExecState(space, files, cand.console.fork_cow()),
+                    cand.path + (ext.number,),
+                    cand.fanouts + (cand.n,),
+                    cand,
+                    replay_pos=len(task.prefix),
+                )
+            )
+
+        # Convert whatever local frontier remains into replayable tasks
+        # and unwind its pins so the snapshot tree (and its frames) die.
+        while True:
+            ext = strategy.next()
+            if ext is None:
+                break
+            cand = ext.candidate
+            spilled.append(
+                PrefixTask(
+                    prefix=cand.path + (ext.number,),
+                    fanouts=cand.fanouts + (cand.n,),
+                    hint=ext.hint,
+                )
+            )
+            tree.unpin(cand.snapshot)
+        # Worker-local frontier peaks are per-task numbers; summing them
+        # through the gauge merge would be meaningless, so the engine's
+        # peak_frontier reports the coordinator task frontier instead.
+        self._frames_copied.inc(self.pool.stats.copied - self._last_copied)
+        self._last_copied = self.pool.stats.copied
+        return solutions, spilled
+
+
+def _worker_main(worker_id: int, conn, program: Program,
+                 config: ClusterConfig) -> None:
+    """Worker process body: serve task batches until the poison pill."""
+    worker = _SubtreeWorker(program, config)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            batch, solutions_budget = msg
+            for task in batch:
+                if config.fault_hook is not None:
+                    config.fault_hook(task)
+                try:
+                    solutions, spilled = worker.explore(task, solutions_budget)
+                except Exception as exc:  # engine/guest error: report and die
+                    conn.send(("error", worker_id,
+                               f"{type(exc).__name__}: {exc}"))
+                    return
+                if solutions_budget is not None:
+                    solutions_budget = max(
+                        0, solutions_budget - len(solutions)
+                    )
+                state = worker.registry.state_dict()
+                worker.registry.reset()
+                conn.send(
+                    ("task", worker_id, task.key(), solutions, spilled, state)
+                )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # coordinator went away or shut us down hard
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    __slots__ = ("wid", "proc", "conn", "pending", "last_progress")
+
+    def __init__(self, wid: int, proc, conn):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        #: Tasks dispatched and not yet reported back, in worker order.
+        self.pending: list[PrefixTask] = []
+        self.last_progress = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.pending)
+
+
+class ProcessParallelEngine:
+    """Shard the extension frontier across real worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (Figure 2 draws four).
+    strategy:
+        Frontier discipline, ``"dfs"`` or ``"bfs"``; applied both to the
+        coordinator's task frontier and to each worker's local subtree
+        exploration.  The solution *set* is identical either way.
+    batch_size:
+        Tasks per dispatch; batching amortizes IPC, at the price of
+        coarser work distribution.
+    subtree_depth / task_step_budget:
+        How much of a subtree a worker explores before spilling the
+        remainder back (see :class:`ClusterConfig`).
+    task_timeout:
+        Per-task wall-clock limit in seconds.  A worker that makes no
+        progress for this long is killed and its unreported tasks are
+        retried elsewhere (None disables the timeout).
+    max_task_retries:
+        How many times a task lost to a crash or timeout is re-dispatched
+        before being dropped (a drop marks the result not exhausted).
+    mp_context:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (fast worker startup), else ``spawn``.
+    fault_hook:
+        Test-only fault injector run in workers (see :class:`ClusterConfig`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        strategy: str = "dfs",
+        batch_size: int = 4,
+        subtree_depth: Optional[int] = None,
+        task_step_budget: Optional[int] = 25_000,
+        max_steps_per_extension: int = 5_000_000,
+        max_solutions: Optional[int] = None,
+        task_timeout: Optional[float] = 30.0,
+        max_task_retries: int = 2,
+        mp_context: Optional[str] = None,
+        fault_hook: Optional[Callable[[PrefixTask], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.num_workers = workers
+        self.strategy_name = strategy  # TaskFrontier validates the name
+        self.batch_size = batch_size
+        self.max_solutions = max_solutions
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.config = ClusterConfig(
+            strategy=strategy,
+            max_steps_per_extension=max_steps_per_extension,
+            subtree_depth=subtree_depth,
+            task_step_budget=task_step_budget,
+            fault_hook=fault_hook,
+        )
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.registry = MetricsRegistry("cluster-engine")
+        self._next_wid = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, guest: Union[str, Program]) -> SearchResult:
+        program = assemble(guest) if isinstance(guest, str) else guest
+        self.registry.reset()
+        stats = SearchStats(registry=self.registry)
+        reg = self.registry
+        c_dispatches = reg.counter("parallel.dispatches")
+        c_tasks = reg.counter("parallel.tasks_dispatched")
+        c_done = reg.counter("parallel.tasks_completed")
+        c_spilled = reg.counter("parallel.tasks_spilled")
+        c_crashes = reg.counter("parallel.worker_crashes")
+        c_timeouts = reg.counter("parallel.task_timeouts")
+        c_retries = reg.counter("parallel.tasks_retried")
+        c_dropped = reg.counter("parallel.tasks_dropped")
+        g_workers = reg.gauge("parallel.workers")
+
+        frontier = TaskFrontier(order=self.strategy_name)
+        frontier.push(PrefixTask())
+        solutions: list[Solution] = []
+        stop_reason: Optional[str] = None
+        error: Optional[WorkerError] = None
+        poll = 0.02 if self.task_timeout is None else min(
+            0.02, self.task_timeout / 4
+        )
+
+        handles = [self._spawn(program) for _ in range(self.num_workers)]
+        g_workers.set(len(handles))
+
+        def fail_worker(handle: _WorkerHandle, kind: str) -> None:
+            """Kill *handle*, requeue its unreported tasks, respawn."""
+            nonlocal error
+            if kind == "timeout":
+                c_timeouts.inc()
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.PARALLEL_TIMEOUT, worker=handle.wid)
+            else:
+                c_crashes.inc()
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.PARALLEL_CRASH, worker=handle.wid)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+            handle.proc.join(timeout=5.0)
+            retried, dropped = [], 0
+            for task in handle.pending:
+                if task.attempt >= self.max_task_retries:
+                    dropped += 1
+                else:
+                    retried.append(task.retried())
+            if retried:
+                c_retries.inc(len(retried))
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.PARALLEL_RETRY, worker=handle.wid,
+                                 tasks=len(retried))
+                # Requeue lost tasks ahead of everything else so retries
+                # bound the damage a flaky worker can do to latency.
+                for task in retried:
+                    frontier.push(task)
+            if dropped:
+                c_dropped.inc(dropped)
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.PARALLEL_DROP, tasks=dropped)
+            handle.pending = []
+            handles[handles.index(handle)] = self._spawn(program)
+
+        try:
+            while True:
+                if (
+                    self.max_solutions is not None
+                    and len(solutions) >= self.max_solutions
+                ):
+                    stop_reason = "max_solutions"
+                    break
+
+                # Idle workers steal the next batch off the frontier.
+                for handle in list(handles):
+                    if handle.busy or not frontier:
+                        continue
+                    if not handle.proc.is_alive():
+                        fail_worker(handle, "crash")
+                        continue
+                    batch = frontier.take_batch(self.batch_size)
+                    remaining = (
+                        None if self.max_solutions is None
+                        else max(self.max_solutions - len(solutions), 0)
+                    )
+                    handle.pending = list(batch)
+                    handle.last_progress = time.monotonic()
+                    try:
+                        handle.conn.send((batch, remaining))
+                    except (OSError, ValueError):
+                        fail_worker(handle, "crash")
+                        continue
+                    c_dispatches.inc()
+                    c_tasks.inc(len(batch))
+                    if _TRACER.enabled:
+                        _TRACER.emit(_events.PARALLEL_DISPATCH,
+                                     worker=handle.wid, tasks=len(batch))
+
+                busy = [h for h in handles if h.busy]
+                if not busy and not frontier:
+                    break  # frontier exhausted, nothing in flight
+                if not busy:
+                    continue  # tasks just requeued by a failure
+
+                ready = mp_connection.wait(
+                    [h.conn for h in busy], timeout=poll
+                )
+                now = time.monotonic()
+                for conn in ready:
+                    handle = next(h for h in handles if h.conn is conn)
+                    try:
+                        msg = handle.conn.recv()
+                    except (EOFError, OSError):
+                        fail_worker(handle, "crash")
+                        continue
+                    if msg[0] == "error":
+                        error = WorkerError(msg[1], msg[2])
+                        raise error
+                    _kind, _wid, key, task_solutions, spilled, state = msg
+                    handle.last_progress = now
+                    for i, task in enumerate(handle.pending):
+                        if task.key() == key:
+                            del handle.pending[i]
+                            break
+                    c_done.inc()
+                    c_spilled.inc(len(spilled))
+                    reg.merge_state(state)
+                    frontier.extend(spilled)
+                    for path, status, text in task_solutions:
+                        solutions.append(
+                            Solution(value=(status, text), path=path)
+                        )
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.PARALLEL_RESULT, worker=handle.wid,
+                            solutions=len(task_solutions),
+                            spilled=len(spilled),
+                        )
+                for handle in busy:
+                    if handle not in handles or not handle.busy:
+                        continue  # replaced or drained earlier this sweep
+                    if not handle.proc.is_alive():
+                        fail_worker(handle, "crash")
+                    elif (
+                        self.task_timeout is not None
+                        and now - handle.last_progress > self.task_timeout
+                    ):
+                        fail_worker(handle, "timeout")
+        finally:
+            self._shutdown(handles)
+            g_workers.set(0)
+
+        dropped_total = c_dropped.value
+        if stop_reason is None and dropped_total:
+            stop_reason = "task_retries_exhausted"
+        if self.max_solutions is not None:
+            del solutions[self.max_solutions:]
+        stats.peak_frontier = max(stats.peak_frontier, frontier.peak)
+        stats.extra.update({
+            "workers": self.num_workers,
+            "strategy_order": self.strategy_name,
+            "tasks_dispatched": c_tasks.value,
+            "tasks_completed": c_done.value,
+            "tasks_spilled": c_spilled.value,
+            "tasks_retried": c_retries.value,
+            "tasks_dropped": dropped_total,
+            "worker_crashes": c_crashes.value,
+            "task_timeouts": c_timeouts.value,
+            "peak_task_frontier": frontier.peak,
+            "replay_steps": reg.counter("parallel.replay_steps").value,
+            "guest_instructions": reg.counter("parallel.guest_steps").value,
+            "snapshots_taken": reg.counter("snapshot.taken").value,
+            "snapshots_restored": reg.counter("snapshot.restored").value,
+            "frames_copied": reg.counter("mem.frames_copied").value,
+        })
+        return SearchResult(
+            solutions=solutions,
+            stats=stats,
+            strategy=self.strategy_name,
+            exhausted=stop_reason is None,
+            stop_reason=stop_reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, program: Program) -> _WorkerHandle:
+        wid = self._next_wid
+        self._next_wid += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, program, self.config),
+            daemon=True,
+            name=f"repro-cluster-w{wid}",
+        )
+        proc.start()
+        child_conn.close()  # the child owns its end now
+        handle = _WorkerHandle(wid, proc, parent_conn)
+        handle.last_progress = time.monotonic()
+        return handle
+
+    def _shutdown(self, handles: list[_WorkerHandle]) -> None:
+        """Stop every worker: politely when idle, hard when mid-task."""
+        for handle in handles:
+            if handle.proc.is_alive() and not handle.busy:
+                try:
+                    handle.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+        for handle in handles:
+            if handle.busy and handle.proc.is_alive():
+                handle.proc.terminate()
+            handle.proc.join(timeout=5.0)
+            if handle.proc.is_alive():  # pragma: no cover - last resort
+                handle.proc.kill()
+                handle.proc.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass

@@ -269,7 +269,7 @@ class MachineEngine:
                 self._finish(pending, "exit", stats)
                 return "exit"
             if isinstance(action, KillAction):
-                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                stats.kills += 1
                 stats.extra.setdefault("kill_reasons", []).append(action.reason)
                 self._finish(pending, "kill", stats)
                 return "kill"
@@ -291,7 +291,10 @@ class MachineEngine:
         if action.hints is not None and len(action.hints) != n:
             raise GuessError("hint vector length does not match fan-out")
         if n == 0:
+            # A zero-fanout guess is a dead end, exactly like sys_guess_fail.
             stats.fails += 1
+            if _TRACER.enabled:
+                _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
             self._finish(pending, "fail", stats)
             return "fail"
         self._locked = True

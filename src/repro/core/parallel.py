@@ -210,14 +210,14 @@ class ParallelMachineEngine:
                     steps=worker.steps_used,
                 )
             if worker.steps_used >= self.max_steps_per_extension:
-                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                stats.kills += 1
                 self._finish(worker, stats)
             return
         action = self.libos.handle_exit(exit_event, worker.vcpu, worker.state)
 
         if isinstance(action, ContinueAction):
             if worker.steps_used >= self.max_steps_per_extension:
-                stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                stats.kills += 1
                 self._finish(worker, stats)
             return
         if isinstance(action, StrategyAction):
@@ -249,7 +249,7 @@ class ParallelMachineEngine:
             self._finish(worker, stats)
             return
         if isinstance(action, KillAction):
-            stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+            stats.kills += 1
             self._finish(worker, stats)
             return
         raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
@@ -258,7 +258,10 @@ class ParallelMachineEngine:
                       stats: SearchStats) -> None:
         n = action.n
         if n == 0:
+            # A zero-fanout guess is a dead end, exactly like sys_guess_fail.
             stats.fails += 1
+            if _TRACER.enabled:
+                _TRACER.emit(_events.SEARCH_FAIL, depth=len(worker.path))
             self._finish(worker, stats)
             return
         self._locked = True

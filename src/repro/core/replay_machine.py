@@ -95,7 +95,7 @@ class ReplayMachineEngine:
                     action = self.libos.handle_exit(exit_event, self.vcpu, state)
                     if isinstance(action, ContinueAction):
                         if steps >= self.max_steps_per_path:
-                            stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                            stats.kills += 1
                             return
                         continue
                     if isinstance(action, StrategyAction):
@@ -145,7 +145,7 @@ class ReplayMachineEngine:
                         )
                         return
                     if isinstance(action, KillAction):
-                        stats.extra["kills"] = stats.extra.get("kills", 0) + 1
+                        stats.kills += 1
                         return
                     raise AssertionError(f"unhandled {action!r}")  # pragma: no cover
             finally:

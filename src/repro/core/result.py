@@ -50,6 +50,8 @@ class SearchStats:
     * ``replayed_decisions`` — for the replay engine: guesses answered
       from recorded prefixes (pure re-execution overhead; the machine
       engine keeps this at 0).
+    * ``kills`` — extension steps terminated by the libOS (runaway step
+      budgets, unhandled faults) rather than by the guest itself.
     * ``peak_frontier`` — peak unevaluated extensions in the frontier.
     * ``extra`` — engine-specific extras dict (VM exits, pages copied…).
     """
@@ -59,6 +61,7 @@ class SearchStats:
     fails = metric_view("fails")
     completions = metric_view("completions")
     replayed_decisions = metric_view("replayed_decisions")
+    kills = metric_view("kills")
     peak_frontier = metric_view("peak_frontier")
 
     def __init__(
@@ -68,6 +71,7 @@ class SearchStats:
         fails: int = 0,
         completions: int = 0,
         replayed_decisions: int = 0,
+        kills: int = 0,
         peak_frontier: int = 0,
         extra: Optional[dict] = None,
         registry: Optional[MetricsRegistry] = None,
@@ -82,6 +86,7 @@ class SearchStats:
             "replayed_decisions": self.registry.counter(
                 f"{prefix}.replayed_decisions"
             ),
+            "kills": self.registry.counter(f"{prefix}.kills"),
             "peak_frontier": self.registry.gauge(f"{prefix}.peak_frontier"),
         }
         for metric in self._metrics.values():
@@ -91,6 +96,7 @@ class SearchStats:
         self.fails = fails
         self.completions = completions
         self.replayed_decisions = replayed_decisions
+        self.kills = kills
         self.peak_frontier = peak_frontier
         self.extra: dict = extra if extra is not None else {}
 

@@ -43,6 +43,14 @@ SEARCH_SOLUTION = "search.solution"
 PARALLEL_SCHEDULE = "parallel.schedule"
 PARALLEL_PREEMPT = "parallel.preempt"
 
+# -- process-parallel cluster (coordinator side) -----------------------
+PARALLEL_DISPATCH = "parallel.dispatch"
+PARALLEL_RESULT = "parallel.result"
+PARALLEL_CRASH = "parallel.crash"
+PARALLEL_TIMEOUT = "parallel.timeout"
+PARALLEL_RETRY = "parallel.retry"
+PARALLEL_DROP = "parallel.drop"
+
 #: Required fields per event type.  Extra fields are always allowed.
 EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     SNAPSHOT_TAKE: ("sid", "parent", "live"),
@@ -57,6 +65,12 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     SEARCH_SOLUTION: ("depth", "path"),
     PARALLEL_SCHEDULE: ("worker", "ext", "depth"),
     PARALLEL_PREEMPT: ("worker", "steps"),
+    PARALLEL_DISPATCH: ("worker", "tasks"),
+    PARALLEL_RESULT: ("worker", "solutions", "spilled"),
+    PARALLEL_CRASH: ("worker",),
+    PARALLEL_TIMEOUT: ("worker",),
+    PARALLEL_RETRY: ("worker", "tasks"),
+    PARALLEL_DROP: ("tasks",),
 }
 
 EVENT_TYPES = frozenset(EVENT_FIELDS)

@@ -284,6 +284,78 @@ class MetricsRegistry:
         for metric in self._metrics.values():
             metric.reset()
 
+    # -- cross-process export / merge ----------------------------------
+
+    def state_dict(self) -> dict[str, dict[str, Any]]:
+        """Structured, picklable snapshot of every metric.
+
+        Unlike :meth:`as_dict` (a flat report), the state dict keeps the
+        metric *kind* and enough internals that :meth:`merge_state` can
+        combine registries from other processes losslessly — the
+        process-parallel engine ships worker registries to the
+        coordinator this way.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {
+                    "kind": "gauge", "value": metric.value, "peak": metric.peak
+                }
+            elif isinstance(metric, Timer):
+                out[name] = {
+                    "kind": "timer",
+                    "count": metric.count,
+                    "total_s": metric.total_s,
+                }
+            elif isinstance(metric, Histogram):
+                out[name] = {
+                    "kind": "histogram",
+                    "bounds": metric.bounds,
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "total": metric.total,
+                }
+        return out
+
+    def merge_state(self, state: dict[str, dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`state_dict` into this one.
+
+        Merge semantics per kind:
+
+        * counters and timers add (event totals are additive across
+          processes);
+        * gauges add their *values* (live levels across workers sum) but
+          take the max of *peaks* — concurrent high-water marks are not
+          additive, so the merged peak is a lower bound;
+        * histograms add bucket-wise (bounds must match).
+
+        Metrics missing on this side are created on the fly.
+        """
+        for name, data in state.items():
+            kind = data["kind"]
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.value += data["value"]
+                gauge.peak = max(gauge.peak, data["peak"], gauge.value)
+            elif kind == "timer":
+                timer = self.timer(name)
+                timer.count += data["count"]
+                timer.total_s += data["total_s"]
+            elif kind == "histogram":
+                # histogram() raises on a bounds mismatch with an
+                # existing registration, so merged buckets always align.
+                hist = self.histogram(name, bounds=data["bounds"])
+                for i, c in enumerate(data["counts"]):
+                    hist.counts[i] += c
+                hist.count += data["count"]
+                hist.total += data["total"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetricsRegistry({self.name!r}, {len(self._metrics)} metrics)"
 

@@ -12,6 +12,7 @@ from mechanism (snapshot take/restore), exactly as §3.1 prescribes.
 """
 
 from repro.search.extension import Extension
+from repro.search.shard import PrefixTask, TaskFrontier, spill_extension
 from repro.search.strategy import (
     AStarStrategy,
     BeamStrategy,
@@ -35,8 +36,11 @@ __all__ = [
     "DFSStrategy",
     "Extension",
     "ExternalStrategy",
+    "PrefixTask",
     "RandomStrategy",
     "SMAStarStrategy",
     "Strategy",
+    "TaskFrontier",
     "get_strategy",
+    "spill_extension",
 ]

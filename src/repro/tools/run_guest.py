@@ -4,10 +4,10 @@ Usage::
 
     python -m repro.tools.run_guest path/to/guest.s [options]
 
-Options let you pick the engine (snapshot / replay / parallel), the
-search strategy, budgets, and the snapshot substrate; the tool prints
-each solution's exit code, path and console output, plus the engine's
-cost counters — a one-command view of the whole system.
+Options let you pick the engine (snapshot / replay / parallel /
+process), the search strategy, budgets, and the snapshot substrate; the
+tool prints each solution's exit code, path and console output, plus the
+engine's cost counters — a one-command view of the whole system.
 """
 
 from __future__ import annotations
@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.core.cluster import ProcessParallelEngine
 from repro.core.machine import MachineEngine
 from repro.core.parallel import ParallelMachineEngine
 from repro.core.replay_machine import ReplayMachineEngine
@@ -29,7 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("source", help="assembly source file")
     parser.add_argument(
-        "--engine", choices=["snapshot", "replay", "parallel"],
+        "--engine", choices=["snapshot", "replay", "parallel", "process"],
         default="snapshot", help="exploration engine (default: snapshot)",
     )
     parser.add_argument(
@@ -41,7 +42,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="cow", help="snapshot substrate (snapshot engine only)",
     )
     parser.add_argument("--workers", type=int, default=4,
-                        help="worker count (parallel engine only)")
+                        help="worker count (parallel/process engines)")
+    parser.add_argument("--task-step-budget", type=int, default=25_000,
+                        help="guest instructions a process worker explores "
+                        "per task before spilling (process engine only)")
+    parser.add_argument("--subtree-depth", type=int, default=None,
+                        help="guess depth a process worker explores per "
+                        "task before spilling (process engine only)")
+    parser.add_argument("--task-timeout", type=float, default=30.0,
+                        help="per-task wall-clock limit in seconds "
+                        "(process engine only)")
+    parser.add_argument("--batch-size", type=int, default=4,
+                        help="tasks per worker dispatch (process engine "
+                        "only)")
     parser.add_argument("--max-solutions", type=int, default=None)
     parser.add_argument("--max-steps", type=int, default=5_000_000,
                         help="instruction budget per extension step")
@@ -77,6 +90,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine = ParallelMachineEngine(
             workers=args.workers,
             strategy=args.strategy,
+            max_solutions=args.max_solutions,
+            max_steps_per_extension=args.max_steps,
+        )
+    elif args.engine == "process":
+        engine = ProcessParallelEngine(
+            workers=args.workers,
+            strategy=args.strategy,
+            batch_size=args.batch_size,
+            subtree_depth=args.subtree_depth,
+            task_step_budget=args.task_step_budget,
+            task_timeout=args.task_timeout,
             max_solutions=args.max_solutions,
             max_steps_per_extension=args.max_steps,
         )

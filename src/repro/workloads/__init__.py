@@ -6,10 +6,23 @@ an assembly guest for the machine engine, and usually a hand-coded
 native solver as the baseline the paper compares against (§5).
 """
 
+from repro.workloads.coloring import coloring_asm, coloring_guest
+from repro.workloads.knapsack import subset_sum_asm, subset_sum_guest
 from repro.workloads.nqueens import (
     KNOWN_SOLUTION_COUNTS,
     nqueens_asm,
     nqueens_python,
 )
+from repro.workloads.sudoku import sudoku_asm, sudoku_guest
 
-__all__ = ["KNOWN_SOLUTION_COUNTS", "nqueens_asm", "nqueens_python"]
+__all__ = [
+    "KNOWN_SOLUTION_COUNTS",
+    "coloring_asm",
+    "coloring_guest",
+    "nqueens_asm",
+    "nqueens_python",
+    "subset_sum_asm",
+    "subset_sum_guest",
+    "sudoku_asm",
+    "sudoku_guest",
+]

@@ -5,6 +5,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.sysno import SYS_EXIT, SYS_GUESS, SYS_GUESS_FAIL, SYS_WRITE
+
 
 def coloring_guest(sys, num_nodes: int, edges: list[tuple[int, int]],
                    colors: int) -> tuple[int, ...]:
@@ -21,6 +23,82 @@ def coloring_guest(sys, num_nodes: int, edges: list[tuple[int, int]],
             sys.fail()
         assignment[node] = color
     return tuple(assignment)  # type: ignore[arg-type]
+
+
+def coloring_asm(num_nodes: int, edges: list[tuple[int, int]],
+                 colors: int) -> str:
+    """Generate the assembly guest for graph coloring.
+
+    Same search as :func:`coloring_guest`: nodes are colored in index
+    order with one ``sys_guess(colors)`` each, and the conflict checks
+    against already-colored neighbors are unrolled per node (the edge
+    list is known at generation time).  Each proper coloring is printed
+    as a digit string and the path exits.
+    """
+    if colors > 10:
+        raise ValueError("single-digit printing limits colors to 10")
+    earlier: list[list[int]] = [[] for _ in range(num_nodes)]
+    for a, b in edges:
+        lo, hi = min(a, b), max(a, b)
+        earlier[hi].append(lo)
+
+    body = []
+    for node in range(num_nodes):
+        checks = "\n".join(
+            f"""
+        movb  r9, [r8 + {nb}]
+        cmp   r9, r12
+        je    fail"""
+            for nb in sorted(set(earlier[node]))
+        )
+        body.append(f"""
+    node_{node}:                        ; color node {node}
+        mov   rax, {SYS_GUESS:#x}
+        mov   rdi, {colors}
+        syscall
+        mov   r12, rax
+        mov   r8, assign
+        {checks}
+        movb  [r8 + {node}], r12""")
+
+    return f"""
+    ; graph {colors}-coloring via system-level backtracking, {num_nodes} nodes
+    .data
+    assign: .zero {num_nodes}
+    buf:    .zero {num_nodes + 1}
+
+    .text
+    _start:
+        {''.join(body)}
+
+    solved:                         ; print the assignment as digits
+        mov   rbx, 0
+        mov   r8, assign
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, {num_nodes}
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + {num_nodes}], r10
+        mov   rax, {SYS_WRITE}
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, {num_nodes + 1}
+        syscall
+        mov   rax, {SYS_EXIT}
+        mov   rdi, 0
+        syscall
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}
+        syscall
+    """
 
 
 def is_proper_coloring(assignment: tuple[int, ...],

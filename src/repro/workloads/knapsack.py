@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import random
 
+from repro.core.sysno import SYS_EXIT, SYS_GUESS, SYS_GUESS_FAIL, SYS_WRITE
+
 
 def subset_sum_guest(sys, values: list[int], target: int) -> tuple[int, ...]:
     """Pick a subset summing exactly to *target*.
@@ -47,6 +49,83 @@ def knapsack_guest(sys, weights: list[int], profits: list[int],
     if profit < min_profit:
         sys.fail()
     return tuple(chosen)
+
+
+def subset_sum_asm(values: list[int], target: int) -> str:
+    """Generate the assembly guest for subset-sum.
+
+    Same search and pruning as :func:`subset_sum_guest`: one
+    ``sys_guess(2)`` per item (loop unrolled — values are known at
+    generation time), failing as soon as the running sum overshoots the
+    target or the remaining items cannot reach it.  Each witness subset
+    is printed as a 0/1 take-vector and the path exits.
+    """
+    n = len(values)
+    total = sum(values)
+    body = []
+    remaining = total
+    for i, value in enumerate(values):
+        remaining -= value
+        body.append(f"""
+    item_{i}:                          ; take values[{i}] = {value}?
+        mov   rax, {SYS_GUESS:#x}
+        mov   rdi, 2
+        syscall
+        cmp   rax, 0
+        je    skip_{i}
+        add   r13, {value}          ; running += value
+        mov   r8, chosen
+        mov   r10, 1
+        movb  [r8 + {i}], r10
+    skip_{i}:
+        cmp   r13, {target}         ; running > target?
+        jg    fail
+        mov   r10, r13              ; running + remaining < target?
+        add   r10, {remaining}
+        cmp   r10, {target}
+        jl    fail""")
+
+    return f"""
+    ; subset-sum via system-level backtracking, {n} items, target {target}
+    .data
+    chosen: .zero {n}
+    buf:    .zero {n + 1}
+
+    .text
+    _start:
+        mov   r13, 0                ; running sum
+        {''.join(body)}
+        cmp   r13, {target}
+        jne   fail
+
+    solved:                         ; print the take-vector as 0/1
+        mov   rbx, 0
+        mov   r8, chosen
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, {n}
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + {n}], r10
+        mov   rax, {SYS_WRITE}
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, {n + 1}
+        syscall
+        mov   rax, {SYS_EXIT}
+        mov   rdi, 0
+        syscall
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}
+        syscall
+    """
 
 
 def random_instance(n: int, seed: int = 0) -> tuple[list[int], int]:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import random
 
+from repro.core.sysno import SYS_EXIT, SYS_GUESS, SYS_GUESS_FAIL, SYS_WRITE
+
 
 def sudoku_guest(sys, grid: str, size: int = 4, box_rows: int = 2,
                  box_cols: int = 2) -> str:
@@ -42,6 +44,100 @@ def sudoku_guest(sys, grid: str, size: int = 4, box_rows: int = 2,
             sys.fail()
         cells[index] = value
     return "".join(str(v) for v in cells)
+
+
+def sudoku_asm(grid: str, size: int = 4, box_rows: int = 2,
+               box_cols: int = 2) -> str:
+    """Generate the assembly guest that solves *grid*.
+
+    Same search as :func:`sudoku_guest`, compiled for the machine engine:
+    one ``sys_guess(size)`` per blank cell, with the row/column/box
+    conflict checks unrolled against that cell's peer indices (the grid
+    is known at generation time, so the peer sets are constants).  Each
+    solved grid is printed and the path exits, so engines enumerate
+    every completion of the puzzle.
+    """
+    cells = [int(ch) for ch in grid]
+    if len(cells) != size * size:
+        raise ValueError("grid length does not match size")
+    if size > 9:
+        raise ValueError("single-digit printing limits size to 9")
+
+    def peers(index: int) -> list[int]:
+        r, c = divmod(index, size)
+        box_r = (r // box_rows) * box_rows
+        box_c = (c // box_cols) * box_cols
+        out = {r * size + k for k in range(size)}
+        out |= {k * size + c for k in range(size)}
+        out |= {
+            (box_r + dr) * size + (box_c + dc)
+            for dr in range(box_rows)
+            for dc in range(box_cols)
+        }
+        out.discard(index)
+        return sorted(out)
+
+    body = []
+    for index in range(size * size):
+        if cells[index] != 0:
+            continue
+        checks = "\n".join(
+            f"""
+        movb  r9, [r8 + {p}]
+        cmp   r9, r12
+        je    fail"""
+            for p in peers(index)
+        )
+        body.append(f"""
+    cell_{index}:                       ; guess cells[{index}]
+        mov   rax, {SYS_GUESS:#x}
+        mov   rdi, {size}
+        syscall
+        mov   r12, rax
+        inc   r12                   ; value = guess + 1
+        mov   r8, cells
+        {checks}
+        movb  [r8 + {index}], r12""")
+
+    ncells = size * size
+    return f"""
+    ; sudoku via system-level backtracking, {size}x{size}
+    .data
+    cells: .byte {', '.join(str(v) for v in cells)}
+    buf:   .zero {ncells + 1}
+
+    .text
+    _start:
+        {''.join(body)}
+
+    solved:                         ; print the grid as digits
+        mov   rbx, 0
+        mov   r8, cells
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, {ncells}
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + {ncells}], r10
+        mov   rax, {SYS_WRITE}
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, {ncells + 1}
+        syscall
+        mov   rax, {SYS_EXIT}
+        mov   rdi, 0
+        syscall
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}
+        syscall
+    """
 
 
 def is_valid_solution(grid: str, size: int = 4, box_rows: int = 2,

@@ -1,0 +1,165 @@
+"""ProcessParallelEngine: correctness, sharding, metrics, trace events.
+
+These tests spawn real worker processes, so they keep instances small
+(5/6-queens) and budgets tight enough to force multi-task sharding.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, ProcessParallelEngine
+from repro.core.machine import MachineEngine
+from repro.obs import events as ev
+from repro.obs.trace import TRACER
+from repro.search.shard import PrefixTask, TaskFrontier, spill_extension
+from repro.workloads.nqueens import KNOWN_SOLUTION_COUNTS, nqueens_asm
+
+
+def solution_set(result):
+    return sorted((s.path, s.value) for s in result.solutions)
+
+
+@pytest.fixture(scope="module")
+def sequential_6():
+    return MachineEngine().run(nqueens_asm(6))
+
+
+class TestShardPrimitives:
+    def test_prefix_task_retry_preserves_key(self):
+        task = PrefixTask(prefix=(1, 2), fanouts=(4, 4))
+        again = task.retried()
+        assert again.attempt == 1
+        assert again.key() == task.key()
+        assert again.depth == 2
+
+    def test_spill_extension_builds_children(self):
+        children = spill_extension((3,), (5,), 4, (0.1, 0.2, 0.3, 0.4))
+        assert [c.prefix for c in children] == [(3, i) for i in range(4)]
+        assert all(c.fanouts == (5, 4) for c in children)
+        assert [c.hint for c in children] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_frontier_orders(self):
+        dfs = TaskFrontier("dfs")
+        bfs = TaskFrontier("bfs")
+        tasks = [PrefixTask(prefix=(i,), fanouts=(3,)) for i in range(3)]
+        dfs.extend(tasks)
+        bfs.extend(tasks)
+        assert dfs.pop().prefix == (2,)
+        assert bfs.pop().prefix == (0,)
+        assert dfs.peak == bfs.peak == 3
+
+    def test_frontier_batch_and_unknown_order(self):
+        frontier = TaskFrontier("bfs")
+        frontier.extend(PrefixTask(prefix=(i,), fanouts=(4,)) for i in range(4))
+        batch = frontier.take_batch(3)
+        assert [t.prefix for t in batch] == [(0,), (1,), (2,)]
+        assert len(frontier) == 1
+        with pytest.raises(ValueError):
+            TaskFrontier("a-star")
+
+
+class TestClusterEngine:
+    def test_matches_sequential_dfs(self, sequential_6):
+        engine = ProcessParallelEngine(workers=2, task_step_budget=3000)
+        result = engine.run(nqueens_asm(6))
+        assert result.exhausted and result.stop_reason is None
+        assert solution_set(result) == solution_set(sequential_6)
+        # Sharding actually happened: more than just the root task ran.
+        assert result.stats.extra["tasks_completed"] > 1
+        assert result.stats.extra["tasks_spilled"] > 0
+
+    def test_matches_sequential_bfs(self, sequential_6):
+        engine = ProcessParallelEngine(
+            workers=2, strategy="bfs", task_step_budget=3000
+        )
+        result = engine.run(nqueens_asm(6))
+        assert solution_set(result) == solution_set(sequential_6)
+
+    def test_single_worker(self, sequential_6):
+        engine = ProcessParallelEngine(workers=1, task_step_budget=3000)
+        result = engine.run(nqueens_asm(6))
+        assert solution_set(result) == solution_set(sequential_6)
+
+    def test_unsolvable_instance_exhausts(self):
+        result = ProcessParallelEngine(
+            workers=2, task_step_budget=2000
+        ).run(nqueens_asm(3))
+        assert result.solutions == []
+        assert result.exhausted
+        assert KNOWN_SOLUTION_COUNTS[3] == 0
+
+    def test_subtree_depth_forces_spill(self, sequential_6):
+        engine = ProcessParallelEngine(
+            workers=2, subtree_depth=1, task_step_budget=None
+        )
+        result = engine.run(nqueens_asm(6))
+        assert solution_set(result) == solution_set(sequential_6)
+        # Depth-1 subtrees spill at every interior guess: one task per
+        # explored interior node, far more than the step-budget split.
+        assert result.stats.extra["tasks_completed"] > 50
+
+    def test_max_solutions_early_stop(self, sequential_6):
+        engine = ProcessParallelEngine(
+            workers=2, task_step_budget=2000, max_solutions=2
+        )
+        result = engine.run(nqueens_asm(6))
+        assert len(result.solutions) == 2
+        assert not result.exhausted
+        assert result.stop_reason == "max_solutions"
+        full = {s.value for s in sequential_6.solutions}
+        assert all(s.value in full for s in result.solutions)
+
+    def test_metrics_merged_from_workers(self, sequential_6):
+        engine = ProcessParallelEngine(workers=2, task_step_budget=3000)
+        result = engine.run(nqueens_asm(6))
+        stats = result.stats
+        # Search counters are shipped from worker registries and merged.
+        assert stats.completions == len(result.solutions)
+        assert stats.candidates > 0
+        assert stats.evaluations > 0
+        # Every explored instruction is counted exactly once across the
+        # cluster, so the explore total matches the sequential engine.
+        assert (
+            stats.extra["guest_instructions"]
+            == sequential_6.stats.extra["guest_instructions"]
+        )
+        # Replay is pure re-execution overhead on top of that.
+        assert stats.extra["replay_steps"] > 0
+        assert stats.replayed_decisions > 0
+        assert stats.extra["snapshots_taken"] > 0
+        timer = engine.registry.timer("parallel.task_time")
+        assert timer.count == stats.extra["tasks_completed"]
+
+    def test_trace_events(self):
+        engine = ProcessParallelEngine(workers=2, task_step_budget=3000)
+        with TRACER.capture() as sink:
+            engine.run(nqueens_asm(5))
+        types = {e["type"] for e in sink.events}
+        assert ev.PARALLEL_DISPATCH in types
+        assert ev.PARALLEL_RESULT in types
+        dispatches = [e for e in sink.events if e["type"] == ev.PARALLEL_DISPATCH]
+        assert all(e["tasks"] >= 1 for e in dispatches)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ProcessParallelEngine(workers=0)
+        with pytest.raises(ValueError):
+            ProcessParallelEngine(batch_size=0)
+        with pytest.raises(ValueError):
+            ProcessParallelEngine(strategy="best").run(nqueens_asm(4))
+
+    def test_engine_is_reusable(self, sequential_6):
+        engine = ProcessParallelEngine(workers=2, task_step_budget=3000)
+        first = engine.run(nqueens_asm(6))
+        second = engine.run(nqueens_asm(6))
+        assert solution_set(first) == solution_set(second)
+        # The registry is reset per run, not accumulated across runs.
+        assert (
+            second.stats.extra["guest_instructions"]
+            == first.stats.extra["guest_instructions"]
+        )
+
+    def test_config_is_picklable(self):
+        import pickle
+
+        config = ClusterConfig(strategy="bfs", task_step_budget=123)
+        assert pickle.loads(pickle.dumps(config)) == config

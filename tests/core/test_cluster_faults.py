@@ -1,0 +1,110 @@
+"""Fault injection for the process-parallel engine.
+
+The fault hook runs inside worker processes just before a task is
+explored, so these tests exercise the real failure paths: a worker dying
+mid-batch (``os._exit``), a task stalling past its timeout, and a task
+that fails on every retry.  The invariant under test is the paper's
+correctness claim restated for distribution: no solution is lost and
+none is duplicated, no matter which worker dies when.
+
+Hooks must be module-level functions (they are pickled into workers
+under the spawn start method).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.cluster import ProcessParallelEngine
+from repro.core.machine import MachineEngine
+from repro.workloads.nqueens import nqueens_asm
+
+
+def solution_set(result):
+    return sorted((s.path, s.value) for s in result.solutions)
+
+
+@pytest.fixture(scope="module")
+def sequential_5():
+    return MachineEngine().run(nqueens_asm(5))
+
+
+# With subtree_depth=1 the root task explores the depth-0 guess locally
+# and spills at the next guess, so every first-generation task has a
+# length-2 prefix; (0, 2) is deterministically among them and its subtree
+# contains exactly one 5-queens solution, (0, 2, 4, 1, 3).
+_POISON = (0, 2)
+
+
+def _crash_first_attempt(task):
+    """Kill the worker the first time it is handed the poison subtree;
+    the retry (attempt >= 1) passes through."""
+    if task.attempt == 0 and task.prefix == _POISON:
+        os._exit(1)
+
+
+def _stall_first_attempt(task):
+    if task.attempt == 0 and task.prefix == _POISON:
+        time.sleep(60.0)
+
+
+def _crash_always(task):
+    if task.prefix == _POISON:
+        os._exit(1)
+
+
+class TestWorkerCrash:
+    def test_crashed_tasks_are_retried(self, sequential_5):
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,  # guarantees subtree (0,) exists as a task
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+        )
+        result = engine.run(nqueens_asm(5))
+        # The full solution set survives: nothing lost, nothing doubled.
+        assert solution_set(result) == solution_set(sequential_5)
+        assert result.exhausted
+        assert result.stats.extra["worker_crashes"] >= 1
+        assert result.stats.extra["tasks_retried"] >= 1
+        assert result.stats.extra["tasks_dropped"] == 0
+
+    def test_permanently_failing_subtree_is_dropped(self, sequential_5):
+        engine = ProcessParallelEngine(
+            workers=2,
+            batch_size=1,  # isolate the poisoned task from innocents
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=1,
+            fault_hook=_crash_always,
+        )
+        result = engine.run(nqueens_asm(5))
+        assert not result.exhausted
+        assert result.stop_reason == "task_retries_exhausted"
+        assert result.stats.extra["tasks_dropped"] >= 1
+        # Exactly the poisoned subtree's solutions are missing; every
+        # other solution is found exactly once, none invented.
+        found = solution_set(result)
+        full = solution_set(sequential_5)
+        expected = [s for s in full if s[0][:2] != _POISON]
+        assert len(expected) < len(full)  # the poison subtree had fruit
+        assert found == expected
+
+
+class TestTaskTimeout:
+    def test_stalled_task_is_killed_and_retried(self, sequential_5):
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            task_timeout=1.0,
+            max_task_retries=2,
+            fault_hook=_stall_first_attempt,
+        )
+        result = engine.run(nqueens_asm(5))
+        assert solution_set(result) == solution_set(sequential_5)
+        assert result.exhausted
+        assert result.stats.extra["task_timeouts"] >= 1
+        assert result.stats.extra["tasks_retried"] >= 1

@@ -225,7 +225,7 @@ class TestBudgets:
         """
         result = MachineEngine(max_steps_per_extension=10_000).run(src)
         assert [v[0] for v in result.solution_values] == [1]
-        assert result.stats.extra["kills"] == 1
+        assert result.stats.kills == 1
 
     def test_max_total_steps(self):
         result = MachineEngine(max_total_steps=10).run(nqueens_asm(6))

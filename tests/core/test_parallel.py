@@ -118,4 +118,4 @@ class TestConcurrencyProperties:
             workers=2, quantum=100, max_steps_per_extension=2_000
         ).run(src)
         assert [v[0] for v in result.solution_values] == [1]
-        assert result.stats.extra["kills"] == 1
+        assert result.stats.kills == 1

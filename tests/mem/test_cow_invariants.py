@@ -1,0 +1,114 @@
+"""Property-based COW invariants for the persistent page table.
+
+Hypothesis drives random interleavings of map/unmap/clone/make_private/
+set_perms/free across several page tables sharing one frame pool, and
+checks the conservation laws the snapshot substrate depends on:
+
+* **Frame conservation** — the pool's live count always equals the
+  number of distinct frames reachable from the live tables; no leaks,
+  no premature frees.
+* **Privacy bound** — a table can never have more private pages than
+  mapped pages.
+* **Exclusivity after a COW fault** — ``make_private`` leaves the
+  faulted page on a refcount-1 frame.
+* **Clean teardown** — freeing every table returns the pool to zero
+  live frames with allocated == freed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.frames import FramePool
+from repro.mem.pagetable import PageTable, Permission
+
+#: Virtual pages spread across distinct radix subtrees (same leaf node,
+#: sibling leaves, and different level-1/2/3 ancestors) so structural
+#: sharing and node COW both get exercised.
+VPNS = [0, 1, 2, 511, 512, 513, 1 << 18, (1 << 18) + 1, 1 << 27]
+
+MAX_TABLES = 5
+
+op_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 5),          # operation selector
+        st.integers(0, 31),         # table selector (mod live tables)
+        st.integers(0, len(VPNS) - 1),  # vpn selector
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def reachable_frames(tables):
+    return {id(pte.frame) for table in tables for _, pte in table.items()}
+
+
+def check_invariants(pool, tables):
+    assert pool.live_frames == len(reachable_frames(tables))
+    assert pool.stats.allocated - pool.stats.freed == pool.live_frames
+    for table in tables:
+        assert table.private_entry_count() <= table.entry_count()
+
+
+def apply_op(pool, tables, op, t_sel, v_sel):
+    if not tables:
+        tables.append(PageTable(pool))
+    table = tables[t_sel % len(tables)]
+    vpn = VPNS[v_sel]
+    if op == 0:
+        table.map(vpn, pool.alloc(), Permission.RW)
+    elif op == 1:
+        table.unmap(vpn)
+    elif op == 2 and len(tables) < MAX_TABLES:
+        clone = table.clone()
+        assert clone.shares_root_with(table)
+        assert clone.entry_count() == table.entry_count()
+        tables.append(clone)
+    elif op == 3 and table.is_mapped(vpn):
+        pte = table.make_private(vpn)
+        assert pte.frame.refcount == 1
+        assert table.lookup(vpn).frame is pte.frame
+    elif op == 4 and table.is_mapped(vpn):
+        table.set_perms(vpn, Permission.READ)
+        assert table.lookup(vpn).perms == Permission.READ
+    elif op == 5:
+        tables.pop(t_sel % len(tables)).free()
+
+
+@given(ops=op_strategy)
+@settings(max_examples=120, deadline=None)
+def test_random_interleavings_conserve_frames(ops):
+    pool = FramePool()
+    tables = [PageTable(pool)]
+    for op, t_sel, v_sel in ops:
+        apply_op(pool, tables, op, t_sel, v_sel)
+        check_invariants(pool, tables)
+    while tables:
+        tables.pop().free()
+    assert pool.live_frames == 0
+    assert pool.stats.allocated == pool.stats.freed
+
+
+@given(ops=op_strategy, writers=st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_clone_isolation_under_interleaving(ops, writers):
+    """Whatever happened before, a clone pair diverges safely: writes
+    (make_private) on one side never disturb the other side's view."""
+    pool = FramePool()
+    tables = [PageTable(pool)]
+    for op, t_sel, v_sel in ops:
+        apply_op(pool, tables, op, t_sel, v_sel)
+    if not tables:
+        tables.append(PageTable(pool))
+    base = tables[0]
+    base.map(VPNS[0], pool.alloc(), Permission.RW)
+    twin = base.clone()
+    before = dict(twin.items())
+    for _ in range(writers):
+        base.make_private(VPNS[0])
+        base.map(VPNS[1], pool.alloc(), Permission.RW)
+    assert dict(twin.items()) == before
+    check_invariants(pool, tables + [twin])
+    twin.free()
+    while tables:
+        tables.pop().free()
+    assert pool.live_frames == 0

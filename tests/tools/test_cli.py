@@ -32,6 +32,13 @@ class TestRunGuest:
             assert run_guest.main([queens_file, "--engine", engine]) == 0
             assert "2 solution(s)" in capsys.readouterr().out
 
+    def test_process_engine(self, queens_file, capsys):
+        assert run_guest.main(
+            [queens_file, "--engine", "process", "--workers", "2",
+             "--task-step-budget", "500"]
+        ) == 0
+        assert "2 solution(s)" in capsys.readouterr().out
+
     def test_snapshot_modes(self, queens_file, capsys):
         for mode in ("cow", "eager", "dirty-eager"):
             assert run_guest.main(
