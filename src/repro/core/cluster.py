@@ -31,8 +31,11 @@ nondeterministic — the differential suite pins this down.
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Callable, Optional, Union
@@ -52,13 +55,19 @@ from repro.libos.syscalls import (
 from repro.mem.frames import FramePool
 from repro.obs import events as _events
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import TRACER as _TRACER
+from repro.obs.trace import TRACER as _TRACER, MemorySink
 from repro.search import get_strategy
 from repro.search.extension import Extension
 from repro.search.shard import PrefixTask, TaskFrontier, spill_extension
 from repro.snapshot.snapshot import Snapshot, SnapshotManager
 from repro.snapshot.tree import SnapshotTree
 from repro.vmm.vcpu import VCpu
+
+
+#: Root span ids for cluster runs: every run gets a fresh id, every task
+#: of the run carries it, so multiple runs recorded into one trace file
+#: stay separable.
+_run_spans = itertools.count(1)
 
 
 class WorkerError(RuntimeError):
@@ -85,6 +94,11 @@ class ClusterConfig:
     #: Test hook, called as ``fault_hook(task)`` in the worker before
     #: each task — fault-injection tests crash or stall here.
     fault_hook: Optional[Callable[[PrefixTask], None]] = None
+    #: Workers buffer their trace events per task and ship the segment
+    #: back with the result, so the coordinator can merge one causally
+    #: ordered trace.  Off by default; the engine switches it on for a
+    #: run whenever the coordinator's tracer has a sink attached.
+    collect_trace: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +135,10 @@ class _Pending:
     fanouts: tuple[int, ...]
     parent: Optional[_Candidate]
     steps_used: int = 0
+    #: Guest instructions of ``steps_used`` spent replaying the task
+    #: prefix (the rest is fresh exploration; the split is what the
+    #: profiler charges as rehydration overhead).
+    replay_steps: int = 0
     #: Guess outcomes still to feed from the task prefix (replay mode
     #: while nonzero remain).
     replay_pos: int = 0
@@ -196,7 +214,12 @@ class _SubtreeWorker:
             if n == 0:
                 self.stats.fails += 1
                 if _TRACER.enabled:
-                    _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
+                    _TRACER.emit(
+                        _events.SEARCH_FAIL, depth=len(pending.path),
+                        path=list(pending.path),
+                        steps=pending.steps_used - pending.replay_steps,
+                        replay_steps=pending.replay_steps,
+                    )
                 finish(pending)
                 return
             hints = tuple(action.hints) if action.hints is not None else None
@@ -210,8 +233,16 @@ class _SubtreeWorker:
             ):
                 # Outside this task's budget: hand the whole choice point
                 # back to the coordinator as replayable subtree roots.
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.SEARCH_SPILL, depth=len(pending.path), n=n,
+                        path=list(pending.path),
+                        steps=pending.steps_used - pending.replay_steps,
+                        replay_steps=pending.replay_steps,
+                    )
                 spilled.extend(
-                    spill_extension(pending.path, pending.fanouts, n, hints)
+                    spill_extension(pending.path, pending.fanouts, n, hints,
+                                    span=task.span)
                 )
                 finish(pending)
                 return
@@ -230,7 +261,9 @@ class _SubtreeWorker:
             if _TRACER.enabled:
                 _TRACER.emit(
                     _events.SEARCH_GUESS, n=n, depth=len(pending.path),
-                    sid=snap.sid,
+                    sid=snap.sid, path=list(pending.path),
+                    steps=pending.steps_used - pending.replay_steps,
+                    replay_steps=pending.replay_steps,
                 )
             strategy.add(
                 Extension(
@@ -254,6 +287,7 @@ class _SubtreeWorker:
                 pending.steps_used += exit_event.steps
                 if replaying:
                     self._replay_counter.inc(exit_event.steps)
+                    pending.replay_steps += exit_event.steps
                 else:
                     self._steps_counter.inc(exit_event.steps)
                     explore_steps += exit_event.steps
@@ -262,6 +296,13 @@ class _SubtreeWorker:
                 if isinstance(action, ContinueAction):
                     if pending.steps_used >= self.config.max_steps_per_extension:
                         self.stats.kills += 1
+                        if _TRACER.enabled:
+                            _TRACER.emit(
+                                _events.SEARCH_KILL, depth=len(pending.path),
+                                path=list(pending.path),
+                                steps=pending.steps_used - pending.replay_steps,
+                                replay_steps=pending.replay_steps,
+                            )
                         finish(pending)
                         return
                     continue
@@ -294,8 +335,12 @@ class _SubtreeWorker:
                 if isinstance(action, GuessFailAction):
                     self.stats.fails += 1
                     if _TRACER.enabled:
-                        _TRACER.emit(_events.SEARCH_FAIL,
-                                     depth=len(pending.path))
+                        _TRACER.emit(
+                            _events.SEARCH_FAIL, depth=len(pending.path),
+                            path=list(pending.path),
+                            steps=pending.steps_used - pending.replay_steps,
+                            replay_steps=pending.replay_steps,
+                        )
                     finish(pending)
                     return
                 if isinstance(action, ExitAction):
@@ -305,6 +350,8 @@ class _SubtreeWorker:
                             _events.SEARCH_SOLUTION,
                             depth=len(pending.path),
                             path=list(pending.path),
+                            steps=pending.steps_used - pending.replay_steps,
+                            replay_steps=pending.replay_steps,
                         )
                     solutions.append(
                         (pending.path, action.status,
@@ -314,6 +361,13 @@ class _SubtreeWorker:
                     return
                 if isinstance(action, KillAction):
                     self.stats.kills += 1
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.SEARCH_KILL, depth=len(pending.path),
+                            path=list(pending.path),
+                            steps=pending.steps_used - pending.replay_steps,
+                            replay_steps=pending.replay_steps,
+                        )
                     finish(pending)
                     return
                 raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
@@ -355,6 +409,7 @@ class _SubtreeWorker:
                     prefix=cand.path + (ext.number,),
                     fanouts=cand.fanouts + (cand.n,),
                     hint=ext.hint,
+                    span=task.span,
                 )
             )
             tree.unpin(cand.snapshot)
@@ -369,6 +424,13 @@ class _SubtreeWorker:
 def _worker_main(worker_id: int, conn, program: Program,
                  config: ClusterConfig) -> None:
     """Worker process body: serve task batches until the poison pill."""
+    # Under the ``fork`` start method this process inherited the
+    # coordinator's tracer sinks (including any open trace file); writing
+    # through them from here would interleave with the coordinator, so
+    # forget them and collect into a private buffer instead.
+    _TRACER.reset_sinks()
+    _TRACER.set_context(worker=worker_id)
+    collector = _TRACER.attach(MemorySink()) if config.collect_trace else None
     worker = _SubtreeWorker(program, config)
     try:
         while True:
@@ -379,6 +441,12 @@ def _worker_main(worker_id: int, conn, program: Program,
             for task in batch:
                 if config.fault_hook is not None:
                     config.fault_hook(task)
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.TASK_BEGIN, worker=worker_id,
+                        task=list(task.prefix), depth=task.depth,
+                        span=task.span, attempt=task.attempt,
+                    )
                 try:
                     solutions, spilled = worker.explore(task, solutions_budget)
                 except Exception as exc:  # engine/guest error: report and die
@@ -389,10 +457,21 @@ def _worker_main(worker_id: int, conn, program: Program,
                     solutions_budget = max(
                         0, solutions_budget - len(solutions)
                     )
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.TASK_END, worker=worker_id,
+                        task=list(task.prefix), span=task.span,
+                        solutions=len(solutions), spilled=len(spilled),
+                        explore_steps=worker._steps_counter.value,
+                        replay_steps=worker._replay_counter.value,
+                        task_s=worker._task_timer.total_s,
+                    )
                 state = worker.registry.state_dict()
                 worker.registry.reset()
+                segment = collector.drain() if collector is not None else None
                 conn.send(
-                    ("task", worker_id, task.key(), solutions, spilled, state)
+                    ("task", worker_id, task.key(), solutions, spilled, state,
+                     segment)
                 )
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away or shut us down hard
@@ -450,6 +529,14 @@ class ProcessParallelEngine:
         available (fast worker startup), else ``spawn``.
     fault_hook:
         Test-only fault injector run in workers (see :class:`ClusterConfig`).
+    collect_trace:
+        Whether workers buffer their trace events and ship them back for
+        merging into the coordinator's trace.  ``None`` (the default)
+        follows the coordinator's tracer: collection is on exactly when
+        a sink is attached at :meth:`run` time.  Passing ``False`` while
+        the coordinator traces drops every worker-side event — the
+        engine then warns and counts the losses in
+        ``parallel.trace_dropped`` rather than losing them silently.
     """
 
     def __init__(
@@ -465,6 +552,7 @@ class ProcessParallelEngine:
         max_task_retries: int = 2,
         mp_context: Optional[str] = None,
         fault_hook: Optional[Callable[[PrefixTask], None]] = None,
+        collect_trace: Optional[bool] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -476,6 +564,7 @@ class ProcessParallelEngine:
         self.max_solutions = max_solutions
         self.task_timeout = task_timeout
         self.max_task_retries = max_task_retries
+        self.collect_trace = collect_trace
         self.config = ClusterConfig(
             strategy=strategy,
             max_steps_per_extension=max_steps_per_extension,
@@ -505,10 +594,30 @@ class ProcessParallelEngine:
         c_timeouts = reg.counter("parallel.task_timeouts")
         c_retries = reg.counter("parallel.tasks_retried")
         c_dropped = reg.counter("parallel.tasks_dropped")
+        c_trace_merged = reg.counter("parallel.trace_events_merged")
+        c_trace_dropped = reg.counter("parallel.trace_dropped")
         g_workers = reg.gauge("parallel.workers")
 
+        # Trace propagation: workers collect iff the coordinator traces,
+        # unless explicitly overridden.  An override to False while a
+        # sink is attached means worker events are lost — make that loud.
+        collect = (
+            _TRACER.enabled if self.collect_trace is None
+            else self.collect_trace
+        )
+        run_config = dataclasses.replace(self.config, collect_trace=collect)
+        if _TRACER.enabled and not collect:
+            warnings.warn(
+                "tracing is enabled on the coordinator but workers are not "
+                "collecting (collect_trace=False): worker-side trace events "
+                "will be dropped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+        span = next(_run_spans)
         frontier = TaskFrontier(order=self.strategy_name)
-        frontier.push(PrefixTask())
+        frontier.push(PrefixTask(span=span))
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
         error: Optional[WorkerError] = None
@@ -516,7 +625,9 @@ class ProcessParallelEngine:
             0.02, self.task_timeout / 4
         )
 
-        handles = [self._spawn(program) for _ in range(self.num_workers)]
+        handles = [
+            self._spawn(program, run_config) for _ in range(self.num_workers)
+        ]
         g_workers.set(len(handles))
 
         def fail_worker(handle: _WorkerHandle, kind: str) -> None:
@@ -557,7 +668,7 @@ class ProcessParallelEngine:
                 if _TRACER.enabled:
                     _TRACER.emit(_events.PARALLEL_DROP, tasks=dropped)
             handle.pending = []
-            handles[handles.index(handle)] = self._spawn(program)
+            handles[handles.index(handle)] = self._spawn(program, run_config)
 
         try:
             while True:
@@ -613,7 +724,7 @@ class ProcessParallelEngine:
                     if msg[0] == "error":
                         error = WorkerError(msg[1], msg[2])
                         raise error
-                    _kind, _wid, key, task_solutions, spilled, state = msg
+                    _kind, _wid, key, task_solutions, spilled, state, segment = msg
                     handle.last_progress = now
                     for i, task in enumerate(handle.pending):
                         if task.key() == key:
@@ -628,6 +739,17 @@ class ProcessParallelEngine:
                             Solution(value=(status, text), path=path)
                         )
                     if _TRACER.enabled:
+                        # Splice the worker's buffered segment in between
+                        # its dispatch and its result event, so the merged
+                        # stream stays causally ordered.
+                        if segment:
+                            c_trace_merged.inc(
+                                _TRACER.ingest(segment, worker=handle.wid)
+                            )
+                        elif segment is None:
+                            # The worker never collected: its events for
+                            # this task are gone.  Count the loss.
+                            c_trace_dropped.inc()
                         _TRACER.emit(
                             _events.PARALLEL_RESULT, worker=handle.wid,
                             solutions=len(task_solutions),
@@ -666,6 +788,9 @@ class ProcessParallelEngine:
             "peak_task_frontier": frontier.peak,
             "replay_steps": reg.counter("parallel.replay_steps").value,
             "guest_instructions": reg.counter("parallel.guest_steps").value,
+            "trace_events_merged": c_trace_merged.value,
+            "trace_dropped": c_trace_dropped.value,
+            "trace_span": span,
             "snapshots_taken": reg.counter("snapshot.taken").value,
             "snapshots_restored": reg.counter("snapshot.restored").value,
             "frames_copied": reg.counter("mem.frames_copied").value,
@@ -680,13 +805,15 @@ class ProcessParallelEngine:
 
     # ------------------------------------------------------------------
 
-    def _spawn(self, program: Program) -> _WorkerHandle:
+    def _spawn(self, program: Program,
+               config: Optional[ClusterConfig] = None) -> _WorkerHandle:
         wid = self._next_wid
         self._next_wid += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(wid, child_conn, program, self.config),
+            args=(wid, child_conn, program,
+                  config if config is not None else self.config),
             daemon=True,
             name=f"repro-cluster-w{wid}",
         )

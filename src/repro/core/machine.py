@@ -238,6 +238,11 @@ class MachineEngine:
 
             if isinstance(action, ContinueAction):
                 if pending.steps_used >= self.max_steps_per_extension:
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.SEARCH_KILL, depth=len(pending.path),
+                            path=list(pending.path), steps=pending.steps_used,
+                        )
                     self._finish(pending, "kill", stats)
                     return "kill"
                 continue
@@ -249,7 +254,10 @@ class MachineEngine:
             if isinstance(action, GuessFailAction):
                 stats.fails += 1
                 if _TRACER.enabled:
-                    _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
+                    _TRACER.emit(
+                        _events.SEARCH_FAIL, depth=len(pending.path),
+                        path=list(pending.path), steps=pending.steps_used,
+                    )
                 self._finish(pending, "fail", stats)
                 return "fail"
             if isinstance(action, ExitAction):
@@ -259,6 +267,7 @@ class MachineEngine:
                         _events.SEARCH_SOLUTION,
                         depth=len(pending.path),
                         path=list(pending.path),
+                        steps=pending.steps_used,
                     )
                 solutions.append(
                     Solution(
@@ -271,6 +280,12 @@ class MachineEngine:
             if isinstance(action, KillAction):
                 stats.kills += 1
                 stats.extra.setdefault("kill_reasons", []).append(action.reason)
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.SEARCH_KILL, depth=len(pending.path),
+                        path=list(pending.path), steps=pending.steps_used,
+                        reason=action.reason,
+                    )
                 self._finish(pending, "kill", stats)
                 return "kill"
             raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
@@ -294,7 +309,10 @@ class MachineEngine:
             # A zero-fanout guess is a dead end, exactly like sys_guess_fail.
             stats.fails += 1
             if _TRACER.enabled:
-                _TRACER.emit(_events.SEARCH_FAIL, depth=len(pending.path))
+                _TRACER.emit(
+                    _events.SEARCH_FAIL, depth=len(pending.path),
+                    path=list(pending.path), steps=pending.steps_used,
+                )
             self._finish(pending, "fail", stats)
             return "fail"
         self._locked = True
@@ -313,7 +331,9 @@ class MachineEngine:
         stats.candidates += 1
         if _TRACER.enabled:
             _TRACER.emit(
-                _events.SEARCH_GUESS, n=n, depth=len(pending.path), sid=snap.sid
+                _events.SEARCH_GUESS, n=n, depth=len(pending.path),
+                sid=snap.sid, path=list(pending.path),
+                steps=pending.steps_used,
             )
         self._strategy.add(
             Extension(

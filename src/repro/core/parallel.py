@@ -211,6 +211,7 @@ class ParallelMachineEngine:
                 )
             if worker.steps_used >= self.max_steps_per_extension:
                 stats.kills += 1
+                self._emit_kill(worker)
                 self._finish(worker, stats)
             return
         action = self.libos.handle_exit(exit_event, worker.vcpu, worker.state)
@@ -218,6 +219,7 @@ class ParallelMachineEngine:
         if isinstance(action, ContinueAction):
             if worker.steps_used >= self.max_steps_per_extension:
                 stats.kills += 1
+                self._emit_kill(worker)
                 self._finish(worker, stats)
             return
         if isinstance(action, StrategyAction):
@@ -229,7 +231,11 @@ class ParallelMachineEngine:
         if isinstance(action, GuessFailAction):
             stats.fails += 1
             if _TRACER.enabled:
-                _TRACER.emit(_events.SEARCH_FAIL, depth=len(worker.path))
+                _TRACER.emit(
+                    _events.SEARCH_FAIL, depth=len(worker.path),
+                    path=list(worker.path), steps=worker.steps_used,
+                    worker=worker.vcpu.cpu_id,
+                )
             self._finish(worker, stats)
             return
         if isinstance(action, ExitAction):
@@ -239,6 +245,8 @@ class ParallelMachineEngine:
                     _events.SEARCH_SOLUTION,
                     depth=len(worker.path),
                     path=list(worker.path),
+                    steps=worker.steps_used,
+                    worker=worker.vcpu.cpu_id,
                 )
             solutions.append(
                 Solution(
@@ -250,6 +258,7 @@ class ParallelMachineEngine:
             return
         if isinstance(action, KillAction):
             stats.kills += 1
+            self._emit_kill(worker)
             self._finish(worker, stats)
             return
         raise AssertionError(f"unhandled action {action!r}")  # pragma: no cover
@@ -261,7 +270,11 @@ class ParallelMachineEngine:
             # A zero-fanout guess is a dead end, exactly like sys_guess_fail.
             stats.fails += 1
             if _TRACER.enabled:
-                _TRACER.emit(_events.SEARCH_FAIL, depth=len(worker.path))
+                _TRACER.emit(
+                    _events.SEARCH_FAIL, depth=len(worker.path),
+                    path=list(worker.path), steps=worker.steps_used,
+                    worker=worker.vcpu.cpu_id,
+                )
             self._finish(worker, stats)
             return
         self._locked = True
@@ -279,7 +292,9 @@ class ParallelMachineEngine:
         stats.candidates += 1
         if _TRACER.enabled:
             _TRACER.emit(
-                _events.SEARCH_GUESS, n=n, depth=len(worker.path), sid=snap.sid
+                _events.SEARCH_GUESS, n=n, depth=len(worker.path),
+                sid=snap.sid, path=list(worker.path),
+                steps=worker.steps_used, worker=worker.vcpu.cpu_id,
             )
         self._strategy.add(
             Extension(
@@ -291,6 +306,14 @@ class ParallelMachineEngine:
             for i in range(n)
         )
         self._finish(worker, stats)
+
+    def _emit_kill(self, worker: _Worker) -> None:
+        if _TRACER.enabled:
+            _TRACER.emit(
+                _events.SEARCH_KILL, depth=len(worker.path),
+                path=list(worker.path), steps=worker.steps_used,
+                worker=worker.vcpu.cpu_id,
+            )
 
     def _finish(self, worker: _Worker, stats: SearchStats) -> None:
         worker.state.free()

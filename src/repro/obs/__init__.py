@@ -14,14 +14,29 @@ package provides both:
 * :mod:`repro.obs.events` — the typed event schema
   (``snapshot.take/restore/discard``, ``mem.cow_fault`` …).
 * :mod:`repro.obs.trace` — the process-wide :class:`Tracer` with
-  monotonic ordering, JSONL export, and near-zero overhead when no sink
-  is attached.
+  monotonic ordering, JSONL export, emit-time context stamping, segment
+  ingestion for cross-process merging, and near-zero overhead when no
+  sink is attached.
+* :mod:`repro.obs.profile` — the search-tree profiler: rebuilds the
+  guess tree from a trace and attributes instructions, COW faults,
+  snapshot lifecycle and wall time to each decision prefix, with
+  subtree rollups, critical path, and flamegraph/speedscope exports.
 
 ``python -m repro.tools.trace_report trace.jsonl`` summarizes an
-exported trace; ``pytest benchmarks/ --obs-trace=PATH`` records one.
+exported trace; ``python -m repro.tools.profile trace.jsonl`` profiles
+it; ``pytest benchmarks/ --obs-trace=PATH`` records one.
 """
 
 from repro.obs.events import EVENT_FIELDS, EVENT_TYPES, validate_event
+from repro.obs.profile import (
+    Profile,
+    ProfileNode,
+    build_profile,
+    folded_stacks,
+    hotspots,
+    speedscope_document,
+    summarize_profile,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -51,6 +66,13 @@ __all__ = [
     "EVENT_FIELDS",
     "EVENT_TYPES",
     "validate_event",
+    "Profile",
+    "ProfileNode",
+    "build_profile",
+    "folded_stacks",
+    "hotspots",
+    "speedscope_document",
+    "summarize_profile",
     "TRACER",
     "Tracer",
     "JsonlSink",

@@ -14,7 +14,20 @@ Field conventions:
   ``mem.cow_fault`` events back to the restore that caused them.
 * ``vpn`` — virtual page number.
 * ``depth`` — search depth (number of guesses on the path).
-* ``worker`` — logical core id in the parallel engine.
+* ``worker`` — logical core id in the parallel engine, or the worker
+  process id in the cluster engine (stamped on every worker-originated
+  event via the tracer's emit-time context).
+* ``path`` — the decision prefix reaching the event, as a list.  The
+  terminal search events (``search.guess/fail/solution/kill``) carry it
+  so the profiler can rebuild the guess tree without positional
+  guessing; they also carry ``steps`` (guest instructions retired by the
+  extension run ending at the event) and, in the cluster engine,
+  ``replay_steps`` (the rehydration share of that run).
+* ``span`` — the root span id of the cluster run a ``task.*`` event
+  belongs to (propagated to workers inside every PrefixTask).
+* ``wseq`` — the original worker-local ``seq`` of a merged event
+  (:meth:`repro.obs.trace.Tracer.ingest` preserves it when it assigns
+  the merged stream's global ``seq``).
 """
 
 from __future__ import annotations
@@ -38,6 +51,14 @@ LIBOS_SYSCALL = "libos.syscall"
 SEARCH_GUESS = "search.guess"
 SEARCH_FAIL = "search.fail"
 SEARCH_SOLUTION = "search.solution"
+SEARCH_KILL = "search.kill"
+#: A cluster worker hit its budget at a choice point and handed the
+#: subtree back to the coordinator instead of guessing.
+SEARCH_SPILL = "search.spill"
+
+# -- cluster worker task spans (worker side) ---------------------------
+TASK_BEGIN = "task.begin"
+TASK_END = "task.end"
 
 # -- parallel scheduler ------------------------------------------------
 PARALLEL_SCHEDULE = "parallel.schedule"
@@ -63,6 +84,11 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     SEARCH_GUESS: ("n", "depth"),
     SEARCH_FAIL: ("depth",),
     SEARCH_SOLUTION: ("depth", "path"),
+    SEARCH_KILL: ("depth",),
+    SEARCH_SPILL: ("depth", "n"),
+    TASK_BEGIN: ("worker", "task", "depth"),
+    TASK_END: ("worker", "task", "solutions", "spilled",
+               "explore_steps", "replay_steps"),
     PARALLEL_SCHEDULE: ("worker", "ext", "depth"),
     PARALLEL_PREEMPT: ("worker", "steps"),
     PARALLEL_DISPATCH: ("worker", "tasks"),

@@ -39,12 +39,19 @@ class PrefixTask(NamedTuple):
     attempt:
         How many times this task has been dispatched before (bumped by
         the coordinator when a worker crash or timeout loses it).
+    span:
+        The trace context: the root span id of the cluster run this
+        task belongs to.  Together with the decision prefix it lets a
+        worker's trace events be causally linked back to the run and the
+        subtree that produced them, across the process boundary.  Spilled
+        children inherit their parent task's span.
     """
 
     prefix: tuple[int, ...] = ()
     fanouts: tuple[int, ...] = ()
     hint: Optional[float] = None
     attempt: int = 0
+    span: Optional[int] = None
 
     @property
     def depth(self) -> int:
@@ -118,11 +125,13 @@ class TaskFrontier:
 
 def spill_extension(prefix: tuple[int, ...], fanouts: tuple[int, ...],
                     n: int, hints: Optional[tuple[float, ...]],
-                    ) -> list[PrefixTask]:
+                    span: Optional[int] = None) -> list[PrefixTask]:
     """Turn one choice point into its child tasks.
 
     A guess with fan-out *n* reached via *prefix* becomes *n* sibling
     subtree roots — the unit the coordinator shards across workers.
+    The children inherit *span* so their trace events stay linked to the
+    run that spawned them.
     """
     child_fanouts = fanouts + (n,)
     return [
@@ -130,6 +139,7 @@ def spill_extension(prefix: tuple[int, ...], fanouts: tuple[int, ...],
             prefix=prefix + (i,),
             fanouts=child_fanouts,
             hint=hints[i] if hints is not None else None,
+            span=span,
         )
         for i in range(n)
     ]

@@ -1,0 +1,179 @@
+"""Profile a search trace: flamegraphs, hotspots, critical path.
+
+Usage::
+
+    python -m repro.tools.profile trace.jsonl                # summary tables
+    python -m repro.tools.profile trace.jsonl --folded       # folded stacks
+    python -m repro.tools.profile trace.jsonl --speedscope out.json
+    python -m repro.tools.profile trace.jsonl --top 20
+    python -m repro.tools.profile trace.jsonl --json
+
+The input is an observability trace (JSONL, from ``--obs-trace`` or
+:class:`repro.obs.trace.JsonlSink`) — sequential or merged multi-worker;
+:mod:`repro.obs.profile` rebuilds the guess tree from it and attributes
+instructions retired, COW faults, pages, snapshot lifecycle and wall
+time to every decision prefix.
+
+``--folded`` prints Brendan-Gregg folded-stack lines (the decision
+prefix is the stack) ready for any flamegraph renderer; the rendered
+root frame totals the whole run's retired-instruction counter.
+``--speedscope FILE`` writes a https://www.speedscope.app document.
+``--metric`` switches what is folded/ranked (default ``steps``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Optional, Sequence
+
+from repro.bench.report import Table
+from repro.obs.profile import (
+    METRICS,
+    Profile,
+    build_profile,
+    folded_stacks,
+    hotspots,
+    speedscope_document,
+    summarize_profile,
+)
+from repro.tools.trace_report import load_events
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.profile",
+        description="Rebuild the guess tree from a trace and attribute "
+        "cost to every subtree.",
+    )
+    parser.add_argument("trace", help="JSONL trace file (from --obs-trace "
+                        "or repro.obs.trace.JsonlSink)")
+    parser.add_argument("--folded", action="store_true",
+                        help="emit folded-stack flamegraph lines and exit")
+    parser.add_argument("--speedscope", metavar="FILE",
+                        help="write a speedscope-compatible JSON profile")
+    parser.add_argument("--metric", choices=METRICS, default="steps",
+                        help="cost metric to fold/rank by (default: steps)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="hotspot rows to show (default: 10)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full summary as one JSON object")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+
+
+def build_tables(profile: Profile, summary: dict[str, Any],
+                 top: int, metric: str) -> list[Table]:
+    tables: list[Table] = []
+
+    totals = Table("Profile totals", ["metric", "value"])
+    totals.add("events", summary["events"])
+    totals.add("tree nodes", summary["nodes"])
+    totals.add("instructions (explore)", summary["total_steps"])
+    totals.add("instructions (replay)", summary["total_replay_steps"])
+    totals.add("replay overhead", f"{summary['replay_overhead']:.1%}")
+    cum = summary["totals"]
+    totals.add("cow faults", cum.get("cow_faults", 0))
+    totals.add("pages allocated", cum.get("pages_allocated", 0))
+    totals.add("snapshots taken", cum.get("snapshots_taken", 0))
+    totals.add("snapshots restored", cum.get("snapshots_restored", 0))
+    totals.add("solutions", cum.get("solutions", 0))
+    tables.append(totals)
+
+    rows = hotspots(profile, top=top, metric=metric)
+    if rows:
+        hot = Table(
+            f"Hotspots (top {len(rows)} by exclusive {metric})",
+            ["path", "excl steps", "subtree steps", "replay",
+             "cow faults", "outcome"],
+        )
+        for row in rows:
+            hot.add(row["path"], row["steps"], row["subtree_steps"],
+                    row["replay_steps"], row["cow_faults"], row["outcome"])
+        tables.append(hot)
+
+    critical = summary["critical_path"]
+    crit = Table(
+        f"Critical path (cost={critical['cost']}, "
+        f"depth={critical['depth']})",
+        ["path", "steps", "cow faults", "outcome"],
+    )
+    for node in critical["nodes"]:
+        crit.add(node["path"], node["steps"], node["cow_faults"],
+                 node["outcome"])
+    tables.append(crit)
+
+    if summary["workers"]:
+        par = Table(
+            "Cluster workers",
+            ["worker", "tasks", "explore insns", "replay insns",
+             "replay share", "busy s"],
+        )
+        for worker, agg in summary["workers"].items():
+            steps = agg["explore_steps"] + agg["replay_steps"]
+            share = agg["replay_steps"] / steps if steps else 0.0
+            par.add(worker, agg["tasks"], agg["explore_steps"],
+                    agg["replay_steps"], f"{share:.1%}",
+                    f"{agg['busy_s']:.3f}")
+        tables.append(par)
+
+    return tables
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        events, skipped = load_events(args.trace)
+    except OSError as err:
+        print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt line(s) in {args.trace}",
+              file=sys.stderr)
+
+    profile = build_profile(events)
+
+    if args.speedscope:
+        document = speedscope_document(profile, metric=args.metric)
+        with open(args.speedscope, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+            fh.write("\n")
+        print(f"wrote speedscope profile to {args.speedscope}",
+              file=sys.stderr)
+
+    if args.folded:
+        for line in folded_stacks(profile, metric=args.metric):
+            print(line)
+        return 0
+
+    summary = summarize_profile(profile, top=args.top, metric=args.metric)
+    summary["skipped_lines"] = skipped
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not events:
+        print(f"{args.trace}: empty trace")
+        return 0
+    for table in build_tables(profile, summary, args.top, args.metric):
+        print(table.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        status = main()
+    except BrokenPipeError:  # e.g. `... --folded | head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 0
+    raise SystemExit(status)

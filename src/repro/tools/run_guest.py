@@ -13,6 +13,7 @@ engine's cost counters — a one-command view of the whole system.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -21,6 +22,7 @@ from repro.core.machine import MachineEngine
 from repro.core.parallel import ParallelMachineEngine
 from repro.core.replay_machine import ReplayMachineEngine
 from repro.cpu.assembler import AssemblyError, assemble
+from repro.obs.trace import TRACER
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=4,
                         help="tasks per worker dispatch (process engine "
                         "only)")
+    parser.add_argument("--obs-trace", metavar="PATH", default=None,
+                        help="record the run's observability trace to a "
+                        "JSONL file (process engine merges every worker's "
+                        "events into one causally-ordered stream); inspect "
+                        "it with repro.tools.trace_report or "
+                        "repro.tools.profile")
     parser.add_argument("--max-solutions", type=int, default=None)
     parser.add_argument("--max-steps", type=int, default=5_000_000,
                         help="instruction budget per extension step")
@@ -111,7 +119,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_steps_per_path=args.max_steps,
         )
 
-    result = engine.run(program)
+    with contextlib.ExitStack() as stack:
+        if args.obs_trace:
+            stack.enter_context(TRACER.to_file(args.obs_trace))
+        result = engine.run(program)
+    if args.obs_trace:
+        print(f"trace written to {args.obs_trace}", file=sys.stderr)
     print(result.summary())
     if not args.quiet:
         for solution in result.solutions:

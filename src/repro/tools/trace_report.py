@@ -21,7 +21,14 @@ The report answers the questions the paper's cost model poses:
   restore that incurred it.  O(1) restore + per-page faults is *the*
   headline claim, and this is its direct measurement;
 * syscall mix and search shape (guesses / fails / solutions / depth);
-* parallel scheduling activity per worker.
+* parallel scheduling activity per worker;
+* cluster utilization and skew (process engine): per-worker busy vs
+  idle wall time and replay share, from ``task.begin``/``task.end``
+  events in a merged multi-worker trace.
+
+Corrupt lines (truncated JSON from a crashed run) are skipped and
+counted, not fatal.  For guess-tree cost attribution and flamegraphs,
+see ``python -m repro.tools.profile``.
 
 ``--json`` emits the same summary as one machine-readable JSON object.
 """
@@ -39,27 +46,32 @@ from repro.bench.report import Table
 from repro.obs import events as ev
 
 
-def load_events(path: str) -> list[dict]:
-    """Parse a JSONL trace file into a list of event dicts.
+def load_events(path: str) -> tuple[list[dict], int]:
+    """Parse a JSONL trace file into ``(events, skipped)``.
 
-    Blank lines are skipped; malformed lines raise ``ValueError`` with
-    the offending line number (a truncated trace should be loud, not a
-    silently shorter report).
+    Blank lines are ignored.  Malformed lines — truncated JSON from a
+    crashed run, or lines that are not trace events — are *skipped and
+    counted*, not fatal: a crashed run's partial trace is exactly when
+    you need the report most.  Callers should surface a non-zero
+    ``skipped`` to the user.
     """
     out: list[dict] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
+        for line in fh:
             line = line.strip()
             if not line:
                 continue
             try:
                 event = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise ValueError(f"{path}:{lineno}: bad JSONL line: {err}") from None
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
             if not isinstance(event, dict) or "type" not in event:
-                raise ValueError(f"{path}:{lineno}: not a trace event")
+                skipped += 1
+                continue
             out.append(event)
-    return out
+    return out, skipped
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +200,50 @@ def summarize(events: Iterable[dict]) -> dict[str, Any]:
         "preempts": sum(preempt_by_worker.values()),
     }
 
+    # -- cluster workers (process engine): utilization and skew --------
+    cluster_rows = []
+    ends_by_worker: dict[Any, list[dict]] = defaultdict(list)
+    for e in events:
+        if e["type"] == ev.TASK_END:
+            ends_by_worker[e.get("worker")].append(e)
+    # Wall clock of the whole parallel phase: first task.begin to last
+    # task.end (coordinator timestamps are on the merged events' ts).
+    task_ts = [
+        e.get("ts") for e in events
+        if e["type"] in (ev.TASK_BEGIN, ev.TASK_END) and e.get("ts") is not None
+    ]
+    wall_s = (max(task_ts) - min(task_ts)) if len(task_ts) >= 2 else 0.0
+    for worker in sorted(ends_by_worker, key=lambda w: (w is None, w)):
+        ends = ends_by_worker[worker]
+        busy_s = sum(e.get("task_s", 0.0) or 0.0 for e in ends)
+        explore = sum(e.get("explore_steps", 0) or 0 for e in ends)
+        replay = sum(e.get("replay_steps", 0) or 0 for e in ends)
+        total = explore + replay
+        cluster_rows.append({
+            "worker": worker,
+            "tasks": len(ends),
+            "solutions": sum(e.get("solutions", 0) or 0 for e in ends),
+            "spilled": sum(e.get("spilled", 0) or 0 for e in ends),
+            "explore_steps": explore,
+            "replay_steps": replay,
+            "replay_share": replay / total if total else 0.0,
+            "busy_s": busy_s,
+            "idle_s": max(0.0, wall_s - busy_s),
+            "utilization": busy_s / wall_s if wall_s else 0.0,
+        })
+    busy_values = [row["busy_s"] for row in cluster_rows]
+    cluster = {
+        "workers": cluster_rows,
+        "wall_s": wall_s,
+        "tasks": sum(row["tasks"] for row in cluster_rows),
+        # Skew: slowest worker's busy time over the mean — 1.0 is a
+        # perfectly balanced cluster, 2.0 means one worker did double.
+        "busy_skew": (
+            max(busy_values) / (sum(busy_values) / len(busy_values))
+            if busy_values and sum(busy_values) else 0.0
+        ),
+    }
+
     # -- memory --------------------------------------------------------
     allocs = [e for e in events if e["type"] == ev.MEM_PAGE_ALLOC]
     mem = {
@@ -206,6 +262,7 @@ def summarize(events: Iterable[dict]) -> dict[str, Any]:
         "syscalls": syscalls,
         "search": search,
         "parallel": parallel,
+        "cluster": cluster,
     }
 
 
@@ -271,6 +328,24 @@ def build_tables(summary: dict[str, Any]) -> list[Table]:
             par.add(row["worker"], row["schedules"], row["preempts"])
         tables.append(par)
 
+    cluster = summary.get("cluster", {})
+    if cluster.get("workers"):
+        util = Table(
+            f"Cluster utilization (wall {cluster['wall_s']:.3f}s, "
+            f"busy skew {cluster['busy_skew']:.2f}x)",
+            ["worker", "tasks", "busy s", "idle s", "util",
+             "explore insns", "replay insns", "replay share"],
+        )
+        for row in cluster["workers"]:
+            util.add(
+                row["worker"], row["tasks"],
+                f"{row['busy_s']:.3f}", f"{row['idle_s']:.3f}",
+                f"{row['utilization']:.1%}",
+                row["explore_steps"], row["replay_steps"],
+                f"{row['replay_share']:.1%}",
+            )
+        tables.append(util)
+
     return tables
 
 
@@ -294,14 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        events = load_events(args.trace)
+        events, skipped = load_events(args.trace)
     except OSError as err:
         print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
         return 2
-    except ValueError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt line(s) in {args.trace}",
+              file=sys.stderr)
     summary = summarize(events)
+    summary["skipped_lines"] = skipped
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
         return 0

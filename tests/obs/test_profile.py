@@ -1,0 +1,257 @@
+"""Tests for the search-tree profiler (repro.obs.profile).
+
+The load-bearing property is the attribution contract: every engine
+terminal event carries the run's decision prefix and retired
+instructions, so the profile's total must equal the engine's
+retired-instruction counter *exactly* — not approximately.
+"""
+
+import pytest
+
+from repro.core.machine import MachineEngine
+from repro.obs import events as ev
+from repro.obs.profile import (
+    build_profile,
+    folded_stacks,
+    hotspots,
+    speedscope_document,
+    summarize_profile,
+)
+from repro.obs.trace import TRACER
+from repro.workloads.nqueens import nqueens_asm
+
+
+def _event(seq, etype, **fields):
+    fields.setdefault("ts", float(seq))
+    return {"seq": seq, "type": etype, **fields}
+
+
+# ----------------------------------------------------------------------
+# Synthetic streams: tree shape and attribution mechanics
+# ----------------------------------------------------------------------
+
+
+class TestTreeReconstruction:
+    def test_builds_nodes_and_ancestors_from_paths(self):
+        events = [
+            _event(0, ev.SEARCH_GUESS, n=2, depth=0, path=[], steps=10),
+            _event(1, ev.SEARCH_FAIL, depth=2, path=[0, 1], steps=7),
+        ]
+        profile = build_profile(events)
+        # [0,1] forces the [0] intermediate node into existence.
+        assert set(profile.nodes) == {(), (0,), (0, 1)}
+        assert profile.nodes[(0, 1)].parent is profile.nodes[(0,)]
+        assert profile.nodes[(0,)].parent is profile.root
+
+    def test_exclusive_and_cumulative_steps(self):
+        events = [
+            _event(0, ev.SEARCH_GUESS, n=2, depth=0, path=[], steps=10),
+            _event(1, ev.SEARCH_FAIL, depth=1, path=[0], steps=5),
+            _event(2, ev.SEARCH_SOLUTION, depth=1, path=[1], steps=8),
+        ]
+        profile = build_profile(events)
+        assert profile.root.steps == 10
+        assert profile.root.cum["steps"] == 23
+        assert profile.total_steps == 23
+        assert profile.nodes[(1,)].solutions == 1
+        assert profile.root.cum["solutions"] == 1
+        assert profile.root.fanout == 2
+
+    def test_kill_and_spill_terminals_attribute_steps(self):
+        # Kills and budget spills end runs too; losing their steps would
+        # break exact attribution.
+        events = [
+            _event(0, ev.SEARCH_KILL, depth=1, path=[0], steps=100),
+            _event(1, ev.SEARCH_SPILL, depth=1, n=3, path=[1], steps=40,
+                   replay_steps=15),
+        ]
+        profile = build_profile(events)
+        assert profile.total_steps == 140
+        assert profile.total_replay_steps == 15
+        assert profile.nodes[(0,)].kills == 1
+        assert profile.nodes[(1,)].spills == 1
+
+    def test_mem_costs_swept_to_next_terminal(self):
+        events = [
+            _event(0, ev.SNAPSHOT_RESTORE, sid=1, asid=10),
+            _event(1, ev.MEM_COW_FAULT, asid=10, vpn=3, kind="cow"),
+            _event(2, ev.MEM_COW_FAULT, asid=10, vpn=4, kind="zero"),
+            _event(3, ev.MEM_PAGE_ALLOC, pages=6),
+            _event(4, ev.SNAPSHOT_TAKE, sid=2),
+            _event(5, ev.SEARCH_GUESS, n=2, depth=1, path=[0], steps=50),
+            _event(6, ev.MEM_COW_FAULT, asid=11, vpn=5, kind="cow"),
+            _event(7, ev.SEARCH_FAIL, depth=2, path=[0, 0], steps=20),
+        ]
+        profile = build_profile(events)
+        first = profile.nodes[(0,)]
+        assert first.cow_faults == 1
+        assert first.zero_fills == 1
+        assert first.pages_allocated == 6
+        assert first.snapshots_taken == 1
+        assert first.snapshots_restored == 1
+        # The post-guess fault belongs to the *next* run, not the first.
+        assert profile.nodes[(0, 0)].cow_faults == 1
+        assert profile.root.cum["cow_faults"] == 2
+
+    def test_wall_clock_starts_at_restore_not_previous_terminal(self):
+        events = [
+            _event(0, ev.SEARCH_FAIL, depth=1, path=[0], steps=5, ts=1.0),
+            # 2 s of host-side strategy work must not be charged...
+            _event(1, ev.SNAPSHOT_RESTORE, sid=1, asid=10, ts=3.0),
+            _event(2, ev.SEARCH_FAIL, depth=1, path=[1], steps=5, ts=3.5),
+        ]
+        profile = build_profile(events)
+        assert profile.nodes[(1,)].wall_s == pytest.approx(0.5)
+
+    def test_merged_streams_swept_independently(self):
+        # Two workers' segments interleaved in the merged order: worker
+        # 1's faults must not leak into worker 0's terminal.
+        events = [
+            _event(0, ev.MEM_COW_FAULT, asid=1, vpn=1, kind="cow",
+                   worker=0, wseq=0),
+            _event(1, ev.MEM_COW_FAULT, asid=2, vpn=2, kind="cow",
+                   worker=1, wseq=0),
+            _event(2, ev.SEARCH_FAIL, depth=1, path=[0], steps=3,
+                   worker=0, wseq=1),
+            _event(3, ev.SEARCH_FAIL, depth=1, path=[1], steps=4,
+                   worker=1, wseq=1),
+        ]
+        profile = build_profile(events)
+        assert profile.nodes[(0,)].cow_faults == 1
+        assert profile.nodes[(1,)].cow_faults == 1
+
+    def test_task_events_build_worker_aggregates(self):
+        events = [
+            _event(0, ev.TASK_BEGIN, worker=0, task=[], depth=0,
+                   wseq=0),
+            _event(1, ev.TASK_END, worker=0, task=[], solutions=1,
+                   spilled=2, explore_steps=30, replay_steps=10,
+                   task_s=0.25, wseq=1),
+            _event(2, ev.TASK_BEGIN, worker=0, task=[1], depth=1,
+                   wseq=2),
+            _event(3, ev.TASK_END, worker=0, task=[1], solutions=0,
+                   spilled=0, explore_steps=20, replay_steps=20,
+                   task_s=0.5, wseq=3),
+        ]
+        profile = build_profile(events)
+        assert len(profile.tasks) == 2
+        assert profile.tasks[0]["replay_share"] == pytest.approx(0.25)
+        agg = profile.workers[0]
+        assert agg["tasks"] == 2
+        assert agg["solutions"] == 1
+        assert agg["spilled"] == 2
+        assert agg["explore_steps"] == 50
+        assert agg["replay_steps"] == 30
+        assert agg["busy_s"] == pytest.approx(0.75)
+
+    def test_empty_stream(self):
+        profile = build_profile([])
+        assert profile.total_steps == 0
+        assert len(profile.nodes) == 1
+        assert folded_stacks(profile) == []
+        summary = summarize_profile(profile)
+        assert summary["critical_path"]["path"] == "root"
+
+
+class TestCriticalPath:
+    def test_most_expensive_solution_chain(self):
+        events = [
+            _event(0, ev.SEARCH_GUESS, n=2, depth=0, path=[], steps=10),
+            _event(1, ev.SEARCH_GUESS, n=2, depth=1, path=[0], steps=100),
+            _event(2, ev.SEARCH_SOLUTION, depth=2, path=[0, 1], steps=5),
+            _event(3, ev.SEARCH_SOLUTION, depth=1, path=[1], steps=50),
+        ]
+        profile = build_profile(events)
+        chain = profile.critical_path()
+        assert [n.path for n in chain] == [(), (0,), (0, 1)]  # 115 > 60
+
+    def test_falls_back_to_leaves_without_solutions(self):
+        events = [
+            _event(0, ev.SEARCH_GUESS, n=2, depth=0, path=[], steps=1),
+            _event(1, ev.SEARCH_FAIL, depth=1, path=[0], steps=9),
+            _event(2, ev.SEARCH_FAIL, depth=1, path=[1], steps=2),
+        ]
+        chain = build_profile(events).critical_path()
+        assert [n.path for n in chain] == [(), (0,)]
+
+
+class TestOutputs:
+    @pytest.fixture()
+    def small_profile(self):
+        return build_profile([
+            _event(0, ev.SEARCH_GUESS, n=2, depth=0, path=[], steps=10),
+            _event(1, ev.SEARCH_FAIL, depth=1, path=[0], steps=5),
+            _event(2, ev.SEARCH_SOLUTION, depth=1, path=[1], steps=8),
+        ])
+
+    def test_folded_stacks_sum_to_total(self, small_profile):
+        lines = folded_stacks(small_profile)
+        assert "root 10" in lines
+        assert "root;1 8" in lines
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == small_profile.total_steps == 23
+
+    def test_folded_rejects_unknown_metric(self, small_profile):
+        with pytest.raises(ValueError, match="unknown metric"):
+            folded_stacks(small_profile, metric="nope")
+
+    def test_speedscope_document_shape(self, small_profile):
+        doc = speedscope_document(small_profile)
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"]) == 3
+        assert sum(prof["weights"]) == 23.0
+        # Every frame index referenced by a sample must exist.
+        nframes = len(doc["shared"]["frames"])
+        assert all(i < nframes for s in prof["samples"] for i in s)
+
+    def test_hotspots_ranked_by_exclusive_metric(self, small_profile):
+        rows = hotspots(small_profile, top=2)
+        assert [r["path"] for r in rows] == ["root", "root;1"]
+        assert rows[0]["subtree_steps"] == 23
+        assert rows[1]["outcome"] == "solution"
+
+
+# ----------------------------------------------------------------------
+# Differential: profile totals vs engine counters on a real run
+# ----------------------------------------------------------------------
+
+
+class TestDifferential:
+    def test_sequential_profile_matches_engine_counters_exactly(self):
+        engine = MachineEngine()
+        with TRACER.capture() as sink:
+            result = engine.run(nqueens_asm(5))
+        profile = build_profile(sink.events)
+
+        # The contract: each retired instruction belongs to exactly one
+        # run, each run ends in exactly one terminal event, so the sum
+        # of attributed steps IS the retired-instruction counter.
+        assert profile.total_steps == result.stats.extra["guest_instructions"]
+        assert profile.total_steps > 0
+        assert profile.total_replay_steps == 0  # no replay in snapshots
+
+        assert profile.root.cum["solutions"] == len(result.solutions) == 10
+        assert profile.root.cum["snapshots_taken"] == \
+            result.stats.extra["snapshots_taken"]
+        assert profile.root.cum["snapshots_restored"] == \
+            result.stats.extra["snapshots_restored"]
+
+        folded_total = sum(
+            int(line.rsplit(" ", 1)[1]) for line in folded_stacks(profile)
+        )
+        assert folded_total == profile.total_steps
+
+    def test_simulated_parallel_profile_steps_exact(self):
+        from repro.core.parallel import ParallelMachineEngine
+
+        engine = ParallelMachineEngine(workers=3, quantum=64)
+        with TRACER.capture() as sink:
+            result = engine.run(nqueens_asm(4))
+        profile = build_profile(sink.events)
+        # Steps ride on the terminal events themselves, so attribution
+        # stays exact even though the simulated workers interleave in
+        # one process stream.
+        assert profile.total_steps == result.stats.extra["guest_instructions"]
+        assert profile.root.cum["solutions"] == len(result.solutions) == 2

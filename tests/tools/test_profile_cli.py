@@ -1,0 +1,94 @@
+"""Tests for the profile CLI (repro.tools.profile)."""
+
+import json
+
+import pytest
+
+from repro.core.machine import MachineEngine
+from repro.obs.trace import TRACER
+from repro.tools import profile as profile_cli
+from repro.workloads.nqueens import nqueens_asm
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """A sequential 5-queens trace plus the run's stats: (path, extra)."""
+    path = str(tmp_path_factory.mktemp("prof") / "nq5.jsonl")
+    engine = MachineEngine()
+    with TRACER.to_file(path):
+        result = engine.run(nqueens_asm(5))
+    return path, result.stats.extra
+
+
+class TestFolded:
+    def test_folded_total_equals_instruction_counter(self, traced_run,
+                                                     capsys):
+        path, extra = traced_run
+        assert profile_cli.main([path, "--folded"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(line.startswith("root") for line in lines)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == extra["guest_instructions"]
+
+    def test_metric_selection(self, traced_run, capsys):
+        path, _ = traced_run
+        assert profile_cli.main([path, "--folded",
+                                 "--metric", "cow_faults"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()  # 5-queens definitely COW-faults
+
+
+class TestSpeedscope:
+    def test_writes_valid_document(self, traced_run, tmp_path, capsys):
+        path, extra = traced_run
+        out_path = tmp_path / "prof.speedscope.json"
+        assert profile_cli.main([path, "--speedscope", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["$schema"] == \
+            "https://www.speedscope.app/file-format-schema.json"
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert sum(prof["weights"]) == extra["guest_instructions"]
+
+
+class TestSummary:
+    def test_tables_rendered(self, traced_run, capsys):
+        path, _ = traced_run
+        assert profile_cli.main([path]) == 0
+        out = capsys.readouterr().out
+        for heading in ("Profile totals", "Hotspots", "Critical path"):
+            assert heading in out
+        assert "replay overhead" in out
+
+    def test_json_summary(self, traced_run, capsys):
+        path, extra = traced_run
+        assert profile_cli.main([path, "--json", "--top", "3"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["total_steps"] == extra["guest_instructions"]
+        assert summary["skipped_lines"] == 0
+        assert len(summary["hotspots"]) == 3
+        assert summary["critical_path"]["nodes"]
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert profile_cli.main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_trace_succeeds(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert profile_cli.main([str(path)]) == 0
+        assert "empty trace" in capsys.readouterr().out
+
+    def test_corrupt_lines_warn_but_profile(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            'garbage\n'
+            '{"seq": 0, "ts": 0.0, "type": "search.fail", '
+            '"depth": 1, "path": [0], "steps": 7}\n'
+        )
+        assert profile_cli.main([str(path), "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt line" in captured.err
+        summary = json.loads(captured.out)
+        assert summary["skipped_lines"] == 1
+        assert summary["total_steps"] == 7

@@ -22,31 +22,43 @@ def nqueens_trace(tmp_path_factory):
 
 class TestLoadEvents:
     def test_loads_real_trace(self, nqueens_trace):
-        events = trace_report.load_events(nqueens_trace)
+        events, skipped = trace_report.load_events(nqueens_trace)
         assert events
+        assert skipped == 0
         assert all("type" in e and "seq" in e for e in events)
 
     def test_skips_blank_lines(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"seq": 0, "ts": 0.0, "type": "x"}\n\n\n')
-        assert len(trace_report.load_events(str(path))) == 1
+        events, skipped = trace_report.load_events(str(path))
+        assert len(events) == 1
+        assert skipped == 0
 
-    def test_bad_json_raises_with_line_number(self, tmp_path):
+    def test_bad_json_skipped_and_counted(self, tmp_path):
+        # A truncated line (crashed run) must not lose the rest of the
+        # trace — skip it, count it, keep going.
         path = tmp_path / "t.jsonl"
-        path.write_text('{"seq": 0, "ts": 0.0, "type": "x"}\nnot json\n')
-        with pytest.raises(ValueError, match=r":2:"):
-            trace_report.load_events(str(path))
+        path.write_text(
+            '{"seq": 0, "ts": 0.0, "type": "x"}\n'
+            'not json\n'
+            '{"seq": 1, "ts": 0.1, "type": "y"}\n'
+            '{"seq": 2, "ts": 0.2, "type": "z"'  # truncated mid-object
+        )
+        events, skipped = trace_report.load_events(str(path))
+        assert [e["type"] for e in events] == ["x", "y"]
+        assert skipped == 2
 
-    def test_non_event_line_raises(self, tmp_path):
+    def test_non_event_line_skipped(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text("[1, 2, 3]\n")
-        with pytest.raises(ValueError, match="not a trace event"):
-            trace_report.load_events(str(path))
+        path.write_text('[1, 2, 3]\n{"seq": 0, "ts": 0.0, "type": "x"}\n')
+        events, skipped = trace_report.load_events(str(path))
+        assert len(events) == 1
+        assert skipped == 1
 
 
 class TestSummarize:
     def test_real_run_summary(self, nqueens_trace):
-        events = trace_report.load_events(nqueens_trace)
+        events, _ = trace_report.load_events(nqueens_trace)
         summary = trace_report.summarize(events)
 
         snap = summary["snapshot"]
@@ -130,17 +142,38 @@ class TestTablesAndCli:
         assert trace_report.main([str(tmp_path / "nope.jsonl")]) == 2
         assert "cannot read" in capsys.readouterr().err
 
-    def test_cli_corrupt_file_fails(self, tmp_path, capsys):
+    def test_cli_corrupt_lines_warn_but_report(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
-        path.write_text("garbage\n")
-        assert trace_report.main([str(path)]) == 2
-        assert "error:" in capsys.readouterr().err
+        path.write_text(
+            'garbage\n'
+            '{"seq": 0, "ts": 0.0, "type": "search.guess", "n": 2, "depth": 0}\n'
+        )
+        assert trace_report.main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt line" in captured.err
+        assert "Search" in captured.out
+
+    def test_cli_all_garbage_reports_empty(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\nmore garbage\n")
+        assert trace_report.main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 corrupt line" in captured.err
+        assert "empty trace" in captured.out
 
     def test_cli_empty_file_succeeds(self, tmp_path, capsys):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert trace_report.main([str(path)]) == 0
         assert "empty trace" in capsys.readouterr().out
+
+    def test_cli_json_reports_skipped_count(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('nope\n{"seq": 0, "ts": 0.0, "type": "x"}\n')
+        assert trace_report.main([str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["skipped_lines"] == 1
+        assert summary["events"] == 1
 
     def test_parallel_trace_gets_worker_table(self, tmp_path, capsys):
         from repro.core.parallel import ParallelMachineEngine
@@ -151,3 +184,41 @@ class TestTablesAndCli:
         assert trace_report.main([path]) == 0
         out = capsys.readouterr().out
         assert "Parallel workers" in out
+
+    def test_merged_cluster_trace_gets_utilization_table(
+            self, tmp_path, capsys):
+        from repro.core.cluster import ProcessParallelEngine
+
+        path = str(tmp_path / "cluster.jsonl")
+        engine = ProcessParallelEngine(workers=2, task_step_budget=800)
+        with TRACER.to_file(path):
+            engine.run(nqueens_asm(4))
+        assert trace_report.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "Cluster utilization" in out
+        assert "replay share" in out
+
+    def test_cluster_summary_utilization_math(self):
+        events = [
+            {"seq": 0, "ts": 1.0, "type": ev.TASK_BEGIN,
+             "worker": 0, "task": [], "depth": 0},
+            {"seq": 1, "ts": 2.0, "type": ev.TASK_END, "worker": 0,
+             "task": [], "solutions": 1, "spilled": 0,
+             "explore_steps": 90, "replay_steps": 10, "task_s": 0.5},
+            {"seq": 2, "ts": 1.5, "type": ev.TASK_BEGIN,
+             "worker": 1, "task": [0], "depth": 1},
+            {"seq": 3, "ts": 3.0, "type": ev.TASK_END, "worker": 1,
+             "task": [0], "solutions": 0, "spilled": 2,
+             "explore_steps": 30, "replay_steps": 30, "task_s": 1.5},
+        ]
+        cluster = trace_report.summarize(events)["cluster"]
+        assert cluster["wall_s"] == 2.0  # ts 1.0 .. 3.0
+        assert cluster["tasks"] == 2
+        by_worker = {row["worker"]: row for row in cluster["workers"]}
+        assert by_worker[0]["busy_s"] == 0.5
+        assert by_worker[0]["idle_s"] == 1.5
+        assert by_worker[0]["utilization"] == 0.25
+        assert by_worker[0]["replay_share"] == 0.1
+        assert by_worker[1]["replay_share"] == 0.5
+        # Skew: max busy (1.5) over mean busy (1.0).
+        assert cluster["busy_skew"] == 1.5
