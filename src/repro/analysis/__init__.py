@@ -1,0 +1,55 @@
+"""Static analysis and determinism certification for guest programs.
+
+An eBPF-verifier-style load-time checker for assembled guest
+:class:`~repro.cpu.assembler.Program`\\ s.  Replay soundness — the
+property the process-parallel engine's prefix rehydration rests on — is
+a property of the *program*, so it is proved here at load time instead
+of surfacing as a runtime ``GuessError`` deep inside a worker.
+
+Layers (each its own module):
+
+* :mod:`repro.analysis.cfg` — decode via the shared
+  :data:`repro.cpu.isa.OPCODES` table and build the control-flow graph;
+* :mod:`repro.analysis.dataflow` — interval abstract interpretation,
+  must-initialized registers, guess-scope reachability, worst-case step
+  bounds;
+* :mod:`repro.analysis.lints` — the lint catalog (``CF*``/``DF*``/
+  ``MB*``/``DV*``/``BT*``/``DT*``) and the determinism certifier;
+* :mod:`repro.analysis.report` — findings, the human/JSON/SARIF report;
+* :mod:`repro.analysis.verifier` — the engine-facing gate behind
+  ``verify="off"|"warn"|"strict"``;
+* :mod:`repro.analysis.differential` — cross-validation of analyzer
+  claims against observed ``obs`` trace streams.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lints import analyze
+from repro.analysis.report import (
+    CATALOG,
+    AnalysisReport,
+    DeterminismCertificate,
+    Finding,
+    LintSpec,
+    Severity,
+)
+from repro.analysis.verifier import (
+    VERIFY_MODES,
+    VerificationError,
+    nondet_sites,
+    verify_program,
+)
+
+__all__ = [
+    "CATALOG",
+    "VERIFY_MODES",
+    "AnalysisReport",
+    "DeterminismCertificate",
+    "Finding",
+    "LintSpec",
+    "Severity",
+    "VerificationError",
+    "analyze",
+    "nondet_sites",
+    "verify_program",
+]

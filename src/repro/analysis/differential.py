@@ -1,0 +1,198 @@
+"""Differential validation of the determinism certificate.
+
+The certificate is a static claim; this module checks it dynamically
+against the ``obs`` trace layer:
+
+* a certified program run twice in the *same* sequential engine must
+  produce byte-identical :func:`~repro.obs.trace.normalize_events`
+  streams — any divergence in ordering, fan-out, or fault pattern
+  survives normalization;
+* a certified program run sequentially and under the process-parallel
+  engine must agree on the *terminal* search events
+  (``search.fail/solution/kill``) as a multiset of ``(type, path)``:
+  scheduling scatters event order and snapshot/guess bookkeeping across
+  workers, but the set of explored outcomes is engine-invariant.
+
+These are exactly the acceptance checks ISSUE 4 names; they are also
+exposed through ``repro.tools.analyze --differential``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs import events as ev
+from repro.obs.trace import TRACER, normalize_events
+
+#: Terminal search outcomes — engine-invariant modulo scheduling.
+TERMINAL_EVENTS = frozenset(
+    {ev.SEARCH_FAIL, ev.SEARCH_SOLUTION, ev.SEARCH_KILL}
+)
+
+Event = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """Outcome of one differential comparison."""
+
+    ok: bool
+    check: str  # "sequential" | "cross-engine"
+    detail: str
+    events: int  # events in the reference stream
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _traced_run(run: Callable[[], Any]) -> tuple[Any, list[Event]]:
+    with TRACER.capture() as sink:
+        result = run()
+    return result, list(sink.events)
+
+
+def _first_diff(a: list[Event], b: list[Event]) -> str:
+    if len(a) != len(b):
+        return f"stream lengths differ: {len(a)} vs {len(b)}"
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return f"first divergence at event {i}: {ea!r} vs {eb!r}"
+    return "streams are identical"
+
+
+def _solution_key(result: Any) -> list[Any]:
+    out = []
+    for s in getattr(result, "solutions", []):
+        path = tuple(getattr(s, "path", ()) or ())
+        value = getattr(s, "value", s)
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        out.append((path, value))
+    return sorted(out)
+
+
+def sequential_differential(
+    guest: Any,
+    engine_factory: Callable[[], Any] | None = None,
+    runs: int = 2,
+) -> DifferentialResult:
+    """Run *guest* *runs* times sequentially; normalized streams must match.
+
+    ``engine_factory`` builds a fresh engine per run (a fresh engine per
+    run rules out state bleed); defaults to ``MachineEngine(verify="off")``
+    — verification is the claim under test, so it must not gate the probe.
+    """
+    if engine_factory is None:
+        from repro.core.machine import MachineEngine
+
+        def _default_factory() -> Any:
+            return MachineEngine(verify="off")
+
+        engine_factory = _default_factory
+
+    reference: list[Event] | None = None
+    ref_solutions: list[Any] = []
+    for run_index in range(runs):
+        factory = engine_factory
+        result, events = _traced_run(lambda: factory().run(guest))
+        stream = normalize_events(events)
+        solutions = _solution_key(result)
+        if reference is None:
+            reference, ref_solutions = stream, solutions
+            continue
+        if solutions != ref_solutions:
+            return DifferentialResult(
+                False, "sequential",
+                f"run {run_index} found different solutions: "
+                f"{len(solutions)} vs {len(ref_solutions)}",
+                len(reference),
+            )
+        if stream != reference:
+            return DifferentialResult(
+                False, "sequential",
+                f"run {run_index} diverged: {_first_diff(reference, stream)}",
+                len(reference),
+            )
+    return DifferentialResult(
+        True, "sequential",
+        f"{runs} runs produced identical normalized streams",
+        len(reference or []),
+    )
+
+
+def _terminal_multiset(events: list[Event]) -> dict[tuple[Any, ...], int]:
+    counts: dict[tuple[Any, ...], int] = {}
+    for event in events:
+        etype = event.get("type")
+        if etype not in TERMINAL_EVENTS:
+            continue
+        key = (etype, tuple(event.get("path") or ()))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def cross_engine_differential(
+    guest: Any,
+    workers: int = 2,
+    sequential_factory: Callable[[], Any] | None = None,
+    process_factory: Callable[[], Any] | None = None,
+) -> DifferentialResult:
+    """Sequential vs process-parallel: terminal outcomes must agree."""
+    if sequential_factory is None:
+        from repro.core.machine import MachineEngine
+
+        def _default_sequential() -> Any:
+            return MachineEngine(verify="off")
+
+        sequential_factory = _default_sequential
+
+    if process_factory is None:
+        from repro.core.cluster import ProcessParallelEngine
+
+        def _default_process() -> Any:
+            return ProcessParallelEngine(workers=workers, verify="off")
+
+        process_factory = _default_process
+
+    seq_factory = sequential_factory
+    par_factory = process_factory
+    seq_result, seq_events = _traced_run(lambda: seq_factory().run(guest))
+    par_result, par_events = _traced_run(lambda: par_factory().run(guest))
+
+    seq_solutions = _solution_key(seq_result)
+    par_solutions = _solution_key(par_result)
+    if seq_solutions != par_solutions:
+        return DifferentialResult(
+            False, "cross-engine",
+            f"solution sets differ: sequential found {len(seq_solutions)}, "
+            f"process found {len(par_solutions)}",
+            len(seq_events),
+        )
+
+    seq_terms = _terminal_multiset(seq_events)
+    par_terms = _terminal_multiset(par_events)
+    if seq_terms != par_terms:
+        only_seq = sum(
+            count - par_terms.get(key, 0)
+            for key, count in seq_terms.items()
+            if count > par_terms.get(key, 0)
+        )
+        only_par = sum(
+            count - seq_terms.get(key, 0)
+            for key, count in par_terms.items()
+            if count > seq_terms.get(key, 0)
+        )
+        return DifferentialResult(
+            False, "cross-engine",
+            "terminal event multisets differ: "
+            f"{only_seq} outcome(s) only sequential, "
+            f"{only_par} only process",
+            len(seq_events),
+        )
+    return DifferentialResult(
+        True, "cross-engine",
+        f"engines agree on {sum(seq_terms.values())} terminal outcomes "
+        f"and {len(seq_solutions)} solutions",
+        len(seq_events),
+    )

@@ -1,0 +1,378 @@
+"""The lint passes and determinism certifier over the dataflow facts.
+
+:func:`analyze` is the package's main entry point: decode + CFG +
+interval fixpoint + lints, returning an
+:class:`~repro.analysis.report.AnalysisReport`.  Results are memoised on
+the program image (engines verify the same assembled bytes the workers
+later replay, so repeated calls are common).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, OrderedDict
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import DataflowResult, run_dataflow
+from repro.analysis.report import (
+    CATALOG,
+    AnalysisReport,
+    DeterminismCertificate,
+    Finding,
+    Severity,
+)
+from repro.core import sysno
+from repro.cpu import isa
+from repro.cpu.assembler import Program
+from repro.cpu.registers import REG_NAMES
+from repro.libos.loader import memory_map
+from repro.mem.layout import DEFAULT_STACK_PAGES, HEAP_BASE
+
+_SIGNED_MAX = 1 << 63
+
+#: Lint families whose presence voids the determinism certificate.
+_NONDET_LINTS = frozenset({"DT001", "DT002", "DT003", "DT004", "CF001"})
+
+_CacheKey = tuple[bytes, bytes, int, int, int, int, int]
+
+#: Memoised reports, keyed on the program image (LRU, small cap).
+_CACHE: OrderedDict[_CacheKey, AnalysisReport] = OrderedDict()
+_CACHE_CAP = 16
+
+
+class _Linter:
+    """One analysis run: accumulates findings over a dataflow result."""
+
+    def __init__(self, program: Program, df: DataflowResult,
+                 stack_pages: int, bss_pages: int) -> None:
+        self.program = program
+        self.df = df
+        self.cfg = df.cfg
+        self.stack_pages = stack_pages
+        self.bss_pages = bss_pages
+        self.lines: dict[int, int] = getattr(program, "lines", {}) or {}
+        self.findings: list[Finding] = []
+
+    def add(
+        self,
+        lint_id: str,
+        pc: int,
+        message: str,
+        severity: Severity | None = None,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                lint_id=lint_id,
+                severity=severity or CATALOG[lint_id].default_severity,
+                pc=pc,
+                message=message,
+                block=self.cfg.block_of.get(pc),
+                label=self.cfg.nearest_label(pc),
+                line=self.lines.get(pc),
+            )
+        )
+
+    # -- CF: control flow ----------------------------------------------
+
+    def check_control_flow(self) -> None:
+        cfg = self.cfg
+        for issue in cfg.decode_issues:
+            if issue.kind == "invalid-opcode":
+                self.add(
+                    "CF001", issue.pc,
+                    f"invalid opcode {issue.opcode:#04x}: executing this "
+                    "byte raises an invalid-opcode fault",
+                )
+            elif issue.kind == "bad-register":
+                self.add(
+                    "CF001", issue.pc,
+                    f"instruction {issue.opcode:#04x} names a register "
+                    ">= 16: the encoding is invalid",
+                )
+            else:
+                self.add(
+                    "CF001", issue.pc,
+                    f"instruction {issue.opcode:#04x} truncated by the end "
+                    "of .text",
+                )
+        issue_pcs = {issue.pc for issue in cfg.decode_issues}
+        if cfg.entry not in cfg.insns and cfg.entry not in issue_pcs:
+            self.add(
+                "CF001", cfg.entry,
+                f"entry point {cfg.entry:#x} is outside the decodable "
+                ".text range",
+            )
+
+        reachable = cfg.reachable_blocks(self.df.noreturn)
+        for block_start in sorted(cfg.blocks):
+            if block_start not in reachable:
+                block = cfg.blocks[block_start]
+                name = block.label or f"{block_start:#x}"
+                self.add(
+                    "CF002", block_start,
+                    f"unreachable code: block {name} "
+                    f"({len(block)} insns) can never execute",
+                )
+
+        for pc, target in cfg.out_of_text:
+            self.add(
+                "CF003", pc,
+                f"control transfer target {target:#x} is outside .text",
+            )
+        for block_start in sorted(reachable):
+            term = cfg.blocks[block_start].terminator
+            op = term.opcode
+            has_fall = not (
+                op in (isa.JMP, isa.RET, isa.HLT, isa.CALL)
+                or (op == isa.SYSCALL and term.pc in self.df.noreturn)
+            )
+            if has_fall and term.next_pc >= cfg.text_end:
+                self.add(
+                    "CF003", term.pc,
+                    "execution falls through past the end of .text "
+                    "(fetches from unmapped or zeroed bytes)",
+                )
+
+        if cfg.ret_sites and not cfg.call_sites:
+            for pc in cfg.ret_sites:
+                if cfg.block_of.get(pc) in reachable:
+                    self.add(
+                        "CF004", pc,
+                        "ret with no call site in the program: the return "
+                        "address was never pushed",
+                    )
+
+    # -- DF: dataflow --------------------------------------------------
+
+    def check_dataflow(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for read in self.df.uninit_reads:
+            key = (read.pc, read.reg)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.add(
+                "DF001", read.pc,
+                f"register {REG_NAMES[read.reg]} read before any write "
+                "(reads the loader-zeroed value)",
+            )
+
+        for site in self.df.div_sites:
+            lo, hi = site.divisor
+            if hi == 0:
+                self.add(
+                    "DV001", site.pc,
+                    "divisor is provably zero: this division always "
+                    "raises #DE",
+                    severity=Severity.ERROR,
+                )
+            elif lo == 0:
+                self.add(
+                    "DV001", site.pc,
+                    f"divisor may be zero (abstract value [{lo}, {hi}])",
+                )
+
+    # -- MB: memory bounds ---------------------------------------------
+
+    def check_memory(self) -> None:
+        segments = memory_map(
+            self.program, self.stack_pages, self.bss_pages
+        )
+        text = segments[0]
+        stack = segments[-1]
+        # brk/mmap grow into this window at runtime; accesses in it are
+        # statically unknowable, not wrong.
+        dynamic = (HEAP_BASE, stack.lo)
+        regions = [(seg.lo, seg.hi) for seg in segments] + [dynamic]
+
+        for acc in self.df.mem_accesses:
+            if acc.addr is None:
+                continue  # statically unbounded: nothing provable
+            lo = acc.addr[0]
+            hi = acc.addr[1] + acc.width - 1
+            if acc.is_write and text.lo <= lo and hi < text.hi:
+                self.add(
+                    "MB003", acc.pc,
+                    f"{acc.width}-byte store to read-only .text at "
+                    f"[{lo:#x}, {hi:#x}]",
+                )
+                continue
+            inside = any(rlo <= lo and hi < rhi for rlo, rhi in regions)
+            if inside:
+                continue
+            overlaps = any(lo < rhi and hi >= rlo for rlo, rhi in regions)
+            what = "store" if acc.is_write else "load"
+            if not overlaps:
+                self.add(
+                    "MB001", acc.pc,
+                    f"{acc.width}-byte {what} provably outside every "
+                    f"mapped segment: address in [{lo:#x}, {hi:#x}]",
+                )
+            else:
+                self.add(
+                    "MB002", acc.pc,
+                    f"{acc.width}-byte {what} may fall outside the mapped "
+                    f"segments: address in [{lo:#x}, {hi:#x}]",
+                )
+
+    # -- BT: backtracking discipline -----------------------------------
+
+    def check_backtracking(self) -> None:
+        df = self.df
+        cfg = self.cfg
+        guess_sites = df.guess_sites
+        fail_sites = df.fail_sites
+        fail_blocks = {cfg.block_of[pc] for pc in fail_sites}
+
+        for pc in guess_sites:
+            fact = df.syscalls[pc]
+            lo, hi = fact.rdi
+            if lo == hi and (lo == 0 or lo >= _SIGNED_MAX):
+                n = lo if lo < _SIGNED_MAX else lo - (1 << 64)
+                self.add(
+                    "BT003", pc,
+                    f"sys_guess with constant fan-out n={n}: the guess "
+                    "fails immediately",
+                )
+
+        for pc in guess_sites:
+            scope = df.reachable_from(cfg.block_of[pc])
+            if not (scope & fail_blocks):
+                self.add(
+                    "BT001", pc,
+                    "no sys_guess_fail is reachable from this guess: "
+                    "subtrees end only in solutions, exits, or kills",
+                )
+
+        in_scope: set[int] = set()
+        for pc in guess_sites:
+            in_scope |= df.reachable_from(cfg.block_of[pc])
+
+        # A fail site is flagged only when it can *never* run inside a
+        # guess scope: a loop head revisited after a guess (the fig.-1
+        # enumerate-all-solutions shape) legitimately reaches its fail
+        # both "before" a guess in the graph and after one dynamically.
+        pre_guess = df.blocks_before_first_guess()
+        for pc in fail_sites:
+            block = cfg.block_of[pc]
+            if block in pre_guess and block not in in_scope:
+                self.add(
+                    "BT002", pc,
+                    "sys_guess_fail reachable before any sys_guess: "
+                    "there is no snapshot to backtrack to",
+                )
+
+        for pc in df.write_sites:
+            if cfg.block_of[pc] in in_scope:
+                self.add(
+                    "BT004", pc,
+                    "sys_write reachable inside a guess scope: output "
+                    "from abandoned extensions is rolled back with "
+                    "the snapshot",
+                )
+
+    # -- DT: determinism -----------------------------------------------
+
+    def check_determinism(self) -> None:
+        for pc in sorted(self.df.syscalls):
+            fact = self.df.syscalls[pc]
+            if fact.number is None:
+                lo, hi = fact.rax
+                self.add(
+                    "DT004", pc,
+                    "syscall number is not statically determinable "
+                    f"(rax in [{lo:#x}, {hi:#x}])",
+                )
+            elif fact.number == sysno.SYS_READ:
+                self.add(
+                    "DT001", pc,
+                    "sys_read consumes external input; replayed "
+                    "extensions may observe different bytes",
+                )
+            elif fact.number == sysno.SYS_OPEN:
+                self.add(
+                    "DT002", pc,
+                    "sys_open depends on host filesystem state at "
+                    "replay time",
+                )
+            elif fact.number not in sysno.SYSCALL_NAMES:
+                self.add(
+                    "DT003", pc,
+                    f"syscall {fact.number} is outside the libOS "
+                    "interposed set; snapshots cannot contain its effects",
+                )
+
+    # -- assembly ------------------------------------------------------
+
+    def certificate(self) -> DeterminismCertificate:
+        nondet = [
+            f for f in self.findings if f.lint_id in _NONDET_LINTS
+        ]
+        profile = Counter(
+            fact.name for fact in self.df.syscalls.values()
+        )
+        reasons = tuple(
+            f"{f.lint_id} at {f.pc:#x}: {f.message}" for f in nondet
+        )
+        return DeterminismCertificate(
+            certified=not nondet,
+            reasons=reasons,
+            syscall_profile=dict(profile),
+            step_bounds=dict(self.df.step_bounds),
+            nondet_sites=tuple((f.pc, f.lint_id) for f in nondet),
+        )
+
+
+def _analyze_uncached(
+    program: Program, stack_pages: int, bss_pages: int
+) -> AnalysisReport:
+    started = time.perf_counter()
+    cfg: ControlFlowGraph = build_cfg(program)
+    df = run_dataflow(cfg)
+    linter = _Linter(program, df, stack_pages, bss_pages)
+    linter.check_control_flow()
+    linter.check_dataflow()
+    linter.check_memory()
+    linter.check_backtracking()
+    linter.check_determinism()
+    linter.findings.sort(key=lambda f: (f.pc, f.lint_id))
+    return AnalysisReport(
+        findings=linter.findings,
+        certificate=linter.certificate(),
+        entry=program.entry,
+        text_size=len(program.text),
+        block_count=len(cfg.blocks),
+        insn_count=cfg.insn_count,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def analyze(
+    program: Program,
+    *,
+    stack_pages: int = DEFAULT_STACK_PAGES,
+    bss_pages: int = 16,
+    use_cache: bool = True,
+) -> AnalysisReport:
+    """Run the full static analysis over an assembled *program*.
+
+    ``stack_pages``/``bss_pages`` must match what the engine will hand
+    the loader, since the memory-bounds lints check operands against the
+    segment map those parameters produce.
+    """
+    key: _CacheKey = (
+        bytes(program.text), bytes(program.data),
+        program.text_base, program.data_base, program.entry,
+        stack_pages, bss_pages,
+    )
+    if use_cache:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
+    report = _analyze_uncached(program, stack_pages, bss_pages)
+    if use_cache:
+        _CACHE[key] = report
+        while len(_CACHE) > _CACHE_CAP:
+            _CACHE.popitem(last=False)
+    return report

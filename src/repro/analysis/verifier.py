@@ -1,0 +1,119 @@
+"""The engine-facing verification gate.
+
+Engines call :func:`verify_program` before executing (or sharding) a
+guest.  Modes:
+
+* ``"off"`` — no analysis; the pre-verifier behaviour;
+* ``"warn"`` — analyze, emit a :class:`GuestVerificationWarning` for
+  warning/error findings, but run anyway;
+* ``"strict"`` — refuse (raise
+  :class:`~repro.core.errors.VerificationError`) when the analyzer
+  found error-severity lints or could not certify the program
+  deterministic.  The process-parallel engine insists on this bar
+  before sharding, because its workers rehydrate subtrees by replaying
+  decision prefixes and an uncertified program can diverge mid-replay.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.analysis.lints import analyze
+from repro.analysis.report import AnalysisReport
+from repro.core.errors import VerificationError
+from repro.cpu.assembler import Program
+from repro.mem.layout import DEFAULT_STACK_PAGES
+
+# VerificationError is defined in repro.core.errors (so engines can
+# catch it without importing this package) and re-exported here as part
+# of the analysis API.
+__all__ = [
+    "VERIFY_MODES",
+    "GuestVerificationWarning",
+    "VerificationError",
+    "nondet_sites",
+    "strict_failure",
+    "verify_program",
+]
+
+VERIFY_MODES = ("off", "warn", "strict")
+
+
+class GuestVerificationWarning(UserWarning):
+    """Non-fatal analyzer findings surfaced under ``verify="warn"``."""
+
+
+def nondet_sites(report: AnalysisReport) -> tuple[tuple[int, str], ...]:
+    """``(pc, lint_id)`` pairs that void the determinism certificate.
+
+    This is the payload engines thread into worker configs so a runtime
+    replay divergence can cite the static verdict for the failing site.
+    """
+    return report.certificate.nondet_sites
+
+
+def strict_failure(report: AnalysisReport) -> str | None:
+    """Why strict mode refuses *report*'s program, or None if it passes."""
+    problems: list[str] = []
+    if report.errors:
+        first = report.errors[0]
+        problems.append(
+            f"{len(report.errors)} error-severity finding(s), first: "
+            f"{first.lint_id} at {first.pc:#x}: {first.message}"
+        )
+    if not report.certificate.certified:
+        reasons = report.certificate.reasons
+        shown = "; ".join(reasons[:3])
+        if len(reasons) > 3:
+            shown += f"; ... ({len(reasons) - 3} more)"
+        problems.append(f"not certified deterministic: {shown}")
+    if not problems:
+        return None
+    return (
+        "guest program failed strict verification: "
+        + " | ".join(problems)
+        + ". Run `python -m repro.tools.analyze <source>` for the full "
+        "report; use verify='warn' or verify='off' to run anyway "
+        "(sequential engines only — replay sharding needs the "
+        "certificate)."
+    )
+
+
+def verify_program(
+    program: Program,
+    mode: str = "warn",
+    *,
+    stack_pages: int = DEFAULT_STACK_PAGES,
+    bss_pages: int = 16,
+) -> AnalysisReport | None:
+    """Gate *program* behind verification *mode*.
+
+    Returns the analysis report (None when mode is ``"off"``).  Raises
+    :class:`~repro.core.errors.VerificationError` in strict mode when
+    the program has errors or lacks the determinism certificate.
+    """
+    if mode not in VERIFY_MODES:
+        raise ValueError(
+            f"verify mode must be one of {VERIFY_MODES}, got {mode!r}"
+        )
+    if mode == "off":
+        return None
+    report = analyze(
+        program, stack_pages=stack_pages, bss_pages=bss_pages
+    )
+    if mode == "strict":
+        failure = strict_failure(report)
+        if failure is not None:
+            raise VerificationError(failure, report=report)
+    elif report.errors or report.warnings:
+        summary = ", ".join(
+            f"{f.lint_id}@{f.pc:#x}"
+            for f in (report.errors + report.warnings)[:8]
+        )
+        warnings.warn(
+            f"guest program has analyzer findings ({summary}); "
+            "running anyway under verify='warn'",
+            GuestVerificationWarning,
+            stacklevel=3,
+        )
+    return report

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Callable, Optional, Union
 
-from repro.core.errors import GuessError
+from repro.core.errors import GuessError, ReplayDivergenceError
 from repro.core.result import SearchResult, SearchStats, Solution
 from repro.cpu.assembler import Program, assemble
 from repro.libos.libos import ExecState, LibOS
@@ -99,6 +99,12 @@ class ClusterConfig:
     #: ordered trace.  Off by default; the engine switches it on for a
     #: run whenever the coordinator's tracer has a sink attached.
     collect_trace: bool = False
+    #: ``(pc, lint_id)`` sites the static analyzer flagged as sources of
+    #: nondeterminism; ``None`` when the engine ran with ``verify="off"``
+    #: (no analysis), ``()`` when the program was certified.  Workers
+    #: cite the matching verdict when a replayed prefix diverges at
+    #: runtime.
+    nondet_sites: Optional[tuple[tuple[int, str], ...]] = None
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +176,25 @@ class _SubtreeWorker:
         # ship per-task deltas so the coordinator sees copy totals.
         self._frames_copied = self.registry.counter("mem.frames_copied")
         self._last_copied = 0
+
+    def _divergence_verdict(self, pc: int) -> Optional[str]:
+        """The static analyzer's take on a replay divergence at *pc*."""
+        sites = self.config.nondet_sites
+        if sites is None:
+            return None  # engine ran with verify="off": no analysis
+        for site_pc, lint_id in sites:
+            if site_pc == pc:
+                return (
+                    f"{lint_id} flagged this syscall site as "
+                    "nondeterministic at analysis time"
+                )
+        if sites:
+            listed = ", ".join(f"{lid}@{spc:#x}" for spc, lid in sites[:4])
+            return f"program was not certified deterministic ({listed})"
+        return (
+            "program was certified deterministic — divergence indicates "
+            "an engine or snapshot bug, not guest nondeterminism"
+        )
 
     # -- public entry point --------------------------------------------
 
@@ -314,10 +339,18 @@ class _SubtreeWorker:
                     if pending.replay_pos < len(prefix):
                         pos = pending.replay_pos
                         if action.n != pending.fanouts[pos]:
-                            raise GuessError(
-                                "nondeterministic guest: replayed guess at "
-                                f"depth {pos} had fan-out "
-                                f"{pending.fanouts[pos]}, now {action.n}"
+                            # rip already points past the 1-byte SYSCALL.
+                            pc = self.vcpu.regs.rip - 1
+                            raise ReplayDivergenceError(
+                                "nondeterministic guest: replayed guess "
+                                f"had fan-out {pending.fanouts[pos]}, "
+                                f"now {action.n}",
+                                prefix=prefix,
+                                position=pos,
+                                pc=pc,
+                                expected=pending.fanouts[pos],
+                                actual=action.n,
+                                verdict=self._divergence_verdict(pc),
                             )
                         self.vcpu.regs.rax = prefix[pos]
                         pending.replay_pos = pos + 1
@@ -327,10 +360,14 @@ class _SubtreeWorker:
                     handle_guess(action, pending)
                     return
                 if pending.replay_pos < len(prefix):
-                    raise GuessError(
-                        "nondeterministic guest: path ended at depth "
-                        f"{pending.replay_pos} during replay of a prefix "
-                        f"of length {len(prefix)}"
+                    pc = self.vcpu.regs.rip - 1
+                    raise ReplayDivergenceError(
+                        "nondeterministic guest: path ended during "
+                        f"replay of a prefix of length {len(prefix)}",
+                        prefix=prefix,
+                        position=pending.replay_pos,
+                        pc=pc,
+                        verdict=self._divergence_verdict(pc),
                     )
                 if isinstance(action, GuessFailAction):
                     self.stats.fails += 1
@@ -537,6 +574,15 @@ class ProcessParallelEngine:
         the coordinator traces drops every worker-side event — the
         engine then warns and counts the losses in
         ``parallel.trace_dropped`` rather than losing them silently.
+    verify:
+        Static-analysis gate run on each guest before sharding: ``"off"``
+        (default), ``"warn"`` or ``"strict"``.  Strict mode refuses
+        uncertified programs — worker rehydration replays decision
+        prefixes, so an uncertified guest can diverge mid-replay.  In
+        every analyzed mode the analyzer's nondeterminism sites are
+        shipped to the workers, so a runtime
+        :class:`~repro.core.errors.ReplayDivergenceError` cites the
+        static verdict for the diverging site.
     """
 
     def __init__(
@@ -553,11 +599,19 @@ class ProcessParallelEngine:
         mp_context: Optional[str] = None,
         fault_hook: Optional[Callable[[PrefixTask], None]] = None,
         collect_trace: Optional[bool] = None,
+        verify: str = "off",
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if verify not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
+            )
+        self.verify = verify
+        #: Analysis report of the last verified guest (None under "off").
+        self.last_report = None
         self.num_workers = workers
         self.strategy_name = strategy  # TaskFrontier validates the name
         self.batch_size = batch_size
@@ -583,6 +637,12 @@ class ProcessParallelEngine:
 
     def run(self, guest: Union[str, Program]) -> SearchResult:
         program = assemble(guest) if isinstance(guest, str) else guest
+        sites: Optional[tuple[tuple[int, str], ...]] = None
+        if self.verify != "off":
+            from repro.analysis.verifier import nondet_sites, verify_program
+
+            self.last_report = verify_program(program, self.verify)
+            sites = nondet_sites(self.last_report)
         self.registry.reset()
         stats = SearchStats(registry=self.registry)
         reg = self.registry
@@ -605,7 +665,9 @@ class ProcessParallelEngine:
             _TRACER.enabled if self.collect_trace is None
             else self.collect_trace
         )
-        run_config = dataclasses.replace(self.config, collect_trace=collect)
+        run_config = dataclasses.replace(
+            self.config, collect_trace=collect, nondet_sites=sites
+        )
         if _TRACER.enabled and not collect:
             warnings.warn(
                 "tracing is enabled on the coordinator but workers are not "

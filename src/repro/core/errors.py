@@ -42,6 +42,62 @@ class SnapshotDiscardedError(SnapshotError, ValueError):
         super().__init__(f"{operation} of discarded snapshot {sid}")
 
 
+class VerificationError(SearchError):
+    """Static verification of a guest program failed under strict mode.
+
+    Raised before any guest instruction executes: the analyzer found
+    error-severity lints or could not certify the program deterministic,
+    so an engine configured with ``verify="strict"`` refuses to run (and
+    in particular refuses to shard it across replaying workers).
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class ReplayDivergenceError(GuessError):
+    """A replayed decision prefix diverged from the original execution.
+
+    Raised during task rehydration in the process-parallel engine when
+    the guest's guess sequence no longer matches the recorded prefix —
+    the signature of a nondeterministic guest.  Carries enough context
+    to debug the divergence and, when the program was analyzed, the
+    static nondeterminism verdict for the offending site.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        prefix: tuple[int, ...] = (),
+        position: int | None = None,
+        pc: int | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+        verdict: str | None = None,
+    ):
+        self.prefix = tuple(prefix)
+        self.position = position
+        self.pc = pc
+        self.expected = expected
+        self.actual = actual
+        self.verdict = verdict
+        details = [message]
+        if prefix:
+            shown = ",".join(str(d) for d in self.prefix[:16])
+            if len(self.prefix) > 16:
+                shown += ",..."
+            details.append(f"decision prefix [{shown}]")
+        if position is not None:
+            details.append(f"diverged at depth {position}")
+        if pc is not None:
+            details.append(f"guest pc {pc:#x}")
+        if verdict:
+            details.append(f"analyzer verdict: {verdict}")
+        super().__init__("; ".join(details))
+
+
 class BudgetExceeded(SearchError):
     """An exploration budget (evaluations, solutions, depth) was hit.
 

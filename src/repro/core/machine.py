@@ -102,6 +102,12 @@ class MachineEngine:
         Optional global exploration budgets.
     pool_limit:
         Optional bound on live physical frames (simulated RAM size).
+    verify:
+        Static-analysis gate run on each guest before execution:
+        ``"off"`` (default, pre-verifier behaviour), ``"warn"``
+        (analyze, warn on findings, run anyway) or ``"strict"``
+        (refuse programs with error-severity findings or without the
+        determinism certificate).
     """
 
     def __init__(
@@ -115,7 +121,15 @@ class MachineEngine:
         max_total_steps: Optional[int] = None,
         pool_limit: Optional[int] = None,
         snapshot_mode: str = "cow",
+        verify: str = "off",
     ):
+        if verify not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
+            )
+        self.verify = verify
+        #: Analysis report of the last verified guest (None under "off").
+        self.last_report = None
         if isinstance(strategy, Strategy):
             self._strategy = strategy
         elif strategy == "coverage":
@@ -171,6 +185,10 @@ class MachineEngine:
     def run(self, guest: Union[str, Program]) -> SearchResult:
         """Assemble (if needed), load, and explore *guest* exhaustively."""
         program = assemble(guest) if isinstance(guest, str) else guest
+        if self.verify != "off":
+            from repro.analysis.verifier import verify_program
+
+            self.last_report = verify_program(program, self.verify)
         stats = SearchStats(registry=self.registry)
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None

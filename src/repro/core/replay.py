@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, NoReturn, Optional, Protocol, Sequence
 
-from repro.core.errors import GuessError, GuessFail
+from repro.core.errors import GuessError, GuessFail, ReplayDivergenceError
 from repro.core.result import SearchResult, SearchStats, Solution
 from repro.search import Extension, Strategy, get_strategy
 
@@ -106,9 +106,13 @@ class _ReplayContext:
         if self._pos < len(self._feed):
             expected = self._fanouts[self._pos]
             if n != expected:
-                raise GuessError(
-                    "nondeterministic guest: replayed guess at depth "
-                    f"{self._pos} had fan-out {expected}, now {n}"
+                raise ReplayDivergenceError(
+                    "nondeterministic guest: replayed guess fan-out "
+                    f"changed from {expected} to {n}",
+                    prefix=tuple(self._feed),
+                    position=self._pos,
+                    expected=expected,
+                    actual=n,
                 )
             value = self._feed[self._pos]
             self._pos += 1

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.core.errors import GuessError
+from repro.core.errors import GuessError, ReplayDivergenceError
 from repro.core.result import SearchResult, SearchStats, Solution
 from repro.cpu.assembler import Program, assemble
 from repro.interpose.policy import InterpositionPolicy
@@ -104,9 +104,14 @@ class ReplayMachineEngine:
                     if isinstance(action, GuessAction):
                         if position < len(prefix):
                             if action.n != fanouts[position]:
-                                raise GuessError(
-                                    "nondeterministic guest: fan-out changed "
-                                    f"at depth {position}"
+                                raise ReplayDivergenceError(
+                                    "nondeterministic guest: fan-out "
+                                    "changed during replay",
+                                    prefix=prefix,
+                                    position=position,
+                                    pc=self.vcpu.regs.rip - 1,
+                                    expected=fanouts[position],
+                                    actual=action.n,
                                 )
                             self.vcpu.regs.rax = prefix[position]
                             position += 1

@@ -49,6 +49,9 @@ class Program:
     data_base: int
     symbols: dict[str, int] = field(default_factory=dict)
     source: str = ""
+    #: pc of each .text instruction -> 1-based source line (static
+    #: analyzers cite these; empty for hand-built programs).
+    lines: dict[int, int] = field(default_factory=dict)
 
     @property
     def entry(self) -> int:
@@ -236,6 +239,12 @@ def assemble(
                 out += _encode(item, addr, symbols)
         blobs[section] = bytes(out)
 
+    lines = {
+        addr: item.lineno
+        for item, addr in zip(sections["text"], offsets["text"])
+        if item.kind == "insn"
+    }
+
     return Program(
         text=blobs["text"],
         data=blobs["data"],
@@ -243,6 +252,7 @@ def assemble(
         data_base=data_base,
         symbols=symbols,
         source=source,
+        lines=lines,
     )
 
 

@@ -112,6 +112,10 @@ class Interpreter:
         fields: list[int] = [opcode]
         for kind in spec.layout:
             if kind in ("r", "c"):
+                if kind == "r" and raw[pos] >= 16:
+                    # A register operand outside r0..r15 is an invalid
+                    # encoding, not a host error.
+                    raise InvalidOpcodeError(rip, opcode)
                 fields.append(raw[pos])
                 pos += 1
             elif kind == "i":

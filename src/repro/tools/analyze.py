@@ -1,0 +1,114 @@
+"""Static analysis front-end: lint and certify a guest program.
+
+Usage::
+
+    python -m repro.tools.analyze path/to/guest.s [options]
+
+Assembles the source, runs the full CFG + dataflow analysis
+(:func:`repro.analysis.analyze`) and prints the report.  Exit code is
+the lint verdict — 0 clean, 1 warnings, 2 errors — so the tool slots
+directly into CI.
+
+``--differential`` additionally *executes* the guest to validate the
+determinism certificate dynamically: two sequential runs must produce
+identical normalized trace streams, and a sequential vs process-parallel
+run must agree on terminal search outcomes.  A differential failure
+forces a non-zero exit even when the static report is clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import analyze
+from repro.analysis.differential import (
+    cross_engine_differential,
+    sequential_differential,
+)
+from repro.cpu.assembler import AssemblyError, assemble
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.analyze",
+        description="Statically analyze a guest program and certify "
+        "its replay determinism.",
+    )
+    parser.add_argument("source", help="assembly source file")
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    output.add_argument("--sarif", action="store_true",
+                        help="emit the report as SARIF 2.1.0")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="write the report to PATH instead of stdout")
+    parser.add_argument("--differential", action="store_true",
+                        help="also run the guest and check the "
+                        "determinism certificate dynamically")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-engine workers for --differential "
+                        "(default: 2)")
+    parser.add_argument("--stack-pages", type=int, default=None,
+                        help="stack size assumed by the memory-bounds "
+                        "lints (default: loader default)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as err:
+        print(f"error: cannot read {args.source}: {err}", file=sys.stderr)
+        return 2
+    try:
+        program = assemble(source)
+    except AssemblyError as err:
+        print(f"assembly error: {err}", file=sys.stderr)
+        return 2
+
+    kwargs = {}
+    if args.stack_pages is not None:
+        kwargs["stack_pages"] = args.stack_pages
+    report = analyze(program, **kwargs)
+
+    if args.sarif:
+        rendered = report.sarif_text(artifact=args.source)
+    elif args.json:
+        rendered = json.dumps(report.to_json(), indent=2)
+    else:
+        rendered = report.render_human()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+
+    exit_code = report.exit_code
+    if args.differential:
+        checks = [sequential_differential(program)]
+        if report.certificate.certified:
+            checks.append(
+                cross_engine_differential(program, workers=args.workers)
+            )
+        else:
+            print(
+                "differential: skipping cross-engine check "
+                "(program is not certified deterministic)",
+                file=sys.stderr,
+            )
+        for check in checks:
+            status = "ok" if check.ok else "FAILED"
+            print(f"differential[{check.check}]: {status} — {check.detail}",
+                  file=sys.stderr)
+            if not check.ok:
+                exit_code = max(exit_code, 2)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "events into one causally-ordered stream); inspect "
                         "it with repro.tools.trace_report or "
                         "repro.tools.profile")
+    parser.add_argument("--verify", choices=["off", "warn", "strict"],
+                        default="warn",
+                        help="static analysis gate before execution: warn "
+                        "(default) prints the analyzer's summary table and "
+                        "runs anyway; strict refuses programs with errors "
+                        "or without the determinism certificate; off skips "
+                        "analysis entirely")
     parser.add_argument("--max-solutions", type=int, default=None)
     parser.add_argument("--max-steps", type=int, default=5_000_000,
                         help="instruction budget per extension step")
@@ -86,6 +93,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except AssemblyError as err:
         print(f"assembly error: {err}", file=sys.stderr)
         return 2
+
+    if args.verify != "off":
+        # The gate lives here (not in each engine) so every engine choice
+        # — including replay and thread-parallel, which take no verify
+        # parameter — shares one analysis and one summary table.  The
+        # report is memoised, so engines that re-verify pay nothing.
+        from repro.analysis import analyze as _analyze
+        from repro.analysis.verifier import strict_failure
+
+        report = _analyze(program)
+        if not args.quiet:
+            print(report.render_human())
+            print()
+        if args.verify == "strict":
+            failure = strict_failure(report)
+            if failure is not None:
+                print(f"error: {failure}", file=sys.stderr)
+                return 2
 
     if args.engine == "snapshot":
         engine = MachineEngine(
@@ -111,6 +136,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             task_timeout=args.task_timeout,
             max_solutions=args.max_solutions,
             max_steps_per_extension=args.max_steps,
+            # Re-verifying is free (memoised) and ships the analyzer's
+            # nondeterminism sites to the replaying workers.
+            verify=args.verify,
         )
     else:
         engine = ReplayMachineEngine(

@@ -59,6 +59,110 @@ def scramble(steps: int, seed: int = 0) -> tuple[int, ...]:
     return board
 
 
+def puzzle8_asm(start: tuple[int, ...], max_moves: int) -> str:
+    """Generate the assembly guest that walks *start* to the goal.
+
+    Machine-code counterpart of :func:`puzzle_guest`, shaped for static
+    analysis: each step guesses a constant fan-out of 4 directions and
+    indexes a 9x4 move table holding the successor blank position, with
+    0xFF marking illegal direction slots (guessing one fails).  The move
+    budget is checked *after* the guess, so every ``sys_guess_fail``
+    site sits inside a guess scope.  No cycle avoidance — ``max_moves``
+    alone bounds the walk, so keep it small.
+    """
+    from repro.core.sysno import SYS_EXIT, SYS_GUESS, SYS_GUESS_FAIL, SYS_WRITE
+
+    if len(start) != 9 or sorted(start) != list(range(9)):
+        raise ValueError("start must be a permutation of 0..8")
+    move_table = []
+    for pos in range(9):
+        slots = list(_MOVES[pos]) + [0xFF] * (4 - len(_MOVES[pos]))
+        move_table.extend(slots)
+
+    return f"""
+    ; 8-puzzle via system-level backtracking, budget {max_moves} moves
+    .data
+    board: .byte {', '.join(str(v) for v in start)}
+    moves: .byte {', '.join(str(v) for v in move_table)}
+    goal:  .byte {', '.join(str(v) for v in GOAL)}
+    buf:   .zero 10
+
+    .text
+    _start:
+        mov   r14, 0                ; moves used so far
+    main_loop:
+        mov   r8, board
+        mov   rbx, 0
+    goal_loop:                      ; solved when all 9 cells match
+        cmp   rbx, 9
+        jge   solved
+        movb  r9, [r8 + rbx]
+        mov   r10, goal
+        movb  r11, [r10 + rbx]
+        cmp   r9, r11
+        jne   not_goal
+        inc   rbx
+        jmp   goal_loop
+    not_goal:
+        mov   rbx, 0
+    blank_loop:                     ; find the blank (value 0)
+        cmp   rbx, 9
+        jge   fail                  ; malformed board: no blank
+        movb  r9, [r8 + rbx]
+        cmp   r9, 0
+        je    have_blank
+        inc   rbx
+        jmp   blank_loop
+    have_blank:                     ; rbx = blank position, 0..8
+        mov   rax, {SYS_GUESS:#x}
+        mov   rdi, 4                ; constant fan-out: 4 directions
+        syscall
+        mov   r12, rax              ; chosen direction k, 0..3
+        inc   r14                   ; budget check after the guess
+        cmp   r14, {max_moves}
+        jg    fail
+        mov   r10, moves
+        mov   r11, rbx
+        shl   r11, 2
+        add   r11, r12              ; r11 = blank*4 + k
+        movb  r13, [r10 + r11]      ; successor position or 0xFF
+        cmp   r13, 0xff
+        je    fail                  ; illegal direction slot
+        movb  r9, [r8 + r13]        ; slide: board[blank] = board[target]
+        movb  [r8 + rbx], r9
+        mov   r9, 0
+        movb  [r8 + r13], r9        ; board[target] = blank
+        jmp   main_loop
+
+    solved:                         ; print board as digits and exit
+        mov   rbx, 0
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, 9
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + 9], r10
+        mov   rax, {SYS_WRITE}
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, 10
+        syscall
+        mov   rax, {SYS_EXIT}
+        mov   rdi, 0
+        syscall
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}
+        syscall
+    """
+
+
 def puzzle_guest(sys, start: tuple[int, ...], max_moves: int,
                  use_hints: bool = True) -> tuple[tuple[int, ...], ...]:
     """Walk the puzzle to the goal, one guessed move at a time.

@@ -100,6 +100,13 @@ def sudoku_asm(grid: str, size: int = 4, box_rows: int = 2,
         movb  [r8 + {index}], r12""")
 
     ncells = size * size
+    # A fully solved input has no guesses and thus no path to `fail`;
+    # emitting the epilogue anyway would be provably unreachable code.
+    fail_block = f"""
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}
+        syscall
+    """ if body else ""
     return f"""
     ; sudoku via system-level backtracking, {size}x{size}
     .data
@@ -133,11 +140,7 @@ def sudoku_asm(grid: str, size: int = 4, box_rows: int = 2,
         mov   rax, {SYS_EXIT}
         mov   rdi, 0
         syscall
-
-    fail:
-        mov   rax, {SYS_GUESS_FAIL:#x}
-        syscall
-    """
+    {fail_block}"""
 
 
 def is_valid_solution(grid: str, size: int = 4, box_rows: int = 2,

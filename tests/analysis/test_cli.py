@@ -1,0 +1,111 @@
+"""The repro.tools.analyze CLI and run_guest --verify integration."""
+
+import json
+
+import pytest
+
+from repro.tools import analyze as analyze_cli
+from repro.tools import run_guest as run_guest_cli
+from repro.workloads.nqueens import nqueens_asm
+
+BAD_GUEST = """
+    .text
+    _start:
+        mov rax, 0
+        mov rdi, 0
+        mov rsi, 0x600000
+        mov rdx, 1
+        syscall
+        mov rax, 60
+        mov rdi, 0
+        syscall
+"""
+
+WARN_GUEST = """
+    .text
+    _start:
+        add rax, rbx
+        mov rax, 60
+        mov rdi, 0
+        syscall
+"""
+
+
+@pytest.fixture
+def clean_source(tmp_path):
+    path = tmp_path / "clean.s"
+    path.write_text(nqueens_asm(4))
+    return str(path)
+
+
+@pytest.fixture
+def bad_source(tmp_path):
+    path = tmp_path / "bad.s"
+    path.write_text(BAD_GUEST)
+    return str(path)
+
+
+def test_cli_exit_codes(clean_source, bad_source, tmp_path, capsys):
+    assert analyze_cli.main([clean_source]) == 0
+    out = capsys.readouterr().out
+    assert "CERTIFIED" in out and "guest-program verifier" in out
+
+    warn = tmp_path / "warn.s"
+    warn.write_text(WARN_GUEST)
+    assert analyze_cli.main([str(warn)]) == 1
+
+    assert analyze_cli.main([bad_source]) == 1  # DT001 is a warning
+    out = capsys.readouterr().out
+    assert "NOT CERTIFIED" in out
+
+
+def test_cli_missing_file_is_exit_2(tmp_path, capsys):
+    assert analyze_cli.main([str(tmp_path / "absent.s")]) == 2
+
+
+def test_cli_json_output(clean_source, capsys):
+    assert analyze_cli.main([clean_source, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["certificate"]["certified"] is True
+    assert payload["blocks"] > 0
+    assert all("id" in f and "pc" in f for f in payload["findings"])
+
+
+def test_cli_sarif_output(clean_source, tmp_path):
+    out = tmp_path / "report.sarif"
+    assert analyze_cli.main(
+        [clean_source, "--sarif", "--output", str(out)]
+    ) == 0
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["rules"]
+    locations = run["results"][0]["locations"][0]
+    assert locations["physicalLocation"]["artifactLocation"]["uri"] \
+        == clean_source
+
+
+def test_cli_differential(clean_source, capsys):
+    assert analyze_cli.main([clean_source, "--differential"]) == 0
+    err = capsys.readouterr().err
+    assert "differential[sequential]: ok" in err
+    assert "differential[cross-engine]: ok" in err
+
+
+def test_run_guest_verify_warn_prints_table(clean_source, capsys):
+    assert run_guest_cli.main([clean_source]) == 0
+    out = capsys.readouterr().out
+    assert "guest-program verifier" in out
+    assert "solution(s) via" in out
+
+
+def test_run_guest_verify_strict_refuses(bad_source, capsys):
+    assert run_guest_cli.main([bad_source, "--verify=strict"]) == 2
+    captured = capsys.readouterr()
+    assert "failed strict verification" in captured.err
+
+
+def test_run_guest_verify_off_skips_analysis(clean_source, capsys):
+    assert run_guest_cli.main([clean_source, "--verify=off"]) == 0
+    out = capsys.readouterr().out
+    assert "guest-program verifier" not in out

@@ -1,0 +1,62 @@
+"""Dynamic validation of the determinism certificate (ISSUE 4 acceptance).
+
+Certified programs must (a) trace identically across two sequential runs
+and (b) agree with the process-parallel engine on terminal search
+outcomes.  The suite also checks the harness itself reports divergence
+instead of masking it.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.differential import (
+    cross_engine_differential,
+    sequential_differential,
+)
+from repro.cpu.assembler import assemble
+from repro.workloads.coloring import WHEEL5_EDGES, WHEEL5_NODES, coloring_asm
+from repro.workloads.nqueens import nqueens_asm
+from repro.workloads.randprog import generate_source, make_program
+
+GUESTS = {
+    "nqueens": lambda: nqueens_asm(4),
+    "coloring": lambda: coloring_asm(WHEEL5_NODES, WHEEL5_EDGES, 4),
+    "randprog": lambda: generate_source(make_program(3)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GUESTS))
+def test_sequential_runs_trace_identically(name):
+    source = GUESTS[name]()
+    program = assemble(source)
+    assert analyze(program).certificate.certified
+    outcome = sequential_differential(program)
+    assert outcome, outcome.detail
+    assert outcome.events > 0
+
+
+@pytest.mark.parametrize("name", sorted(GUESTS))
+def test_sequential_and_process_agree_on_outcomes(name):
+    program = assemble(GUESTS[name]())
+    outcome = cross_engine_differential(program, workers=2)
+    assert outcome, outcome.detail
+
+
+def test_differential_detects_divergent_solutions():
+    # A harness self-test: feed runs that disagree and expect a failure.
+    class FakeEngine:
+        calls = [0]
+
+        def run(self, guest):
+            from repro.core.result import SearchResult, SearchStats, Solution
+
+            self.calls[0] += 1
+            sols = [Solution(value=(0, "a"), path=(self.calls[0],))]
+            return SearchResult(
+                solutions=sols, stats=SearchStats(), strategy="dfs",
+                exhausted=True, stop_reason=None,
+            )
+
+    outcome = sequential_differential("ignored", engine_factory=FakeEngine)
+    assert not outcome.ok
+    assert "different solutions" in outcome.detail or "diverged" in outcome.detail

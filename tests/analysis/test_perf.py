@@ -1,0 +1,21 @@
+"""Analyzer performance floor from ISSUE 4: a 9x9 sudoku guest — the
+largest shipped workload, ~1100 basic blocks — must analyze in under
+two seconds."""
+
+import time
+
+from repro.analysis import analyze
+from repro.cpu.assembler import assemble
+from repro.workloads.sudoku import make_puzzle, sudoku_asm
+
+
+def test_sudoku9_analyzes_under_two_seconds():
+    grid = make_puzzle(40, seed=7, size=9, box_rows=3, box_cols=3)
+    program = assemble(sudoku_asm(grid, size=9, box_rows=3, box_cols=3))
+    started = time.perf_counter()
+    report = analyze(program, use_cache=False)
+    elapsed = time.perf_counter() - started
+    assert elapsed < 2.0, f"analysis took {elapsed:.2f}s"
+    assert report.certificate.certified
+    noisy = [f for f in report.findings if f.severity.label != "info"]
+    assert not noisy, noisy

@@ -1,0 +1,100 @@
+"""Property tests tying the static verdicts to runtime behaviour.
+
+* Programs the analyzer flags with an error-severity fault lint really
+  do trap when executed (soundness of the error tier on this family).
+* Certified random programs really do replay identically under the
+  process-parallel engine (the certificate's operational meaning).
+* The analyzer is total: arbitrary byte soup never crashes it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.core.machine import MachineEngine
+from repro.cpu.assembler import Program, assemble
+from repro.mem.layout import CODE_BASE, DATA_BASE
+from repro.workloads.randprog import generate_source, make_program
+
+#: Addresses provably outside every static segment and below the
+#: heap/stack dynamic window — loads there must fault at runtime.
+_WILD_ADDRESSES = st.integers(min_value=0x1000, max_value=0x3FF000)
+
+
+@settings(max_examples=15, deadline=None)
+@given(addr=_WILD_ADDRESSES)
+def test_flagged_oob_loads_trap_at_runtime(addr):
+    source = f"""
+    .text
+    _start:
+        mov rbx, {addr:#x}
+        mov rax, [rbx + 0]
+        mov rax, 60
+        mov rdi, 0
+        syscall
+    """
+    program = assemble(source)
+    report = analyze(program)
+    assert any(f.lint_id == "MB001" for f in report.findings)
+
+    result = MachineEngine(verify="off").run(program)
+    assert not result.solutions
+    reasons = result.stats.extra.get("kill_reasons", [])
+    assert any("page fault" in r for r in reasons), reasons
+
+
+@settings(max_examples=8, deadline=None)
+@given(divisor_zero=st.booleans(), dividend=st.integers(0, 1000))
+def test_flagged_divides_trap_exactly_when_divisor_is_zero(
+    divisor_zero, dividend
+):
+    divisor = 0 if divisor_zero else 3
+    source = f"""
+    .text
+    _start:
+        mov rax, {dividend}
+        mov rbx, {divisor}
+        udiv rax, rbx
+        mov rax, 60
+        mov rdi, 0
+        syscall
+    """
+    program = assemble(source)
+    report = analyze(program)
+    flagged = any(
+        f.lint_id == "DV001" and f.severity.label == "error"
+        for f in report.findings
+    )
+    assert flagged == divisor_zero
+
+    result = MachineEngine(verify="off").run(program)
+    if divisor_zero:
+        assert not result.solutions
+    else:
+        assert result.solutions
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_certified_randprog_replays_identically_in_process_engine(seed):
+    from repro.analysis.differential import cross_engine_differential
+
+    program = assemble(generate_source(make_program(seed)))
+    assert analyze(program).certificate.certified
+    outcome = cross_engine_differential(program, workers=2)
+    assert outcome, outcome.detail
+
+
+@settings(max_examples=40, deadline=None)
+@given(blob=st.binary(min_size=0, max_size=64))
+def test_analyzer_is_total_on_byte_soup(blob):
+    program = Program(
+        text=blob, data=b"", text_base=CODE_BASE, data_base=DATA_BASE
+    )
+    report = analyze(program, use_cache=False)
+    # Every finding must be a catalogued lint anchored inside .text
+    # (or at the entry for empty/truncated images).
+    from repro.analysis.report import CATALOG
+
+    for finding in report.findings:
+        assert finding.lint_id in CATALOG
+        assert CODE_BASE <= finding.pc <= CODE_BASE + max(len(blob), 1)

@@ -1,0 +1,212 @@
+"""Seeded-bug corpus: each program plants one defect; the analyzer must
+report the expected lint at the expected site.
+
+Sites are asserted through the finding's nearest label (stable under
+encoding changes) and, where the defect is a single instruction, through
+the source line mapped from ``Program.lines``.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cpu.assembler import assemble
+
+EXIT_EPILOGUE = """
+        mov   rax, 60
+        mov   rdi, 0
+        syscall
+"""
+
+#: name -> (source, expected lint id, expected nearest label)
+CORPUS = {
+    "invalid-opcode": (
+        """
+        .text
+        _start:
+            mov rax, 1
+        bad:
+            .byte 0xfe
+        """,
+        "CF001", "bad",
+    ),
+    "unreachable-block": (
+        f"""
+        .text
+        _start:
+            jmp finish
+        orphan:
+            mov rbx, 2
+        finish:
+        {EXIT_EPILOGUE}
+        """,
+        "CF002", "orphan",
+    ),
+    "fallthrough-escape": (
+        """
+        .text
+        _start:
+        leak:
+            mov rax, 7
+        """,
+        "CF003", "leak",
+    ),
+    "ret-without-call": (
+        """
+        .text
+        _start:
+        naked:
+            ret
+        """,
+        "CF004", "naked",
+    ),
+    "uninit-read": (
+        f"""
+        .text
+        _start:
+        cold:
+            add rax, rbx
+        {EXIT_EPILOGUE}
+        """,
+        "DF001", "cold",
+    ),
+    "div-by-zero": (
+        f"""
+        .text
+        _start:
+            mov rax, 10
+            mov rbx, 0
+        crash:
+            udiv rax, rbx
+        {EXIT_EPILOGUE}
+        """,
+        "DV001", "crash",
+    ),
+    "oob-load": (
+        f"""
+        .text
+        _start:
+            mov rbx, 0x100
+        wild:
+            mov rax, [rbx + 0]
+        {EXIT_EPILOGUE}
+        """,
+        "MB001", "wild",
+    ),
+    "write-to-text": (
+        f"""
+        .text
+        _start:
+            mov rbx, 0x400000
+            mov rcx, 1
+        smash:
+            mov [rbx + 0], rcx
+        {EXIT_EPILOGUE}
+        """,
+        "MB003", "smash",
+    ),
+    "fail-before-guess": (
+        """
+        .text
+        _start:
+        doomed:
+            mov rax, 0x1001
+            syscall
+        """,
+        "BT002", "doomed",
+    ),
+    "zero-fanout-guess": (
+        f"""
+        .text
+        _start:
+        stuck:
+            mov rax, 0x1000
+            mov rdi, 0
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "BT003", "stuck",
+    ),
+    "reads-stdin": (
+        f"""
+        .data
+        buf: .zero 8
+        .text
+        _start:
+        input:
+            mov rax, 0
+            mov rdi, 0
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "DT001", "input",
+    ),
+    "uninterposed-syscall": (
+        f"""
+        .text
+        _start:
+        alien:
+            mov rax, 77
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "DT003", "alien",
+    ),
+    "unresolved-syscall": (
+        f"""
+        .data
+        num: .quad 60
+        .text
+        _start:
+            mov rbx, num
+        mystery:
+            mov rax, [rbx + 0]
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "DT004", "mystery",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_seeded_bug_is_reported_at_site(name):
+    source, lint_id, label = CORPUS[name]
+    program = assemble(source)
+    report = analyze(program)
+    hits = [f for f in report.findings if f.lint_id == lint_id]
+    assert hits, (
+        f"{name}: expected {lint_id}, got "
+        f"{[(f.lint_id, f.message) for f in report.findings]}"
+    )
+    assert any(f.label == label for f in hits), (
+        f"{name}: {lint_id} reported at labels "
+        f"{[f.label for f in hits]}, expected {label!r}"
+    )
+    assert report.exit_code >= 1
+
+
+def test_finding_pcs_map_to_source_lines():
+    source, _, _ = CORPUS["div-by-zero"]
+    program = assemble(source)
+    report = analyze(program)
+    dv = next(f for f in report.findings if f.lint_id == "DV001")
+    assert dv.line is not None
+    assert "udiv" in source.splitlines()[dv.line - 1]
+
+
+def test_error_findings_void_strict_but_not_certificate():
+    # DV001 is an error but not a nondeterminism source: strict mode
+    # refuses the program, yet the certificate itself stays valid.
+    source, _, _ = CORPUS["div-by-zero"]
+    report = analyze(assemble(source))
+    assert report.exit_code == 2
+    assert report.certificate.certified
+
+
+def test_nondet_findings_void_certificate():
+    source, _, _ = CORPUS["reads-stdin"]
+    report = analyze(assemble(source))
+    assert not report.certificate.certified
+    assert any(lid == "DT001" for _, lid in report.certificate.nondet_sites)

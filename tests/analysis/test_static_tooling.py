@@ -1,0 +1,46 @@
+"""Run ruff/mypy over the analysis package when they are installed.
+
+The CI lint job installs both; locally they may be absent (the dev
+container has no network), so these tests skip rather than fail.  They
+exist so a contributor *with* the tools catches lint regressions before
+pushing, with the exact flags CI uses.
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _run(cmd):
+    return subprocess.run(
+        cmd, cwd=REPO, capture_output=True, text=True, timeout=300
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_repo_baseline():
+    proc = _run(["ruff", "check", "."])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_analysis_full_rules():
+    proc = _run([
+        "ruff", "check", "--select", "E,F,W,I", "--line-length", "100",
+        "src/repro/analysis",
+    ])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_on_analysis():
+    proc = _run([
+        sys.executable, "-m", "mypy", "--strict", "--python-version", "3.11",
+        "-p", "repro.analysis",
+    ])
+    assert proc.returncode == 0, proc.stdout + proc.stderr

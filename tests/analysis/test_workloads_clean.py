@@ -1,0 +1,68 @@
+"""Every shipped workload generator must analyze clean and certified.
+
+This is the analyzer's "no false positives on real guests" contract:
+generators are the programs users actually run, so any warning here is
+either a generator bug (fix the generator — see the sudoku dead-epilogue
+fix) or an analyzer precision bug (fix the analyzer).  Info-severity
+findings are allowed; they are advisories, not defects.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cpu.assembler import assemble
+from repro.workloads.coloring import WHEEL5_EDGES, WHEEL5_NODES, coloring_asm
+from repro.workloads.knapsack import random_instance, subset_sum_asm
+from repro.workloads.nqueens import nqueens_asm
+from repro.workloads.puzzle8 import puzzle8_asm, scramble
+from repro.workloads.randprog import generate_source, make_program
+from repro.workloads.sudoku import make_puzzle, sudoku_asm
+from repro.workloads.synthetic import synthetic_asm
+
+WORKLOADS = {
+    "nqueens": lambda: nqueens_asm(6),
+    "nqueens-fig1": lambda: nqueens_asm(5, fig1_style=True),
+    "sudoku": lambda: sudoku_asm(make_puzzle(6, seed=3)),
+    "sudoku-solved": lambda: sudoku_asm(make_puzzle(0, seed=3)),
+    "coloring": lambda: coloring_asm(WHEEL5_NODES, WHEEL5_EDGES, 4),
+    "subset-sum": lambda: subset_sum_asm(*random_instance(6, seed=1)),
+    "synthetic": lambda: synthetic_asm(2, 3, 10, 1),
+    "randprog": lambda: generate_source(make_program(7)),
+    "puzzle8": lambda: puzzle8_asm(scramble(4, seed=2), 6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_is_clean_and_certified(name):
+    report = analyze(assemble(WORKLOADS[name]()))
+    noisy = [f for f in report.findings if f.severity.label != "info"]
+    assert not noisy, f"{name}: unexpected findings {noisy}"
+    assert report.exit_code == 0
+    assert report.certificate.certified, report.certificate.reasons
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 11, 42])
+def test_randprog_certified_across_seeds(seed):
+    report = analyze(assemble(generate_source(make_program(seed))))
+    assert report.exit_code == 0
+    assert report.certificate.certified
+
+
+def test_workloads_have_step_bound_scopes():
+    report = analyze(assemble(nqueens_asm(4)))
+    # One scope per guess site plus the entry scope.
+    assert len(report.certificate.step_bounds) >= 2
+
+
+def test_puzzle8_asm_finds_goal():
+    from repro.core.machine import MachineEngine
+
+    start = scramble(3, seed=1)
+    result = MachineEngine(verify="strict").run(puzzle8_asm(start, 5))
+    assert result.solutions
+    assert all(text == "123456780\n" for _, text in result.solution_values)
+
+
+def test_puzzle8_asm_rejects_bad_board():
+    with pytest.raises(ValueError):
+        puzzle8_asm((1, 1, 2, 3, 4, 5, 6, 7, 8), 4)
