@@ -1,0 +1,10 @@
+"""Deterministic chaos injection for crash-tolerance testing.
+
+See :mod:`repro.chaos.plan` for the seeded :class:`FaultPlan` and
+``python -m repro.tools.chaos`` for the seed-sweep CLI that asserts
+solution-set invariance under injected faults.
+"""
+
+from repro.chaos.plan import GARBAGE, WORKER_FAULTS, FaultPlan
+
+__all__ = ["FaultPlan", "GARBAGE", "WORKER_FAULTS"]

@@ -1,0 +1,186 @@
+"""Deterministic chaos injection for the process-parallel engine.
+
+A :class:`FaultPlan` is a *pure function of its seed*: every fault
+decision is derived by hashing ``(seed, task prefix, attempt)``, so the
+same plan injects the same faults at the same points on every run —
+which is what lets a CI sweep assert solution-set invariance across
+dozens of seeds and still reproduce any failure locally from its seed
+alone.
+
+The plan plugs into three seams:
+
+* ``worker_hook`` — the cluster's pre-task ``fault_hook``: kills the
+  worker (``os._exit``) or stalls it past the task timeout;
+* ``pipe_hook`` — the result-pipe seam in ``_worker_main``: writes
+  garbage bytes into the coordinator's result pipe before the real
+  result, exercising the protocol-corruption path;
+* ``journal_hook`` — the journal writer's fault seam: kills the
+  coordinator at a chosen epoch, tears the write at that epoch (partial
+  line then kill), or flips a bit in the record (silent corruption the
+  recovery scan must skip and count).
+
+Fault decisions are made only for ``task.attempt <= max_faulted_attempt``
+(default: first attempt only), so every faulted task eventually
+succeeds on retry and a chaos run remains *solution-complete* — the
+invariant the differential sweep checks.  ``poison_prefixes`` opts
+specific subtrees out of that guarantee (they crash on every attempt)
+to exercise the circuit breaker's quarantine path instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.errors import CoordinatorKilled
+from repro.core.journal import TornWrite
+from repro.obs import events as _events
+from repro.obs.trace import TRACER as _TRACER
+
+#: Bytes written to the result pipe by a garbage fault.  Deliberately
+#: not a valid pickle: the coordinator's recv must fail, not misparse.
+GARBAGE = b"\xde\xad\xbe\xef" * 16
+
+#: Worker fault kinds a plan can choose per task.
+WORKER_FAULTS = ("exit", "stall", "garbage")
+
+
+def _roll(*key) -> float:
+    """Deterministic uniform [0, 1) from a hashable key."""
+    digest = zlib.crc32(repr(key).encode("utf-8")) & 0xFFFFFFFF
+    return digest / 2**32
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable schedule of injected faults.
+
+    Rates are per *task attempt* and mutually exclusive (one roll
+    decides the kind), so ``crash_rate + stall_rate + garbage_rate``
+    must stay <= 1.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    garbage_rate: float = 0.0
+    #: How long a stall fault sleeps; must exceed the engine's
+    #: task_timeout for the stall to be detected and recovered.
+    stall_seconds: float = 30.0
+    #: Inject worker faults only for attempts <= this (termination: a
+    #: retried task runs fault-free).
+    max_faulted_attempt: int = 0
+    #: Decision prefixes that crash the worker on *every* attempt —
+    #: guaranteed circuit-breaker food.
+    poison_prefixes: tuple = ()
+    #: Kill the coordinator when the journal reaches this epoch.
+    coordinator_kill_epoch: Optional[int] = None
+    #: Tear the journal write at this epoch (partial record, then kill).
+    journal_tear_epoch: Optional[int] = None
+    #: Flip one bit in the record at this epoch (run continues; the
+    #: corruption must be caught by recovery's CRC scan).
+    journal_bitflip_epoch: Optional[int] = None
+
+    def __post_init__(self):
+        total = self.crash_rate + self.stall_rate + self.garbage_rate
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault rates must sum to <= 1, got {total}"
+            )
+
+    # -- decisions -----------------------------------------------------
+
+    def worker_fault(self, task) -> Optional[str]:
+        """The worker fault to inject for *task*, or None.
+
+        Pure and deterministic: same plan + same (prefix, attempt) →
+        same answer, in any process.
+        """
+        if tuple(task.prefix) in tuple(
+            tuple(p) for p in self.poison_prefixes
+        ):
+            return "exit"
+        if task.attempt > self.max_faulted_attempt:
+            return None
+        r = _roll(self.seed, tuple(task.prefix), task.attempt)
+        if r < self.crash_rate:
+            return "exit"
+        if r < self.crash_rate + self.stall_rate:
+            return "stall"
+        if r < self.crash_rate + self.stall_rate + self.garbage_rate:
+            return "garbage"
+        return None
+
+    def sterile(self) -> "FaultPlan":
+        """This plan with every coordinator/journal fault removed.
+
+        Used when resuming a killed run: the kill epoch already fired,
+        and epochs continue across resume, so carrying it over would
+        kill the resumed coordinator at the same epoch forever.  Worker
+        faults are kept — resume must survive them too.
+        """
+        return replace(
+            self,
+            coordinator_kill_epoch=None,
+            journal_tear_epoch=None,
+            journal_bitflip_epoch=None,
+        )
+
+    @property
+    def has_worker_faults(self) -> bool:
+        return bool(
+            self.crash_rate or self.stall_rate or self.garbage_rate
+            or self.poison_prefixes
+        )
+
+    # -- hooks (the seams the engine wires these into) -----------------
+
+    def worker_hook(self, task) -> None:
+        """ClusterConfig.fault_hook: runs in the worker before a task."""
+        kind = self.worker_fault(task)
+        if kind == "exit":
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_WORKER_FAULT, kind="exit",
+                             task=list(task.prefix), attempt=task.attempt)
+            os._exit(17)
+        if kind == "stall":
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_WORKER_FAULT, kind="stall",
+                             task=list(task.prefix), attempt=task.attempt)
+            time.sleep(self.stall_seconds)
+
+    def pipe_hook(self, conn, task) -> None:
+        """ClusterConfig.pipe_hook: runs before a result is sent."""
+        if self.worker_fault(task) == "garbage":
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_WORKER_FAULT, kind="garbage",
+                             task=list(task.prefix), attempt=task.attempt)
+            conn.send_bytes(GARBAGE)
+
+    def journal_hook(self, epoch: int, line: str) -> Optional[str]:
+        """JournalWriter.fault_hook: runs before a record is written."""
+        if epoch == self.coordinator_kill_epoch:
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_COORDINATOR_KILL, epoch=epoch)
+            raise CoordinatorKilled(epoch)
+        if epoch == self.journal_tear_epoch:
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_JOURNAL_FAULT, kind="tear",
+                             epoch=epoch)
+            # Keep at least one byte and lose at least the newline, so
+            # the tail is genuinely torn whatever the record length.
+            cut = max(1, (len(line) * 2) // 3)
+            raise TornWrite(line[:cut])
+        if epoch == self.journal_bitflip_epoch:
+            if _TRACER.enabled:
+                _TRACER.emit(_events.CHAOS_JOURNAL_FAULT, kind="bitflip",
+                             epoch=epoch)
+            body = line.rstrip("\n")
+            pos = int(_roll(self.seed, "bitflip", epoch) * len(body))
+            pos = min(pos, len(body) - 1)
+            flipped = chr(ord(body[pos]) ^ 0x01)
+            return body[:pos] + flipped + body[pos + 1:] + "\n"
+        return None

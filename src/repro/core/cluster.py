@@ -41,7 +41,20 @@ from multiprocessing import connection as mp_connection
 from typing import Callable, Optional, Union
 
 from repro.core.errors import GuessError, ReplayDivergenceError
+from repro.core.journal import (
+    JOURNAL_VERSION,
+    FSYNC_POLICIES,
+    JournalWriter,
+    check_resume,
+    program_digest,
+    recover,
+)
 from repro.core.result import SearchResult, SearchStats, Solution
+from repro.core.supervisor import (
+    SlotState,
+    SupervisorPolicy,
+    WorkerSupervisor,
+)
 from repro.cpu.assembler import Program, assemble
 from repro.libos.libos import ExecState, LibOS
 from repro.libos.syscalls import (
@@ -92,8 +105,14 @@ class ClusterConfig:
     #: frontier is spilled back (replay of the prefix is not charged).
     task_step_budget: Optional[int] = 25_000
     #: Test hook, called as ``fault_hook(task)`` in the worker before
-    #: each task — fault-injection tests crash or stall here.
+    #: each task — fault-injection tests and the chaos harness crash or
+    #: stall here.
     fault_hook: Optional[Callable[[PrefixTask], None]] = None
+    #: Chaos seam in the pipe protocol, called as ``pipe_hook(conn,
+    #: task)`` in the worker just before a task result is sent — the
+    #: chaos harness writes garbage bytes into the result pipe here to
+    #: exercise the coordinator's protocol-corruption handling.
+    pipe_hook: Optional[Callable] = None
     #: Workers buffer their trace events per task and ship the segment
     #: back with the result, so the coordinator can merge one causally
     #: ordered trace.  Off by default; the engine switches it on for a
@@ -506,6 +525,8 @@ def _worker_main(worker_id: int, conn, program: Program,
                 state = worker.registry.state_dict()
                 worker.registry.reset()
                 segment = collector.drain() if collector is not None else None
+                if config.pipe_hook is not None:
+                    config.pipe_hook(conn, task)
                 conn.send(
                     ("task", worker_id, task.key(), solutions, spilled, state,
                      segment)
@@ -583,6 +604,35 @@ class ProcessParallelEngine:
         shipped to the workers, so a runtime
         :class:`~repro.core.errors.ReplayDivergenceError` cites the
         static verdict for the diverging site.
+    journal:
+        Path of a write-ahead run journal (see
+        :mod:`repro.core.journal`).  Every dispatch, completion, spill,
+        solution and quarantine is logged durably, making the run
+        resumable after the *coordinator* dies — the frontier and found
+        solutions are rebuilt from decision prefixes, and only the
+        missing subtrees are re-explored.  ``None`` disables journaling.
+    resume:
+        Resume an interrupted run from *journal* instead of starting
+        fresh.  The journaled program digest and analyzer certificate
+        state must match the program being run
+        (:class:`~repro.core.errors.ResumeMismatchError` otherwise).
+    fsync:
+        Journal durability policy: ``"always"``, ``"batch"`` (default)
+        or ``"off"``.
+    min_workers:
+        Graceful-degradation floor: when the supervisor can no longer
+        keep at least this many worker slots serviceable, the remaining
+        frontier is finished on an in-process engine instead of
+        aborting the run.
+    supervisor:
+        Full :class:`~repro.core.supervisor.SupervisorPolicy`
+        (respawn backoff, poison threshold, slot failure limit).  When
+        given it wins over the *min_workers* convenience parameter.
+    chaos:
+        A :class:`~repro.chaos.FaultPlan` wired into the three
+        injection seams (worker fault hook, result-pipe hook, journal
+        writer hook).  An explicitly passed *fault_hook* keeps
+        precedence over the plan's worker faults.
     """
 
     def __init__(
@@ -600,6 +650,12 @@ class ProcessParallelEngine:
         fault_hook: Optional[Callable[[PrefixTask], None]] = None,
         collect_trace: Optional[bool] = None,
         verify: str = "off",
+        journal: Optional[str] = None,
+        resume: bool = False,
+        fsync: str = "batch",
+        min_workers: int = 1,
+        supervisor: Optional[SupervisorPolicy] = None,
+        chaos=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -608,6 +664,12 @@ class ProcessParallelEngine:
         if verify not in ("off", "warn", "strict"):
             raise ValueError(
                 f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
+            )
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal path")
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
             )
         self.verify = verify
         #: Analysis report of the last verified guest (None under "off").
@@ -619,12 +681,23 @@ class ProcessParallelEngine:
         self.task_timeout = task_timeout
         self.max_task_retries = max_task_retries
         self.collect_trace = collect_trace
+        self.journal_path = journal
+        self.resume = resume
+        self.fsync = fsync
+        self.chaos = chaos
+        self.supervisor_policy = (
+            supervisor if supervisor is not None
+            else SupervisorPolicy(min_workers=min_workers)
+        )
+        if chaos is not None and fault_hook is None:
+            fault_hook = chaos.worker_hook
         self.config = ClusterConfig(
             strategy=strategy,
             max_steps_per_extension=max_steps_per_extension,
             subtree_depth=subtree_depth,
             task_step_budget=task_step_budget,
             fault_hook=fault_hook,
+            pipe_hook=chaos.pipe_hook if chaos is not None else None,
         )
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -656,6 +729,11 @@ class ProcessParallelEngine:
         c_dropped = reg.counter("parallel.tasks_dropped")
         c_trace_merged = reg.counter("parallel.trace_events_merged")
         c_trace_dropped = reg.counter("parallel.trace_dropped")
+        c_respawns = reg.counter("parallel.respawns")
+        c_poisoned = reg.counter("parallel.poisoned_tasks")
+        c_degraded = reg.counter("parallel.degraded_runs")
+        c_proto = reg.counter("parallel.protocol_errors")
+        c_resume_filtered = reg.counter("parallel.resume_spills_filtered")
         g_workers = reg.gauge("parallel.workers")
 
         # Trace propagation: workers collect iff the coordinator traces,
@@ -679,22 +757,101 @@ class ProcessParallelEngine:
 
         span = next(_run_spans)
         frontier = TaskFrontier(order=self.strategy_name)
-        frontier.push(PrefixTask(span=span))
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
-        error: Optional[WorkerError] = None
+        degraded = False
+        #: Task keys already completed in the journaled run: a resumed
+        #: coordinator drops re-spills of these so a re-explored parent
+        #: (its own completion record lost to corruption) can never
+        #: double-count a child's already-durable solutions.
+        resume_completed: set[tuple[int, ...]] = set()
+        poisoned: list[tuple[PrefixTask, list]] = []
+        recovered = None
+        journal: Optional[JournalWriter] = None
+        digest = program_digest(program)
+        jhook = self.chaos.journal_hook if self.chaos is not None else None
+        sup = WorkerSupervisor(self.num_workers, self.supervisor_policy)
+
+        if self.resume:
+            recovered = recover(self.journal_path)
+            check_resume(recovered, digest, sites)
+            journal = JournalWriter(
+                self.journal_path, fsync=self.fsync,
+                start_epoch=recovered.last_epoch + 1,
+                truncate_to=recovered.valid_bytes,
+                fault_hook=jhook, registry=reg,
+            )
+            for spath, status, text in recovered.solutions:
+                solutions.append(Solution(value=(status, text), path=spath))
+            resume_completed = set(recovered.completed_keys)
+            for task, evidence in recovered.poisoned:
+                sup.quarantine(task.key())
+                poisoned.append((task, evidence))
+            frontier.extend(recovered.pending)
+            journal.append(
+                "resume", span=span, pending=len(recovered.pending),
+                solutions=len(solutions), skipped=recovered.skipped,
+                torn=recovered.torn,
+            )
+        else:
+            root = PrefixTask(span=span)
+            if self.journal_path is not None:
+                journal = JournalWriter(
+                    self.journal_path, fsync=self.fsync,
+                    fault_hook=jhook, registry=reg,
+                )
+                journal.append(
+                    "run_begin",
+                    version=JOURNAL_VERSION,
+                    program=digest,
+                    span=span,
+                    strategy=self.strategy_name,
+                    workers=self.num_workers,
+                    batch_size=self.batch_size,
+                    subtree_depth=self.config.subtree_depth,
+                    task_step_budget=self.config.task_step_budget,
+                    max_steps=self.config.max_steps_per_extension,
+                    max_solutions=self.max_solutions,
+                    certified=(None if sites is None else not sites),
+                    nondet_sites=(
+                        None if sites is None
+                        else [[pc, lint] for pc, lint in sites]
+                    ),
+                    root=root.to_record(),
+                )
+            frontier.push(root)
+
         poll = 0.02 if self.task_timeout is None else min(
             0.02, self.task_timeout / 4
         )
-
-        handles = [
+        handles: list[Optional[_WorkerHandle]] = [
             self._spawn(program, run_config) for _ in range(self.num_workers)
         ]
-        g_workers.set(len(handles))
+        g_workers.set(self.num_workers)
 
-        def fail_worker(handle: _WorkerHandle, kind: str) -> None:
-            """Kill *handle*, requeue its unreported tasks, respawn."""
-            nonlocal error
+        def journal_append(rtype: str, **fields) -> None:
+            if journal is not None:
+                journal.append(rtype, **fields)
+
+        def solutions_payload(task_solutions) -> list:
+            return [
+                [list(path), status, text]
+                for path, status, text in task_solutions
+            ]
+
+        def push_tasks(tasks) -> None:
+            for task in tasks:
+                key = task.key()
+                if key in resume_completed:
+                    c_resume_filtered.inc()
+                    continue
+                if sup.is_poisoned(key):
+                    continue  # quarantined: never re-dispatched
+                frontier.push(task)
+
+        def fail_worker(slot, handle: _WorkerHandle, kind: str,
+                        detail: str = "") -> None:
+            """Account one worker death: blame, requeue, schedule respawn."""
             if kind == "timeout":
                 c_timeouts.inc()
                 if _TRACER.enabled:
@@ -709,28 +866,105 @@ class ProcessParallelEngine:
                 pass
             if handle.proc.is_alive():
                 handle.proc.terminate()
-            handle.proc.join(timeout=5.0)
-            retried, dropped = [], 0
-            for task in handle.pending:
-                if task.attempt >= self.max_task_retries:
-                    dropped += 1
+            handle.proc.join(timeout=2.0)
+            if handle.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                handle.proc.kill()
+                handle.proc.join()
+            # Workers run their batch in dispatch order and report per
+            # task, so the first unreported task is the one that was
+            # executing: the suspect.  Batch-mates are requeued without
+            # an attempt bump — they are collateral, not culprits.
+            suspect = handle.pending[0] if handle.pending else None
+            decision = sup.record_failure(
+                slot, handle.wid, kind,
+                suspect.key() if suspect is not None else None, detail,
+            )
+            requeue: list[PrefixTask] = []
+            if suspect is not None:
+                if decision.poison:
+                    c_poisoned.inc()
+                    poisoned.append((suspect, decision.evidence))
+                    journal_append("poisoned", task=suspect.to_record(),
+                                   evidence=decision.evidence)
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.PARALLEL_POISONED,
+                            task=list(suspect.prefix),
+                            kills=len(decision.evidence),
+                        )
+                elif suspect.attempt >= self.max_task_retries:
+                    c_dropped.inc()
+                    journal_append("drop", task=suspect.to_record())
+                    if _TRACER.enabled:
+                        _TRACER.emit(_events.PARALLEL_DROP, tasks=1)
                 else:
-                    retried.append(task.retried())
-            if retried:
-                c_retries.inc(len(retried))
+                    requeue.append(suspect.retried())
+                requeue.extend(handle.pending[1:])
+            handle.pending = []
+            handles[slot.index] = None
+            if requeue:
+                c_retries.inc(len(requeue))
                 if _TRACER.enabled:
                     _TRACER.emit(_events.PARALLEL_RETRY, worker=handle.wid,
-                                 tasks=len(retried))
+                                 tasks=len(requeue))
                 # Requeue lost tasks ahead of everything else so retries
                 # bound the damage a flaky worker can do to latency.
-                for task in retried:
+                for task in requeue:
                     frontier.push(task)
-            if dropped:
-                c_dropped.inc(dropped)
+
+        def run_degraded() -> None:
+            """Finish the frontier in-process after pool collapse.
+
+            The in-process engine is the same :class:`_SubtreeWorker`
+            stack the workers run, so semantics are identical; fault
+            and pipe hooks are stripped (injected worker faults would
+            kill the coordinator, and there is no pipe).
+            """
+            local_config = dataclasses.replace(
+                run_config, fault_hook=None, pipe_hook=None,
+                collect_trace=False,
+            )
+            local = _SubtreeWorker(program, local_config)
+            while frontier:
+                if (
+                    self.max_solutions is not None
+                    and len(solutions) >= self.max_solutions
+                ):
+                    break
+                task = frontier.pop()
+                journal_append("dispatch", task=task.to_record(), worker=-1)
                 if _TRACER.enabled:
-                    _TRACER.emit(_events.PARALLEL_DROP, tasks=dropped)
-            handle.pending = []
-            handles[handles.index(handle)] = self._spawn(program, run_config)
+                    _TRACER.emit(
+                        _events.TASK_BEGIN, worker=-1,
+                        task=list(task.prefix), depth=task.depth,
+                        span=task.span, attempt=task.attempt,
+                    )
+                remaining = (
+                    None if self.max_solutions is None
+                    else max(self.max_solutions - len(solutions), 0)
+                )
+                task_solutions, spilled = local.explore(task, remaining)
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.TASK_END, worker=-1,
+                        task=list(task.prefix), span=task.span,
+                        solutions=len(task_solutions), spilled=len(spilled),
+                        explore_steps=local._steps_counter.value,
+                        replay_steps=local._replay_counter.value,
+                        task_s=local._task_timer.total_s,
+                    )
+                reg.merge_state(local.registry.state_dict())
+                local.registry.reset()
+                c_done.inc()
+                c_spilled.inc(len(spilled))
+                push_tasks(spilled)
+                journal_append(
+                    "complete", task=task.to_record(),
+                    solutions=solutions_payload(task_solutions),
+                    spilled=[t.to_record() for t in spilled],
+                )
+                for spath, status, text in task_solutions:
+                    solutions.append(Solution(value=(status, text), path=spath))
 
         try:
             while True:
@@ -741,12 +975,35 @@ class ProcessParallelEngine:
                     stop_reason = "max_solutions"
                     break
 
+                now = time.monotonic()
+                for slot in sup.respawn_ready(now):
+                    replacement = self._spawn(program, run_config)
+                    handles[slot.index] = replacement
+                    sup.mark_running(slot)
+                    c_respawns.inc()
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.PARALLEL_RESPAWN, worker=replacement.wid,
+                            slot=slot.index, failures=slot.failures,
+                        )
+
+                if sup.collapsed() and (
+                    frontier
+                    or any(h is not None and h.busy for h in handles)
+                ):
+                    degraded = True
+                    break
+
                 # Idle workers steal the next batch off the frontier.
-                for handle in list(handles):
-                    if handle.busy or not frontier:
+                for slot in sup.slots:
+                    if slot.state is not SlotState.RUNNING:
+                        continue
+                    handle = handles[slot.index]
+                    if handle is None or handle.busy or not frontier:
                         continue
                     if not handle.proc.is_alive():
-                        fail_worker(handle, "crash")
+                        fail_worker(slot, handle, "crash",
+                                    "worker died while idle")
                         continue
                     batch = frontier.take_batch(self.batch_size)
                     remaining = (
@@ -758,47 +1015,96 @@ class ProcessParallelEngine:
                     try:
                         handle.conn.send((batch, remaining))
                     except (OSError, ValueError):
-                        fail_worker(handle, "crash")
+                        fail_worker(slot, handle, "crash",
+                                    "dispatch pipe closed")
                         continue
                     c_dispatches.inc()
                     c_tasks.inc(len(batch))
+                    for task in batch:
+                        journal_append("dispatch", task=task.to_record(),
+                                       worker=handle.wid)
                     if _TRACER.enabled:
                         _TRACER.emit(_events.PARALLEL_DISPATCH,
                                      worker=handle.wid, tasks=len(batch))
 
-                busy = [h for h in handles if h.busy]
+                busy: dict = {}
+                for slot in sup.slots:
+                    handle = handles[slot.index]
+                    if handle is not None and handle.busy:
+                        busy[handle.conn] = (slot, handle)
                 if not busy and not frontier:
                     break  # frontier exhausted, nothing in flight
                 if not busy:
-                    continue  # tasks just requeued by a failure
+                    # Everything runnable is mid-backoff (or tasks were
+                    # just requeued): sleep to the nearest respawn
+                    # deadline instead of spinning.
+                    due = sup.next_respawn_due()
+                    delay = poll if due is None else min(
+                        poll, max(0.0, due - time.monotonic())
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
 
-                ready = mp_connection.wait(
-                    [h.conn for h in busy], timeout=poll
-                )
+                ready = mp_connection.wait(list(busy), timeout=poll)
                 now = time.monotonic()
                 for conn in ready:
-                    handle = next(h for h in handles if h.conn is conn)
+                    slot, handle = busy[conn]
+                    if handles[slot.index] is not handle:
+                        continue  # failed earlier this sweep
                     try:
                         msg = handle.conn.recv()
                     except (EOFError, OSError):
-                        fail_worker(handle, "crash")
+                        fail_worker(slot, handle, "crash",
+                                    "result pipe closed")
+                        continue
+                    except Exception as exc:
+                        # Garbage on the wire (chaos injection, or a
+                        # corrupted worker): the stream framing can no
+                        # longer be trusted, so the worker is failed.
+                        c_proto.inc()
+                        fail_worker(
+                            slot, handle, "crash",
+                            "undecodable result message: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    if (
+                        not isinstance(msg, tuple)
+                        or len(msg) < 3
+                        or msg[0] not in ("task", "error")
+                        or (msg[0] == "task" and len(msg) != 7)
+                    ):
+                        c_proto.inc()
+                        fail_worker(slot, handle, "crash",
+                                    f"malformed result message {msg!r}"[:200])
                         continue
                     if msg[0] == "error":
-                        error = WorkerError(msg[1], msg[2])
-                        raise error
+                        raise WorkerError(msg[1], msg[2])
                     _kind, _wid, key, task_solutions, spilled, state, segment = msg
                     handle.last_progress = now
+                    completed: Optional[PrefixTask] = None
                     for i, task in enumerate(handle.pending):
                         if task.key() == key:
-                            del handle.pending[i]
+                            completed = handle.pending.pop(i)
                             break
+                    sup.record_success(slot)
                     c_done.inc()
                     c_spilled.inc(len(spilled))
                     reg.merge_state(state)
-                    frontier.extend(spilled)
-                    for path, status, text in task_solutions:
+                    push_tasks(spilled)
+                    journal_append(
+                        "complete",
+                        task=(
+                            completed.to_record() if completed is not None
+                            else {"prefix": list(key), "fanouts": []}
+                        ),
+                        solutions=solutions_payload(task_solutions),
+                        spilled=[t.to_record() for t in spilled],
+                    )
+                    for spath, status, text in task_solutions:
                         solutions.append(
-                            Solution(value=(status, text), path=path)
+                            Solution(value=(status, text), path=spath)
                         )
                     if _TRACER.enabled:
                         # Splice the worker's buffered segment in between
@@ -817,25 +1123,65 @@ class ProcessParallelEngine:
                             solutions=len(task_solutions),
                             spilled=len(spilled),
                         )
-                for handle in busy:
-                    if handle not in handles or not handle.busy:
-                        continue  # replaced or drained earlier this sweep
+                for slot in sup.slots:
+                    handle = handles[slot.index]
+                    if handle is None or not handle.busy:
+                        continue  # failed or drained earlier this sweep
                     if not handle.proc.is_alive():
-                        fail_worker(handle, "crash")
+                        fail_worker(slot, handle, "crash",
+                                    "worker process died")
                     elif (
                         self.task_timeout is not None
                         and now - handle.last_progress > self.task_timeout
                     ):
-                        fail_worker(handle, "timeout")
-        finally:
-            self._shutdown(handles)
-            g_workers.set(0)
+                        fail_worker(
+                            slot, handle, "timeout",
+                            f"no progress for {self.task_timeout:.1f}s",
+                        )
 
-        dropped_total = c_dropped.value
-        if stop_reason is None and dropped_total:
-            stop_reason = "task_retries_exhausted"
-        if self.max_solutions is not None:
-            del solutions[self.max_solutions:]
+            if degraded:
+                # Reclaim in-flight tasks, drop the dead pool, and
+                # finish what remains on an in-process engine.
+                for slot in sup.slots:
+                    handle = handles[slot.index]
+                    if handle is not None and handle.pending:
+                        frontier.extend(handle.pending)
+                        handle.pending = []
+                self._shutdown([h for h in handles if h is not None])
+                handles = [None] * self.num_workers
+                g_workers.set(0)
+                c_degraded.inc()
+                if _TRACER.enabled:
+                    _TRACER.emit(_events.PARALLEL_DEGRADED,
+                                 pending=len(frontier))
+                journal_append("degraded", pending=len(frontier))
+                run_degraded()
+
+            # Normal completion: seal the journal.  Any exception path
+            # (worker error, chaos kill) skips this, leaving the journal
+            # resumable.
+            if (
+                stop_reason is None
+                and self.max_solutions is not None
+                and len(solutions) >= self.max_solutions
+            ):
+                stop_reason = "max_solutions"
+            if stop_reason is None and poisoned:
+                stop_reason = "tasks_poisoned"
+            if stop_reason is None and c_dropped.value:
+                stop_reason = "task_retries_exhausted"
+            if self.max_solutions is not None:
+                del solutions[self.max_solutions:]
+            journal_append(
+                "run_end", stop_reason=stop_reason,
+                exhausted=stop_reason is None, solutions=len(solutions),
+            )
+        finally:
+            self._shutdown([h for h in handles if h is not None])
+            g_workers.set(0)
+            if journal is not None:
+                journal.close()
+
         stats.peak_frontier = max(stats.peak_frontier, frontier.peak)
         stats.extra.update({
             "workers": self.num_workers,
@@ -844,9 +1190,14 @@ class ProcessParallelEngine:
             "tasks_completed": c_done.value,
             "tasks_spilled": c_spilled.value,
             "tasks_retried": c_retries.value,
-            "tasks_dropped": dropped_total,
+            "tasks_dropped": c_dropped.value,
+            "tasks_poisoned": len(poisoned),
             "worker_crashes": c_crashes.value,
             "task_timeouts": c_timeouts.value,
+            "respawns": c_respawns.value,
+            "protocol_errors": c_proto.value,
+            "degraded": bool(c_degraded.value),
+            "min_workers": self.supervisor_policy.min_workers,
             "peak_task_frontier": frontier.peak,
             "replay_steps": reg.counter("parallel.replay_steps").value,
             "guest_instructions": reg.counter("parallel.guest_steps").value,
@@ -857,6 +1208,25 @@ class ProcessParallelEngine:
             "snapshots_restored": reg.counter("snapshot.restored").value,
             "frames_copied": reg.counter("mem.frames_copied").value,
         })
+        if self.journal_path is not None:
+            stats.extra.update({
+                "journal": self.journal_path,
+                "journal_records": reg.counter("journal.records").value,
+                "journal_fsyncs": reg.counter("journal.fsyncs").value,
+                "resumed": recovered is not None,
+                "resume_pending": len(recovered.pending) if recovered else 0,
+                "resume_solutions": (
+                    len(recovered.solutions) if recovered else 0
+                ),
+                "journal_skipped": recovered.skipped if recovered else 0,
+                "journal_torn": recovered.torn if recovered else 0,
+                "resume_spills_filtered": c_resume_filtered.value,
+            })
+        if poisoned:
+            stats.extra["poisoned_tasks"] = [
+                {"task": task.to_record(), "evidence": evidence}
+                for task, evidence in poisoned
+            ]
         return SearchResult(
             solutions=solutions,
             stats=stats,
@@ -885,21 +1255,41 @@ class ProcessParallelEngine:
         handle.last_progress = time.monotonic()
         return handle
 
-    def _shutdown(self, handles: list[_WorkerHandle]) -> None:
-        """Stop every worker: politely when idle, hard when mid-task."""
+    def _shutdown(self, handles: list[_WorkerHandle],
+                  grace: float = 2.0) -> None:
+        """Stop every worker; escalate join -> terminate -> kill.
+
+        Idle workers get the poison pill; busy ones are terminated at
+        once (their tasks are lost by construction).  Each escalation
+        stage shares one deadline across the pool, so shutdown latency
+        is bounded by ~2 * grace however many workers are stuck, and the
+        final blocking ``join`` after SIGKILL guarantees every child is
+        reaped — no zombies survive this call.
+        """
         for handle in handles:
             if handle.proc.is_alive() and not handle.busy:
                 try:
                     handle.conn.send(None)
                 except (OSError, ValueError):
                     pass
-        for handle in handles:
-            if handle.busy and handle.proc.is_alive():
+            elif handle.proc.is_alive():
                 handle.proc.terminate()
-            handle.proc.join(timeout=5.0)
-            if handle.proc.is_alive():  # pragma: no cover - last resort
+        deadline = time.monotonic() + grace
+        for handle in handles:
+            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for handle in handles:
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+        deadline = time.monotonic() + grace
+        for handle in handles:
+            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for handle in handles:
+            if handle.proc.is_alive():  # pragma: no cover - SIGTERM ignored
                 handle.proc.kill()
-                handle.proc.join(timeout=5.0)
+        for handle in handles:
+            # SIGKILL cannot be caught: this join terminates, and it is
+            # what actually reaps the child (no zombie left behind).
+            handle.proc.join()
             try:
                 handle.conn.close()
             except OSError:

@@ -104,3 +104,41 @@ class BudgetExceeded(SearchError):
     Engines catch this internally and mark the result as truncated; it is
     exposed for callers driving an engine step by step.
     """
+
+
+class JournalError(SearchError):
+    """Base class for run-journal failures (I/O, format, resume)."""
+
+
+class ResumeMismatchError(JournalError):
+    """A resumed journal does not belong to the run being resumed.
+
+    Raised before any guest instruction executes when the journaled
+    program digest (or analyzer certificate state) differs from the
+    program handed to the resuming engine — replaying another program's
+    decision prefixes would explore garbage, so the engine refuses.
+    """
+
+    def __init__(self, field: str, recorded, current):
+        self.field = field
+        self.recorded = recorded
+        self.current = current
+        super().__init__(
+            f"journal does not match this run: {field} was "
+            f"{recorded!r} at record time, is {current!r} now"
+        )
+
+
+class CoordinatorKilled(SearchError):
+    """The chaos harness killed the coordinator mid-run.
+
+    Simulates ``kill -9`` of the coordinating process at a chosen
+    journal epoch: the exception is raised from inside the journal
+    writer, so no later record reaches the journal — exactly the state
+    an interrupted run leaves on disk.  Callers resume the run from the
+    journal with ``ProcessParallelEngine(journal=..., resume=True)``.
+    """
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        super().__init__(f"coordinator killed by chaos plan at journal epoch {epoch}")

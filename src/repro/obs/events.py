@@ -71,6 +71,28 @@ PARALLEL_CRASH = "parallel.crash"
 PARALLEL_TIMEOUT = "parallel.timeout"
 PARALLEL_RETRY = "parallel.retry"
 PARALLEL_DROP = "parallel.drop"
+#: The supervisor respawned a worker into a failed slot (after backoff).
+PARALLEL_RESPAWN = "parallel.respawn"
+#: The circuit breaker quarantined a task that killed too many workers.
+PARALLEL_POISONED = "parallel.poisoned"
+#: The pool collapsed below min_workers; the coordinator finishes the
+#: remaining frontier in-process.
+PARALLEL_DEGRADED = "parallel.degraded"
+
+# -- crash-tolerance journal -------------------------------------------
+#: Emitted by journal recovery with the rebuilt-run shape.
+JOURNAL_RECOVER = "journal.recover"
+
+# -- chaos injection (deterministic fault harness) ---------------------
+#: A worker-side fault fired (kind: exit | stall | garbage).  Emitted in
+#: the worker just before the fault, so for ``exit`` it usually dies
+#: with the worker's un-shipped trace segment — by design: the fault is
+#: observable coordinator-side as parallel.crash/timeout instead.
+CHAOS_WORKER_FAULT = "chaos.worker_fault"
+#: The chaos plan killed the coordinator at a journal epoch.
+CHAOS_COORDINATOR_KILL = "chaos.coordinator_kill"
+#: The chaos plan injected a journal fault (kind: tear | bitflip).
+CHAOS_JOURNAL_FAULT = "chaos.journal_fault"
 
 #: Required fields per event type.  Extra fields are always allowed.
 EVENT_FIELDS: dict[str, tuple[str, ...]] = {
@@ -97,6 +119,13 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     PARALLEL_TIMEOUT: ("worker",),
     PARALLEL_RETRY: ("worker", "tasks"),
     PARALLEL_DROP: ("tasks",),
+    PARALLEL_RESPAWN: ("worker", "slot", "failures"),
+    PARALLEL_POISONED: ("task", "kills"),
+    PARALLEL_DEGRADED: ("pending",),
+    JOURNAL_RECOVER: ("records", "pending", "solutions", "skipped", "torn"),
+    CHAOS_WORKER_FAULT: ("kind",),
+    CHAOS_COORDINATOR_KILL: ("epoch",),
+    CHAOS_JOURNAL_FAULT: ("kind", "epoch"),
 }
 
 EVENT_TYPES = frozenset(EVENT_FIELDS)

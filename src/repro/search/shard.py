@@ -65,6 +65,32 @@ class PrefixTask(NamedTuple):
         """Identity of the subtree (stable across retries)."""
         return self.prefix
 
+    def to_record(self) -> dict:
+        """JSON-safe journal representation (see :mod:`repro.core.journal`).
+
+        Tuples become lists (JSON has no tuples); :meth:`from_record`
+        restores them, so ``from_record(to_record(t)) == t`` exactly —
+        the round-trip the journal's recovery path depends on.
+        """
+        return {
+            "prefix": list(self.prefix),
+            "fanouts": list(self.fanouts),
+            "hint": self.hint,
+            "attempt": self.attempt,
+            "span": self.span,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "PrefixTask":
+        """Rebuild a task from its :meth:`to_record` journal form."""
+        return cls(
+            prefix=tuple(record["prefix"]),
+            fanouts=tuple(record["fanouts"]),
+            hint=record.get("hint"),
+            attempt=record.get("attempt", 0),
+            span=record.get("span"),
+        )
+
 
 #: Frontier disciplines a :class:`TaskFrontier` understands, and the
 #: worker-local strategy each one maps to.

@@ -1,0 +1,204 @@
+"""Deterministic chaos sweep: assert solution-set invariance under faults.
+
+Usage::
+
+    python -m repro.tools.chaos --seeds 20 [--kill] [--json]
+
+For each seed the sweep builds a :class:`repro.chaos.FaultPlan` and runs
+the process-parallel engine over an N-queens guest while the plan kills
+workers, stalls them past the task timeout, and writes garbage into the
+result pipe.  The invariant checked is the paper's core soundness claim
+for the robustness layer: *injected faults may cost retries, but never
+solutions* — every chaos run must produce exactly the solution multiset
+of the fault-free baseline.
+
+With ``--kill``, each seed additionally schedules a coordinator kill at
+a seed-derived journal epoch: the run dies mid-flight, is resumed from
+its journal (with the kill stripped via :meth:`FaultPlan.sterile`), and
+the combined run must again match the baseline exactly — the
+crash/resume differential test, swept across seeds.
+
+Every fault decision is a pure function of the seed, so any failing
+seed reproduces locally with the same command line.
+
+Exit status: 0 when every seed holds the invariant, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Optional, Sequence
+
+from repro.chaos import FaultPlan
+from repro.core.cluster import ProcessParallelEngine
+from repro.core.errors import CoordinatorKilled
+from repro.workloads.nqueens import KNOWN_SOLUTION_COUNTS, nqueens_asm
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.chaos",
+        description="Sweep chaos seeds; assert solution-set invariance.",
+    )
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of seeds to sweep (default: 20)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (default: 0)")
+    parser.add_argument("--n", type=int, default=6,
+                        help="N-queens instance size (default: 6)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--crash-rate", type=float, default=0.2)
+    parser.add_argument("--stall-rate", type=float, default=0.05)
+    parser.add_argument("--garbage-rate", type=float, default=0.1)
+    parser.add_argument("--task-timeout", type=float, default=2.0,
+                        help="per-task timeout; stall faults sleep past "
+                        "it so they are detected (default: 2.0)")
+    parser.add_argument("--kill", action="store_true",
+                        help="also kill the coordinator at a seed-derived "
+                        "journal epoch and resume from the journal")
+    parser.add_argument("--journal-dir", default=None,
+                        help="keep per-seed journals here (default: a "
+                        "temporary directory, removed afterwards)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the sweep report as JSON")
+    return parser
+
+
+def _solution_multiset(result):
+    return sorted((s.path, s.value) for s in result.solutions)
+
+
+def _engine(args, **kwargs) -> ProcessParallelEngine:
+    return ProcessParallelEngine(
+        workers=args.workers,
+        task_step_budget=3000,
+        task_timeout=args.task_timeout,
+        max_task_retries=4,
+        **kwargs,
+    )
+
+
+def run_seed(args, seed: int, guest, baseline, journal_dir) -> dict:
+    """One sweep iteration; returns its report row."""
+    plan = FaultPlan(
+        seed=seed,
+        crash_rate=args.crash_rate,
+        stall_rate=args.stall_rate,
+        garbage_rate=args.garbage_rate,
+        stall_seconds=args.task_timeout * 4,
+        coordinator_kill_epoch=(15 + seed % 25) if args.kill else None,
+    )
+    row: dict = {"seed": seed, "kill_epoch": plan.coordinator_kill_epoch}
+    journal = (
+        os.path.join(journal_dir, f"seed{seed}.journal")
+        if (args.kill or args.journal_dir) else None
+    )
+    started = time.monotonic()
+    engine = _engine(args, chaos=plan, journal=journal)
+    try:
+        result = engine.run(guest)
+        row["killed"] = False
+    except CoordinatorKilled:
+        row["killed"] = True
+        resumed = _engine(
+            args, chaos=plan.sterile(), journal=journal, resume=True,
+        )
+        result = resumed.run(guest)
+        row["resume_pending"] = result.stats.extra["resume_pending"]
+        row["resume_solutions"] = result.stats.extra["resume_solutions"]
+    row["elapsed_s"] = round(time.monotonic() - started, 3)
+    extra = result.stats.extra
+    row.update({
+        "solutions": len(result.solutions),
+        "crashes": extra["worker_crashes"],
+        "timeouts": extra["task_timeouts"],
+        "protocol_errors": extra["protocol_errors"],
+        "retried": extra["tasks_retried"],
+        "respawns": extra["respawns"],
+        "degraded": extra["degraded"],
+        "ok": _solution_multiset(result) == baseline,
+    })
+    return row
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.n not in KNOWN_SOLUTION_COUNTS:
+        print(f"error: no known solution count for n={args.n}",
+              file=sys.stderr)
+        return 2
+    guest = nqueens_asm(args.n)
+
+    baseline_result = _engine(args).run(guest)
+    baseline = _solution_multiset(baseline_result)
+    if len(baseline) != KNOWN_SOLUTION_COUNTS[args.n]:
+        print(
+            f"error: fault-free baseline found {len(baseline)} solutions, "
+            f"expected {KNOWN_SOLUTION_COUNTS[args.n]}",
+            file=sys.stderr,
+        )
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_dir = args.journal_dir or tmp
+        if args.journal_dir:
+            os.makedirs(args.journal_dir, exist_ok=True)
+        rows = [
+            run_seed(args, args.seed_base + i, guest, baseline, journal_dir)
+            for i in range(args.seeds)
+        ]
+
+    failures = [row for row in rows if not row["ok"]]
+    report = {
+        "n": args.n,
+        "expected_solutions": len(baseline),
+        "seeds": args.seeds,
+        "kill_mode": args.kill,
+        "failures": [row["seed"] for row in failures],
+        "total_crashes": sum(r["crashes"] for r in rows),
+        "total_timeouts": sum(r["timeouts"] for r in rows),
+        "total_protocol_errors": sum(r["protocol_errors"] for r in rows),
+        "total_respawns": sum(r["respawns"] for r in rows),
+        "rows": rows,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            status = "ok" if row["ok"] else "SOLUTION MISMATCH"
+            kill = (
+                f" kill@{row['kill_epoch']}"
+                + ("+resume" if row["killed"] else " (finished first)")
+                if row["kill_epoch"] is not None else ""
+            )
+            print(
+                f"seed {row['seed']:>4}: {status}  "
+                f"solutions={row['solutions']} crashes={row['crashes']} "
+                f"timeouts={row['timeouts']} "
+                f"garbage={row['protocol_errors']} "
+                f"respawns={row['respawns']}{kill}"
+            )
+        print(
+            f"{args.seeds} seed(s): {len(failures)} failure(s), "
+            f"{report['total_crashes']} worker crashes, "
+            f"{report['total_timeouts']} timeouts, "
+            f"{report['total_protocol_errors']} garbage injections "
+            f"survived"
+        )
+    if failures:
+        print(
+            "chaos invariant violated for seed(s): "
+            + ", ".join(str(r["seed"]) for r in failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -57,6 +57,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=4,
                         help="tasks per worker dispatch (process engine "
                         "only)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead run journal for crash-tolerant "
+                        "runs (process engine only); inspect it with "
+                        "repro.tools.journal")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted run from --journal "
+                        "instead of starting fresh (process engine only)")
+    parser.add_argument("--fsync", choices=["always", "batch", "off"],
+                        default="batch",
+                        help="journal durability policy (default: batch)")
+    parser.add_argument("--min-workers", type=int, default=1,
+                        help="graceful-degradation floor: finish the run "
+                        "in-process when fewer worker slots stay "
+                        "serviceable (process engine only)")
+    parser.add_argument("--chaos-kill-epoch", type=int, default=None,
+                        metavar="EPOCH",
+                        help="chaos injection: kill the coordinator when "
+                        "the journal reaches EPOCH (testing only; "
+                        "requires --journal)")
     parser.add_argument("--obs-trace", metavar="PATH", default=None,
                         help="record the run's observability trace to a "
                         "JSONL file (process engine merges every worker's "
@@ -127,6 +146,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_steps_per_extension=args.max_steps,
         )
     elif args.engine == "process":
+        if args.resume and not args.journal:
+            print("error: --resume requires --journal", file=sys.stderr)
+            return 2
+        chaos = None
+        if args.chaos_kill_epoch is not None:
+            if not args.journal:
+                print("error: --chaos-kill-epoch requires --journal",
+                      file=sys.stderr)
+                return 2
+            from repro.chaos import FaultPlan
+
+            chaos = FaultPlan(coordinator_kill_epoch=args.chaos_kill_epoch)
         engine = ProcessParallelEngine(
             workers=args.workers,
             strategy=args.strategy,
@@ -139,6 +170,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # Re-verifying is free (memoised) and ships the analyzer's
             # nondeterminism sites to the replaying workers.
             verify=args.verify,
+            journal=args.journal,
+            resume=args.resume,
+            fsync=args.fsync,
+            min_workers=args.min_workers,
+            chaos=chaos,
         )
     else:
         engine = ReplayMachineEngine(
@@ -147,10 +183,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_steps_per_path=args.max_steps,
         )
 
+    from repro.core.errors import CoordinatorKilled, ResumeMismatchError
+
     with contextlib.ExitStack() as stack:
         if args.obs_trace:
             stack.enter_context(TRACER.to_file(args.obs_trace))
-        result = engine.run(program)
+        try:
+            result = engine.run(program)
+        except CoordinatorKilled as err:
+            # Chaos injection: the run is interrupted, not lost — the
+            # journal has everything needed to resume.
+            print(f"coordinator killed: {err}", file=sys.stderr)
+            print(f"resume with: --engine process --journal {args.journal} "
+                  "--resume", file=sys.stderr)
+            return 3
+        except ResumeMismatchError as err:
+            print(f"resume refused: {err}", file=sys.stderr)
+            return 2
     if args.obs_trace:
         print(f"trace written to {args.obs_trace}", file=sys.stderr)
     print(result.summary())
@@ -173,6 +222,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{extra.get('snapshots_restored', 0)} restored; "
                 f"COW pages copied: {extra.get('frames_copied', 0)}"
             )
+        if "journal" in extra:
+            line = (
+                f"  journal: {extra['journal']} "
+                f"({extra['journal_records']} records, "
+                f"{extra['journal_fsyncs']} fsyncs)"
+            )
+            if extra.get("resumed"):
+                line += (
+                    f"; resumed with {extra['resume_pending']} pending, "
+                    f"{extra['resume_solutions']} recovered solutions"
+                )
+            print(line)
     return 0 if result.solutions or result.exhausted else 1
 
 

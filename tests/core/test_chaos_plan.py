@@ -1,0 +1,110 @@
+"""FaultPlan: deterministic fault decisions and the journal fault hook.
+
+The plan's decision functions are pure, so they are tested without any
+processes; the hooks' end-to-end effects (workers actually dying,
+coordinators actually killed) are covered by ``test_resume.py`` and the
+chaos-sweep CLI.
+"""
+
+import pytest
+
+from repro.chaos import GARBAGE, WORKER_FAULTS, FaultPlan
+from repro.core.errors import CoordinatorKilled
+from repro.core.journal import TornWrite, decode_record, encode_record
+from repro.search.shard import PrefixTask
+
+
+def task(prefix=(0, 1), attempt=0):
+    return PrefixTask(prefix=tuple(prefix), fanouts=(4,) * len(prefix),
+                      attempt=attempt)
+
+
+class TestDecisions:
+    def test_deterministic_across_instances(self):
+        a = FaultPlan(seed=3, crash_rate=0.3, stall_rate=0.2,
+                      garbage_rate=0.2)
+        b = FaultPlan(seed=3, crash_rate=0.3, stall_rate=0.2,
+                      garbage_rate=0.2)
+        tasks = [task((i, j)) for i in range(6) for j in range(6)]
+        assert [a.worker_fault(t) for t in tasks] == \
+               [b.worker_fault(t) for t in tasks]
+
+    def test_seed_changes_the_schedule(self):
+        tasks = [task((i,)) for i in range(64)]
+        plans = [
+            FaultPlan(seed=s, crash_rate=0.5).worker_fault
+            for s in (0, 1)
+        ]
+        assert [plans[0](t) for t in tasks] != [plans[1](t) for t in tasks]
+
+    def test_all_kinds_reachable(self):
+        plan = FaultPlan(seed=0, crash_rate=0.33, stall_rate=0.33,
+                         garbage_rate=0.33)
+        kinds = {
+            plan.worker_fault(task((i, j)))
+            for i in range(8) for j in range(8)
+        }
+        assert set(WORKER_FAULTS) <= kinds
+
+    def test_retries_run_fault_free(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        assert plan.worker_fault(task(attempt=0)) == "exit"
+        assert plan.worker_fault(task(attempt=1)) is None
+        deeper = FaultPlan(seed=0, crash_rate=1.0, max_faulted_attempt=1)
+        assert deeper.worker_fault(task(attempt=1)) == "exit"
+        assert deeper.worker_fault(task(attempt=2)) is None
+
+    def test_poison_prefixes_crash_every_attempt(self):
+        plan = FaultPlan(seed=0, poison_prefixes=((0, 2),))
+        assert plan.worker_fault(task((0, 2), attempt=5)) == "exit"
+        assert plan.worker_fault(task((0, 3), attempt=0)) is None
+        assert plan.has_worker_faults
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=0.6, stall_rate=0.5)
+
+    def test_sterile_strips_coordinator_faults_only(self):
+        plan = FaultPlan(seed=9, crash_rate=0.2, coordinator_kill_epoch=5,
+                         journal_tear_epoch=6, journal_bitflip_epoch=7)
+        sterile = plan.sterile()
+        assert sterile.coordinator_kill_epoch is None
+        assert sterile.journal_tear_epoch is None
+        assert sterile.journal_bitflip_epoch is None
+        assert sterile.seed == 9
+        assert sterile.crash_rate == 0.2  # worker faults survive resume
+
+
+class TestJournalHook:
+    LINE = encode_record({"epoch": 5, "type": "dispatch", "n": 1})
+
+    def test_kill_at_epoch(self):
+        plan = FaultPlan(coordinator_kill_epoch=5)
+        assert plan.journal_hook(4, self.LINE) is None
+        with pytest.raises(CoordinatorKilled) as err:
+            plan.journal_hook(5, self.LINE)
+        assert err.value.epoch == 5
+
+    def test_tear_keeps_a_genuine_prefix(self):
+        plan = FaultPlan(journal_tear_epoch=5)
+        with pytest.raises(TornWrite) as err:
+            plan.journal_hook(5, self.LINE)
+        partial = err.value.partial
+        assert self.LINE.startswith(partial)
+        assert 0 < len(partial) < len(self.LINE)
+        assert not partial.endswith("\n")  # the newline never lands
+
+    def test_bitflip_defeats_the_crc(self):
+        plan = FaultPlan(seed=2, journal_bitflip_epoch=5)
+        mutated = plan.journal_hook(5, self.LINE)
+        assert mutated is not None and mutated != self.LINE
+        assert mutated.endswith("\n")
+        assert decode_record(mutated) is None
+
+    def test_garbage_is_not_picklable_framing(self):
+        # The constant must never accidentally decode: the coordinator's
+        # protocol-error path is what the injection exists to exercise.
+        import pickle
+
+        with pytest.raises(Exception):
+            pickle.loads(GARBAGE)

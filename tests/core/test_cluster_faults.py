@@ -11,6 +11,7 @@ Hooks must be module-level functions (they are pickled into workers
 under the spawn start method).
 """
 
+import multiprocessing
 import os
 import time
 
@@ -18,6 +19,7 @@ import pytest
 
 from repro.core.cluster import ProcessParallelEngine
 from repro.core.machine import MachineEngine
+from repro.core.supervisor import SupervisorPolicy
 from repro.workloads.nqueens import nqueens_asm
 
 
@@ -52,6 +54,10 @@ def _stall_first_attempt(task):
 def _crash_always(task):
     if task.prefix == _POISON:
         os._exit(1)
+
+
+def _crash_every_task(task):
+    os._exit(1)
 
 
 class TestWorkerCrash:
@@ -108,3 +114,115 @@ class TestTaskTimeout:
         assert result.exhausted
         assert result.stats.extra["task_timeouts"] >= 1
         assert result.stats.extra["tasks_retried"] >= 1
+
+    def test_timeout_is_not_also_counted_as_crash(self):
+        """One stalled worker is one timeout, not a timeout plus a crash.
+
+        The timeout sweep terminates the worker itself; the dead process
+        must not be re-detected by the crash sweep and double-counted
+        (which would also burn a second retry for the same failure).
+        """
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            task_timeout=1.0,
+            max_task_retries=2,
+            fault_hook=_stall_first_attempt,
+        )
+        result = engine.run(nqueens_asm(5))
+        assert result.stats.extra["task_timeouts"] == 1
+        assert result.stats.extra["worker_crashes"] == 0
+
+
+class TestSupervision:
+    def test_poisonous_task_is_quarantined_with_evidence(self, sequential_5):
+        """The circuit breaker beats retry exhaustion when kills span
+        enough distinct workers."""
+        engine = ProcessParallelEngine(
+            workers=2,
+            batch_size=1,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=5,  # generous: poisoning must win first
+            fault_hook=_crash_always,
+            supervisor=SupervisorPolicy(
+                poison_threshold=2, backoff_base=0.01, max_slot_failures=10,
+            ),
+        )
+        result = engine.run(nqueens_asm(5))
+        assert not result.exhausted
+        assert result.stop_reason == "tasks_poisoned"
+        assert result.stats.extra["tasks_poisoned"] == 1
+        assert result.stats.extra["tasks_dropped"] == 0
+        [entry] = result.stats.extra["poisoned_tasks"]
+        assert tuple(entry["task"]["prefix"]) == _POISON
+        workers_blamed = {e["worker"] for e in entry["evidence"]}
+        assert len(workers_blamed) >= 2
+        # Everything outside the quarantined subtree is still found.
+        found = solution_set(result)
+        expected = [
+            s for s in solution_set(sequential_5) if s[0][:2] != _POISON
+        ]
+        assert found == expected
+
+    def test_respawned_workers_keep_the_run_going(self, sequential_5):
+        # A single worker slot: after the injected crash the run can
+        # only finish if the supervisor respawns into that slot.
+        engine = ProcessParallelEngine(
+            workers=1,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+            supervisor=SupervisorPolicy(backoff_base=0.01),
+        )
+        result = engine.run(nqueens_asm(5))
+        assert solution_set(result) == solution_set(sequential_5)
+        assert result.stats.extra["respawns"] >= 1
+
+    def test_pool_collapse_degrades_to_in_process(self, sequential_5):
+        """Every worker dies on every task: the pool collapses, and the
+        coordinator finishes the whole frontier in-process — losing
+        throughput, not solutions."""
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=5,
+            fault_hook=_crash_every_task,
+            supervisor=SupervisorPolicy(max_slot_failures=1),
+        )
+        result = engine.run(nqueens_asm(5))
+        assert result.stats.extra["degraded"] is True
+        assert solution_set(result) == solution_set(sequential_5)
+        assert result.exhausted
+
+
+class TestNoZombies:
+    def test_no_live_children_after_faulted_run(self):
+        """Shutdown escalation reaps every worker, even after crashes."""
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+            supervisor=SupervisorPolicy(backoff_base=0.01),
+        )
+        engine.run(nqueens_asm(5))
+        # active_children() also reaps finished processes; anything
+        # still alive here survived the escalation chain.
+        assert multiprocessing.active_children() == []
+
+    def test_no_live_children_after_degraded_run(self):
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=5,
+            fault_hook=_crash_every_task,
+            supervisor=SupervisorPolicy(max_slot_failures=1),
+        )
+        engine.run(nqueens_asm(5))
+        assert multiprocessing.active_children() == []

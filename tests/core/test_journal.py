@@ -1,0 +1,325 @@
+"""The write-ahead run journal: encoding, durability, recovery.
+
+These tests drive :mod:`repro.core.journal` directly — no worker
+processes — so every corruption scenario (torn tail, interior bit rot,
+missing header) is constructed byte-exactly and the recovery semantics
+are pinned down in isolation.  The end-to-end crash/resume behaviour is
+covered in ``test_resume.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import JournalError, ResumeMismatchError
+from repro.core.journal import (
+    JOURNAL_VERSION,
+    JournalWriter,
+    RecoveredRun,
+    check_resume,
+    decode_record,
+    encode_record,
+    program_digest,
+    recover,
+    scan,
+)
+from repro.cpu.assembler import assemble
+from repro.obs.registry import MetricsRegistry
+from repro.search.shard import PrefixTask
+from repro.workloads.nqueens import nqueens_asm
+
+
+def _write(path, *appends, fsync="off", **writer_kwargs):
+    with JournalWriter(str(path), fsync=fsync, **writer_kwargs) as journal:
+        for rtype, fields in appends:
+            journal.append(rtype, **fields)
+
+
+def _header(root=None, **extra):
+    fields = {
+        "version": JOURNAL_VERSION,
+        "program": "d" * 64,
+        "root": (root or PrefixTask()).to_record(),
+    }
+    fields.update(extra)
+    return ("run_begin", fields)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        record = {"epoch": 3, "type": "dispatch", "task": {"prefix": [1, 2]}}
+        line = encode_record(record)
+        assert line.endswith("\n")
+        decoded = decode_record(line)
+        assert decoded == record
+
+    def test_any_mutation_is_detected(self):
+        line = encode_record({"epoch": 0, "type": "complete", "n": 41})
+        body = line.rstrip("\n")
+        for pos in range(len(body)):
+            flipped = chr(ord(body[pos]) ^ 0x01)
+            mutated = body[:pos] + flipped + body[pos + 1:]
+            assert decode_record(mutated) is None, f"mutation at {pos} passed"
+
+    def test_rejects_non_records(self):
+        assert decode_record("not json") is None
+        assert decode_record("[1,2,3]") is None
+        assert decode_record('{"epoch":0,"type":"x"}') is None  # no crc
+        valid = encode_record({"epoch": 0, "type": "x"})
+        record = json.loads(valid)
+        record["crc"] = "42"  # wrong type
+        assert decode_record(json.dumps(record)) is None
+
+
+class TestWriter:
+    def test_epochs_are_monotonic(self, tmp_path):
+        path = tmp_path / "j"
+        with JournalWriter(str(path), fsync="off") as journal:
+            assert journal.append("a") == 0
+            assert journal.append("b") == 1
+            assert journal.epoch == 2
+        records, skipped, torn, _ = scan(str(path))
+        assert [r["epoch"] for r in records] == [0, 1]
+        assert skipped == torn == 0
+
+    def test_start_epoch_continues_lineage(self, tmp_path):
+        path = tmp_path / "j"
+        _write(path, ("a", {}))
+        with JournalWriter(str(path), fsync="off", start_epoch=7,
+                           truncate_to=path.stat().st_size) as journal:
+            assert journal.append("b") == 7
+        records, _, _, _ = scan(str(path))
+        assert [r["epoch"] for r in records] == [0, 7]
+
+    def test_truncate_chops_torn_tail(self, tmp_path):
+        path = tmp_path / "j"
+        _write(path, ("a", {}))
+        valid = path.stat().st_size
+        with open(path, "a") as fh:
+            fh.write('{"torn": tr')  # partial write, no newline
+        with JournalWriter(str(path), fsync="off", start_epoch=1,
+                           truncate_to=valid) as journal:
+            journal.append("b")
+        records, skipped, torn, _ = scan(str(path))
+        assert [r["type"] for r in records] == ["a", "b"]
+        assert skipped == torn == 0  # the torn bytes are gone
+
+    def test_fsync_policies(self, tmp_path):
+        with pytest.raises(JournalError):
+            JournalWriter(str(tmp_path / "j"), fsync="sometimes")
+        reg = MetricsRegistry("t")
+        with JournalWriter(str(tmp_path / "a"), fsync="always",
+                           registry=reg) as journal:
+            journal.append("x")
+            journal.append("x")
+        assert reg.counter("journal.records").value == 2
+        assert reg.counter("journal.fsyncs").value >= 2
+        reg2 = MetricsRegistry("t2")
+        with JournalWriter(str(tmp_path / "b"), fsync="batch",
+                           batch_records=2, registry=reg2) as journal:
+            journal.append("x")
+            assert reg2.counter("journal.fsyncs").value == 0
+            journal.append("x")
+            assert reg2.counter("journal.fsyncs").value == 1
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JournalWriter(str(tmp_path / "j"), fsync="off")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError):
+            journal.append("x")
+
+
+class TestScan:
+    def test_interior_corruption_vs_torn_tail(self, tmp_path):
+        path = tmp_path / "j"
+        lines = [
+            encode_record({"epoch": 0, "type": "a"}),
+            "garbage interior line\n",
+            encode_record({"epoch": 1, "type": "b"}),
+            '{"epoch": 2, "type": "c", "cr',  # torn tail
+        ]
+        path.write_text("".join(lines))
+        records, skipped, torn, valid_bytes = scan(str(path))
+        assert [r["type"] for r in records] == ["a", "b"]
+        assert skipped == 1
+        assert torn == 1
+        # valid_bytes points just past record "b": a resume writing
+        # there leaves no corrupt byte ahead of new records.
+        assert path.read_text()[:valid_bytes].endswith(lines[2])
+
+    def test_multi_line_torn_tail(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_text(
+            encode_record({"epoch": 0, "type": "a"}) + "junk\nmore junk"
+        )
+        records, skipped, torn, _ = scan(str(path))
+        assert len(records) == 1
+        assert skipped == 0
+        assert torn == 2
+
+
+class TestRecover:
+    def test_missing_or_headerless(self, tmp_path):
+        with pytest.raises(JournalError):
+            recover(str(tmp_path / "nope"))
+        bad = tmp_path / "headerless"
+        _write(bad, ("dispatch", {"task": PrefixTask().to_record()}))
+        with pytest.raises(JournalError):
+            recover(str(bad))
+
+    def test_pending_is_known_minus_completed_minus_poisoned(self, tmp_path):
+        path = tmp_path / "j"
+        t1 = PrefixTask(prefix=(0,), fanouts=(4,))
+        t2 = PrefixTask(prefix=(1,), fanouts=(4,))
+        t3 = PrefixTask(prefix=(2,), fanouts=(4,))
+        _write(
+            path,
+            _header(),
+            ("dispatch", {"task": PrefixTask().to_record(), "worker": 0}),
+            ("complete", {"task": PrefixTask().to_record(),
+                          "solutions": [],
+                          "spilled": [t1.to_record(), t2.to_record(),
+                                      t3.to_record()]}),
+            ("dispatch", {"task": t1.to_record(), "worker": 1}),
+            ("complete", {"task": t1.to_record(),
+                          "solutions": [[[0, 3], 0, "ok\n"]],
+                          "spilled": []}),
+            ("poisoned", {"task": t2.to_record(),
+                          "evidence": [{"kind": "crash", "worker": 4}]}),
+        )
+        out = recover(str(path))
+        assert not out.finished
+        assert [t.prefix for t in out.pending] == [(2,)]
+        assert out.completed_keys == {(), (0,)}
+        assert out.solutions == [((0, 3), 0, "ok\n")]
+        assert [(t.prefix, e) for t, e in out.poisoned] == [
+            ((1,), [{"kind": "crash", "worker": 4}])
+        ]
+
+    def test_latest_dispatch_attempt_wins(self, tmp_path):
+        path = tmp_path / "j"
+        task = PrefixTask(prefix=(0,), fanouts=(4,))
+        _write(
+            path,
+            _header(),
+            ("dispatch", {"task": task.to_record(), "worker": 0}),
+            ("dispatch", {"task": task.retried().to_record(), "worker": 1}),
+        )
+        out = recover(str(path))
+        by_key = {t.key(): t for t in out.pending}
+        assert by_key[(0,)].attempt == 1
+
+    def test_dropped_tasks_re_pend_on_resume(self, tmp_path):
+        path = tmp_path / "j"
+        task = PrefixTask(prefix=(0,), fanouts=(4,), attempt=2)
+        _write(
+            path,
+            _header(),
+            ("drop", {"task": task.to_record()}),
+        )
+        out = recover(str(path))
+        # A drop exhausted its retries against the *old* pool; resume
+        # re-pends it for one fresh chance.
+        assert (0,) in {t.key() for t in out.pending}
+        assert [t.prefix for t in out.dropped] == [(0,)]
+
+    def test_finished_run(self, tmp_path):
+        path = tmp_path / "j"
+        _write(
+            path,
+            _header(),
+            ("complete", {"task": PrefixTask().to_record(),
+                          "solutions": [], "spilled": []}),
+            ("run_end", {"stop_reason": None, "exhausted": True,
+                         "solutions": 0}),
+        )
+        out = recover(str(path))
+        assert out.finished
+        assert out.run_end["exhausted"] is True
+        assert out.pending == []
+
+    def test_corrupt_complete_reopens_the_task(self, tmp_path):
+        """Bit rot on a complete record re-pends its task — and only it."""
+        path = tmp_path / "j"
+        t1 = PrefixTask(prefix=(0,), fanouts=(4,))
+        _write(
+            path,
+            _header(),
+            ("dispatch", {"task": t1.to_record(), "worker": 0}),
+            ("complete", {"task": t1.to_record(),
+                          "solutions": [[[0, 1], 0, ""]], "spilled": []}),
+            ("dispatch", {"task": PrefixTask().to_record(), "worker": 1}),
+        )
+        lines = path.read_text().splitlines(keepends=True)
+        corrupt = lines[2].replace('"complete"', '"cOmplete"', 1)
+        path.write_text("".join(lines[:2] + [corrupt] + lines[3:]))
+        out = recover(str(path))
+        assert out.skipped == 1
+        assert {t.key() for t in out.pending} == {(0,), ()}
+        assert out.solutions == []  # corrupted record's solutions are gone
+
+
+class TestResumeGate:
+    def test_digest_covers_the_loaded_image(self):
+        p4 = assemble(nqueens_asm(4))
+        p5 = assemble(nqueens_asm(5))
+        assert program_digest(p4) == program_digest(p4)
+        assert program_digest(p4) != program_digest(p5)
+
+    def _recovered(self, **header):
+        base = {"program": "d" * 64, "nondet_sites": None}
+        base.update(header)
+        return RecoveredRun(path="j", header=base)
+
+    def test_digest_mismatch_refused(self):
+        with pytest.raises(ResumeMismatchError) as err:
+            check_resume(self._recovered(), "e" * 64, None)
+        assert err.value.field == "program digest"
+
+    def test_site_mismatch_refused(self):
+        recovered = self._recovered(nondet_sites=[[16, "ND001"]])
+        check_resume(recovered, "d" * 64, ((16, "ND001"),))  # match: ok
+        check_resume(recovered, "d" * 64, None)  # verify off now: ok
+        with pytest.raises(ResumeMismatchError):
+            check_resume(recovered, "d" * 64, ())
+
+
+class TestInspectCli:
+    def test_inspect_reports_interrupted_run(self, tmp_path, capsys):
+        from repro.tools import journal as journal_cli
+
+        path = tmp_path / "j"
+        t1 = PrefixTask(prefix=(0,), fanouts=(4,))
+        _write(
+            path,
+            _header(),
+            ("dispatch", {"task": t1.to_record(), "worker": 0}),
+            ("poisoned", {"task": t1.to_record(),
+                          "evidence": [{"kind": "crash", "worker": 1,
+                                        "slot": 0, "detail": ""}]}),
+        )
+        assert journal_cli.main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run interrupted" in out
+        assert "POISONED [0]" in out
+
+    def test_inspect_flags_corruption_via_exit_code(self, tmp_path, capsys):
+        from repro.tools import journal as journal_cli
+
+        path = tmp_path / "j"
+        _write(path, _header())
+        with open(path, "a") as fh:
+            fh.write('{"torn')
+        assert journal_cli.main(["inspect", str(path)]) == 1
+        assert "CORRUPTION" in capsys.readouterr().out
+        report = None
+        assert journal_cli.main(["inspect", str(path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["torn"] == 1
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        from repro.tools import journal as journal_cli
+
+        assert journal_cli.main(["inspect", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

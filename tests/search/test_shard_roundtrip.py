@@ -1,0 +1,96 @@
+"""Property tests: PrefixTask journal serialization round-trips exactly.
+
+Resume correctness rests on ``from_record(to_record(t)) == t`` holding
+for *every* task the engine can construct — a task that drifts through
+the journal would replay the wrong subtree.  Hypothesis searches the
+space; a JSON encode/decode leg is included because journal records
+pass through ``json.dumps``/``loads``, not just Python dicts.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.journal import decode_record, encode_record
+from repro.search.shard import PrefixTask, TaskFrontier
+
+# Depths and fan-outs beyond anything the engine produces in practice,
+# but bounded so shrinking stays readable.
+_paths = st.integers(min_value=0, max_value=32).flatmap(
+    lambda depth: st.tuples(
+        st.tuples(*[st.integers(0, 63)] * depth),
+        st.tuples(*[st.integers(1, 64)] * depth),
+    )
+)
+
+tasks = st.builds(
+    lambda path_fanouts, hint, attempt, span: PrefixTask(
+        prefix=path_fanouts[0], fanouts=path_fanouts[1],
+        hint=hint, attempt=attempt, span=span,
+    ),
+    _paths,
+    st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    st.integers(min_value=0, max_value=10),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+)
+
+
+class TestTaskRoundTrip:
+    @given(task=tasks)
+    def test_record_roundtrip_is_exact(self, task):
+        assert PrefixTask.from_record(task.to_record()) == task
+
+    @given(task=tasks)
+    def test_roundtrip_through_json(self, task):
+        wire = json.loads(json.dumps(task.to_record()))
+        rebuilt = PrefixTask.from_record(wire)
+        assert rebuilt == task
+        assert rebuilt.key() == task.key()
+        assert rebuilt.depth == task.depth
+
+    @given(task=tasks)
+    def test_roundtrip_through_journal_record(self, task):
+        line = encode_record(
+            {"epoch": 0, "type": "dispatch", "task": task.to_record()}
+        )
+        record = decode_record(line)
+        assert record is not None
+        assert PrefixTask.from_record(record["task"]) == task
+
+    @given(task=tasks, bumps=st.integers(min_value=1, max_value=5))
+    def test_retry_bumps_survive_serialization(self, task, bumps):
+        for _ in range(bumps):
+            task = task.retried()
+        rebuilt = PrefixTask.from_record(task.to_record())
+        assert rebuilt.attempt == task.attempt
+        assert rebuilt.key() == task.key()
+
+    @given(task=tasks)
+    def test_minimal_records_get_defaults(self, task):
+        # A journal written by a minimal producer (or an older version)
+        # may omit optional fields; recovery must still build a task.
+        slim = {"prefix": list(task.prefix), "fanouts": list(task.fanouts)}
+        rebuilt = PrefixTask.from_record(slim)
+        assert rebuilt.key() == task.key()
+        assert rebuilt.attempt == 0
+        assert rebuilt.hint is None and rebuilt.span is None
+
+
+class TestFrontierRebuild:
+    @settings(max_examples=50)
+    @given(batch=st.lists(tasks, max_size=20), order=st.sampled_from(
+        ["dfs", "bfs"]
+    ))
+    def test_rebuilt_frontier_drains_identically(self, batch, order):
+        """A frontier rebuilt from journal records replays the original's
+        exact drain order — resume does not reshuffle the search."""
+        original = TaskFrontier(order=order)
+        original.extend(batch)
+        rebuilt = TaskFrontier(order=order)
+        rebuilt.extend(
+            PrefixTask.from_record(t.to_record()) for t in batch
+        )
+        while original:
+            assert rebuilt.pop() == original.pop()
+        assert not rebuilt
