@@ -31,7 +31,9 @@ from repro.mem.layout import DEFAULT_STACK_PAGES, HEAP_BASE
 _SIGNED_MAX = 1 << 63
 
 #: Lint families whose presence voids the determinism certificate.
-_NONDET_LINTS = frozenset({"DT001", "DT002", "DT003", "DT004", "CF001"})
+_NONDET_LINTS = frozenset(
+    {"DT001", "DT002", "DT003", "DT004", "DT005", "DT006", "CF001"}
+)
 
 _CacheKey = tuple[bytes, bytes, int, int, int, int, int]
 
@@ -294,6 +296,18 @@ class _Linter:
                     "DT002", pc,
                     "sys_open depends on host filesystem state at "
                     "replay time",
+                )
+            elif fact.number == sysno.SYS_TIME:
+                self.add(
+                    "DT005", pc,
+                    "sys_time reads the host wall clock; replayed "
+                    "extensions observe different timestamps",
+                )
+            elif fact.number == sysno.SYS_GETRANDOM:
+                self.add(
+                    "DT006", pc,
+                    "sys_getrandom draws host entropy; replayed "
+                    "extensions observe different bytes",
                 )
             elif fact.number not in sysno.SYSCALL_NAMES:
                 self.add(

@@ -96,6 +96,12 @@ _SPECS = [
     LintSpec("DT004", "unresolved-syscall-number", Severity.WARNING,
              "rax at a syscall site is not a static constant; the "
              "analyzer cannot prove the call is replay-safe."),
+    LintSpec("DT005", "nondet-clock-read", Severity.WARNING,
+             "sys_time reads the host wall clock; re-executions observe "
+             "different timestamps unless a recorder interposes."),
+    LintSpec("DT006", "nondet-random-read", Severity.WARNING,
+             "sys_getrandom draws host entropy; re-executions observe "
+             "different bytes unless a recorder interposes."),
 ]
 
 #: lint id -> spec.

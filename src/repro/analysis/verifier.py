@@ -29,14 +29,26 @@ from repro.mem.layout import DEFAULT_STACK_PAGES
 # of the analysis API.
 __all__ = [
     "VERIFY_MODES",
+    "RECORDABLE_LINTS",
     "GuestVerificationWarning",
     "VerificationError",
     "nondet_sites",
+    "recordable",
     "strict_failure",
     "verify_program",
 ]
 
 VERIFY_MODES = ("off", "warn", "strict")
+
+#: Nondeterminism classes the record/replay recorder can neutralise:
+#: console input (DT001), clock reads (DT005) and entropy reads (DT006)
+#: are all *value* nondeterminism at an interposed syscall, so recording
+#: the outcome makes re-execution exact.  The rest stay fatal for
+#: sharding even in record mode — DT002 (host-fs open) has side effects
+#: beyond a return value, DT003 (uninterposed syscall) never reaches the
+#: recorder, and DT004 (unresolved syscall number) cannot be classified
+#: at all.
+RECORDABLE_LINTS = frozenset({"DT001", "DT005", "DT006"})
 
 
 class GuestVerificationWarning(UserWarning):
@@ -52,8 +64,29 @@ def nondet_sites(report: AnalysisReport) -> tuple[tuple[int, str], ...]:
     return report.certificate.nondet_sites
 
 
-def strict_failure(report: AnalysisReport) -> str | None:
-    """Why strict mode refuses *report*'s program, or None if it passes."""
+def recordable(report: AnalysisReport) -> bool:
+    """Whether record/replay covers every nondeterminism site.
+
+    True when the program is uncertified *only* because of
+    :data:`RECORDABLE_LINTS` findings — such a guest becomes effectively
+    deterministic (and hence shardable/resumable) once a recorder
+    interposes on those sites.  A certified program trivially qualifies.
+    """
+    sites = report.certificate.nondet_sites
+    if report.certificate.certified:
+        return True
+    return bool(sites) and all(lid in RECORDABLE_LINTS for _, lid in sites)
+
+
+def strict_failure(
+    report: AnalysisReport, *, allow_recordable: bool = False
+) -> str | None:
+    """Why strict mode refuses *report*'s program, or None if it passes.
+
+    With ``allow_recordable`` (set when a record/replay recorder is
+    active), a missing determinism certificate is forgiven when every
+    nondet site is recordable; error-severity findings still refuse.
+    """
     problems: list[str] = []
     if report.errors:
         first = report.errors[0]
@@ -61,12 +94,20 @@ def strict_failure(report: AnalysisReport) -> str | None:
             f"{len(report.errors)} error-severity finding(s), first: "
             f"{first.lint_id} at {first.pc:#x}: {first.message}"
         )
-    if not report.certificate.certified:
+    if not report.certificate.certified and not (
+        allow_recordable and recordable(report)
+    ):
         reasons = report.certificate.reasons
         shown = "; ".join(reasons[:3])
         if len(reasons) > 3:
             shown += f"; ... ({len(reasons) - 3} more)"
-        problems.append(f"not certified deterministic: {shown}")
+        hint = ""
+        if not allow_recordable and recordable(report):
+            hint = (
+                " (every nondet site is recordable: --replay-mode=record "
+                "would make this program shardable)"
+            )
+        problems.append(f"not certified deterministic: {shown}{hint}")
     if not problems:
         return None
     return (
@@ -85,12 +126,15 @@ def verify_program(
     *,
     stack_pages: int = DEFAULT_STACK_PAGES,
     bss_pages: int = 16,
+    replay_mode: str = "off",
 ) -> AnalysisReport | None:
     """Gate *program* behind verification *mode*.
 
     Returns the analysis report (None when mode is ``"off"``).  Raises
     :class:`~repro.core.errors.VerificationError` in strict mode when
-    the program has errors or lacks the determinism certificate.
+    the program has errors or lacks the determinism certificate — unless
+    *replay_mode* is active and the certificate fails only on
+    :data:`RECORDABLE_LINTS` sites, which the recorder neutralises.
     """
     if mode not in VERIFY_MODES:
         raise ValueError(
@@ -102,7 +146,9 @@ def verify_program(
         program, stack_pages=stack_pages, bss_pages=bss_pages
     )
     if mode == "strict":
-        failure = strict_failure(report)
+        failure = strict_failure(
+            report, allow_recordable=replay_mode in ("record", "strict")
+        )
         if failure is not None:
             raise VerificationError(failure, report=report)
     elif report.errors or report.warnings:

@@ -41,6 +41,7 @@ from multiprocessing import connection as mp_connection
 from typing import Callable, Optional, Union
 
 from repro.core.errors import GuessError, ReplayDivergenceError
+from repro.core.recorder import NondetLog, Recorder
 from repro.core.journal import (
     JOURNAL_VERSION,
     FSYNC_POLICIES,
@@ -124,6 +125,16 @@ class ClusterConfig:
     #: cite the matching verdict when a replayed prefix diverges at
     #: runtime.
     nondet_sites: Optional[tuple[tuple[int, str], ...]] = None
+    #: Record/replay mode (``"off"``, ``"record"``, ``"strict"``).  When
+    #: active, every worker owns a :class:`~repro.core.recorder.Recorder`
+    #: over a worker-lifetime log: the coordinator ships the recorded
+    #: events relevant to each task batch, workers replay them during
+    #: rehydration and subtree exploration, and freshly recorded events
+    #: ride back with the task result.
+    replay_mode: str = "off"
+    #: Scripted stdin bytes for guests that read fd 0 (each worker gets
+    #: its own :class:`~repro.libos.console.InputSource` over them).
+    input_script: Optional[bytes] = None
 
 
 # ----------------------------------------------------------------------
@@ -179,10 +190,23 @@ class _SubtreeWorker:
     registry sound).
     """
 
-    def __init__(self, program: Program, config: ClusterConfig):
+    def __init__(self, program: Program, config: ClusterConfig,
+                 replay_log: Optional[NondetLog] = None):
         self.program = program
         self.config = config
-        self.libos = LibOS()
+        input_source = None
+        if config.input_script is not None:
+            from repro.libos.console import InputSource
+
+            input_source = InputSource(config.input_script)
+        self.libos = LibOS(input=input_source)
+        if config.replay_mode != "off":
+            self.recorder: Optional[Recorder] = Recorder(
+                config.replay_mode, log=replay_log
+            )
+        else:
+            self.recorder = None
+        self.libos.dispatcher.nondet = self.recorder
         self.pool = FramePool()
         self.registry = MetricsRegistry("cluster-worker")
         self.manager = SnapshotManager(self.pool, registry=self.registry)
@@ -237,6 +261,10 @@ class _SubtreeWorker:
 
         state, regs = self.libos.load(self.program, self.pool)
         self.vcpu.regs.load(regs.frozen())
+        if self.recorder is not None:
+            # Rehydration restarts at the root segment; nondet events
+            # recorded along the prefix replay under their original keys.
+            self.recorder.begin_segment(())
         self.stats.evaluations += 1
         pending = _Pending(state, task.prefix, task.fanouts, None)
 
@@ -374,6 +402,8 @@ class _SubtreeWorker:
                         self.vcpu.regs.rax = prefix[pos]
                         pending.replay_pos = pos + 1
                         self.stats.replayed_decisions += 1
+                        if self.recorder is not None:
+                            self.recorder.begin_segment(prefix[:pos + 1])
                         replaying = pending.replay_pos < len(prefix)
                         continue
                     handle_guess(action, pending)
@@ -443,6 +473,8 @@ class _SubtreeWorker:
             regs2, space, files = self.manager.restore(cand.snapshot)
             self.vcpu.regs.load(regs2)
             self.vcpu.regs.rax = ext.number
+            if self.recorder is not None:
+                self.recorder.begin_segment(cand.path + (ext.number,))
             run_pending(
                 _Pending(
                     ExecState(space, files, cand.console.fork_cow()),
@@ -493,7 +525,9 @@ def _worker_main(worker_id: int, conn, program: Program,
             msg = conn.recv()
             if msg is None:
                 break
-            batch, solutions_budget = msg
+            batch, solutions_budget, shipped_events = msg
+            if worker.recorder is not None and shipped_events:
+                worker.recorder.log.merge(shipped_events)
             for task in batch:
                 if config.fault_hook is not None:
                     config.fault_hook(task)
@@ -525,11 +559,15 @@ def _worker_main(worker_id: int, conn, program: Program,
                 state = worker.registry.state_dict()
                 worker.registry.reset()
                 segment = collector.drain() if collector is not None else None
+                fresh_events = (
+                    worker.recorder.drain_fresh()
+                    if worker.recorder is not None else []
+                )
                 if config.pipe_hook is not None:
                     config.pipe_hook(conn, task)
                 conn.send(
                     ("task", worker_id, task.key(), solutions, spilled, state,
-                     segment)
+                     segment, fresh_events)
                 )
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away or shut us down hard
@@ -633,6 +671,23 @@ class ProcessParallelEngine:
         injection seams (worker fault hook, result-pipe hook, journal
         writer hook).  An explicitly passed *fault_hook* keeps
         precedence over the plan's worker faults.
+    replay_mode:
+        Record/replay of nondeterministic syscall outcomes: ``"off"``
+        (default), ``"record"`` (record fresh outcomes, replay known
+        ones) or ``"strict"`` (replay only).  In record mode an
+        uncertified guest whose only nondeterminism is recordable
+        (console input, clock, entropy — see
+        :data:`repro.analysis.verifier.RECORDABLE_LINTS`) passes the
+        strict verification gate, because the recorder makes its
+        re-executions exact.  Recorded events are journaled (when a
+        journal is configured) and the coordinator's merged log is
+        exposed as :attr:`replay_log` after the run.
+    replay_log:
+        A :class:`~repro.core.recorder.NondetLog` of previously
+        recorded events to seed the run with (e.g. recorded by a
+        sequential engine, or loaded from a ``--replay-log`` file).
+    input_script:
+        Scripted stdin bytes for guests that read fd 0.
     """
 
     def __init__(
@@ -656,6 +711,9 @@ class ProcessParallelEngine:
         min_workers: int = 1,
         supervisor: Optional[SupervisorPolicy] = None,
         chaos=None,
+        replay_mode: str = "off",
+        replay_log: Optional[NondetLog] = None,
+        input_script: Optional[bytes] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -665,6 +723,13 @@ class ProcessParallelEngine:
             raise ValueError(
                 f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
             )
+        if replay_mode not in ("off", "record", "strict"):
+            raise ValueError(
+                f"replay_mode must be 'off', 'record' or 'strict', "
+                f"got {replay_mode!r}"
+            )
+        if replay_log is not None and replay_mode == "off":
+            raise ValueError("replay_log requires replay_mode != 'off'")
         if resume and journal is None:
             raise ValueError("resume=True requires a journal path")
         if fsync not in FSYNC_POLICIES:
@@ -685,6 +750,14 @@ class ProcessParallelEngine:
         self.resume = resume
         self.fsync = fsync
         self.chaos = chaos
+        self.replay_mode = replay_mode
+        #: After :meth:`run`: the merged nondet-event log of the whole
+        #: run (seed events + everything workers recorded); None when
+        #: replay is off.
+        self.replay_log = (
+            replay_log.copy() if replay_log is not None
+            else (NondetLog() if replay_mode != "off" else None)
+        )
         self.supervisor_policy = (
             supervisor if supervisor is not None
             else SupervisorPolicy(min_workers=min_workers)
@@ -698,6 +771,8 @@ class ProcessParallelEngine:
             task_step_budget=task_step_budget,
             fault_hook=fault_hook,
             pipe_hook=chaos.pipe_hook if chaos is not None else None,
+            replay_mode=replay_mode,
+            input_script=input_script,
         )
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -714,7 +789,9 @@ class ProcessParallelEngine:
         if self.verify != "off":
             from repro.analysis.verifier import nondet_sites, verify_program
 
-            self.last_report = verify_program(program, self.verify)
+            self.last_report = verify_program(
+                program, self.verify, replay_mode=self.replay_mode
+            )
             sites = nondet_sites(self.last_report)
         self.registry.reset()
         stats = SearchStats(registry=self.registry)
@@ -772,9 +849,14 @@ class ProcessParallelEngine:
         jhook = self.chaos.journal_hook if self.chaos is not None else None
         sup = WorkerSupervisor(self.num_workers, self.supervisor_policy)
 
+        nlog = self.replay_log  # coordinator's merged nondet-event log
+
         if self.resume:
             recovered = recover(self.journal_path)
-            check_resume(recovered, digest, sites)
+            check_resume(recovered, digest, sites,
+                         replay_mode=self.replay_mode)
+            if nlog is not None and recovered.nondet_events:
+                nlog.merge_records(recovered.nondet_events)
             journal = JournalWriter(
                 self.journal_path, fsync=self.fsync,
                 start_epoch=recovered.last_epoch + 1,
@@ -812,6 +894,7 @@ class ProcessParallelEngine:
                     task_step_budget=self.config.task_step_budget,
                     max_steps=self.config.max_steps_per_extension,
                     max_solutions=self.max_solutions,
+                    replay_mode=self.replay_mode,
                     certified=(None if sites is None else not sites),
                     nondet_sites=(
                         None if sites is None
@@ -838,6 +921,31 @@ class ProcessParallelEngine:
                 [list(path), status, text]
                 for path, status, text in task_solutions
             ]
+
+        def batch_events(batch) -> list:
+            """Recorded events every task in *batch* may replay through."""
+            if nlog is None:
+                return []
+            picked: dict = {}
+            for task in batch:
+                for event in nlog.events_for_task(task.prefix):
+                    picked[event.key()] = event
+            return list(picked.values())
+
+        def absorb_events(fresh_events) -> None:
+            """Merge worker-recorded events and make them durable.
+
+            The ``nondet`` record must land *before* the task's
+            ``complete`` record: if the completion is later lost, the
+            re-explored subtree replays these events and reproduces the
+            durable solutions instead of re-rolling them.
+            """
+            if nlog is None or not fresh_events:
+                return
+            nlog.merge(fresh_events)
+            journal_append(
+                "nondet", events=[e.to_record() for e in fresh_events]
+            )
 
         def push_tasks(tasks) -> None:
             for task in tasks:
@@ -924,7 +1032,10 @@ class ProcessParallelEngine:
                 run_config, fault_hook=None, pipe_hook=None,
                 collect_trace=False,
             )
-            local = _SubtreeWorker(program, local_config)
+            # The in-process worker records straight into the
+            # coordinator's log; drained fresh events are journaled the
+            # same way a remote worker's shipped events are.
+            local = _SubtreeWorker(program, local_config, replay_log=nlog)
             while frontier:
                 if (
                     self.max_solutions is not None
@@ -958,6 +1069,13 @@ class ProcessParallelEngine:
                 c_done.inc()
                 c_spilled.inc(len(spilled))
                 push_tasks(spilled)
+                if local.recorder is not None:
+                    fresh = local.recorder.drain_fresh()
+                    if fresh:  # already merged: it records into nlog
+                        journal_append(
+                            "nondet",
+                            events=[e.to_record() for e in fresh],
+                        )
                 journal_append(
                     "complete", task=task.to_record(),
                     solutions=solutions_payload(task_solutions),
@@ -1013,7 +1131,8 @@ class ProcessParallelEngine:
                     handle.pending = list(batch)
                     handle.last_progress = time.monotonic()
                     try:
-                        handle.conn.send((batch, remaining))
+                        handle.conn.send((batch, remaining,
+                                          batch_events(batch)))
                     except (OSError, ValueError):
                         fail_worker(slot, handle, "crash",
                                     "dispatch pipe closed")
@@ -1073,15 +1192,25 @@ class ProcessParallelEngine:
                         not isinstance(msg, tuple)
                         or len(msg) < 3
                         or msg[0] not in ("task", "error")
-                        or (msg[0] == "task" and len(msg) != 7)
+                        or (msg[0] == "task" and len(msg) != 8)
                     ):
                         c_proto.inc()
                         fail_worker(slot, handle, "crash",
                                     f"malformed result message {msg!r}"[:200])
                         continue
                     if msg[0] == "error":
+                        if str(msg[2]).startswith(
+                            "ReplayDivergenceError:"
+                        ):
+                            # Surface a worker's replay divergence as
+                            # itself: callers catch the typed error the
+                            # same way whichever engine detected it.
+                            raise ReplayDivergenceError(
+                                f"worker {msg[1]}: {msg[2]}"
+                            )
                         raise WorkerError(msg[1], msg[2])
-                    _kind, _wid, key, task_solutions, spilled, state, segment = msg
+                    (_kind, _wid, key, task_solutions, spilled, state,
+                     segment, fresh_events) = msg
                     handle.last_progress = now
                     completed: Optional[PrefixTask] = None
                     for i, task in enumerate(handle.pending):
@@ -1093,6 +1222,7 @@ class ProcessParallelEngine:
                     c_spilled.inc(len(spilled))
                     reg.merge_state(state)
                     push_tasks(spilled)
+                    absorb_events(fresh_events)
                     journal_append(
                         "complete",
                         task=(
@@ -1208,6 +1338,12 @@ class ProcessParallelEngine:
             "snapshots_restored": reg.counter("snapshot.restored").value,
             "frames_copied": reg.counter("mem.frames_copied").value,
         })
+        if nlog is not None:
+            stats.extra.update({
+                "replay_mode": self.replay_mode,
+                "nondet_events": len(nlog),
+                "nondet_conflicts": nlog.conflicts,
+            })
         if self.journal_path is not None:
             stats.extra.update({
                 "journal": self.journal_path,

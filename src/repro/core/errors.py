@@ -98,6 +98,24 @@ class ReplayDivergenceError(GuessError):
         super().__init__("; ".join(details))
 
 
+class InputExhaustedError(SearchError):
+    """An input source ran dry while the consumer still needed data.
+
+    Raised by :class:`repro.libos.console.InputSource` (``on_exhausted=
+    "error"``) when a guest reads past the scripted stdin, and by
+    :class:`repro.core.interactive.InteractiveSearch` when the driver
+    feeds a sequence number with no pending extension — both are the
+    same shape of bug (the consumer asked for input nobody supplied) and
+    both used to surface as raw ``KeyError``/silence.
+    """
+
+    def __init__(self, message: str, *, consumed: int | None = None):
+        self.consumed = consumed
+        if consumed is not None:
+            message = f"{message} (after {consumed} item(s) consumed)"
+        super().__init__(message)
+
+
 class BudgetExceeded(SearchError):
     """An exploration budget (evaluations, solutions, depth) was hit.
 

@@ -117,7 +117,12 @@ class InteractiveSearch:
         return views
 
     def run(self, seq: int) -> StepOutcome:
-        """Evaluate the pending extension with sequence number *seq*."""
+        """Evaluate the pending extension with sequence number *seq*.
+
+        Raises :class:`~repro.core.errors.InputExhaustedError` when
+        *seq* names no pending extension (already evaluated, or never
+        existed); the session stays usable afterwards.
+        """
         if self._closed:
             raise RuntimeError("search session is closed")
         before = {p.seq for p in self.pending()}

@@ -18,7 +18,7 @@ Append-only JSONL.  Each record is one canonically encoded JSON object
   resume: a resumed run continues numbering where the journal left off,
   so the epoch is a total order over the whole run *lineage*.
 * ``type`` — ``run_begin``, ``resume``, ``dispatch``, ``complete``,
-  ``solution``, ``poisoned``, ``drop``, ``run_end``.
+  ``solution``, ``nondet``, ``poisoned``, ``drop``, ``run_end``.
 * ``crc`` — CRC32 of the record's canonical encoding without the
   ``crc`` field.  Detects torn writes and bit rot on recovery.
 
@@ -48,7 +48,14 @@ corrupt interior records (counted, surfaced — same semantics as
 * the **completed-key set** — a resumed run that re-explores a subtree
   whose ``complete`` record was corrupted will re-spill children that
   already completed; the engine filters re-spills against this set so
-  their solutions are never double-counted.
+  their solutions are never double-counted;
+* the **nondet-event log** — under record/replay
+  (:mod:`repro.core.recorder`) each task's freshly recorded
+  nondeterministic outcomes land in a ``nondet`` record *before* the
+  task's ``complete`` record, so a resumed run replays exactly the
+  outcomes the durable solutions were computed from.  (The ordering
+  matters: a surviving ``nondet`` whose ``complete`` was lost makes the
+  re-explored subtree reproduce, not re-roll, its solutions.)
 """
 
 from __future__ import annotations
@@ -289,6 +296,9 @@ class RecoveredRun:
     solutions: list[tuple] = field(default_factory=list)
     poisoned: list[tuple] = field(default_factory=list)
     dropped: list[PrefixTask] = field(default_factory=list)
+    #: Recorded nondet events (record dicts) in journal order; the
+    #: resuming engine merges them into its replay log.
+    nondet_events: list[dict] = field(default_factory=list)
     run_end: Optional[dict] = None
     #: Per-type record counts (for the inspect CLI).
     counts: dict = field(default_factory=dict)
@@ -373,6 +383,9 @@ def recover(path: str) -> RecoveredRun:
                 task = PrefixTask.from_record(spill)
                 known.setdefault(task.key(), task)
             continue
+        if rtype == "nondet":
+            out.nondet_events.extend(record.get("events", []))
+            continue
         if rtype == "poisoned":
             task = PrefixTask.from_record(record["task"])
             known.setdefault(task.key(), task)
@@ -430,7 +443,8 @@ def program_digest(program) -> str:
 
 
 def check_resume(recovered: RecoveredRun, digest: str,
-                 nondet_sites: Optional[tuple]) -> None:
+                 nondet_sites: Optional[tuple],
+                 replay_mode: Optional[str] = None) -> None:
     """Refuse to resume a journal that belongs to a different run.
 
     The digest must match exactly.  The analyzer certificate state is
@@ -438,6 +452,9 @@ def check_resume(recovered: RecoveredRun, digest: str,
     ``verify="off"`` (``certified`` null) accepts any current state, and
     vice versa — but a *recorded* certificate that contradicts the
     *current* analysis means the analyzer (or program) changed under us.
+    The replay mode is compared the same way: resuming a recorded run
+    with replay off would re-roll the journaled nondet outcomes and
+    break the solution-multiset guarantee, so the engine refuses.
     """
     header = recovered.header or {}
     recorded = header.get("program")
@@ -450,3 +467,10 @@ def check_resume(recovered: RecoveredRun, digest: str,
             raise ResumeMismatchError(
                 "analyzer nondeterminism sites", recorded_sites, current
             )
+    recorded_mode = header.get("replay_mode")
+    if (
+        recorded_mode is not None
+        and replay_mode is not None
+        and (recorded_mode == "off") != (replay_mode == "off")
+    ):
+        raise ResumeMismatchError("replay mode", recorded_mode, replay_mode)

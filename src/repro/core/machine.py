@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.errors import GuessError
+from repro.core.recorder import NondetLog, Recorder
 from repro.core.result import SearchResult, SearchStats, Solution
 from repro.core.sysno import STRATEGY_IDS
 from repro.cpu.assembler import Program, assemble
@@ -107,7 +108,23 @@ class MachineEngine:
         ``"off"`` (default, pre-verifier behaviour), ``"warn"``
         (analyze, warn on findings, run anyway) or ``"strict"``
         (refuse programs with error-severity findings or without the
-        determinism certificate).
+        determinism certificate — unless record/replay covers the
+        nondeterminism, see ``replay_mode``).
+    replay_mode:
+        ``"off"`` (default), ``"record"`` (record nondeterministic
+        syscall outcomes on first execution, replay recorded ones) or
+        ``"strict"`` (replay only; missing events raise
+        :class:`~repro.core.errors.ReplayDivergenceError`).
+    replay_log:
+        A :class:`~repro.core.recorder.NondetLog` of previously recorded
+        events to replay from (and, in record mode, add to).
+    recorder:
+        An externally owned :class:`~repro.core.recorder.Recorder` to
+        use instead of building one — how cluster workers share one
+        recorder across the engines they drive.  Overrides
+        ``replay_mode``/``replay_log``.
+    input:
+        Scripted stdin for guests that read fd 0 (passed to the libOS).
     """
 
     def __init__(
@@ -122,12 +139,30 @@ class MachineEngine:
         pool_limit: Optional[int] = None,
         snapshot_mode: str = "cow",
         verify: str = "off",
+        replay_mode: str = "off",
+        replay_log: Optional[NondetLog] = None,
+        recorder: Optional[Recorder] = None,
+        input=None,
     ):
         if verify not in ("off", "warn", "strict"):
             raise ValueError(
                 f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
             )
         self.verify = verify
+        if replay_mode not in ("off", "record", "strict"):
+            raise ValueError(
+                f"replay_mode must be 'off', 'record' or 'strict', "
+                f"got {replay_mode!r}"
+            )
+        if recorder is not None:
+            self.recorder: Optional[Recorder] = recorder
+            self.replay_mode = recorder.mode
+        elif replay_mode != "off":
+            self.recorder = Recorder(replay_mode, log=replay_log)
+            self.replay_mode = replay_mode
+        else:
+            self.recorder = None
+            self.replay_mode = "off"
         #: Analysis report of the last verified guest (None under "off").
         self.last_report = None
         if isinstance(strategy, Strategy):
@@ -144,7 +179,8 @@ class MachineEngine:
             )
         else:
             self._strategy = get_strategy(strategy)
-        self.libos = LibOS(policy=policy, hostfs=hostfs)
+        self.libos = LibOS(policy=policy, hostfs=hostfs, input=input)
+        self.libos.dispatcher.nondet = self.recorder
         self.max_steps_per_extension = max_steps_per_extension
         self.max_evaluations = max_evaluations
         self.max_solutions = max_solutions
@@ -188,7 +224,9 @@ class MachineEngine:
         if self.verify != "off":
             from repro.analysis.verifier import verify_program
 
-            self.last_report = verify_program(program, self.verify)
+            self.last_report = verify_program(
+                program, self.verify, replay_mode=self.replay_mode
+            )
         stats = SearchStats(registry=self.registry)
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
@@ -197,6 +235,8 @@ class MachineEngine:
 
         state, regs = self.libos.load(program, self.pool)
         self.vcpu.regs.load(regs.frozen())
+        if self.recorder is not None:
+            self.recorder.begin_segment(())
         stats.evaluations += 1
         self._run_pending(_Pending(state, (), None), stats, solutions)
 
@@ -314,8 +354,11 @@ class MachineEngine:
         regs, space, files = self.manager.restore(cand.snapshot)
         self.vcpu.regs.load(regs)
         self.vcpu.regs.rax = ext.number
+        path = cand.path + (ext.number,)
+        if self.recorder is not None:
+            self.recorder.begin_segment(path)
         state = ExecState(space, files, cand.console.fork_cow())
-        return _Pending(state, cand.path + (ext.number,), cand)
+        return _Pending(state, path, cand)
 
     def _handle_guess(self, action: GuessAction, pending: _Pending,
                       stats: SearchStats) -> str:
@@ -396,7 +439,16 @@ class MachineEngine:
     def _machine_stats(self) -> dict:
         """Cost counters from every layer, for benches and EXPERIMENTS.md."""
         vmcs = self.vcpu.vmcs
+        replay = (
+            {
+                "nondet_recorded": self.recorder.recorded,
+                "nondet_replayed": self.recorder.replayed,
+            }
+            if self.recorder is not None
+            else {}
+        )
         return {
+            **replay,
             "vm_exits": vmcs.exits,
             "vm_exit_counts": {
                 reason.value: count for reason, count in vmcs.exit_counts.items()

@@ -16,6 +16,12 @@ benchmarks E3/E6 measure the two against each other.
 
 Guests must be deterministic given the same guess outcomes; the engine
 verifies fan-outs on replay and raises :class:`GuessError` on divergence.
+Python callables have no syscall boundary to interpose, so the
+record/replay layer for nondeterministic guests (``repro.core.recorder``,
+wired into the machine engines — see ``docs/REPLAY.md``) does not apply
+here: a Python guest that reads the clock or draws entropy between
+guesses is outside this engine's contract, and the fan-out check above
+is what turns the resulting divergence into a loud, typed error.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.errors import GuessError, ReplayDivergenceError
+from repro.core.recorder import NondetLog, Recorder
 from repro.core.result import SearchResult, SearchStats, Solution
 from repro.cpu.assembler import Program, assemble
 from repro.interpose.policy import InterpositionPolicy
@@ -59,12 +60,28 @@ class ReplayMachineEngine:
         max_steps_per_path: int = 5_000_000,
         max_evaluations: Optional[int] = None,
         max_solutions: Optional[int] = None,
+        replay_mode: str = "off",
+        replay_log: Optional[NondetLog] = None,
+        recorder: Optional[Recorder] = None,
+        input=None,
     ):
         if isinstance(strategy, Strategy):
             self._strategy = strategy
         else:
             self._strategy = get_strategy(strategy)
-        self.libos = LibOS(policy=policy, hostfs=hostfs)
+        if replay_mode not in ("off", "record", "strict"):
+            raise ValueError(
+                f"replay_mode must be 'off', 'record' or 'strict', "
+                f"got {replay_mode!r}"
+            )
+        if recorder is not None:
+            self.recorder: Optional[Recorder] = recorder
+        elif replay_mode != "off":
+            self.recorder = Recorder(replay_mode, log=replay_log)
+        else:
+            self.recorder = None
+        self.libos = LibOS(policy=policy, hostfs=hostfs, input=input)
+        self.libos.dispatcher.nondet = self.recorder
         self.max_steps_per_path = max_steps_per_path
         self.max_evaluations = max_evaluations
         self.max_solutions = max_solutions
@@ -87,6 +104,10 @@ class ReplayMachineEngine:
             self.vcpu.attach(state.space)
             position = 0
             steps = 0
+            if self.recorder is not None:
+                # Re-execution restarts at the root segment; recorded
+                # events along the prefix replay under their original keys.
+                self.recorder.begin_segment(())
             try:
                 while True:
                     budget = self.max_steps_per_path - steps
@@ -116,6 +137,8 @@ class ReplayMachineEngine:
                             self.vcpu.regs.rax = prefix[position]
                             position += 1
                             stats.replayed_decisions += 1
+                            if self.recorder is not None:
+                                self.recorder.begin_segment(prefix[:position])
                             continue
                         if action.n == 0:
                             stats.fails += 1
@@ -179,6 +202,9 @@ class ReplayMachineEngine:
         stats.peak_frontier = self._strategy.stats.peak_frontier
         stats.extra["guest_instructions"] = self.vcpu.vmcs.guest_instructions
         stats.extra["vm_exits"] = self.vcpu.vmcs.exits
+        if self.recorder is not None:
+            stats.extra["nondet_recorded"] = self.recorder.recorded
+            stats.extra["nondet_replayed"] = self.recorder.replayed
         return SearchResult(
             solutions=solutions,
             stats=stats,

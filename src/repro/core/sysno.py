@@ -16,6 +16,11 @@ SYS_MMAP = 9
 SYS_MUNMAP = 11
 SYS_BRK = 12
 SYS_EXIT = 60
+#: Nondeterministic host services (Linux numbering).  Interposed by the
+#: libOS and routed through the record/replay recorder when one is
+#: attached; without a recorder they read the live host clock/entropy.
+SYS_TIME = 201          # clock_gettime-ish: wall-clock ns in rax
+SYS_GETRANDOM = 318     # fills rdi..rdi+rsi with entropy
 
 # New system calls introduced by the paper (§3.1).
 SYS_GUESS = 0x1000
@@ -36,6 +41,8 @@ SYSCALL_NAMES = {
     SYS_MUNMAP: "munmap",
     SYS_BRK: "brk",
     SYS_EXIT: "exit",
+    SYS_TIME: "time",
+    SYS_GETRANDOM: "getrandom",
     SYS_GUESS: "guess",
     SYS_GUESS_FAIL: "guess_fail",
     SYS_GUESS_STRATEGY: "guess_strategy",

@@ -56,17 +56,21 @@ class LibOS:
         design point.
     hostfs:
         Backing files visible to guests via ``open``.
+    input:
+        Scripted stdin (:class:`repro.libos.console.InputSource`) for
+        guests that read fd 0; without one those reads return EOF.
     """
 
     def __init__(
         self,
         policy: Optional[InterpositionPolicy] = None,
         hostfs: Optional[HostFS] = None,
+        input=None,
     ):
         self.policy = policy if policy is not None else SoundMinimalPolicy()
         self.hostfs = hostfs if hostfs is not None else HostFS()
         self.audit = AuditLog()
-        self.dispatcher = SyscallDispatcher(self.policy)
+        self.dispatcher = SyscallDispatcher(self.policy, input=input)
         #: Page faults the libOS saw escape the COW layer (hard faults).
         self.hard_faults = 0
 

@@ -19,11 +19,20 @@ close              3      rdi=fd
 lseek              8      rdi=fd, rsi=off, rdx=whence
 brk                12     rdi=new break (0 queries) -> rax=break
 exit               60     rdi=status (never returns)
+time               201    -> rax=wall-clock nanoseconds
+getrandom          318    rdi=buf, rsi=len -> rax=len or -errno
 sys_guess          0x1000 rdi=n -> rax=extension number
 sys_guess_fail     0x1001 never returns
 sys_guess_strategy 0x1002 rdi=strategy id -> rax=1
 sys_guess_hint     0x1003 rdi=n, rsi=ptr to n signed i64 hints
 =================  =====  ==========================================
+
+``time``, ``getrandom`` and ``read(0, ...)`` are the libOS's
+nondeterministic surface.  When a :class:`repro.core.recorder.Recorder`
+is attached (``dispatcher.nondet``) their outcomes are routed through it
+— recorded on first execution, replayed on every re-execution — which is
+what lets nondeterministic guests shard and resume (docs/REPLAY.md).
+Without a recorder they read the live host clock/entropy/input source.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core import sysno
+from repro.core.recorder import live_random, live_time_ns
 from repro.core.sysno import STRATEGY_NAMES, syscall_name
 from repro.obs import events as _events
 from repro.obs.trace import TRACER as _TRACER
@@ -107,10 +117,20 @@ _CONTINUE = ContinueAction()
 class SyscallDispatcher:
     """Decodes and services guest system calls for one libOS instance."""
 
-    def __init__(self, policy: InterpositionPolicy):
+    #: Longest getrandom request the libOS will service in one call.
+    MAX_GETRANDOM = 4096
+
+    def __init__(self, policy: InterpositionPolicy, input=None):
         self.policy = policy
         #: Per-call counts for the F2 accounting benchmark.
         self.counts: dict[int, int] = {}
+        #: Scripted stdin (:class:`repro.libos.console.InputSource`) or
+        #: None; fd-0 reads return EOF without one.
+        self.input = input
+        #: Attached :class:`repro.core.recorder.Recorder`, or None for
+        #: replay-mode "off".  Set by the engine, not the libOS.
+        self.nondet = None
+        self._pc: Optional[int] = None
 
     def dispatch(
         self,
@@ -122,6 +142,7 @@ class SyscallDispatcher:
         """Service the syscall encoded in the vCPU's registers."""
         regs = vcpu.regs
         number = regs.rax
+        self._pc = regs.rip
         self.counts[number] = self.counts.get(number, 0) + 1
         if _TRACER.enabled:
             _TRACER.emit(
@@ -155,6 +176,10 @@ class SyscallDispatcher:
             return self._munmap(regs, space, files)
         if number == sysno.SYS_EXIT:
             return ExitAction(status=_signed(regs.rdi))
+        if number == sysno.SYS_TIME:
+            return self._time(regs)
+        if number == sysno.SYS_GETRANDOM:
+            return self._getrandom(regs, space)
         if number == sysno.SYS_GUESS:
             return GuessAction(n=regs.rdi)
         if number == sysno.SYS_GUESS_FAIL:
@@ -195,8 +220,17 @@ class SyscallDispatcher:
 
     def _read(self, regs, space, files) -> Action:
         fd, buf, length = regs.rdi, regs.rsi, regs.rdx
-        if fd in (0, 1, 2):
-            regs.rax = 0  # no interactive stdin in a search extension
+        if fd == 0:
+            data = self._nondet(
+                "input", lambda: self.input.read(length)
+                if self.input is not None else b""
+            )
+            if data:
+                space.write(buf, data[:length])
+            regs.rax = min(len(data), length)
+            return _CONTINUE
+        if fd in (1, 2):
+            regs.rax = 0  # reading the output console makes no sense
             return _CONTINUE
         result = files.read(fd, length)
         if isinstance(result, int):
@@ -205,6 +239,27 @@ class SyscallDispatcher:
             space.write(buf, result)
             regs.rax = len(result)
         return _CONTINUE
+
+    def _time(self, regs) -> Action:
+        payload = self._nondet("time", live_time_ns)
+        regs.rax = int.from_bytes(payload[:8], "little")
+        return _CONTINUE
+
+    def _getrandom(self, regs, space) -> Action:
+        buf, length = regs.rdi, regs.rsi
+        if length == 0 or length > self.MAX_GETRANDOM:
+            regs.rax = -_EINVAL_ & ((1 << 64) - 1)
+            return _CONTINUE
+        payload = self._nondet("random", lambda: live_random(length))
+        space.write(buf, payload[:length])
+        regs.rax = min(len(payload), length)
+        return _CONTINUE
+
+    def _nondet(self, kind, generate) -> bytes:
+        """Resolve a nondeterministic outcome, via the recorder if any."""
+        if self.nondet is not None:
+            return self.nondet.intercept(kind, self._pc, generate)
+        return generate()
 
     def _open(self, regs, space, files) -> Action:
         path = space.read_cstr(regs.rdi).decode("utf-8", errors="replace")

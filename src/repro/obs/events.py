@@ -47,6 +47,12 @@ MEM_PAGE_ALLOC = "mem.page_alloc"
 # -- libOS -------------------------------------------------------------
 LIBOS_SYSCALL = "libos.syscall"
 
+# -- record/replay of nondeterministic events --------------------------
+#: A nondeterministic syscall outcome was recorded (``replayed`` False)
+#: or served from the log (``replayed`` True).  ``nseq`` is the event's
+#: per-segment sequence number (``seq`` is the tracer's own counter).
+REPLAY_EVENT = "replay.event"
+
 # -- search engine -----------------------------------------------------
 SEARCH_GUESS = "search.guess"
 SEARCH_FAIL = "search.fail"
@@ -103,6 +109,7 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     MEM_COW_FAULT: ("asid", "vpn", "kind"),
     MEM_PAGE_ALLOC: ("asid", "pages", "kind"),
     LIBOS_SYSCALL: ("nr", "name"),
+    REPLAY_EVENT: ("kind", "replayed", "path", "nseq"),
     SEARCH_GUESS: ("n", "depth"),
     SEARCH_FAIL: ("depth",),
     SEARCH_SOLUTION: ("depth", "path"),

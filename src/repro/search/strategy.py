@@ -351,8 +351,23 @@ class ExternalStrategy(Strategy):
         self.pending[ext.seq] = ext
 
     def select(self, seq: int) -> None:
-        """Schedule the pending extension with sequence number *seq*."""
-        ext = self.pending.pop(seq)
+        """Schedule the pending extension with sequence number *seq*.
+
+        Raises :class:`~repro.core.errors.InputExhaustedError` when no
+        extension with that sequence number is pending — it was already
+        scheduled, or never existed.  (The controller fed a selection
+        the search cannot consume; the session stays usable.)
+        """
+        try:
+            ext = self.pending.pop(seq)
+        except KeyError:
+            from repro.core.errors import InputExhaustedError
+
+            raise InputExhaustedError(
+                f"no pending extension with sequence number {seq}: it "
+                "was already scheduled or never existed; pending "
+                f"sequence numbers are {sorted(self.pending)}"
+            ) from None
         self._run_queue.append(ext)
 
     def select_all(self) -> None:

@@ -49,8 +49,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of seeds to sweep (default: 20)")
     parser.add_argument("--seed-base", type=int, default=0,
                         help="first seed (default: 0)")
+    parser.add_argument("--workload",
+                        choices=["nqueens", "nqueens-random", "stdin-sum"],
+                        default="nqueens",
+                        help="guest under test: nqueens is deterministic; "
+                        "nqueens-random draws per-column entropy and "
+                        "stdin-sum consumes scripted console input — both "
+                        "are first recorded sequentially and the sweep "
+                        "replays the log under --replay-mode=strict, so "
+                        "faults must not perturb even nondeterministic "
+                        "runs (default: nqueens)")
     parser.add_argument("--n", type=int, default=6,
-                        help="N-queens instance size (default: 6)")
+                        help="instance size: board size for the n-queens "
+                        "workloads, tree depth for stdin-sum (default: 6)")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--crash-rate", type=float, default=0.2)
     parser.add_argument("--stall-rate", type=float, default=0.05)
@@ -73,7 +84,10 @@ def _solution_multiset(result):
     return sorted((s.path, s.value) for s in result.solutions)
 
 
-def _engine(args, **kwargs) -> ProcessParallelEngine:
+def _engine(args, replay_log=None, **kwargs) -> ProcessParallelEngine:
+    if replay_log is not None:
+        kwargs.update(replay_mode="strict", replay_log=replay_log,
+                      verify="warn")
     return ProcessParallelEngine(
         workers=args.workers,
         task_step_budget=3000,
@@ -83,7 +97,58 @@ def _engine(args, **kwargs) -> ProcessParallelEngine:
     )
 
 
-def run_seed(args, seed: int, guest, baseline, journal_dir) -> dict:
+def _build_workload(args):
+    """Resolve --workload: returns (guest, baseline multiset, replay log).
+
+    The nondeterministic workloads are recorded once on the sequential
+    engine; that run's solutions are the sweep baseline and its nondet
+    log seeds every chaos run, which then replays under strict mode.
+    """
+    if args.workload == "nqueens":
+        if args.n not in KNOWN_SOLUTION_COUNTS:
+            raise SystemExit(f"error: no known solution count for n={args.n}")
+        guest = nqueens_asm(args.n)
+        baseline = _solution_multiset(_engine(args).run(guest))
+        if len(baseline) != KNOWN_SOLUTION_COUNTS[args.n]:
+            raise SystemExit(
+                f"error: fault-free baseline found {len(baseline)} "
+                f"solutions, expected {KNOWN_SOLUTION_COUNTS[args.n]}"
+            )
+        return guest, baseline, None
+
+    import warnings
+
+    from repro.core.machine import MachineEngine
+    from repro.workloads.nqueens import nqueens_randomized_asm
+    from repro.workloads.synthetic import stdin_sum_asm
+
+    if args.workload == "nqueens-random":
+        if args.n not in KNOWN_SOLUTION_COUNTS:
+            raise SystemExit(f"error: no known solution count for n={args.n}")
+        guest, expected = nqueens_randomized_asm(args.n), \
+            KNOWN_SOLUTION_COUNTS[args.n]
+        recorder_kwargs = {}
+    else:
+        guest, expected = stdin_sum_asm(args.n), 2 ** args.n
+        from repro.libos.console import InputSource
+
+        recorder_kwargs = {"input": InputSource(b"chaos sweep input")}
+    seq = MachineEngine(replay_mode="record", verify="warn",
+                        **recorder_kwargs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the DT lint is the point here
+        result = seq.run(guest)
+    baseline = _solution_multiset(result)
+    if len(baseline) != expected:
+        raise SystemExit(
+            f"error: recording baseline found {len(baseline)} solutions, "
+            f"expected {expected}"
+        )
+    return guest, baseline, seq.recorder.log
+
+
+def run_seed(args, seed: int, guest, baseline, journal_dir,
+             replay_log=None) -> dict:
     """One sweep iteration; returns its report row."""
     plan = FaultPlan(
         seed=seed,
@@ -99,18 +164,28 @@ def run_seed(args, seed: int, guest, baseline, journal_dir) -> dict:
         if (args.kill or args.journal_dir) else None
     )
     started = time.monotonic()
-    engine = _engine(args, chaos=plan, journal=journal)
-    try:
-        result = engine.run(guest)
-        row["killed"] = False
-    except CoordinatorKilled:
-        row["killed"] = True
-        resumed = _engine(
-            args, chaos=plan.sterile(), journal=journal, resume=True,
-        )
-        result = resumed.run(guest)
-        row["resume_pending"] = result.stats.extra["resume_pending"]
-        row["resume_solutions"] = result.stats.extra["resume_solutions"]
+    import contextlib
+    import warnings
+
+    quiet = warnings.catch_warnings() if replay_log is not None \
+        else contextlib.nullcontext()
+    engine = _engine(args, chaos=plan, journal=journal,
+                     replay_log=replay_log)
+    with quiet:
+        if replay_log is not None:
+            warnings.simplefilter("ignore")
+        try:
+            result = engine.run(guest)
+            row["killed"] = False
+        except CoordinatorKilled:
+            row["killed"] = True
+            resumed = _engine(
+                args, chaos=plan.sterile(), journal=journal, resume=True,
+                replay_log=replay_log,
+            )
+            result = resumed.run(guest)
+            row["resume_pending"] = result.stats.extra["resume_pending"]
+            row["resume_solutions"] = result.stats.extra["resume_solutions"]
     row["elapsed_s"] = round(time.monotonic() - started, 3)
     extra = result.stats.extra
     row.update({
@@ -128,20 +203,10 @@ def run_seed(args, seed: int, guest, baseline, journal_dir) -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.n not in KNOWN_SOLUTION_COUNTS:
-        print(f"error: no known solution count for n={args.n}",
-              file=sys.stderr)
-        return 2
-    guest = nqueens_asm(args.n)
-
-    baseline_result = _engine(args).run(guest)
-    baseline = _solution_multiset(baseline_result)
-    if len(baseline) != KNOWN_SOLUTION_COUNTS[args.n]:
-        print(
-            f"error: fault-free baseline found {len(baseline)} solutions, "
-            f"expected {KNOWN_SOLUTION_COUNTS[args.n]}",
-            file=sys.stderr,
-        )
+    try:
+        guest, baseline, replay_log = _build_workload(args)
+    except SystemExit as err:
+        print(err, file=sys.stderr)
         return 2
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -149,13 +214,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.journal_dir:
             os.makedirs(args.journal_dir, exist_ok=True)
         rows = [
-            run_seed(args, args.seed_base + i, guest, baseline, journal_dir)
+            run_seed(args, args.seed_base + i, guest, baseline, journal_dir,
+                     replay_log=replay_log)
             for i in range(args.seeds)
         ]
 
     failures = [row for row in rows if not row["ok"]]
     report = {
         "n": args.n,
+        "workload": args.workload,
         "expected_solutions": len(baseline),
         "seeds": args.seeds,
         "kill_mode": args.kill,

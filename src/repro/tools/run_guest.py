@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "runs anyway; strict refuses programs with errors "
                         "or without the determinism certificate; off skips "
                         "analysis entirely")
+    parser.add_argument("--replay-mode", choices=["off", "record", "strict"],
+                        default="off",
+                        help="record/replay of nondeterministic syscall "
+                        "outcomes (time, getrandom, console reads): record "
+                        "logs first-execution outcomes and replays known "
+                        "ones, making nondeterministic guests shardable "
+                        "and resumable; strict replays only and fails "
+                        "loudly on divergence (see docs/REPLAY.md)")
+    parser.add_argument("--replay-log", metavar="PATH", default=None,
+                        help="nondet-event log file: loaded before the run "
+                        "when it exists (required by --replay-mode=strict), "
+                        "written after a completed --replay-mode=record run")
+    parser.add_argument("--input", metavar="PATH", default=None,
+                        help="file whose bytes are the guest's scripted "
+                        "stdin (fd 0)")
     parser.add_argument("--max-solutions", type=int, default=None)
     parser.add_argument("--max-steps", type=int, default=5_000_000,
                         help="instruction budget per extension step")
@@ -113,6 +128,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"assembly error: {err}", file=sys.stderr)
         return 2
 
+    from repro.core.errors import ReplayDivergenceError
+    from repro.core.journal import program_digest
+    from repro.core.recorder import NondetLog
+
+    if args.replay_mode == "strict" and not args.replay_log:
+        print("error: --replay-mode=strict requires --replay-log",
+              file=sys.stderr)
+        return 2
+    if args.replay_mode == "off" and args.replay_log:
+        print("error: --replay-log requires --replay-mode=record|strict",
+              file=sys.stderr)
+        return 2
+    if args.replay_mode != "off" and args.engine == "parallel":
+        print("error: --replay-mode is not supported by the thread-"
+              "parallel engine (use snapshot, replay or process)",
+              file=sys.stderr)
+        return 2
+    digest = program_digest(program)
+    seed_log = None
+    if args.replay_log:
+        import os as _os
+
+        if args.replay_mode == "strict" or _os.path.exists(args.replay_log):
+            try:
+                seed_log = NondetLog.load(args.replay_log, program=digest)
+            except ReplayDivergenceError as err:
+                print(f"replay log refused: {err}", file=sys.stderr)
+                return 4
+
+    input_script = None
+    if args.input:
+        try:
+            with open(args.input, "rb") as handle:
+                input_script = handle.read()
+        except OSError as err:
+            print(f"error: cannot read {args.input}: {err}", file=sys.stderr)
+            return 2
+
     if args.verify != "off":
         # The gate lives here (not in each engine) so every engine choice
         # — including replay and thread-parallel, which take no verify
@@ -126,10 +179,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(report.render_human())
             print()
         if args.verify == "strict":
-            failure = strict_failure(report)
+            failure = strict_failure(
+                report, allow_recordable=args.replay_mode != "off"
+            )
             if failure is not None:
                 print(f"error: {failure}", file=sys.stderr)
                 return 2
+
+    def input_source():
+        if input_script is None:
+            return None
+        from repro.libos.console import InputSource
+
+        return InputSource(input_script)
 
     if args.engine == "snapshot":
         engine = MachineEngine(
@@ -137,6 +199,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             snapshot_mode=args.snapshot_mode,
             max_solutions=args.max_solutions,
             max_steps_per_extension=args.max_steps,
+            replay_mode=args.replay_mode,
+            replay_log=seed_log,
+            input=input_source(),
         )
     elif args.engine == "parallel":
         engine = ParallelMachineEngine(
@@ -175,12 +240,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fsync=args.fsync,
             min_workers=args.min_workers,
             chaos=chaos,
+            replay_mode=args.replay_mode,
+            replay_log=seed_log,
+            input_script=input_script,
         )
     else:
         engine = ReplayMachineEngine(
             strategy=args.strategy,
             max_solutions=args.max_solutions,
             max_steps_per_path=args.max_steps,
+            replay_mode=args.replay_mode,
+            replay_log=seed_log,
+            input=input_source(),
         )
 
     from repro.core.errors import CoordinatorKilled, ResumeMismatchError
@@ -200,6 +271,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ResumeMismatchError as err:
             print(f"resume refused: {err}", file=sys.stderr)
             return 2
+        except ReplayDivergenceError as err:
+            # Strict replay caught the guest deviating from the recorded
+            # execution (or the log was incomplete): fail loudly.
+            print(f"replay divergence: {err}", file=sys.stderr)
+            return 4
+    if args.replay_mode == "record" and args.replay_log:
+        final_log = getattr(engine, "replay_log", None)
+        if final_log is None and getattr(engine, "recorder", None) is not None:
+            final_log = engine.recorder.log
+        if final_log is not None:
+            written = final_log.save(args.replay_log, program=digest)
+            print(f"replay log: {written} event(s) written to "
+                  f"{args.replay_log}", file=sys.stderr)
     if args.obs_trace:
         print(f"trace written to {args.obs_trace}", file=sys.stderr)
     print(result.summary())

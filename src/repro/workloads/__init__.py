@@ -12,8 +12,10 @@ from repro.workloads.nqueens import (
     KNOWN_SOLUTION_COUNTS,
     nqueens_asm,
     nqueens_python,
+    nqueens_randomized_asm,
 )
 from repro.workloads.sudoku import sudoku_asm, sudoku_guest
+from repro.workloads.synthetic import stdin_sum_asm
 
 __all__ = [
     "KNOWN_SOLUTION_COUNTS",
@@ -21,6 +23,8 @@ __all__ = [
     "coloring_guest",
     "nqueens_asm",
     "nqueens_python",
+    "nqueens_randomized_asm",
+    "stdin_sum_asm",
     "subset_sum_asm",
     "subset_sum_guest",
     "sudoku_asm",

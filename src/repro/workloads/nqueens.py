@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.sysno import (
     STRATEGY_IDS,
     SYS_EXIT,
+    SYS_GETRANDOM,
     SYS_GUESS,
     SYS_GUESS_FAIL,
     SYS_GUESS_STRATEGY,
@@ -203,6 +204,125 @@ def nqueens_asm(
         mov   rdx, {n + 1}
         syscall
         {after_print}
+
+    fail:
+        mov   rax, {SYS_GUESS_FAIL:#x}  ; sys_guess_fail()
+        syscall
+    """
+
+
+def nqueens_randomized_asm(n: int) -> str:
+    """N-queens where the guess→row mapping is drawn from host entropy.
+
+    Before each column's guess the guest calls ``sys_getrandom`` for an
+    8-byte offset and places the queen at ``(guess + offset) % n``
+    instead of at ``guess`` directly.  The *set* of solved boards is
+    invariant — every permutation of row labels enumerates the same
+    boards — but which decision path prints which board depends on the
+    entropy drawn, so two runs only agree path-for-path when the nondet
+    events are recorded and replayed (``--replay-mode``).  That makes
+    this the canonical differential-test workload for the recorder: the
+    analyzer flags the ``sys_getrandom`` site (DT006, recordable), and
+    under record/replay the whole run is reproducible and shardable.
+    """
+    if not (1 <= n <= 10):
+        raise ValueError("n must be in 1..10 (single-digit board printing)")
+    return f"""
+    ; randomized n-queens: row = (guess + entropy) % N, N = {n}
+    .data
+    col:  .zero {n}
+    row:  .zero {n}
+    ld:   .zero {2 * n}
+    rd:   .zero {2 * n}
+    buf:  .zero {n + 1}
+    rnd:  .zero 8
+
+    .text
+    _start:
+        mov   rbx, 0                ; c = 0
+    col_loop:
+        cmp   rbx, {n}
+        jge   solved
+
+        mov   rax, {SYS_GETRANDOM}  ; rnd <- 8 bytes of entropy
+        mov   rdi, rnd
+        mov   rsi, 8
+        syscall
+        mov   r8, rnd
+        mov   r13, [r8]             ; offset = rnd % N
+        mov   r14, {n}
+        umod  r13, r14
+
+        mov   rax, {SYS_GUESS:#x}   ; g = sys_guess(N)
+        mov   rdi, {n}
+        syscall
+        add   rax, r13              ; r = (g + offset) % N
+        umod  rax, r14
+        mov   r12, rax
+
+        mov   r8, row               ; if (row[r]) fail
+        movb  r9, [r8 + r12]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r10, r12              ; if (ld[r+c]) fail
+        add   r10, rbx
+        mov   r8, ld
+        movb  r9, [r8 + r10]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r10, r12              ; if (rd[N+r-c]) fail
+        add   r10, {n}
+        sub   r10, rbx
+        mov   r8, rd
+        movb  r9, [r8 + r10]
+        cmp   r9, 0
+        jne   fail
+
+        mov   r8, col               ; col[c] = r
+        movb  [r8 + rbx], r12
+        mov   r11, rbx              ; row[r] = c + 1
+        inc   r11
+        mov   r8, row
+        movb  [r8 + r12], r11
+        mov   r11, 1
+        mov   r10, r12              ; ld[r+c] = 1
+        add   r10, rbx
+        mov   r8, ld
+        movb  [r8 + r10], r11
+        mov   r10, r12              ; rd[N+r-c] = 1
+        add   r10, {n}
+        sub   r10, rbx
+        mov   r8, rd
+        movb  [r8 + r10], r11
+
+        inc   rbx
+        jmp   col_loop
+
+    solved:                         ; printboard(N)
+        mov   rbx, 0
+        mov   r8, col
+        mov   r9, buf
+    print_loop:
+        cmp   rbx, {n}
+        jge   print_done
+        movb  r10, [r8 + rbx]
+        add   r10, '0'
+        movb  [r9 + rbx], r10
+        inc   rbx
+        jmp   print_loop
+    print_done:
+        mov   r10, 10               ; newline
+        movb  [r9 + {n}], r10
+        mov   rax, {SYS_WRITE}      ; write(1, buf, N+1)
+        mov   rdi, 1
+        mov   rsi, buf
+        mov   rdx, {n + 1}
+        syscall
+        mov   rax, {SYS_EXIT}
+        mov   rdi, 0
+        syscall
 
     fail:
         mov   rax, {SYS_GUESS_FAIL:#x}  ; sys_guess_fail()

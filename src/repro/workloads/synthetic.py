@@ -91,6 +91,59 @@ def synthetic_asm(depth: int, fanout: int, work: int, pages: int) -> str:
     """
 
 
+def stdin_sum_asm(depth: int) -> str:
+    """An interactive guest: some branches consume a byte of stdin.
+
+    At each of ``depth`` levels the guest guesses a bit; on 1 it reads
+    one byte from fd 0 and adds its value into an accumulator, and each
+    leaf exits with the accumulated sum.  The console stream is shared
+    search-wide, so *which* byte a branch receives depends on the order
+    branches execute — classic value nondeterminism (analyzer lint
+    DT001, recordable).  Under ``--replay-mode`` the byte each decision
+    path consumed is recorded at the path's key and replayed verbatim,
+    so sequential, sharded and resumed runs agree path-for-path.
+    Exhausted input reads return 0 bytes and add nothing.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    return f"""
+    ; stdin-sum: guess-gated console reads, depth = {depth}
+    .data
+    buf: .zero 1
+
+    .text
+    _start:
+        mov r15, 0              ; accumulated byte sum
+        mov r14, 0              ; level
+    level_loop:
+        cmp r14, {depth}
+        jge done
+        mov rax, {SYS_GUESS:#x}
+        mov rdi, 2
+        syscall
+        cmp rax, 0
+        je skip_read
+        mov rax, 0              ; read(0, buf, 1)
+        mov rdi, 0
+        mov rsi, buf
+        mov rdx, 1
+        syscall
+        cmp rax, 0              ; stream exhausted -> add nothing
+        je skip_read
+        mov r8, buf
+        movb r9, [r8]
+        add r15, r9
+    skip_read:
+        inc r14
+        jmp level_loop
+
+    done:
+        mov rdi, r15
+        mov rax, {SYS_EXIT}
+        syscall
+    """
+
+
 def scratch_region_size(pages: int) -> int:
     """Bytes of scratch the guest dirties (mapped by the caller)."""
     return max(pages, 1) * 4096

@@ -142,6 +142,32 @@ CORPUS = {
         """,
         "DT001", "input",
     ),
+    "reads-clock": (
+        f"""
+        .text
+        _start:
+        clock:
+            mov rax, 201
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "DT005", "clock",
+    ),
+    "draws-entropy": (
+        f"""
+        .data
+        buf: .zero 16
+        .text
+        _start:
+        entropy:
+            mov rax, 318
+            mov rdi, buf
+            mov rsi, 16
+            syscall
+        {EXIT_EPILOGUE}
+        """,
+        "DT006", "entropy",
+    ),
     "uninterposed-syscall": (
         f"""
         .text
@@ -210,3 +236,33 @@ def test_nondet_findings_void_certificate():
     report = analyze(assemble(source))
     assert not report.certificate.certified
     assert any(lid == "DT001" for _, lid in report.certificate.nondet_sites)
+
+
+@pytest.mark.parametrize("name,lint", [
+    ("reads-stdin", "DT001"), ("reads-clock", "DT005"),
+    ("draws-entropy", "DT006"),
+])
+def test_recordable_nondet_sites_void_certificate_but_allow_replay(
+    name, lint
+):
+    """The recordable trio voids the certificate yet stays shardable
+    under record/replay; host-fs and uninterposed findings do not."""
+    from repro.analysis.verifier import recordable, strict_failure
+
+    source, _, _ = CORPUS[name]
+    report = analyze(assemble(source))
+    assert not report.certificate.certified
+    assert any(lid == lint for _, lid in report.certificate.nondet_sites)
+    assert recordable(report)
+    assert strict_failure(report, allow_recordable=True) is None
+
+
+@pytest.mark.parametrize("name", ["uninterposed-syscall",
+                                  "unresolved-syscall"])
+def test_unrecordable_nondet_sites_refuse_even_under_replay(name):
+    from repro.analysis.verifier import recordable, strict_failure
+
+    source, _, _ = CORPUS[name]
+    report = analyze(assemble(source))
+    assert not recordable(report)
+    assert strict_failure(report, allow_recordable=True) is not None

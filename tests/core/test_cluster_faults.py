@@ -199,6 +199,91 @@ class TestSupervision:
         assert result.exhausted
 
 
+class TestNondetWorkloadFaults:
+    """Fault injection while the guest itself is nondeterministic.
+
+    The recorded log is the arbiter: whatever workers die, a strict
+    replay seeded with a fault-free recording must survive crashes,
+    retries, degraded mode — solution-for-solution, path-for-path.
+    """
+
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        import warnings
+
+        from repro.workloads.nqueens import nqueens_randomized_asm
+
+        guest = nqueens_randomized_asm(5)
+        engine = MachineEngine(replay_mode="record")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = engine.run(guest)
+        return guest, engine.recorder.log, solution_set(result)
+
+    def run_quiet(self, engine, guest):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return engine.run(guest)
+
+    def test_crashed_workers_cannot_perturb_replay(self, recorded):
+        guest, log, baseline = recorded
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+            verify="warn",
+            replay_mode="strict",
+            replay_log=log,
+        )
+        result = self.run_quiet(engine, guest)
+        assert solution_set(result) == baseline
+        assert result.stats.extra["worker_crashes"] >= 1
+        assert result.stats.extra["nondet_conflicts"] == 0
+
+    def test_degraded_replay_still_matches(self, recorded):
+        guest, log, baseline = recorded
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=5,
+            fault_hook=_crash_every_task,
+            supervisor=SupervisorPolicy(max_slot_failures=1),
+            verify="warn",
+            replay_mode="strict",
+            replay_log=log,
+        )
+        result = self.run_quiet(engine, guest)
+        assert result.stats.extra["degraded"] is True
+        assert solution_set(result) == baseline
+
+    def test_crashed_recording_run_stays_self_consistent(self, recorded):
+        """Record from scratch *while* workers crash: the merged log
+        must still reproduce the faulted run exactly — a retried task's
+        re-rolled entropy may only land where no durable solution
+        depends on the original draw."""
+        guest, _log, baseline = recorded
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+            verify="warn",
+            replay_mode="record",
+        )
+        result = self.run_quiet(engine, guest)
+        assert len(solution_set(result)) == len(baseline)
+        strict = MachineEngine(replay_mode="strict",
+                               replay_log=engine.replay_log)
+        replayed = self.run_quiet(strict, guest)
+        assert solution_set(replayed) == solution_set(result)
+
+
 class TestNoZombies:
     def test_no_live_children_after_faulted_run(self):
         """Shutdown escalation reaps every worker, even after crashes."""

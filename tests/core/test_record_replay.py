@@ -1,0 +1,250 @@
+"""Differential record/replay battery: every engine, one execution.
+
+The claim under test is the tentpole invariant: once a nondeterministic
+guest's event log is recorded, *every* way of running the program —
+sequential snapshot engine, re-executing replay engine, process-parallel
+sharding, killed-and-resumed from the journal — produces the identical
+solution multiset, path-for-path.  And the converse: a strict replay
+against a log with any event missing or altered must raise
+:class:`ReplayDivergenceError`, never silently drift.
+"""
+
+import warnings
+
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.core.cluster import ProcessParallelEngine
+from repro.core.errors import CoordinatorKilled, ReplayDivergenceError
+from repro.core.machine import MachineEngine
+from repro.core.recorder import NondetEvent, NondetLog
+from repro.core.replay_machine import ReplayMachineEngine
+from repro.libos.console import InputSource
+from repro.workloads.nqueens import (
+    KNOWN_SOLUTION_COUNTS,
+    boards_from_result,
+    is_valid_board,
+    nqueens_randomized_asm,
+)
+from repro.workloads.synthetic import stdin_sum_asm
+
+STDIN_SCRIPT = b"differential!"
+
+
+def multiset(result):
+    return sorted((s.path, s.value) for s in result.solutions)
+
+
+def run_quiet(engine, program):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the DT lint is the point here
+        return engine.run(program)
+
+
+class Recorded:
+    """A sequentially recorded reference run of one nondet workload."""
+
+    def __init__(self, source, input_bytes=None):
+        self.source = source
+        self.input_bytes = input_bytes
+        engine = MachineEngine(replay_mode="record", input=self.fresh_input())
+        self.result = run_quiet(engine, source)
+        self.log = engine.recorder.log
+        self.baseline = multiset(self.result)
+
+    def fresh_input(self):
+        return None if self.input_bytes is None else \
+            InputSource(self.input_bytes)
+
+
+@pytest.fixture(scope="module")
+def random_queens():
+    rec = Recorded(nqueens_randomized_asm(5))
+    boards = boards_from_result(rec.result)
+    assert len(boards) == KNOWN_SOLUTION_COUNTS[5]
+    assert all(is_valid_board(b) for b in boards)
+    return rec
+
+
+@pytest.fixture(scope="module")
+def stdin_sum():
+    rec = Recorded(stdin_sum_asm(4), input_bytes=STDIN_SCRIPT)
+    assert len(rec.baseline) == 2 ** 4
+    return rec
+
+
+@pytest.fixture(scope="module", params=["random_queens", "stdin_sum"])
+def workload(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestDifferential:
+    def test_sequential_strict_replay_is_identical(self, workload):
+        engine = MachineEngine(replay_mode="strict", replay_log=workload.log)
+        result = run_quiet(engine, workload.source)
+        assert multiset(result) == workload.baseline
+        assert engine.recorder.recorded == 0
+        assert engine.recorder.replayed > 0
+
+    def test_reexecuting_replay_engine_is_identical(self, workload):
+        engine = ReplayMachineEngine(replay_mode="strict",
+                                     replay_log=workload.log)
+        result = run_quiet(engine, workload.source)
+        assert multiset(result) == workload.baseline
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_process_parallel_strict_is_identical(self, workload, workers):
+        engine = ProcessParallelEngine(
+            workers=workers, task_step_budget=3000, verify="warn",
+            replay_mode="strict", replay_log=workload.log,
+        )
+        result = run_quiet(engine, workload.source)
+        assert multiset(result) == workload.baseline
+        assert result.stats.extra["nondet_conflicts"] == 0
+
+    def test_record_mode_replays_known_territory(self, workload):
+        """record mode over a complete log behaves exactly like strict."""
+        engine = MachineEngine(replay_mode="record",
+                               replay_log=workload.log.copy())
+        result = run_quiet(engine, workload.source)
+        assert multiset(result) == workload.baseline
+        assert engine.recorder.recorded == 0
+
+    def test_parallel_record_from_scratch_is_self_consistent(self, workload):
+        """A parallel *recording* run's own log reproduces its own run.
+
+        The entropy drawn differs from the reference run — that is the
+        point — but strict sequential replay of the parallel run's
+        merged log must land on exactly the parallel run's multiset.
+        """
+        par = ProcessParallelEngine(
+            workers=2, task_step_budget=3000, verify="warn",
+            replay_mode="record",
+            input_script=workload.input_bytes,
+        )
+        rp = run_quiet(par, workload.source)
+        seq = MachineEngine(replay_mode="strict", replay_log=par.replay_log)
+        rs = run_quiet(seq, workload.source)
+        assert multiset(rs) == multiset(rp)
+        assert len(multiset(rp)) == len(workload.baseline)
+
+    def test_killed_and_resumed_is_identical(self, workload, tmp_path):
+        """Chaos-kill mid-run, resume from the journal: same multiset."""
+        journal = str(tmp_path / "run.journal")
+        kwargs = dict(
+            workers=2, task_step_budget=400, fsync="off", verify="warn",
+            replay_mode="strict", replay_log=workload.log, journal=journal,
+        )
+        with pytest.raises(CoordinatorKilled):
+            run_quiet(
+                ProcessParallelEngine(
+                    chaos=FaultPlan(coordinator_kill_epoch=3), **kwargs
+                ),
+                workload.source,
+            )
+        result = run_quiet(
+            ProcessParallelEngine(resume=True, **kwargs), workload.source
+        )
+        assert multiset(result) == workload.baseline
+        assert result.stats.extra["resumed"] is True
+
+
+class TestDivergenceIsLoud:
+    def drop_one(self, log, index):
+        events = log.events()
+        del events[index]
+        return NondetLog(events)
+
+    def test_any_missing_event_fails_strict_replay(self, workload):
+        for index in range(len(workload.log)):
+            truncated = self.drop_one(workload.log, index)
+            engine = MachineEngine(replay_mode="strict",
+                                   replay_log=truncated)
+            with pytest.raises(ReplayDivergenceError):
+                run_quiet(engine, workload.source)
+
+    def test_kind_swap_fails_strict_replay(self, workload):
+        events = workload.log.events()
+        victim = events[0]
+        swapped = "input" if victim.kind != "input" else "random"
+        events[0] = NondetEvent(kind=swapped, path=victim.path,
+                                seq=victim.seq, payload=victim.payload)
+        engine = MachineEngine(replay_mode="strict",
+                               replay_log=NondetLog(events))
+        with pytest.raises(ReplayDivergenceError, match="expected"):
+            run_quiet(engine, workload.source)
+
+    def test_missing_event_fails_parallel_strict_too(self, workload):
+        truncated = self.drop_one(workload.log, 0)
+        engine = ProcessParallelEngine(
+            workers=2, task_step_budget=3000, verify="warn",
+            replay_mode="strict", replay_log=truncated,
+        )
+        with pytest.raises(ReplayDivergenceError):
+            run_quiet(engine, workload.source)
+
+    def test_divergence_error_carries_diagnostics(self, workload):
+        truncated = NondetLog()  # nothing recorded at all
+        engine = MachineEngine(replay_mode="strict", replay_log=truncated)
+        with pytest.raises(ReplayDivergenceError) as err:
+            run_quiet(engine, workload.source)
+        assert "strict replay" in str(err.value)
+
+    def test_tampered_log_file_refused_at_load(self, workload, tmp_path):
+        path = str(tmp_path / "run.replay")
+        workload.log.save(path, program="prog")
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[len(blob) // 2] ^= 0x40
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        with pytest.raises(ReplayDivergenceError):
+            NondetLog.load(path, program="prog")
+
+
+class TestLogShipping:
+    def test_resume_merges_journaled_events(self, workload, tmp_path):
+        """nondet records land in the journal before their completes, so
+        a recovered run replays — not re-rolls — finished territory."""
+        from repro.core.journal import recover
+
+        journal = str(tmp_path / "run.journal")
+        par = ProcessParallelEngine(
+            workers=2, task_step_budget=3000, fsync="off", verify="warn",
+            replay_mode="record", journal=journal,
+            input_script=workload.input_bytes,
+        )
+        rp = run_quiet(par, workload.source)
+        recovered = recover(journal)
+        rebuilt = NondetLog()
+        rebuilt.merge_records(recovered.nondet_events)
+        assert rebuilt == par.replay_log
+        # The journaled events alone reproduce the run.
+        seq = MachineEngine(replay_mode="strict", replay_log=rebuilt)
+        assert multiset(run_quiet(seq, workload.source)) == multiset(rp)
+
+    def test_run_header_pins_replay_mode(self, workload, tmp_path):
+        from repro.core.errors import ResumeMismatchError
+
+        journal = str(tmp_path / "run.journal")
+        with pytest.raises(CoordinatorKilled):
+            run_quiet(
+                ProcessParallelEngine(
+                    workers=2, task_step_budget=400, fsync="off",
+                    verify="warn", replay_mode="strict",
+                    replay_log=workload.log, journal=journal,
+                    chaos=FaultPlan(coordinator_kill_epoch=3),
+                ),
+                workload.source,
+            )
+        # Resuming with replay off must be refused: the journaled
+        # solutions depend on replayed events the resumed run would
+        # not reproduce.
+        with pytest.raises(ResumeMismatchError, match="replay mode"):
+            run_quiet(
+                ProcessParallelEngine(
+                    workers=2, task_step_budget=400, fsync="off",
+                    verify="warn", journal=journal, resume=True,
+                ),
+                workload.source,
+            )

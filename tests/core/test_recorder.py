@@ -1,0 +1,450 @@
+"""Unit tests for the nondet recorder layer.
+
+Covers the event/log data model (keying, first-write-wins merge, task
+shipping selection), the sealed replay-log file format (every corruption
+mode must raise :class:`ReplayDivergenceError`, never load silently),
+the :class:`Recorder` state machine, the syscall-level interposition of
+``sys_time`` / ``sys_getrandom`` / ``read(0)``, the analyzer's
+recordable gate, and the typed :class:`InputExhaustedError` satellite.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.verifier import (
+    RECORDABLE_LINTS,
+    recordable,
+    strict_failure,
+)
+from repro.core.errors import InputExhaustedError, ReplayDivergenceError
+from repro.core.machine import MachineEngine
+from repro.core.recorder import (
+    NondetEvent,
+    NondetLog,
+    Recorder,
+    live_random,
+    live_time_ns,
+)
+from repro.core.sysno import (
+    SYS_EXIT,
+    SYS_GETRANDOM,
+    SYS_GUESS,
+    SYS_TIME,
+    SYS_WRITE,
+)
+from repro.cpu.assembler import assemble
+from repro.libos.console import InputSource
+
+
+def ev(kind="time", path=(), seq=0, payload=b"\x01" * 8, pc=None):
+    return NondetEvent(kind=kind, path=tuple(path), seq=seq,
+                       payload=payload, pc=pc)
+
+
+class TestNondetEvent:
+    def test_record_roundtrip_is_exact(self):
+        event = ev(kind="random", path=(1, 0, 2), seq=3,
+                   payload=bytes(range(16)), pc=0x400010)
+        assert NondetEvent.from_record(event.to_record()) == event
+
+    def test_pc_is_not_identity(self):
+        a = ev(pc=0x400000)
+        b = ev(pc=0x400999)
+        assert a.key() == b.key()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("kind"),
+        lambda r: r.pop("path"),
+        lambda r: r.pop("seq"),
+        lambda r: r.pop("data"),
+        lambda r: r.update(kind="clock"),
+        lambda r: r.update(data="zz-not-hex"),
+        lambda r: r.update(path="nope"),
+    ])
+    def test_malformed_record_raises_divergence(self, mutate):
+        record = ev().to_record()
+        mutate(record)
+        with pytest.raises(ReplayDivergenceError):
+            NondetEvent.from_record(record)
+
+
+class TestNondetLog:
+    def test_lookup_and_len(self):
+        log = NondetLog([ev(seq=0), ev(seq=1, payload=b"\x02" * 8)])
+        assert len(log) == 2
+        assert log.lookup((), 1).payload == b"\x02" * 8
+        assert log.lookup((9,), 0) is None
+
+    def test_first_write_wins_counts_conflicts(self):
+        log = NondetLog()
+        assert log.record(ev(payload=b"a")) is True
+        assert log.record(ev(payload=b"b")) is False
+        assert log.conflicts == 1
+        assert log.lookup((), 0).payload == b"a"
+        # Re-recording identical content is not a conflict.
+        assert log.record(ev(payload=b"a")) is False
+        assert log.conflicts == 1
+
+    def test_merge_returns_newly_added(self):
+        log = NondetLog([ev(seq=0)])
+        added = log.merge([ev(seq=0), ev(seq=1), ev(path=(2,), seq=0)])
+        assert added == 2 and len(log) == 3
+
+    def test_events_canonical_order(self):
+        log = NondetLog([ev(path=(1,), seq=1), ev(path=(0, 3), seq=0),
+                         ev(path=(1,), seq=0)])
+        assert [(e.path, e.seq) for e in log.events()] == [
+            ((0, 3), 0), ((1,), 0), ((1,), 1)
+        ]
+
+    def test_events_for_task_selects_lineage_not_siblings(self):
+        root = ev(path=(), seq=0)
+        ancestor = ev(path=(1,), seq=0, kind="random")
+        inside = ev(path=(1, 2, 0), seq=1, kind="input", payload=b"x")
+        sibling = ev(path=(0,), seq=0)
+        cousin = ev(path=(1, 3), seq=0)
+        log = NondetLog([root, ancestor, inside, sibling, cousin])
+        shipped = log.events_for_task((1, 2))
+        assert sorted(e.path for e in shipped) == [(), (1,), (1, 2, 0)]
+
+    def test_events_for_task_root_prefix_gets_everything(self):
+        log = NondetLog([ev(path=(0,)), ev(path=(1, 1)), ev(path=())])
+        assert len(log.events_for_task(())) == 3
+
+    def test_copy_is_independent(self):
+        log = NondetLog([ev()])
+        clone = log.copy()
+        clone.record(ev(path=(5,)))
+        assert len(log) == 1 and len(clone) == 2
+        assert log == NondetLog([ev()])
+
+
+class TestReplayLogFile:
+    def payload_log(self):
+        return NondetLog([
+            ev(kind="time", path=(), seq=0, payload=live_time_ns()),
+            ev(kind="random", path=(2,), seq=0, payload=live_random(8),
+               pc=0x400020),
+            ev(kind="input", path=(2, 1), seq=1, payload=b"hi"),
+        ])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.replay")
+        log = self.payload_log()
+        assert log.save(path, program="digest123") == 3
+        assert NondetLog.load(path, program="digest123") == log
+
+    def test_program_digest_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "run.replay")
+        self.payload_log().save(path, program="digest123")
+        with pytest.raises(ReplayDivergenceError, match="program"):
+            NondetLog.load(path, program="otherdigest")
+        # No digest recorded, or none demanded: both load fine.
+        self.payload_log().save(path)
+        NondetLog.load(path, program="anything")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReplayDivergenceError, match="not found"):
+            NondetLog.load(str(tmp_path / "absent.replay"))
+
+    def test_every_single_byte_flip_is_caught(self, tmp_path):
+        """Exhaustive tamper sweep: flip one byte anywhere, load fails."""
+        path = str(tmp_path / "run.replay")
+        self.payload_log().save(path, program="d")
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        flips = 0
+        for offset in range(len(blob)):
+            if blob[offset] == 0x0A:  # keep the line structure intact
+                continue
+            tampered = bytearray(blob)
+            tampered[offset] ^= 0x01
+            with open(path, "wb") as fh:
+                fh.write(tampered)
+            with pytest.raises(ReplayDivergenceError):
+                NondetLog.load(path, program="d")
+            flips += 1
+        assert flips > 100
+
+    def test_truncated_tail_raises(self, tmp_path):
+        path = str(tmp_path / "run.replay")
+        self.payload_log().save(path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        # Torn final line (partial write).
+        with open(path, "w") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+        with pytest.raises(ReplayDivergenceError):
+            NondetLog.load(path)
+        # Cleanly dropped final line: caught by the header count.
+        with open(path, "w") as fh:
+            fh.writelines(lines[:-1])
+        with pytest.raises(ReplayDivergenceError, match="removed"):
+            NondetLog.load(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = str(tmp_path / "run.replay")
+        self.payload_log().save(path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[1:])  # drop the header record
+        with pytest.raises(ReplayDivergenceError, match="header"):
+            NondetLog.load(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.replay"
+        path.write_text("")
+        with pytest.raises(ReplayDivergenceError, match="header"):
+            NondetLog.load(str(path))
+
+
+class TestRecorder:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            Recorder("off")
+        with pytest.raises(ValueError):
+            Recorder("replay")
+
+    def test_record_then_replay_same_key(self):
+        rec = Recorder("record")
+        rec.begin_segment((1,))
+        first = rec.intercept("time", None, lambda: b"\x07" * 8)
+        rec.begin_segment((1,))  # re-enter the same segment
+        again = rec.intercept("time", None, lambda: b"\xff" * 8)
+        assert first == again == b"\x07" * 8
+        assert rec.recorded == 1 and rec.replayed == 1
+
+    def test_seq_advances_within_segment_and_resets_across(self):
+        rec = Recorder("record")
+        rec.begin_segment(())
+        rec.intercept("time", None, lambda: b"a")
+        rec.intercept("time", None, lambda: b"b")
+        assert rec.position == ((), 2)
+        rec.begin_segment((0,))
+        assert rec.position == ((0,), 0)
+        events = rec.log.events()
+        assert [(e.path, e.seq) for e in events] == [((), 0), ((), 1)]
+
+    def test_strict_miss_raises(self):
+        rec = Recorder("strict", log=NondetLog())
+        rec.begin_segment(())
+        with pytest.raises(ReplayDivergenceError, match="strict replay"):
+            rec.intercept("random", 0x400000, lambda: b"x")
+
+    def test_kind_mismatch_raises_in_both_modes(self):
+        for mode in ("record", "strict"):
+            rec = Recorder(mode, log=NondetLog([ev(kind="time")]))
+            rec.begin_segment(())
+            with pytest.raises(ReplayDivergenceError, match="expected"):
+                rec.intercept("random", None, lambda: b"x")
+
+    def test_drain_fresh_ships_only_new_events(self):
+        seeded = NondetLog([ev(path=(), seq=0)])
+        rec = Recorder("record", log=seeded)
+        rec.begin_segment(())
+        rec.intercept("time", None, lambda: b"ignored")  # replayed
+        rec.begin_segment((4,))
+        rec.intercept("random", None, lambda: b"fresh")
+        fresh = rec.drain_fresh()
+        assert [e.path for e in fresh] == [(4,)]
+        assert rec.drain_fresh() == []
+
+
+TIME_GUEST = f"""
+    mov rax, {SYS_TIME}
+    syscall
+    mov rdi, rax
+    mov rax, {SYS_EXIT}
+    syscall
+"""
+
+RANDOM_GUEST = f"""
+    .data
+    buf: .zero 8
+    .text
+    _start:
+        mov rax, {SYS_GETRANDOM}
+        mov rdi, buf
+        mov rsi, 8
+        syscall
+        mov r12, rax            ; bytes delivered
+        mov rax, {SYS_GETRANDOM}
+        mov rdi, buf
+        mov rsi, 0              ; invalid: zero length
+        syscall
+        mov r13, rax
+        mov rax, {SYS_WRITE}    ; print first entropy byte
+        mov rdi, 1
+        mov rsi, buf
+        mov rdx, 1
+        syscall
+        mov rdi, r12
+        mov rax, {SYS_EXIT}
+        syscall
+"""
+
+STDIN_GUEST = f"""
+    .data
+    buf: .zero 4
+    .text
+    _start:
+        mov rax, 0
+        mov rdi, 0
+        mov rsi, buf
+        mov rdx, 4
+        syscall
+        mov rdi, rax            ; exit with bytes read
+        mov rax, {SYS_EXIT}
+        syscall
+"""
+
+
+def run_quiet(engine, program):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return engine.run(assemble(program))
+
+
+class TestSyscallInterposition:
+    def test_time_recorded_then_replayed_exactly(self):
+        eng = MachineEngine(replay_mode="record")
+        res = run_quiet(eng, TIME_GUEST)
+        stamp = res.solutions[0].value[0]
+        assert stamp > 0 and eng.recorder.recorded == 1
+        replayed = MachineEngine(replay_mode="strict",
+                                 replay_log=eng.recorder.log)
+        res2 = run_quiet(replayed, TIME_GUEST)
+        assert res2.solutions[0].value[0] == stamp
+        assert replayed.recorder.replayed == 1
+
+    def test_getrandom_fills_buffer_and_rejects_bad_length(self):
+        eng = MachineEngine(replay_mode="record")
+        res = run_quiet(eng, RANDOM_GUEST)
+        assert res.solutions[0].value[0] == 8  # delivered count
+        event = eng.recorder.log.lookup((), 0)
+        assert event.kind == "random" and len(event.payload) == 8
+        # The zero-length call failed with -EINVAL and was NOT recorded.
+        assert len(eng.recorder.log) == 1
+        # Strict replay reproduces the printed entropy byte exactly.
+        strict = MachineEngine(replay_mode="strict",
+                               replay_log=eng.recorder.log)
+        res2 = run_quiet(strict, RANDOM_GUEST)
+        assert res2.solutions[0].value == res.solutions[0].value
+
+    def test_stdin_read_goes_through_recorder(self):
+        eng = MachineEngine(replay_mode="record",
+                            input=InputSource(b"hi"))
+        res = run_quiet(eng, STDIN_GUEST)
+        assert res.solutions[0].value[0] == 2
+        event = eng.recorder.log.lookup((), 0)
+        assert event.kind == "input" and event.payload == b"hi"
+        # Replays without any live input source.
+        strict = MachineEngine(replay_mode="strict",
+                               replay_log=eng.recorder.log)
+        assert run_quiet(strict, STDIN_GUEST).solutions[0].value[0] == 2
+
+    def test_stdin_without_recorder_reads_source_directly(self):
+        eng = MachineEngine(input=InputSource(b"abcd"))
+        res = eng.run(assemble(STDIN_GUEST))
+        assert res.solutions[0].value[0] == 4
+
+    def test_machine_stats_expose_counters(self):
+        eng = MachineEngine(replay_mode="record")
+        res = run_quiet(eng, TIME_GUEST)
+        assert res.stats.extra["nondet_recorded"] == 1
+        assert res.stats.extra["nondet_replayed"] == 0
+
+
+class TestRecordableGate:
+    def test_recordable_lints_are_exactly_value_nondeterminism(self):
+        assert RECORDABLE_LINTS == {"DT001", "DT005", "DT006"}
+
+    def test_time_random_stdin_guests_are_recordable(self):
+        for src in (TIME_GUEST, RANDOM_GUEST, STDIN_GUEST):
+            report = analyze(assemble(src))
+            assert not report.certificate.certified
+            assert recordable(report)
+
+    def test_hostfs_guest_is_not_recordable(self):
+        src = f"""
+            .data
+            name: .ascii "f"
+            .text
+            _start:
+                mov rax, 2          ; sys_open: host-fs dependent
+                mov rdi, name
+                syscall
+                mov rax, {SYS_EXIT}
+                mov rdi, 0
+                syscall
+        """
+        report = analyze(assemble(src))
+        assert not recordable(report)
+        # ... and replay mode must not unlock strict verification for it.
+        assert strict_failure(report, allow_recordable=True) is not None
+
+    def test_strict_failure_forgiven_under_replay(self):
+        report = analyze(assemble(TIME_GUEST))
+        plain = strict_failure(report)
+        assert plain is not None and "--replay-mode=record" in plain
+        assert strict_failure(report, allow_recordable=True) is None
+
+    def test_certified_guest_unchanged(self):
+        from repro.workloads.nqueens import nqueens_asm
+
+        report = analyze(assemble(nqueens_asm(4)))
+        assert report.certificate.certified
+        assert recordable(report)  # certified is trivially recordable
+        assert strict_failure(report) is None
+
+
+class TestInputSource:
+    def test_chunked_reads_and_remaining(self):
+        src = InputSource(b"abcdef")
+        assert src.read(4) == b"abcd"
+        assert src.remaining == 2
+        assert src.read(4) == b"ef"
+        assert src.read(4) == b""  # eof mode: silent empty reads
+
+    def test_error_mode_raises_typed_exhaustion(self):
+        src = InputSource(b"ab", on_exhausted="error")
+        src.read(2)
+        with pytest.raises(InputExhaustedError) as err:
+            src.read(1)
+        assert err.value.consumed == 2
+        assert "2 item(s) consumed" in str(err.value)
+
+    def test_on_exhausted_validated(self):
+        with pytest.raises(ValueError):
+            InputSource(b"", on_exhausted="panic")
+
+
+class TestInputExhaustedSatellite:
+    def test_interactive_bad_seq_raises_typed_error(self):
+        from repro.core.interactive import InteractiveSearch
+        from repro.core.sysno import SYS_GUESS as G
+
+        src = f"""
+            mov rax, {G:#x}
+            mov rdi, 2
+            syscall
+            mov rdi, rax
+            mov rax, {SYS_EXIT}
+            syscall
+        """
+        with InteractiveSearch(src) as search:
+            with pytest.raises(InputExhaustedError) as err:
+                search.run(999)
+            assert "999" in str(err.value)
+            # The session survives the refused selection.
+            outcome = search.run(search.pending()[0].seq)
+            assert outcome.outcome == "exit"
+
+    def test_exhaustion_is_a_search_error(self):
+        from repro.core.errors import SearchError
+
+        assert issubclass(InputExhaustedError, SearchError)

@@ -202,6 +202,97 @@ class TestRealSigkill:
         assert result.exhausted
 
 
+class TestRecordModeResume:
+    """Crash tolerance for *nondeterministic* guests (record mode).
+
+    The journal orders every ``nondet`` record before its task's
+    ``complete``, so a kill can lose completions but never the events
+    their solutions depended on: the resumed run re-explores with the
+    recorded outcomes replayed — it reproduces, never re-rolls.
+    """
+
+    def run_quiet(self, engine, guest):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return engine.run(guest)
+
+    @pytest.mark.parametrize("epoch", [3, 8, 18])
+    def test_killed_recording_run_resumes_self_consistent(
+        self, tmp_path, epoch
+    ):
+        from repro.core.recorder import NondetLog
+        from repro.workloads.nqueens import (
+            KNOWN_SOLUTION_COUNTS,
+            nqueens_randomized_asm,
+        )
+
+        guest = nqueens_randomized_asm(5)
+        journal = str(tmp_path / "run.journal")
+        kwargs = dict(verify="warn", replay_mode="record",
+                      task_step_budget=1500)
+        with pytest.raises(CoordinatorKilled):
+            self.run_quiet(
+                engine(journal,
+                       chaos=FaultPlan(coordinator_kill_epoch=epoch),
+                       **kwargs),
+                guest,
+            )
+        resumed = engine(journal, resume=True, **kwargs)
+        result = self.run_quiet(resumed, guest)
+        assert len(result.solutions) == KNOWN_SOLUTION_COUNTS[5]
+        assert result.exhausted
+
+        # The combined run is reproducible from its own merged log: a
+        # strict sequential replay lands on the identical multiset.
+        strict = MachineEngine(replay_mode="strict",
+                               replay_log=resumed.replay_log)
+        replayed = self.run_quiet(strict, guest)
+        assert solution_multiset(replayed) == solution_multiset(result)
+
+        # And the journal's nondet tail IS the final in-memory log —
+        # nothing the run depended on lives only in process memory.
+        recovered = recover(journal)
+        rebuilt = NondetLog()
+        rebuilt.merge_records(recovered.nondet_events)
+        assert rebuilt == resumed.replay_log
+
+    def test_resume_replays_instead_of_rerolling_lost_subtrees(
+        self, tmp_path
+    ):
+        """Force re-exploration by corrupting a ``complete`` record whose
+        events survived; the re-explored subtree must reuse them."""
+        from repro.core.recorder import NondetLog
+        from repro.workloads.nqueens import nqueens_randomized_asm
+
+        guest = nqueens_randomized_asm(4)
+        journal = str(tmp_path / "run.journal")
+        kwargs = dict(verify="warn", replay_mode="record",
+                      task_step_budget=1000)
+        first = self.run_quiet(engine(journal, **kwargs), guest)
+        baseline = solution_multiset(first)
+
+        with open(journal) as fh:
+            lines = fh.readlines()
+        target = next(
+            i for i, line in enumerate(lines)
+            if '"type":"complete"' in line and '"solutions":[[' in line
+        )
+        lines[target] = lines[target].replace(
+            '"type":"complete"', '"type":"cOmplete"', 1
+        )
+        with open(journal, "w") as fh:
+            fh.writelines(lines)
+
+        result = self.run_quiet(engine(journal, resume=True, **kwargs),
+                                guest)
+        # Identical multiset: the lost subtree's entropy was replayed
+        # from the journaled events, not drawn again.
+        assert solution_multiset(result) == baseline
+        assert result.stats.extra["journal_skipped"] == 1
+
+
 class TestRunGuestFlags:
     def test_kill_then_resume_via_cli(self, tmp_path, capsys):
         from repro.tools import run_guest
@@ -233,3 +324,80 @@ class TestRunGuestFlags:
         capsys.readouterr()
         assert run_guest.main(base + ["--chaos-kill-epoch", "3"]) == 2
         capsys.readouterr()
+
+    def test_record_kill_resume_then_strict_replay_via_cli(
+        self, tmp_path, capsys
+    ):
+        """The full nondet crash story, CLI end to end: record a run,
+        kill it mid-flight, resume it, save its replay log, then verify
+        the log under --replay-mode=strict on the sequential engine."""
+        from repro.workloads.nqueens import nqueens_randomized_asm
+        from repro.tools import run_guest
+
+        source = tmp_path / "rqueens.s"
+        source.write_text(nqueens_randomized_asm(4))
+        journal = str(tmp_path / "run.journal")
+        replay_log = str(tmp_path / "run.replay")
+        common = [
+            str(source), "--engine", "process", "--workers", "2",
+            "--task-step-budget", "400", "--verify", "off",
+            "--journal", journal, "--replay-mode", "record",
+            "--replay-log", replay_log,
+        ]
+        assert run_guest.main(common + ["--chaos-kill-epoch", "3"]) == 3
+        assert "coordinator killed" in capsys.readouterr().err
+        assert run_guest.main(common + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "2 solution(s)" in captured.out
+        assert "replay log:" in captured.err
+
+        assert run_guest.main([
+            str(source), "--engine", "snapshot", "--verify", "off",
+            "--replay-mode", "strict", "--replay-log", replay_log,
+        ]) == 0
+        assert "2 solution(s)" in capsys.readouterr().out
+
+    def test_replay_flag_validation(self, tmp_path, capsys):
+        from repro.tools import run_guest
+
+        source = tmp_path / "queens.s"
+        source.write_text(nqueens_asm(4))
+        # strict without a log file to replay from is meaningless.
+        assert run_guest.main(
+            [str(source), "--replay-mode", "strict"]
+        ) == 2
+        capsys.readouterr()
+        # A log path without a replay mode is a likely operator error.
+        assert run_guest.main(
+            [str(source), "--replay-log", str(tmp_path / "x.replay")]
+        ) == 2
+        capsys.readouterr()
+        # strict pointing at a missing file refuses with the typed error.
+        assert run_guest.main(
+            [str(source), "--replay-mode", "strict",
+             "--replay-log", str(tmp_path / "absent.replay")]
+        ) == 4
+        assert "replay log refused" in capsys.readouterr().err
+
+    def test_tampered_log_file_refused_via_cli(self, tmp_path, capsys):
+        from repro.tools import run_guest
+        from repro.workloads.nqueens import nqueens_randomized_asm
+
+        source = tmp_path / "rqueens.s"
+        source.write_text(nqueens_randomized_asm(4))
+        replay_log = str(tmp_path / "run.replay")
+        assert run_guest.main([
+            str(source), "--verify", "off", "--quiet",
+            "--replay-mode", "record", "--replay-log", replay_log,
+        ]) == 0
+        capsys.readouterr()
+        with open(replay_log, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[len(blob) // 2] ^= 0x20
+        with open(replay_log, "wb") as fh:
+            fh.write(blob)
+        assert run_guest.main([
+            str(source), "--verify", "off", "--quiet",
+            "--replay-mode", "strict", "--replay-log", replay_log,
+        ]) == 4
+        assert "replay log refused" in capsys.readouterr().err

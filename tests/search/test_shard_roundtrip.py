@@ -5,14 +5,25 @@ for *every* task the engine can construct — a task that drifts through
 the journal would replay the wrong subtree.  Hypothesis searches the
 space; a JSON encode/decode leg is included because journal records
 pass through ``json.dumps``/``loads``, not just Python dicts.
+
+The same discipline applies to the recorder's ``NondetEvent``: a
+recorded outcome that drifts through the journal or the replay-log file
+would feed the guest different bytes on replay — a silent divergence.
+So events must round-trip exactly, and any tampering or truncation of a
+replay-log *file* must raise, for every log Hypothesis can construct.
 """
 
 import json
+import os
+import tempfile
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.errors import ReplayDivergenceError
 from repro.core.journal import decode_record, encode_record
+from repro.core.recorder import NONDET_KINDS, NondetEvent, NondetLog
 from repro.search.shard import PrefixTask, TaskFrontier
 
 # Depths and fan-outs beyond anything the engine produces in practice,
@@ -75,6 +86,111 @@ class TestTaskRoundTrip:
         assert rebuilt.key() == task.key()
         assert rebuilt.attempt == 0
         assert rebuilt.hint is None and rebuilt.span is None
+
+
+events = st.builds(
+    NondetEvent,
+    kind=st.sampled_from(NONDET_KINDS),
+    path=st.lists(st.integers(0, 63), max_size=8).map(tuple),
+    seq=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=64),
+    pc=st.one_of(st.none(), st.integers(min_value=0, max_value=2**48)),
+)
+
+# Unique keys so a log holds every drawn event (first-write-wins).
+event_lists = st.lists(events, max_size=12, unique_by=lambda e: e.key())
+
+
+class TestNondetEventRoundTrip:
+    @given(event=events)
+    def test_record_roundtrip_is_exact(self, event):
+        assert NondetEvent.from_record(event.to_record()) == event
+
+    @given(event=events)
+    def test_roundtrip_through_json(self, event):
+        wire = json.loads(json.dumps(event.to_record()))
+        rebuilt = NondetEvent.from_record(wire)
+        assert rebuilt == event and rebuilt.key() == event.key()
+
+    @given(batch=event_lists)
+    def test_roundtrip_through_journal_record(self, batch):
+        """Events ride the journal as ``nondet`` records."""
+        line = encode_record({
+            "epoch": 0, "type": "nondet",
+            "events": [e.to_record() for e in batch],
+        })
+        record = decode_record(line)
+        assert record is not None
+        rebuilt = NondetLog()
+        rebuilt.merge_records(record["events"])
+        assert rebuilt == NondetLog(batch)
+
+    @given(batch=event_lists)
+    def test_roundtrip_through_replay_log_file(self, batch):
+        log = NondetLog(batch)
+        fd, path = tempfile.mkstemp(suffix=".replay")
+        os.close(fd)
+        try:
+            assert log.save(path, program="prop") == len(batch)
+            assert NondetLog.load(path, program="prop") == log
+        finally:
+            os.unlink(path)
+
+
+class TestReplayLogTamperProperty:
+    """*Any* byte flip or truncation of a saved log must refuse to load."""
+
+    def saved(self, batch):
+        fd, path = tempfile.mkstemp(suffix=".replay")
+        os.close(fd)
+        NondetLog(batch).save(path, program="prop")
+        with open(path, "rb") as fh:
+            return path, bytearray(fh.read())
+
+    @given(batch=event_lists, offset=st.integers(min_value=0),
+           flip=st.integers(min_value=1, max_value=255))
+    def test_any_byte_flip_is_refused(self, batch, offset, flip):
+        path, blob = self.saved(batch)
+        try:
+            offset %= len(blob)
+            if blob[offset] == 0x0A or blob[offset] ^ flip == 0x0A:
+                return  # newline edits change line structure, not bytes
+            blob[offset] ^= flip
+            with open(path, "wb") as fh:
+                fh.write(blob)
+            with pytest.raises(ReplayDivergenceError):
+                NondetLog.load(path)
+        finally:
+            os.unlink(path)
+
+    @given(batch=event_lists, cut=st.integers(min_value=0))
+    def test_any_truncation_is_refused(self, batch, cut):
+        path, blob = self.saved(batch)
+        try:
+            # Cut at least 2 bytes so record content is lost (stripping
+            # only the final newline leaves a byte-equivalent log).
+            cut = 2 + cut % (len(blob) - 2)
+            with open(path, "wb") as fh:
+                fh.write(blob[: len(blob) - cut])
+            with pytest.raises(ReplayDivergenceError):
+                NondetLog.load(path)
+        finally:
+            os.unlink(path)
+
+    @given(batch=st.lists(events, min_size=1, max_size=12,
+                          unique_by=lambda e: e.key()),
+           drop=st.integers(min_value=0))
+    def test_any_dropped_line_is_refused(self, batch, drop):
+        path, blob = self.saved(batch)
+        try:
+            lines = bytes(blob).splitlines(keepends=True)
+            del lines[drop % len(lines)]
+            with open(path, "wb") as fh:
+                fh.write(b"".join(lines))
+            with pytest.raises(ReplayDivergenceError):
+                NondetLog.load(path)
+        finally:
+            os.unlink(path)
 
 
 class TestFrontierRebuild:
