@@ -459,6 +459,12 @@ class _Transfer:
             elif number == sysno.SYS_GUESS_HINT:
                 self._read(state, RDI, insn.pc)
                 self._read(state, 6, insn.pc)
+            elif number in (sysno.SYS_FSYNC, sysno.SYS_CRASH_SELECT,
+                            sysno.SYS_CRASH_OPTS):
+                self._read(state, RDI, insn.pc)  # fd / point / dim index
+            elif number in (sysno.SYS_RENAME, sysno.SYS_CRASH_SET):
+                self._read(state, RDI, insn.pc)
+                self._read(state, 6, insn.pc)  # rsi: dst path / option
         if number in _GUESS_KINDS and rdi[1] >= 1:
             result: Interval = (0, rdi[1] - 1)
         else:

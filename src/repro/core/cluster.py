@@ -57,6 +57,7 @@ from repro.core.supervisor import (
     WorkerSupervisor,
 )
 from repro.cpu.assembler import Program, assemble
+from repro.libos.files import HostFS
 from repro.libos.libos import ExecState, LibOS
 from repro.libos.syscalls import (
     ContinueAction,
@@ -135,6 +136,15 @@ class ClusterConfig:
     #: Scripted stdin bytes for guests that read fd 0 (each worker gets
     #: its own :class:`~repro.libos.console.InputSource` over them).
     input_script: Optional[bytes] = None
+    #: Backing files for guests that ``open`` host paths, shipped as a
+    #: picklable snapshot; each worker rebuilds its own
+    #: :class:`~repro.libos.files.HostFS` over them.  The store is
+    #: immutable, so every worker sees the same initial durable state
+    #: and crash tasks shard like any other prefix.
+    hostfs_files: Optional[tuple[tuple[str, bytes], ...]] = None
+    #: Persistence granularity of the workers' file layer (must match
+    #: the coordinator's, or crash-dimension numbering would diverge).
+    hostfs_block_size: int = 4096
 
 
 # ----------------------------------------------------------------------
@@ -199,7 +209,11 @@ class _SubtreeWorker:
             from repro.libos.console import InputSource
 
             input_source = InputSource(config.input_script)
-        self.libos = LibOS(input=input_source)
+        hostfs = None
+        if config.hostfs_files is not None:
+            hostfs = HostFS(dict(config.hostfs_files),
+                            block_size=config.hostfs_block_size)
+        self.libos = LibOS(hostfs=hostfs, input=input_source)
         if config.replay_mode != "off":
             self.recorder: Optional[Recorder] = Recorder(
                 config.replay_mode, log=replay_log
@@ -688,6 +702,13 @@ class ProcessParallelEngine:
         sequential engine, or loaded from a ``--replay-log`` file).
     input_script:
         Scripted stdin bytes for guests that read fd 0.
+    hostfs:
+        Backing files for guests that ``open`` host paths.  The store's
+        snapshot is shipped to every worker, which rebuilds an
+        identical :class:`~repro.libos.files.HostFS` — the store is
+        immutable, so rehydrated prefixes (including ``sys_crash_*``
+        enumeration prefixes) replay over the same initial durable
+        state on every worker.
     """
 
     def __init__(
@@ -714,6 +735,7 @@ class ProcessParallelEngine:
         replay_mode: str = "off",
         replay_log: Optional[NondetLog] = None,
         input_script: Optional[bytes] = None,
+        hostfs: Optional[HostFS] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -773,6 +795,14 @@ class ProcessParallelEngine:
             pipe_hook=chaos.pipe_hook if chaos is not None else None,
             replay_mode=replay_mode,
             input_script=input_script,
+            hostfs_files=(
+                tuple(sorted(hostfs.snapshot_files().items()))
+                if hostfs is not None else None
+            ),
+            hostfs_block_size=(
+                hostfs.block_size if hostfs is not None
+                else ClusterConfig.hostfs_block_size
+            ),
         )
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()

@@ -460,6 +460,7 @@ class MachineEngine:
             "frames_live": self.pool.live_frames,
             "frames_peak": self.pool.peak_live_frames,
             "frames_copied": self.pool.stats.copied,
+            "file_stats": self.libos.file_stats.as_dict(),
             "syscall_counts": dict(self.libos.dispatcher.counts),
         }
 

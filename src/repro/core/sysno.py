@@ -16,6 +16,12 @@ SYS_MMAP = 9
 SYS_MUNMAP = 11
 SYS_BRK = 12
 SYS_EXIT = 60
+#: Persistence barriers over the versioned file layer (docs/CRASH.md).
+#: fsync is a per-inode barrier (data blocks + creation record); sync is
+#: a global barrier that also flushes renames.
+SYS_FSYNC = 74
+SYS_RENAME = 82
+SYS_SYNC = 162
 #: Nondeterministic host services (Linux numbering).  Interposed by the
 #: libOS and routed through the record/replay recorder when one is
 #: attached; without a recorder they read the live host clock/entropy.
@@ -30,6 +36,18 @@ SYS_GUESS_STRATEGY = 0x1002
 #: goal-distance hints for informed strategies (A*, SM-A*).
 SYS_GUESS_HINT = 0x1003
 
+#: Crash-simulation calls (0x1100+): enumerate and materialise the legal
+#: on-disk states after a crash, so a guest can fork over them with
+#: sys_guess and run its recovery/checker code against each image
+#: (docs/CRASH.md).  select(c) prepares a crash at log index c and
+#: returns the number of persistence dimensions; opts(i) the number of
+#: legal choices for dimension i; set(i, k) fixes one; commit()
+#: rebases the file table onto the chosen image.
+SYS_CRASH_SELECT = 0x1100
+SYS_CRASH_OPTS = 0x1101
+SYS_CRASH_SET = 0x1102
+SYS_CRASH_COMMIT = 0x1103
+
 #: Human-readable names per syscall number (trace events and reports).
 SYSCALL_NAMES = {
     SYS_READ: "read",
@@ -41,12 +59,19 @@ SYSCALL_NAMES = {
     SYS_MUNMAP: "munmap",
     SYS_BRK: "brk",
     SYS_EXIT: "exit",
+    SYS_FSYNC: "fsync",
+    SYS_RENAME: "rename",
+    SYS_SYNC: "sync",
     SYS_TIME: "time",
     SYS_GETRANDOM: "getrandom",
     SYS_GUESS: "guess",
     SYS_GUESS_FAIL: "guess_fail",
     SYS_GUESS_STRATEGY: "guess_strategy",
     SYS_GUESS_HINT: "guess_hint",
+    SYS_CRASH_SELECT: "crash_select",
+    SYS_CRASH_OPTS: "crash_opts",
+    SYS_CRASH_SET: "crash_set",
+    SYS_CRASH_COMMIT: "crash_commit",
 }
 
 

@@ -1,0 +1,50 @@
+"""Crash-consistency search over the versioned file layer.
+
+The search dogfoods snapshots on both sides: the *subject* is the file
+layer's persistence model (which on-disk images can a crash leave?),
+and the *searcher* is the backtracking engine (fork over crash points
+and persistence choices with ``sys_guess``, prune images that recover
+cleanly with ``sys_guess_fail``).  Surviving leaves are
+crash-consistency bugs, reported with the write trace that produced
+them.  See docs/CRASH.md.
+
+* :mod:`repro.crashsim.model` — plans (declarative write workloads +
+  acceptable-state rules), host-side simulation, and the reference
+  enumeration the hypothesis properties check against;
+* :mod:`repro.crashsim.harness` — compiles a plan into a guest
+  (writer + crash enumeration + checker) and drives an engine over it;
+* :mod:`repro.crashsim.report` — survivor decoding, blame assignment
+  and rendering.
+"""
+
+from repro.crashsim.harness import crash_asm, run_crashfind, survivor_multiset
+from repro.crashsim.model import (
+    ABSENT,
+    CrashPlan,
+    SimResult,
+    enumerate_crash_images,
+    hostfs_for,
+    reference_flushed_seqs,
+    reference_legal_images,
+    replay_table,
+    simulate,
+)
+from repro.crashsim.report import CrashReport, Survivor, decode_survivor
+
+__all__ = [
+    "ABSENT",
+    "CrashPlan",
+    "CrashReport",
+    "SimResult",
+    "Survivor",
+    "crash_asm",
+    "decode_survivor",
+    "enumerate_crash_images",
+    "hostfs_for",
+    "reference_flushed_seqs",
+    "reference_legal_images",
+    "replay_table",
+    "run_crashfind",
+    "simulate",
+    "survivor_multiset",
+]

@@ -1,0 +1,332 @@
+"""Compile a crash plan into a guest and drive an engine over it.
+
+The generated guest has three phases, all in one program:
+
+1. **Writer** — the plan ops, straight-line, *before* the first guess
+   (so the analyzer's BT004 "write inside guess scope" lint stays
+   quiet and every branch of the search replays an identical log).
+2. **Crash enumeration** — ``sys_guess(K + 1)`` forks over every crash
+   point ``c`` (after 0..K log records); ``sys_crash_select(c)``
+   prepares the crash and reports the persistence dimensions; a loop
+   guesses one option per dimension (fanout from ``sys_crash_opts``)
+   and pins it with ``sys_crash_set``; ``sys_crash_commit`` rebases
+   the file table onto the chosen crashed image.
+3. **Checker** — recovery-invariant rules compiled to open/read and
+   unrolled byte compares.  A state matching any rule is legal:
+   ``sys_guess_fail`` prunes it.  A state matching no rule survives as
+   a solution with exit status 1 — a crash-consistency bug.
+
+Survivor identity is the guess path ``(c, k_1, ..., k_d)``, a pure
+function of the plan — which is what lets differential batteries
+demand identical survivor multisets from every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import sysno
+from repro.core.machine import MachineEngine
+from repro.core.result import SearchResult
+from repro.crashsim.model import (
+    ABSENT,
+    CrashPlan,
+    SimResult,
+    hostfs_for,
+    simulate,
+)
+from repro.crashsim.report import CrashReport, decode_survivor
+from repro.libos.files import O_RDONLY
+
+
+def _collect_paths(plan: CrashPlan) -> list[str]:
+    paths: list[str] = []
+
+    def add(p: str) -> None:
+        if p not in paths:
+            paths.append(p)
+
+    for op in plan.ops:
+        if op[0] == "open":
+            add(op[1])
+        elif op[0] == "rename":
+            add(op[1])
+            add(op[2])
+    for rules in (plan.consistent, plan.final):
+        for rule in rules:
+            for path, _alts in rule:
+                add(path)
+    return paths
+
+
+def _checker_buf_size(plan: CrashPlan, sim: SimResult) -> int:
+    longest = 0
+    for rules in (plan.consistent, plan.final):
+        for rule in rules:
+            for _path, alts in rule:
+                for alt in alts:
+                    if alt is not ABSENT:
+                        longest = max(longest, len(alt))
+    for _path, data in plan.files:
+        longest = max(longest, len(data))
+    for path in sim.table.paths():
+        longest = max(longest, len(sim.table.contents(path) or b""))
+    # Headroom so a file longer than every alternative still reads back
+    # with its true length and fails the length compare.
+    return longest + plan.block_size + 8
+
+
+def _emit_dnf(lines: list[str], prefix: str, rules: tuple,
+              path_label: dict[str, str], chk: int,
+              ok_label: str, fail_label: str) -> None:
+    """Emit the DNF checker: jump to *ok_label* if any rule matches
+    the on-disk state, *fail_label* if none does."""
+    for ri, rule in enumerate(rules):
+        rl = f"{prefix}_r{ri}"
+        next_rule = f"{prefix}_r{ri + 1}" if ri + 1 < len(rules) else fail_label
+        lines.append(f"{rl}:")
+        for fi, (path, alts) in enumerate(rule):
+            fl = f"{rl}_f{fi}"
+            lines += [
+                f"    mov rax, {sysno.SYS_OPEN}",
+                f"    mov rdi, {path_label[path]}",
+                f"    mov rsi, {O_RDONLY}",
+                "    syscall",
+                "    cmp rax, 0",
+                f"    jl {fl}_absent",
+                "    mov r12, rax",
+                f"    mov rax, {sysno.SYS_READ}",
+                "    mov rdi, r12",
+                "    mov rsi, chkbuf",
+                f"    mov rdx, {chk}",
+                "    syscall",
+                "    mov r11, rax",
+                f"    mov rax, {sysno.SYS_CLOSE}",
+                "    mov rdi, r12",
+                "    syscall",
+            ]
+            byte_alts = [a for a in alts if a is not ABSENT]
+            for ai, alt in enumerate(byte_alts):
+                nxt = (f"{fl}_a{ai + 1}" if ai + 1 < len(byte_alts)
+                       else f"{fl}_none")
+                lines.append(f"{fl}_a{ai}:")
+                lines.append(f"    cmp r11, {len(alt)}")
+                lines.append(f"    jne {nxt}")
+                if alt:
+                    lines.append("    mov r10, chkbuf")
+                for j, b in enumerate(alt):
+                    lines.append(f"    movb r9, [r10 + {j}]")
+                    lines.append(f"    cmp r9, {b}")
+                    lines.append(f"    jne {nxt}")
+                lines.append(f"    jmp {fl}_ok")
+            lines.append(f"{fl}_none:")
+            lines.append(f"    jmp {next_rule}")
+            lines.append(f"{fl}_absent:")
+            if any(a is ABSENT for a in alts):
+                lines.append(f"    jmp {fl}_ok")
+            else:
+                lines.append(f"    jmp {next_rule}")
+            lines.append(f"{fl}_ok:")
+        lines.append(f"    jmp {ok_label}")
+
+
+def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
+    """Compile *plan* into the crash-search guest program."""
+    sim = sim if sim is not None else simulate(plan)
+    if not plan.consistent:
+        raise ValueError(f"{plan.name}: consistent rules must be non-empty")
+    if not plan.final:
+        raise ValueError(f"{plan.name}: final rules must be non-empty")
+
+    paths = _collect_paths(plan)
+    path_label = {p: f"path_{i}" for i, p in enumerate(paths)}
+    chk = _checker_buf_size(plan, sim)
+
+    data_lines = [".data"]
+    for p in paths:
+        data_lines.append(f'{path_label[p]}: .asciz "{p}"')
+    payload_label: dict[int, str] = {}
+    for oi, op in enumerate(plan.ops):
+        if op[0] == "pwrite":
+            label = f"wr_{oi}"
+            payload_label[oi] = label
+            body = ", ".join(str(b) for b in op[3])
+            data_lines.append(f"{label}: .byte {body}")
+    data_lines.append(f"chkbuf: .zero {chk}")
+
+    text = [".text", "_start:"]
+    # --- phase 1: the writer, straight-line, pre-guess -----------------
+    for oi, op in enumerate(plan.ops):
+        kind = op[0]
+        if kind == "open":
+            _, path, flags = op
+            text += [
+                f"    ; open {path} -> fd",
+                f"    mov rax, {sysno.SYS_OPEN}",
+                f"    mov rdi, {path_label[path]}",
+                f"    mov rsi, {flags}",
+                "    syscall",
+            ]
+        elif kind == "pwrite":
+            _, fd, offset, data, tag = op
+            text += [
+                f"    ; pwrite fd={fd} off={offset} [{tag}]",
+                f"    mov rax, {sysno.SYS_LSEEK}",
+                f"    mov rdi, {fd}",
+                f"    mov rsi, {offset}",
+                "    mov rdx, 0",
+                "    syscall",
+                f"    mov rax, {sysno.SYS_WRITE}",
+                f"    mov rdi, {fd}",
+                f"    mov rsi, {payload_label[oi]}",
+                f"    mov rdx, {len(data)}",
+                "    syscall",
+            ]
+        elif kind == "fsync":
+            text += [
+                f"    mov rax, {sysno.SYS_FSYNC}",
+                f"    mov rdi, {op[1]}",
+                "    syscall",
+            ]
+        elif kind == "sync":
+            text += [
+                f"    mov rax, {sysno.SYS_SYNC}",
+                "    syscall",
+            ]
+        elif kind == "rename":
+            _, src, dst, tag = op
+            text += [
+                f"    ; rename {src} -> {dst} [{tag}]",
+                f"    mov rax, {sysno.SYS_RENAME}",
+                f"    mov rdi, {path_label[src]}",
+                f"    mov rsi, {path_label[dst]}",
+                "    syscall",
+            ]
+        elif kind == "close":
+            text += [
+                f"    mov rax, {sysno.SYS_CLOSE}",
+                f"    mov rdi, {op[1]}",
+                "    syscall",
+            ]
+        else:  # pragma: no cover - simulate() validated the plan
+            raise ValueError(f"unknown op {kind!r}")
+
+    # --- phase 2: crash enumeration ------------------------------------
+    text += [
+        "    ; fork over crash points: after 0..K issued records",
+        f"    mov rax, {sysno.SYS_GUESS}",
+        f"    mov rdi, {sim.K + 1}",
+        "    syscall",
+        "    mov r15, rax",
+        "    mov rdi, rax",
+        f"    mov rax, {sysno.SYS_CRASH_SELECT}",
+        "    syscall",
+        "    mov r14, rax",
+        "    mov r13, 0",
+        "dim_loop:",
+        "    cmp r13, r14",
+        "    jge enum_done",
+        "    mov rdi, r13",
+        f"    mov rax, {sysno.SYS_CRASH_OPTS}",
+        "    syscall",
+        "    mov rdi, rax",
+        f"    mov rax, {sysno.SYS_GUESS}",
+        "    syscall",
+        "    mov rsi, rax",
+        "    mov rdi, r13",
+        f"    mov rax, {sysno.SYS_CRASH_SET}",
+        "    syscall",
+        "    inc r13",
+        "    jmp dim_loop",
+        "enum_done:",
+        f"    mov rax, {sysno.SYS_CRASH_COMMIT}",
+        "    syscall",
+        # At the final crash point the workload finished: the image
+        # must satisfy the (stricter) final rules; everywhere else any
+        # consistent state is legal.
+        f"    cmp r15, {sim.K}",
+        "    je final_check",
+    ]
+    _emit_dnf(text, "cons", plan.consistent, path_label, chk,
+              ok_label="state_ok", fail_label="state_bug")
+    text.append("final_check:")
+    _emit_dnf(text, "fin", plan.final, path_label, chk,
+              ok_label="state_ok", fail_label="state_bug")
+    text += [
+        "state_ok:",
+        f"    mov rax, {sysno.SYS_GUESS_FAIL}",
+        "    syscall",
+        "state_bug:",
+        "    mov rdi, 1",
+        f"    mov rax, {sysno.SYS_EXIT}",
+        "    syscall",
+    ]
+    return "\n".join(data_lines + text) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Driving an engine
+# ----------------------------------------------------------------------
+
+
+def survivor_multiset(result: SearchResult) -> tuple:
+    """Engine-independent identity of a search's surviving states."""
+    return tuple(sorted(s.path for s in result.solutions))
+
+
+def run_crashfind(
+    plan: CrashPlan,
+    engine: str = "snapshot",
+    workers: int = 2,
+    strategy: str = "dfs",
+    journal: Optional[str] = None,
+    resume: bool = False,
+    chaos=None,
+    task_step_budget: Optional[int] = 25_000,
+    batch_size: int = 4,
+) -> CrashReport:
+    """Search *plan* for crash-consistency bugs on the chosen engine.
+
+    ``engine`` is ``"snapshot"`` (in-process :class:`MachineEngine`) or
+    ``"process"`` (:class:`ProcessParallelEngine` with *workers*
+    processes; *journal*/*resume*/*chaos* plug in the durability
+    machinery for the differential batteries).
+    """
+    sim = simulate(plan)
+    asm = crash_asm(plan, sim)
+    hostfs = hostfs_for(plan)
+    if engine == "snapshot":
+        eng = MachineEngine(strategy=strategy, hostfs=hostfs)
+        result = eng.run(asm)
+        engine_desc = "snapshot"
+    elif engine == "process":
+        from repro.core.cluster import ProcessParallelEngine
+
+        eng = ProcessParallelEngine(
+            workers=workers,
+            strategy=strategy,
+            batch_size=batch_size,
+            task_step_budget=task_step_budget,
+            journal=journal,
+            resume=resume,
+            chaos=chaos,
+            hostfs=hostfs,
+        )
+        result = eng.run(asm)
+        engine_desc = f"process x{workers}"
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    survivors = [decode_survivor(sim, s.path) for s in result.solutions]
+    survivors.sort(key=lambda s: s.path)
+    return CrashReport(
+        plan_name=plan.name,
+        engine=engine_desc,
+        expect_bug=plan.expect_bug,
+        expected_blame=plan.expected_blame,
+        crash_points=sim.K + 1,
+        survivors=survivors,
+        stats={"evaluations": result.stats.evaluations,
+               "solutions": len(result.solutions),
+               "exhausted": result.exhausted},
+    )

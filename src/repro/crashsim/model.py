@@ -1,0 +1,321 @@
+"""Host-side crash-consistency model: plans, simulation, reference.
+
+A :class:`CrashPlan` is a declarative description of a write workload
+(the *plan ops*) plus the acceptable on-disk states after a crash (DNF
+*rules*).  The harness compiles a plan to a guest program; this module
+runs the same workload host-side against a real :class:`FileTable` so
+survivors coming back from the search can be decoded into records,
+blame tags and images.
+
+It also carries a deliberately *independent* implementation of the
+persistence model — :func:`reference_flushed_seqs` walks barriers
+forward (the file layer retires pending records instead), and
+:func:`reference_legal_images` enumerates crash images by brute-force
+subset generation with an explicit prefix-closure legality check (the
+file layer builds a product of per-dimension options instead).  The
+hypothesis properties in tests/crashsim/test_properties.py pin the two
+implementations to each other; a divergence means one of them is
+wrong about what a crash can do.
+
+Plan op tuples::
+
+    ("open",   path, flags)            # fds are assigned 3, 4, ... in
+    ("pwrite", fd, offset, data, tag)  # open order; plans reference
+    ("fsync",  fd)                     # them by those numbers
+    ("sync",)
+    ("rename", src, dst, tag)
+    ("close",  fd)
+
+Rule format (shared with the generated guest checker)::
+
+    rules = (rule, ...)                # any rule matching => state OK
+    rule  = ((path, alternatives), ...)# every file constraint must hold
+    alternatives = (bytes | ABSENT, ...)  # file equals one alternative
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.libos.files import O_CREAT, O_RDWR, FileTable, HostFS
+
+
+class _Absent:
+    """Sentinel alternative: the file does not exist in the image."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "ABSENT"
+
+
+ABSENT = _Absent()
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A crash-consistency test case: workload + acceptable states.
+
+    ``consistent`` rules must admit every *legal intermediate* image
+    (the invariant recovery relies on); ``final`` rules additionally
+    pin the post-workload image (checked only at the last crash point,
+    where nothing may be lost any more).  ``expect_bug`` declares
+    whether the search should find survivors, and ``expected_blame``
+    names at least one write tag every detected bug must blame.
+    """
+
+    name: str
+    files: tuple[tuple[str, bytes], ...]
+    ops: tuple[tuple, ...]
+    consistent: tuple
+    final: tuple
+    expect_bug: bool
+    expected_blame: frozenset[str] = field(default_factory=frozenset)
+    block_size: int = 8
+    description: str = ""
+
+
+def hostfs_for(plan: CrashPlan) -> HostFS:
+    return HostFS(dict(plan.files), block_size=plan.block_size)
+
+
+@dataclass
+class SimResult:
+    """Host-side replay of a plan's writer phase.
+
+    ``table`` is a live :class:`FileTable` frozen at the end of the
+    writer phase — fork it before mutating.  ``tags`` maps record seq
+    to the plan tag that produced it; ``K`` (== ``len(log)``) is the
+    final crash point, so the search guesses over ``K + 1`` points.
+    """
+
+    plan: CrashPlan
+    table: FileTable
+    log: tuple
+    tags: dict[int, str]
+    K: int
+
+
+def replay_table(plan: CrashPlan) -> tuple[FileTable, dict[int, str]]:
+    """Run the plan's ops against a fresh host-side FileTable.
+
+    Returns the table plus the seq->tag map.  Raises if an op fails or
+    an ``open`` returns a different fd than the plan assumed — that is
+    a plan-authoring error, not a crash-consistency finding.
+    """
+    table = FileTable(hostfs_for(plan))
+    tags: dict[int, str] = {}
+    next_fd = 3
+
+    def _tag_new(before: int, tag: Optional[str]) -> None:
+        if tag is None:
+            return
+        for rec in table.oplog[before:]:
+            tags[rec[1]] = tag
+
+    for op in plan.ops:
+        before = len(table.oplog)
+        kind = op[0]
+        if kind == "open":
+            _, path, flags = op
+            fd = table.open(path, flags)
+            if fd != next_fd:
+                raise ValueError(
+                    f"{plan.name}: open({path!r}) returned fd {fd}, "
+                    f"plan expected {next_fd}"
+                )
+            next_fd += 1
+            _tag_new(before, f"create:{path}")
+        elif kind == "pwrite":
+            _, fd, offset, data, tag = op
+            if table.lseek(fd, offset, 0) != offset:
+                raise ValueError(f"{plan.name}: lseek({fd}, {offset}) failed")
+            ret = table.write(fd, data)
+            if ret != len(data):
+                raise ValueError(f"{plan.name}: write({fd}) -> {ret}")
+            _tag_new(before, tag)
+        elif kind == "fsync":
+            if table.fsync(op[1]) < 0:
+                raise ValueError(f"{plan.name}: fsync({op[1]}) failed")
+        elif kind == "sync":
+            table.sync()
+        elif kind == "rename":
+            _, src, dst, tag = op
+            if table.rename(src, dst) != 0:
+                raise ValueError(f"{plan.name}: rename({src!r}) failed")
+            _tag_new(before, tag)
+        elif kind == "close":
+            if table.close(op[1]) != 0:
+                raise ValueError(f"{plan.name}: close({op[1]}) failed")
+        else:
+            raise ValueError(f"{plan.name}: unknown op {kind!r}")
+    return table, tags
+
+
+def simulate(plan: CrashPlan) -> SimResult:
+    """Replay the writer phase host-side and package the result."""
+    table, tags = replay_table(plan)
+    log = table.oplog
+    return SimResult(plan=plan, table=table, log=log, tags=tags, K=len(log))
+
+
+# ----------------------------------------------------------------------
+# Rule evaluation (host-side mirror of the generated guest checker)
+# ----------------------------------------------------------------------
+
+
+def image_matches(image: dict[str, bytes], rules: tuple) -> bool:
+    """True if *image* satisfies any rule (the DNF the checker runs)."""
+    for rule in rules:
+        for path, alts in rule:
+            present = path in image
+            ok = False
+            for alt in alts:
+                if alt is ABSENT:
+                    ok = ok or not present
+                else:
+                    ok = ok or (present and image[path] == alt)
+            if not ok:
+                break
+        else:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Reference enumeration (independent of the file layer's)
+# ----------------------------------------------------------------------
+
+
+def reference_flushed_seqs(log: Iterable[tuple], upto: int) -> set[int]:
+    """Seqs made durable by barriers within ``log[:upto]``.
+
+    Forward scan: each ``fsync`` marks every earlier data record of its
+    inode (and the inode's creation record) durable; each ``sync``
+    marks everything earlier durable.  Quadratic and obvious — the
+    point is to be a different shape than the file layer's
+    retire-as-you-go replay.
+    """
+    window = list(log)[:upto]
+    flushed: set[int] = set()
+    for i, rec in enumerate(window):
+        if rec[0] == "fsync":
+            ino = rec[2]
+            for prior in window[:i]:
+                if prior[0] == "write" and prior[2] == ino:
+                    flushed.add(prior[1])
+                elif prior[0] == "create" and prior[3] == ino:
+                    flushed.add(prior[1])
+        elif rec[0] == "sync":
+            for prior in window[:i]:
+                if prior[0] in ("write", "create", "rename"):
+                    flushed.add(prior[1])
+    return flushed
+
+
+def _base_state(base_files: dict[str, bytes]) -> tuple[dict, dict]:
+    """The initial durable state, numbering inodes exactly like
+    :class:`FileTable` does (sorted path order, starting at 1)."""
+    ns: dict[str, int] = {}
+    data: dict[int, bytearray] = {}
+    for i, path in enumerate(sorted(base_files)):
+        ns[path] = i + 1
+        data[i + 1] = bytearray(base_files[path])
+    return ns, data
+
+
+def _apply_records(ns: dict, data: dict, recs, block_size: int) -> None:
+    for rec in sorted(recs, key=lambda r: r[1]):
+        kind = rec[0]
+        if kind == "write":
+            _, _seq, ino, block, off, payload = rec
+            buf = data.setdefault(ino, bytearray())
+            start = block * block_size + off
+            end = start + len(payload)
+            if end > len(buf):
+                buf.extend(bytes(end - len(buf)))
+            buf[start:end] = payload
+        elif kind == "create":
+            ns[rec[2]] = rec[3]
+            data.setdefault(rec[3], bytearray())
+        elif kind == "rename":
+            _, _seq, src, dst, ino = rec
+            ns.pop(src, None)
+            ns[dst] = ino
+
+
+def _freeze(ns: dict, data: dict) -> frozenset:
+    return frozenset(
+        (path, bytes(data.get(ino, b""))) for path, ino in ns.items()
+    )
+
+
+def reference_legal_images(
+    log: Iterable[tuple],
+    upto: int,
+    base_files: dict[str, bytes],
+    block_size: int,
+) -> set[frozenset]:
+    """Every legal on-disk image after a crash at log index *upto*,
+    by brute force.
+
+    An image is the flushed state plus any subset S of the at-risk
+    records such that, for every ``(ino, block)``, the data records of
+    that block in S form a seq-prefix of the block's at-risk sequence
+    (the cache writes back whole blocks, so a later write to a block
+    cannot land without the earlier ones).  Namespace records are
+    individually optional.  Exponential in the at-risk count — only
+    usable for the small logs the property tests generate, which is
+    the point: it is the specification, not the implementation.
+    """
+    window = list(log)[:upto]
+    effects = [r for r in window if r[0] in ("write", "create", "rename")]
+    flushed = reference_flushed_seqs(window, upto)
+    at_risk = [r for r in effects if r[1] not in flushed]
+
+    per_block: dict[tuple, list[int]] = {}
+    for rec in at_risk:
+        if rec[0] == "write":
+            per_block.setdefault((rec[2], rec[3]), []).append(rec[1])
+
+    def legal(subset_seqs: set[int]) -> bool:
+        for seqs in per_block.values():
+            taken = [s for s in seqs if s in subset_seqs]
+            if taken != seqs[: len(taken)]:
+                return False
+        return True
+
+    images: set[frozenset] = set()
+    for bits in itertools.product((False, True), repeat=len(at_risk)):
+        subset = [r for r, keep in zip(at_risk, bits) if keep]
+        if not legal({r[1] for r in subset}):
+            continue
+        ns, data = _base_state(base_files)
+        kept = [r for r in effects if r[1] in flushed] + subset
+        _apply_records(ns, data, kept, block_size)
+        images.add(_freeze(ns, data))
+    return images
+
+
+def enumerate_crash_images(table: FileTable, point: int) -> set[frozenset]:
+    """Every crash image the *file layer* enumerates at *point*, by
+    driving the ``sys_crash_*`` surface over forks of *table* exactly
+    like the generated guest does."""
+    probe = table.fork_cow()
+    ndims = probe.crash_select(point)
+    if ndims < 0:
+        raise ValueError(f"crash_select({point}) -> {ndims}")
+    option_counts = [probe.crash_opts(i) for i in range(ndims)]
+    probe.free()
+    images: set[frozenset] = set()
+    for choices in itertools.product(*(range(m) for m in option_counts)):
+        leaf = table.fork_cow()
+        assert leaf.crash_select(point) == ndims
+        for i, k in enumerate(choices):
+            assert leaf.crash_set(i, k) == 0
+        leaf.crash_commit()
+        images.add(frozenset(
+            (path, leaf.contents(path)) for path in leaf.paths()
+        ))
+        leaf.free()
+    return images

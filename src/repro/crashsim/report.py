@@ -1,0 +1,201 @@
+"""Survivor decoding, blame assignment and report rendering.
+
+The search returns surviving leaves as bare guess paths
+``(c, k_1, ..., k_d)`` — the crash point plus one persistence choice
+per dimension.  This module replays that path against the host-side
+:class:`~repro.libos.files.FileTable` to recover what the engine
+cannot know: which write records the crash image lost, which plan
+operations (by tag) produced them, and what the resulting on-disk
+image looks like.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crashsim.model import SimResult
+
+
+@dataclass
+class Survivor:
+    """One crash image that defeated the consistency checker."""
+
+    #: The engine's guess path: (crash_point, choice per dimension).
+    path: tuple[int, ...]
+    crash_point: int
+    #: Persistence choice per dimension, in dimension order.
+    choices: tuple[int, ...]
+    #: At-risk records the image lost, as (seq, tag, description).
+    lost: tuple[tuple[int, Optional[str], str], ...]
+    #: At-risk records the image kept, same shape.
+    kept: tuple[tuple[int, Optional[str], str], ...]
+    #: Plan tags held responsible for the inconsistency.
+    blame: frozenset[str]
+    #: The crashed on-disk image (path -> contents).
+    image: dict[str, bytes]
+
+    def as_dict(self) -> dict:
+        return {
+            "path": list(self.path),
+            "crash_point": self.crash_point,
+            "choices": list(self.choices),
+            "lost": [[seq, tag, desc] for seq, tag, desc in self.lost],
+            "kept": [[seq, tag, desc] for seq, tag, desc in self.kept],
+            "blame": sorted(self.blame),
+            "image": {p: data.hex() for p, data in sorted(self.image.items())},
+        }
+
+
+def _describe(rec: tuple) -> str:
+    kind = rec[0]
+    if kind == "write":
+        return f"write ino={rec[2]} block={rec[3]} off={rec[4]} {len(rec[5])}B"
+    if kind == "create":
+        return f"create {rec[2]}"
+    if kind == "rename":
+        return f"rename {rec[2]} -> {rec[3]}"
+    return kind  # pragma: no cover - barriers are never at risk
+
+
+def decode_survivor(sim: SimResult, path: tuple[int, ...]) -> Survivor:
+    """Replay a surviving guess path into a full :class:`Survivor`.
+
+    Blame: the tags of the at-risk records the image *lost* (or kept
+    only a prefix of) — losing them is what broke the invariant.  When
+    nothing was lost the image is the most-complete state at that
+    crash point and is *still* inconsistent, so the workload wrote a
+    bad durable state outright: blame falls on the last tagged record
+    the image absorbed (e.g. a corrupt metadata commit).
+    """
+    if not path:
+        raise ValueError("survivor path is empty")
+    point = path[0]
+    table = sim.table.fork_cow()
+    try:
+        ndims = table.crash_select(point)
+        if ndims < 0:
+            raise ValueError(f"crash_select({point}) -> {ndims}")
+        choices = tuple(path[1:])
+        if len(choices) != ndims:
+            raise ValueError(
+                f"path {path} has {len(choices)} choices for {ndims} dims"
+            )
+        dims = table.crash_dims()
+        by_seq = {rec[1]: rec for rec in sim.log}
+        lost: list[tuple[int, Optional[str], str]] = []
+        kept: list[tuple[int, Optional[str], str]] = []
+        for dim, k in zip(dims, choices):
+            if dim["kind"] == "block":
+                seqs = dim["seqs"]
+                kept_seqs, lost_seqs = seqs[:k], seqs[k:]
+            else:
+                seqs = [dim["seq"]]
+                kept_seqs, lost_seqs = (seqs, []) if k else ([], seqs)
+            for s in kept_seqs:
+                kept.append((s, sim.tags.get(s), _describe(by_seq[s])))
+            for s in lost_seqs:
+                lost.append((s, sim.tags.get(s), _describe(by_seq[s])))
+        for i, k in enumerate(choices):
+            table.crash_set(i, k)
+        table.crash_commit()
+        image = {p: table.contents(p) for p in table.paths()}
+    finally:
+        table.free()
+    blame = frozenset(tag for _seq, tag, _d in lost if tag)
+    if not blame:
+        for rec in reversed(list(sim.log)[:point]):
+            tag = sim.tags.get(rec[1])
+            if tag:
+                blame = frozenset((tag,))
+                break
+    lost.sort(key=lambda e: e[0])
+    kept.sort(key=lambda e: e[0])
+    return Survivor(
+        path=tuple(path),
+        crash_point=point,
+        choices=choices,
+        lost=tuple(lost),
+        kept=tuple(kept),
+        blame=blame,
+        image=image,
+    )
+
+
+@dataclass
+class CrashReport:
+    """The outcome of one crash-consistency search over a plan."""
+
+    plan_name: str
+    engine: str
+    expect_bug: bool
+    expected_blame: frozenset[str]
+    #: Number of crash points searched (log length + 1).
+    crash_points: int
+    survivors: list[Survivor] = field(default_factory=list)
+    #: Engine counters (evaluations, snapshots, ...), for the CLI.
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def found_bug(self) -> bool:
+        return bool(self.survivors)
+
+    @property
+    def blame_matches(self) -> bool:
+        """At least one survivor blames every expected tag."""
+        if not self.expected_blame:
+            return True
+        return any(self.expected_blame <= s.blame for s in self.survivors)
+
+    @property
+    def verdict_ok(self) -> bool:
+        """Did the search behave as the plan declared it should?"""
+        if self.expect_bug:
+            return self.found_bug and self.blame_matches
+        return not self.found_bug
+
+    def survivor_multiset(self) -> tuple:
+        """Engine-independent identity of the surviving states: the
+        sorted guess paths (differential batteries compare these)."""
+        return tuple(sorted(s.path for s in self.survivors))
+
+    def as_dict(self) -> dict:
+        return {
+            "plan": self.plan_name,
+            "engine": self.engine,
+            "expect_bug": self.expect_bug,
+            "expected_blame": sorted(self.expected_blame),
+            "crash_points": self.crash_points,
+            "found_bug": self.found_bug,
+            "verdict_ok": self.verdict_ok,
+            "survivors": [s.as_dict() for s in self.survivors],
+            "stats": self.stats,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [
+            f"plan: {self.plan_name}   engine: {self.engine}",
+            f"crash points searched: {self.crash_points}",
+            f"expected: {'bug' if self.expect_bug else 'clean'}"
+            + (f" blaming {sorted(self.expected_blame)}"
+               if self.expected_blame else ""),
+            f"survivors: {len(self.survivors)}",
+        ]
+        for s in self.survivors:
+            lines.append(
+                f"  crash @{s.crash_point} choices={list(s.choices)} "
+                f"blame={sorted(s.blame)}"
+            )
+            for seq, tag, desc in s.lost:
+                lines.append(f"    lost  seq={seq} [{tag or '-'}] {desc}")
+            for seq, tag, desc in s.kept:
+                lines.append(f"    kept  seq={seq} [{tag or '-'}] {desc}")
+            for p, data in sorted(s.image.items()):
+                preview = data[:32].hex() + ("..." if len(data) > 32 else "")
+                lines.append(f"    image {p} = {len(data)}B {preview}")
+        lines.append("verdict: " + ("OK" if self.verdict_ok else "MISMATCH"))
+        return "\n".join(lines)

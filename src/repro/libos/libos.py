@@ -19,7 +19,7 @@ from repro.interpose.policy import (
     SoundMinimalPolicy,
 )
 from repro.libos.console import Console
-from repro.libos.files import FileTable, HostFS
+from repro.libos.files import FileStats, FileTable, HostFS
 from repro.libos.loader import load_program
 from repro.libos.syscalls import (
     Action,
@@ -70,6 +70,9 @@ class LibOS:
         self.policy = policy if policy is not None else SoundMinimalPolicy()
         self.hostfs = hostfs if hostfs is not None else HostFS()
         self.audit = AuditLog()
+        #: Aggregate file-layer counters across every fork of the file
+        #: table (accounting, like the audit log — not per-path state).
+        self.file_stats = FileStats()
         self.dispatcher = SyscallDispatcher(self.policy, input=input)
         #: Page faults the libOS saw escape the COW layer (hard faults).
         self.hard_faults = 0
@@ -77,7 +80,8 @@ class LibOS:
     def load(self, program: Program, pool: FramePool) -> tuple[ExecState, RegisterFile]:
         """Create the initial execution state for *program*."""
         space, regs = load_program(program, pool)
-        files = FileTable(self.hostfs, self.policy, self.audit)
+        files = FileTable(self.hostfs, self.policy, self.audit,
+                          stats=self.file_stats)
         return ExecState(space, files, Console()), regs
 
     def handle_exit(self, exit_event: VmExit, vcpu: VCpu, state: ExecState) -> Action:

@@ -19,13 +19,27 @@ close              3      rdi=fd
 lseek              8      rdi=fd, rsi=off, rdx=whence
 brk                12     rdi=new break (0 queries) -> rax=break
 exit               60     rdi=status (never returns)
+fsync              74     rdi=fd -> rax=0 or -errno (per-inode barrier)
+rename             82     rdi=src (cstr), rsi=dst (cstr) -> rax=0/-errno
+sync               162    -> rax=0 (global barrier, incl. renames)
 time               201    -> rax=wall-clock nanoseconds
 getrandom          318    rdi=buf, rsi=len -> rax=len or -errno
 sys_guess          0x1000 rdi=n -> rax=extension number
 sys_guess_fail     0x1001 never returns
 sys_guess_strategy 0x1002 rdi=strategy id -> rax=1
 sys_guess_hint     0x1003 rdi=n, rsi=ptr to n signed i64 hints
+sys_crash_select   0x1100 rdi=log index -> rax=#dimensions or -errno
+sys_crash_opts     0x1101 rdi=dim -> rax=#options or -errno
+sys_crash_set      0x1102 rdi=dim, rsi=choice -> rax=0 or -errno
+sys_crash_commit   0x1103 -> rax=#records kept or -errno
 =================  =====  ==========================================
+
+The ``sys_crash_*`` quartet exposes the file layer's persistence model
+(docs/CRASH.md): select a crash point in the operation log, fix one
+persistence choice per dimension (typically each drawn from
+``sys_guess``), then commit — the file table rebases onto the chosen
+crash image and the guest's recovery/checker code reads exactly what a
+remount after power loss would see.
 
 ``time``, ``getrandom`` and ``read(0, ...)`` are the libOS's
 nondeterministic surface.  When a :class:`repro.core.recorder.Recorder`
@@ -176,6 +190,40 @@ class SyscallDispatcher:
             return self._munmap(regs, space, files)
         if number == sysno.SYS_EXIT:
             return ExitAction(status=_signed(regs.rdi))
+        if number == sysno.SYS_FSYNC:
+            return self._fsync(regs, files)
+        if number == sysno.SYS_RENAME:
+            src = space.read_cstr(regs.rdi).decode("utf-8", errors="replace")
+            dst = space.read_cstr(regs.rsi).decode("utf-8", errors="replace")
+            regs.rax = _errno64(files.rename(src, dst))
+            return _CONTINUE
+        if number == sysno.SYS_SYNC:
+            flushed = files.sync()
+            if _TRACER.enabled:
+                _TRACER.emit(_events.FILE_SYNC, records=flushed)
+            regs.rax = 0
+            return _CONTINUE
+        if number == sysno.SYS_CRASH_SELECT:
+            result = files.crash_select(_signed(regs.rdi))
+            if _TRACER.enabled and result >= 0:
+                _TRACER.emit(_events.CRASH_SELECT,
+                             point=_signed(regs.rdi), dims=result)
+            regs.rax = _errno64(result)
+            return _CONTINUE
+        if number == sysno.SYS_CRASH_OPTS:
+            regs.rax = _errno64(files.crash_opts(_signed(regs.rdi)))
+            return _CONTINUE
+        if number == sysno.SYS_CRASH_SET:
+            regs.rax = _errno64(
+                files.crash_set(_signed(regs.rdi), _signed(regs.rsi))
+            )
+            return _CONTINUE
+        if number == sysno.SYS_CRASH_COMMIT:
+            result = files.crash_commit()
+            if _TRACER.enabled and result >= 0:
+                _TRACER.emit(_events.CRASH_COMMIT, kept=result)
+            regs.rax = _errno64(result)
+            return _CONTINUE
         if number == sysno.SYS_TIME:
             return self._time(regs)
         if number == sysno.SYS_GETRANDOM:
@@ -238,6 +286,16 @@ class SyscallDispatcher:
         else:
             space.write(buf, result)
             regs.rax = len(result)
+        return _CONTINUE
+
+    def _fsync(self, regs, files) -> Action:
+        result = files.fsync(regs.rdi)
+        if result < 0:
+            regs.rax = _errno64(result)
+            return _CONTINUE
+        if _TRACER.enabled:
+            _TRACER.emit(_events.FILE_FSYNC, fd=regs.rdi, records=result)
+        regs.rax = 0  # POSIX: success is 0; the record count is trace-only
         return _CONTINUE
 
     def _time(self, regs) -> Action:

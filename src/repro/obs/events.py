@@ -47,6 +47,18 @@ MEM_PAGE_ALLOC = "mem.page_alloc"
 # -- libOS -------------------------------------------------------------
 LIBOS_SYSCALL = "libos.syscall"
 
+# -- versioned file layer / crash simulation ---------------------------
+#: A per-inode barrier retired ``records`` pending blocks to durability.
+FILE_FSYNC = "file.fsync"
+#: A global barrier flushed ``records`` pending data blocks (plus all
+#: pending namespace records).
+FILE_SYNC = "file.sync"
+#: A crash point was prepared: ``point`` is the log index, ``dims`` the
+#: number of persistence dimensions the search will fork over.
+CRASH_SELECT = "crash.select"
+#: A crash image was materialised; ``kept`` at-risk records survived.
+CRASH_COMMIT = "crash.commit"
+
 # -- record/replay of nondeterministic events --------------------------
 #: A nondeterministic syscall outcome was recorded (``replayed`` False)
 #: or served from the log (``replayed`` True).  ``nseq`` is the event's
@@ -109,6 +121,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     MEM_COW_FAULT: ("asid", "vpn", "kind"),
     MEM_PAGE_ALLOC: ("asid", "pages", "kind"),
     LIBOS_SYSCALL: ("nr", "name"),
+    FILE_FSYNC: ("fd", "records"),
+    FILE_SYNC: ("records",),
+    CRASH_SELECT: ("point", "dims"),
+    CRASH_COMMIT: ("kept",),
     REPLAY_EVENT: ("kind", "replayed", "path", "nseq"),
     SEARCH_GUESS: ("n", "depth"),
     SEARCH_FAIL: ("depth",),

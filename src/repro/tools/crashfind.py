@@ -1,0 +1,86 @@
+"""crashfind: search a workload for crash-consistency bugs.
+
+Runs the crash-consistency search (:mod:`repro.crashsim`) over a named
+corpus plan and reports every surviving crash state with the write
+trace that produced it.
+
+Usage::
+
+    python -m repro.tools.crashfind --list
+    python -m repro.tools.crashfind journaled_append_missing_fsync
+    python -m repro.tools.crashfind rename_update_no_sync --engine process \
+        --workers 3 --json
+
+Exit status: 0 — the search matched the plan's declaration (bugs found
+with the expected blame, or proven clean); 1 — mismatch (a declared
+bug was missed, a clean plan produced survivors, or the blame was
+wrong); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.crashsim import run_crashfind
+from repro.workloads.crashfs import CORPUS
+
+
+def _list_plans(out) -> None:
+    width = max(len(name) for name in CORPUS)
+    for name, plan in sorted(CORPUS.items()):
+        kind = "bug" if plan.expect_bug else "clean"
+        print(f"{name:<{width}}  [{kind:5s}] {plan.description}", file=out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crashfind",
+        description="Search a corpus workload for crash-consistency bugs.",
+    )
+    parser.add_argument("workload", nargs="?",
+                        help="corpus plan name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the corpus plans and exit")
+    parser.add_argument("--engine", choices=("snapshot", "process"),
+                        default="snapshot",
+                        help="search engine (default: snapshot)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --engine process")
+    parser.add_argument("--journal", default=None,
+                        help="write-ahead run journal path (process engine)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted run from --journal")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _list_plans(sys.stdout)
+        return 0
+    if args.workload is None:
+        parser.error("workload name required (or --list)")
+    if args.workload not in CORPUS:
+        parser.error(
+            f"unknown workload {args.workload!r} (see --list)"
+        )
+    if (args.journal or args.resume) and args.engine != "process":
+        parser.error("--journal/--resume require --engine process")
+
+    report = run_crashfind(
+        CORPUS[args.workload],
+        engine=args.engine,
+        workers=args.workers,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.verdict_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

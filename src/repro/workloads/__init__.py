@@ -7,6 +7,7 @@ native solver as the baseline the paper compares against (§5).
 """
 
 from repro.workloads.coloring import coloring_asm, coloring_guest
+from repro.workloads.crashfs import BUGGY_PLANS, CLEAN_PLANS, CORPUS
 from repro.workloads.knapsack import subset_sum_asm, subset_sum_guest
 from repro.workloads.nqueens import (
     KNOWN_SOLUTION_COUNTS,
@@ -18,6 +19,9 @@ from repro.workloads.sudoku import sudoku_asm, sudoku_guest
 from repro.workloads.synthetic import stdin_sum_asm
 
 __all__ = [
+    "BUGGY_PLANS",
+    "CLEAN_PLANS",
+    "CORPUS",
     "KNOWN_SOLUTION_COUNTS",
     "coloring_asm",
     "coloring_guest",

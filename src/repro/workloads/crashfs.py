@@ -1,0 +1,297 @@
+"""The seeded crash-consistency corpus (docs/CRASH.md).
+
+Four workload families, each with a correct variant (the search must
+prove it clean: zero surviving crash states) and one or more seeded
+buggy variants (the search must find at least one surviving state and
+blame the write that caused it):
+
+* **journaled_append** — write-ahead journal protecting a db update:
+  journal the new value, commit, then update in place.  Seeded bugs:
+  no barriers at all, no barrier between entry and commit (reordered
+  commit), and an fsync issued *before* the data it was meant to
+  cover.
+* **torn_update** — in-place update; the seeded bug writes across a
+  block boundary in one ``write``, which a crash can tear.
+* **rename_update** — atomic update via write-temp/fsync/rename; the
+  seeded bug skips the directory-level ``sync`` so a crash can lose
+  the rename (published name still points at the old data).
+* **block_alloc** — allocator metadata commit; the seeded bug writes a
+  bitmap that frees a block still referenced (double free), an
+  inconsistency that is durable *without* anything being lost.
+
+Every plan uses tiny 8-byte blocks so searches stay small enough for
+exhaustive enumeration in tests (a few dozen leaves each).
+"""
+
+from __future__ import annotations
+
+from repro.crashsim.model import ABSENT, CrashPlan
+from repro.libos.files import O_CREAT, O_RDWR
+
+_RW = O_RDWR
+_CREAT_RW = O_CREAT | O_RDWR
+
+# ----------------------------------------------------------------------
+# journaled_append: write-ahead journal protecting /db
+# ----------------------------------------------------------------------
+
+_OLD = b"A" * 8
+_NEW = b"B" * 8
+_ENTRY = b"B" * 8                 # journal block 0: the value to apply
+_COMMIT = b"C" + bytes(7)         # journal block 1: the commit mark
+_TORN_COMMIT = bytes(8) + _COMMIT  # commit landed, entry lost
+
+#: Journal states recovery can handle: absent / empty / entry only
+#: (discard) / entry + commit (replay).  A commit without its entry is
+#: unrecoverable.
+_JOURNAL_OK = (ABSENT, b"", _ENTRY, _ENTRY + _COMMIT)
+
+_JOURNAL_CONSISTENT = (
+    (("/db", (_OLD, _NEW)), ("/journal", _JOURNAL_OK)),
+)
+_JOURNAL_FINAL = (
+    (("/db", (_NEW,)), ("/journal", (_ENTRY + _COMMIT,))),
+)
+
+JOURNALED_APPEND_CLEAN = CrashPlan(
+    name="journaled_append_clean",
+    description="Journal entry, barrier, commit, barrier, apply, barrier.",
+    files=(("/db", _OLD),),
+    ops=(
+        ("open", "/journal", _CREAT_RW),          # fd 3
+        ("pwrite", 3, 0, _ENTRY, "journal-entry"),
+        ("fsync", 3),
+        ("pwrite", 3, 8, _COMMIT, "journal-commit"),
+        ("fsync", 3),
+        ("open", "/db", _RW),                     # fd 4
+        ("pwrite", 4, 0, _NEW, "db-data"),
+        ("fsync", 4),
+    ),
+    consistent=_JOURNAL_CONSISTENT,
+    final=_JOURNAL_FINAL,
+    expect_bug=False,
+)
+
+JOURNALED_APPEND_MISSING_FSYNC = CrashPlan(
+    name="journaled_append_missing_fsync",
+    description="Same protocol with every barrier removed: nothing is "
+                "durable, so the final state can lose the db update with "
+                "the journal already gone.",
+    files=(("/db", _OLD),),
+    ops=(
+        ("open", "/journal", _CREAT_RW),
+        ("pwrite", 3, 0, _ENTRY, "journal-entry"),
+        ("pwrite", 3, 8, _COMMIT, "journal-commit"),
+        ("open", "/db", _RW),
+        ("pwrite", 4, 0, _NEW, "db-data"),
+    ),
+    consistent=_JOURNAL_CONSISTENT,
+    final=_JOURNAL_FINAL,
+    expect_bug=True,
+    expected_blame=frozenset(("db-data",)),
+)
+
+JOURNALED_APPEND_REORDERED_COMMIT = CrashPlan(
+    name="journaled_append_reordered_commit",
+    description="No barrier between entry and commit: a crash can "
+                "persist the commit mark while losing the entry it "
+                "covers.",
+    files=(("/db", _OLD),),
+    ops=(
+        ("open", "/journal", _CREAT_RW),
+        ("pwrite", 3, 0, _ENTRY, "journal-entry"),
+        ("pwrite", 3, 8, _COMMIT, "journal-commit"),
+        ("fsync", 3),
+        ("open", "/db", _RW),
+        ("pwrite", 4, 0, _NEW, "db-data"),
+        ("fsync", 4),
+    ),
+    consistent=_JOURNAL_CONSISTENT,
+    final=_JOURNAL_FINAL,
+    expect_bug=True,
+    expected_blame=frozenset(("journal-entry",)),
+)
+
+JOURNALED_APPEND_FSYNC_BEFORE_DATA = CrashPlan(
+    name="journaled_append_fsync_before_data",
+    description="The journal fsync is issued before the entry and "
+                "commit writes, so it covers neither: the journal is "
+                "never durably complete.",
+    files=(("/db", _OLD),),
+    ops=(
+        ("open", "/journal", _CREAT_RW),
+        ("fsync", 3),                 # barrier too early: covers creation only
+        ("pwrite", 3, 0, _ENTRY, "journal-entry"),
+        ("pwrite", 3, 8, _COMMIT, "journal-commit"),
+        ("open", "/db", _RW),
+        ("pwrite", 4, 0, _NEW, "db-data"),
+        ("fsync", 4),
+    ),
+    consistent=_JOURNAL_CONSISTENT,
+    final=_JOURNAL_FINAL,
+    expect_bug=True,
+    expected_blame=frozenset(("journal-entry",)),
+)
+
+# ----------------------------------------------------------------------
+# torn_update: in-place update across a block boundary
+# ----------------------------------------------------------------------
+
+_OLD16 = b"A" * 16
+_NEW16 = b"B" * 16
+_HALF_NEW = b"A" * 8 + b"B" * 8
+
+TORN_UPDATE_CLEAN = CrashPlan(
+    name="torn_update_clean",
+    description="Single-block in-place update: block writes are atomic, "
+                "so old and new are the only reachable states.",
+    files=(("/db", _OLD16),),
+    ops=(
+        ("open", "/db", _RW),
+        ("pwrite", 3, 8, b"B" * 8, "db-data"),   # exactly block 1
+        ("fsync", 3),
+    ),
+    consistent=((("/db", (_OLD16, _HALF_NEW)),),),
+    final=((("/db", (_HALF_NEW,)),),),
+    expect_bug=False,
+)
+
+TORN_UPDATE_MULTIBLOCK = CrashPlan(
+    name="torn_update_multiblock",
+    description="One 16-byte write spans two blocks; a crash between "
+                "the block writebacks tears it.",
+    files=(("/db", _OLD16),),
+    ops=(
+        ("open", "/db", _RW),
+        ("pwrite", 3, 0, _NEW16, "db-data"),     # blocks 0 and 1
+        ("fsync", 3),
+    ),
+    consistent=((("/db", (_OLD16, _NEW16)),),),
+    final=((("/db", (_NEW16,)),),),
+    expect_bug=True,
+    expected_blame=frozenset(("db-data",)),
+)
+
+# ----------------------------------------------------------------------
+# rename_update: atomic update via write-temp / fsync / rename
+# ----------------------------------------------------------------------
+
+_RENAME_CONSISTENT = (
+    (("/cfg", (_OLD, _NEW)), ("/cfg.tmp", (ABSENT, b"", _NEW))),
+)
+_RENAME_FINAL = (
+    (("/cfg", (_NEW,)),),
+)
+
+RENAME_UPDATE_CLEAN = CrashPlan(
+    name="rename_update_clean",
+    description="Write temp, fsync it, rename over the target, sync "
+                "the directory: the published name always has old or "
+                "new, never a partial file.",
+    files=(("/cfg", _OLD),),
+    ops=(
+        ("open", "/cfg.tmp", _CREAT_RW),
+        ("pwrite", 3, 0, _NEW, "tmp-data"),
+        ("fsync", 3),
+        ("rename", "/cfg.tmp", "/cfg", "rename"),
+        ("sync",),
+    ),
+    consistent=_RENAME_CONSISTENT,
+    final=_RENAME_FINAL,
+    expect_bug=False,
+)
+
+RENAME_UPDATE_NO_SYNC = CrashPlan(
+    name="rename_update_no_sync",
+    description="The directory sync after the rename is missing: a "
+                "crash can lose the rename, leaving the old contents "
+                "published after the writer believed it was done.",
+    files=(("/cfg", _OLD),),
+    ops=(
+        ("open", "/cfg.tmp", _CREAT_RW),
+        ("pwrite", 3, 0, _NEW, "tmp-data"),
+        ("fsync", 3),
+        ("rename", "/cfg.tmp", "/cfg", "rename"),
+    ),
+    consistent=_RENAME_CONSISTENT,
+    final=_RENAME_FINAL,
+    expect_bug=True,
+    expected_blame=frozenset(("rename",)),
+)
+
+# ----------------------------------------------------------------------
+# block_alloc: allocator metadata commit (double free)
+# ----------------------------------------------------------------------
+
+#: /store layout: block 0 = [generation, live-bitmap, 0...], block 1 =
+#: slot 1 contents, block 2 = slot 2 contents.
+_META_V1 = bytes((1, 0b01)) + bytes(6)       # gen 1: slot 1 live
+_META_V2 = bytes((2, 0b11)) + bytes(6)       # gen 2: slots 1 and 2 live
+_META_V2_BAD = bytes((2, 0b10)) + bytes(6)   # gen 2: frees live slot 1
+_SLOT1 = b"X" * 8
+_SLOT2_EMPTY = bytes(8)
+_SLOT2_NEW = b"N" * 8
+
+_STORE_OK = (
+    _META_V1 + _SLOT1 + _SLOT2_EMPTY,    # before anything
+    _META_V1 + _SLOT1 + _SLOT2_NEW,      # data landed, not yet committed
+    _META_V2 + _SLOT1 + _SLOT2_NEW,      # committed
+)
+
+BLOCK_ALLOC_CLEAN = CrashPlan(
+    name="block_alloc_clean",
+    description="Write the new slot, barrier, commit the bitmap that "
+                "marks it live, barrier.",
+    files=(("/store", _META_V1 + _SLOT1 + _SLOT2_EMPTY),),
+    ops=(
+        ("open", "/store", _RW),
+        ("pwrite", 3, 16, _SLOT2_NEW, "slot-data"),
+        ("fsync", 3),
+        ("pwrite", 3, 0, _META_V2, "meta-commit"),
+        ("fsync", 3),
+    ),
+    consistent=((("/store", _STORE_OK),),),
+    final=((("/store", (_META_V2 + _SLOT1 + _SLOT2_NEW,)),),),
+    expect_bug=False,
+)
+
+BLOCK_ALLOC_DOUBLE_FREE = CrashPlan(
+    name="block_alloc_double_free",
+    description="The committed bitmap frees slot 1 while it is still "
+                "live — a double free that is inconsistent even though "
+                "no write was lost (the bug is in what was written).",
+    files=(("/store", _META_V1 + _SLOT1 + _SLOT2_EMPTY),),
+    ops=(
+        ("open", "/store", _RW),
+        ("pwrite", 3, 16, _SLOT2_NEW, "slot-data"),
+        ("fsync", 3),
+        ("pwrite", 3, 0, _META_V2_BAD, "meta-commit"),
+        ("fsync", 3),
+    ),
+    consistent=((("/store", _STORE_OK),),),
+    final=((("/store", (_META_V2 + _SLOT1 + _SLOT2_NEW,)),),),
+    expect_bug=True,
+    expected_blame=frozenset(("meta-commit",)),
+)
+
+# ----------------------------------------------------------------------
+
+#: Every corpus plan by name (the crashfind CLI's registry).
+CORPUS: dict[str, CrashPlan] = {
+    plan.name: plan
+    for plan in (
+        JOURNALED_APPEND_CLEAN,
+        JOURNALED_APPEND_MISSING_FSYNC,
+        JOURNALED_APPEND_REORDERED_COMMIT,
+        JOURNALED_APPEND_FSYNC_BEFORE_DATA,
+        TORN_UPDATE_CLEAN,
+        TORN_UPDATE_MULTIBLOCK,
+        RENAME_UPDATE_CLEAN,
+        RENAME_UPDATE_NO_SYNC,
+        BLOCK_ALLOC_CLEAN,
+        BLOCK_ALLOC_DOUBLE_FREE,
+    )
+}
+
+BUGGY_PLANS = tuple(p for p in CORPUS.values() if p.expect_bug)
+CLEAN_PLANS = tuple(p for p in CORPUS.values() if not p.expect_bug)

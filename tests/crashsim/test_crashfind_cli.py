@@ -1,0 +1,87 @@
+"""The crashfind CLI: listing, verdicts, JSON output, exit codes."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.tools.crashfind import main
+from repro.workloads.crashfs import CORPUS, RENAME_UPDATE_NO_SYNC
+
+
+class TestListing:
+    def test_list_names_every_plan(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in CORPUS:
+            assert name in out
+
+    def test_list_marks_bug_and_clean(self, capsys):
+        main(["--list"])
+        out = capsys.readouterr().out
+        assert "[bug" in out and "[clean]" in out
+
+
+class TestVerdicts:
+    def test_buggy_plan_meets_expectation(self, capsys):
+        assert main(["rename_update_no_sync"]) == 0
+        out = capsys.readouterr().out
+        assert "survivors: 1" in out
+        assert "rename" in out
+        assert "verdict: OK" in out
+
+    def test_clean_plan_meets_expectation(self, capsys):
+        assert main(["torn_update_clean"]) == 0
+        out = capsys.readouterr().out
+        assert "survivors: 0" in out
+        assert "verdict: OK" in out
+
+    def test_mismatch_exits_one(self, capsys, monkeypatch):
+        # A plan that declares itself clean but hides a seeded bug:
+        # the search finds survivors, the verdict mismatches.
+        lying = dataclasses.replace(
+            RENAME_UPDATE_NO_SYNC, name="lying_clean",
+            expect_bug=False, expected_blame=frozenset(),
+        )
+        monkeypatch.setitem(CORPUS, "lying_clean", lying)
+        assert main(["lying_clean"]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestJson:
+    def test_json_report_shape(self, capsys):
+        assert main(["rename_update_no_sync", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"] == "rename_update_no_sync"
+        assert payload["found_bug"] is True
+        assert payload["verdict_ok"] is True
+        survivor = payload["survivors"][0]
+        assert survivor["blame"] == ["rename"]
+        assert survivor["image"]["/cfg"] == ("41" * 8)
+        assert any(entry[1] == "rename" for entry in survivor["lost"])
+
+
+class TestUsageErrors:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["no_such_plan"])
+        assert exc.value.code == 2
+
+    def test_missing_workload(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_journal_requires_process_engine(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["torn_update_clean", "--journal", "/tmp/x.journal"])
+        assert exc.value.code == 2
+
+
+class TestProcessEngine:
+    def test_cli_process_run(self, capsys):
+        assert main(["torn_update_multiblock", "--engine", "process",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "process x2" in out
+        assert "verdict: OK" in out

@@ -1,0 +1,157 @@
+"""Host-side model: plan simulation, rules, survivor decoding."""
+
+import dataclasses
+
+import pytest
+
+from repro.crashsim import (
+    ABSENT,
+    CrashPlan,
+    crash_asm,
+    decode_survivor,
+    run_crashfind,
+    simulate,
+)
+from repro.crashsim.model import image_matches, replay_table
+from repro.libos.files import O_CREAT, O_RDWR
+from repro.workloads.crashfs import (
+    BLOCK_ALLOC_DOUBLE_FREE,
+    CORPUS,
+    JOURNALED_APPEND_CLEAN,
+    RENAME_UPDATE_NO_SYNC,
+)
+
+
+class TestSimulate:
+    def test_log_and_tags(self):
+        sim = simulate(JOURNALED_APPEND_CLEAN)
+        kinds = [rec[0] for rec in sim.log]
+        assert kinds == ["create", "write", "fsync", "write", "fsync",
+                         "write", "fsync"]
+        assert sim.K == 7
+        tagged = {sim.tags[rec[1]] for rec in sim.log if rec[1] in sim.tags}
+        assert tagged == {"create:/journal", "journal-entry",
+                          "journal-commit", "db-data"}
+
+    def test_table_reflects_final_state(self):
+        sim = simulate(JOURNALED_APPEND_CLEAN)
+        assert sim.table.contents("/db") == b"B" * 8
+        assert sim.table.contents("/journal") == b"B" * 8 + b"C" + bytes(7)
+
+    def test_wrong_fd_assumption_is_rejected(self):
+        plan = dataclasses.replace(
+            JOURNALED_APPEND_CLEAN,
+            name="bad_fd",
+            ops=(
+                ("open", "/journal", O_CREAT | O_RDWR),   # fd 3, not 4
+                ("pwrite", 4, 0, b"x", "oops"),
+            ),
+        )
+        with pytest.raises(ValueError, match="lseek"):
+            replay_table(plan)
+
+    def test_failed_open_is_rejected(self):
+        plan = dataclasses.replace(
+            JOURNALED_APPEND_CLEAN,
+            name="bad_open",
+            ops=(("open", "/missing", O_RDWR),),
+        )
+        with pytest.raises(ValueError, match="returned fd"):
+            replay_table(plan)
+
+    def test_unknown_op_is_rejected(self):
+        plan = dataclasses.replace(
+            JOURNALED_APPEND_CLEAN, name="bad_op", ops=(("truncate", 3),)
+        )
+        with pytest.raises(ValueError, match="unknown op"):
+            replay_table(plan)
+
+
+class TestRules:
+    def test_alternatives_and_absent(self):
+        rules = ((("/a", (b"x", ABSENT)),),)
+        assert image_matches({"/a": b"x"}, rules)
+        assert image_matches({}, rules)
+        assert not image_matches({"/a": b"y"}, rules)
+
+    def test_conjunction_within_rule(self):
+        rules = ((("/a", (b"x",)), ("/b", (b"y",))),)
+        assert image_matches({"/a": b"x", "/b": b"y"}, rules)
+        assert not image_matches({"/a": b"x", "/b": b"z"}, rules)
+        assert not image_matches({"/a": b"x"}, rules)  # /b missing
+
+    def test_disjunction_across_rules(self):
+        rules = (
+            (("/a", (b"x",)),),
+            (("/a", (b"y",)),),
+        )
+        assert image_matches({"/a": b"y"}, rules)
+        assert not image_matches({"/a": b"z"}, rules)
+
+
+class TestCodegen:
+    def test_empty_rules_are_rejected(self):
+        for field in ("consistent", "final"):
+            plan = dataclasses.replace(
+                JOURNALED_APPEND_CLEAN, name="empty", **{field: ()}
+            )
+            with pytest.raises(ValueError, match="non-empty"):
+                crash_asm(plan)
+
+    def test_every_corpus_plan_assembles(self):
+        from repro.cpu.assembler import assemble
+
+        for plan in CORPUS.values():
+            program = assemble(crash_asm(plan))
+            assert len(program.text) > 0
+
+
+class TestDecodeSurvivor:
+    def test_lost_records_and_blame(self):
+        sim = simulate(RENAME_UPDATE_NO_SYNC)
+        survivor = decode_survivor(sim, (4, 0))  # crash at end, rename lost
+        assert survivor.crash_point == 4
+        assert survivor.blame == frozenset(("rename",))
+        assert [tag for _seq, tag, _d in survivor.lost] == ["rename"]
+        assert survivor.image["/cfg"] == b"A" * 8
+        assert survivor.image["/cfg.tmp"] == b"B" * 8
+
+    def test_blame_falls_to_last_write_when_nothing_lost(self):
+        # The double-free image is complete *and* inconsistent: the
+        # blame convention pins the last tagged record the image kept.
+        report = run_crashfind(BLOCK_ALLOC_DOUBLE_FREE, engine="snapshot")
+        final = [s for s in report.survivors
+                 if s.crash_point == report.crash_points - 1]
+        assert final, "the completed buggy state must survive"
+        assert all(not s.lost for s in final)
+        assert all(s.blame == frozenset(("meta-commit",)) for s in final)
+
+    def test_bad_path_is_rejected(self):
+        sim = simulate(RENAME_UPDATE_NO_SYNC)
+        with pytest.raises(ValueError):
+            decode_survivor(sim, ())
+        with pytest.raises(ValueError):
+            decode_survivor(sim, (4, 0, 0))  # too many choices
+
+    def test_decode_leaves_sim_table_untouched(self):
+        sim = simulate(RENAME_UPDATE_NO_SYNC)
+        before = (sim.table.oplog, sim.table.contents("/cfg"),
+                  sim.table.paths())
+        decode_survivor(sim, (4, 0))
+        after = (sim.table.oplog, sim.table.contents("/cfg"),
+                 sim.table.paths())
+        assert before == after
+
+
+class TestPlanValidation:
+    def test_corpus_plans_have_distinct_names(self):
+        assert len(CORPUS) == 10
+
+    def test_buggy_plans_declare_blame(self):
+        for plan in CORPUS.values():
+            if plan.expect_bug:
+                assert plan.expected_blame, plan.name
+
+    def test_plan_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            JOURNALED_APPEND_CLEAN.name = "other"

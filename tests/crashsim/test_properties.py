@@ -1,0 +1,133 @@
+"""Property tests: the crash-state enumeration is sound and complete.
+
+The file layer enumerates crash images as a product of per-dimension
+options (:func:`~repro.libos.files.crash_dimensions`); the model
+module enumerates them by brute-force subset generation with an
+explicit prefix-closure legality check
+(:func:`~repro.crashsim.model.reference_legal_images`).  For random
+write/fsync/sync/rename sequences the two must agree exactly, at
+every crash point:
+
+* **soundness** — every image the file layer produces is legal;
+* **completeness** — every legal image is produced.
+
+Both directions are one set equality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crashsim.model import (
+    enumerate_crash_images,
+    reference_legal_images,
+)
+from repro.libos.files import O_CREAT, O_RDWR, FileTable, HostFS
+
+BLOCK = 4
+BASE_FILES = {"/a": b"aaaa", "/b": b"bbbbbbbb"}
+
+# Small alphabet of operations over two pre-existing files and one
+# created file; offsets reach into a third block so multi-block writes
+# and zero-extension both occur.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.sampled_from(["/a", "/b", "/new"]),
+                  st.integers(min_value=0, max_value=2 * BLOCK),
+                  st.binary(min_size=1, max_size=2 * BLOCK)),
+        st.tuples(st.just("fsync"), st.sampled_from(["/a", "/b", "/new"])),
+        st.tuples(st.just("sync")),
+        st.tuples(st.just("rename"),
+                  st.sampled_from([("/a", "/a2"), ("/b", "/b2"),
+                                   ("/new", "/new2")])),
+    ),
+    min_size=0, max_size=6,
+)
+
+
+def _drive(ops):
+    """Run a random op sequence; returns the table and its fd map."""
+    table = FileTable(HostFS(dict(BASE_FILES), block_size=BLOCK))
+    fds = {
+        "/a": table.open("/a", O_RDWR),
+        "/b": table.open("/b", O_RDWR),
+        "/new": table.open("/new", O_CREAT | O_RDWR),
+    }
+    for op in ops:
+        if op[0] == "write":
+            _, path, off, data = op
+            assert table.lseek(fds[path], off, 0) == off
+            assert table.write(fds[path], data) == len(data)
+        elif op[0] == "fsync":
+            assert table.fsync(fds[op[1]]) >= 0
+        elif op[0] == "sync":
+            table.sync()
+        else:  # rename (may fail with -ENOENT after a prior rename)
+            table.rename(*op[1])
+    return table
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_enumeration_sound_and_complete(ops):
+    table = _drive(ops)
+    log = table.oplog
+    for point in range(len(log) + 1):
+        got = enumerate_crash_images(table, point)
+        want = reference_legal_images(log, point, BASE_FILES, BLOCK)
+        assert got == want, f"divergence at crash point {point}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_durable_state_is_a_legal_image(ops):
+    """The 'everything pending lost' image (all-zero choices) is the
+    guaranteed-durable state, and the merged view (nothing lost) is
+    another legal image — both must be in the enumerated set."""
+    table = _drive(ops)
+    point = len(table.oplog)
+    images = enumerate_crash_images(table, point)
+    durable = frozenset(
+        (path, table.durable_contents(path))
+        for path in table.durable_paths()
+    )
+    merged = frozenset(
+        (path, table.contents(path)) for path in table.paths()
+    )
+    assert durable in images
+    assert merged in images
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops, _ops)
+def test_fork_isolation_with_page_cache(parent_ops, child_ops):
+    """A fork's writes — flushed or pending — never leak back into the
+    parent: the parent's merged view, log, and crash-image set are
+    unchanged by anything the child does."""
+    table = _drive(parent_ops)
+    point = len(table.oplog)
+    before_view = {p: table.contents(p) for p in table.paths()}
+    before_log = table.oplog
+    before_images = enumerate_crash_images(table, point)
+
+    child = table.fork_cow()
+    for op in child_ops:
+        if op[0] == "write":
+            _, path, off, data = op
+            fd = child.open(path, O_CREAT | O_RDWR)
+            if fd >= 0:
+                child.lseek(fd, off, 0)
+                child.write(fd, data)
+        elif op[0] == "fsync":
+            fd = child.open(op[1], O_CREAT | O_RDWR)
+            if fd >= 0:
+                child.fsync(fd)
+        elif op[0] == "sync":
+            child.sync()
+        else:
+            child.rename(*op[1])
+
+    assert {p: table.contents(p) for p in table.paths()} == before_view
+    assert table.oplog == before_log
+    assert enumerate_crash_images(table, point) == before_images
+    child.free()
