@@ -69,7 +69,15 @@ from repro.libos.syscalls import (
 )
 from repro.mem.frames import FramePool
 from repro.obs import events as _events
+from repro.obs.live import (
+    FlightRecorder,
+    HeartbeatEmitter,
+    RingSink,
+    StatusLogger,
+    StatusServer,
+)
 from repro.obs.registry import MetricsRegistry
+from repro.obs.status import HeartbeatRecord, RunStatus
 from repro.obs.trace import TRACER as _TRACER, MemorySink
 from repro.search import get_strategy
 from repro.search.extension import Extension
@@ -145,6 +153,13 @@ class ClusterConfig:
     #: Persistence granularity of the workers' file layer (must match
     #: the coordinator's, or crash-dimension numbering would diverge).
     hostfs_block_size: int = 4096
+    #: Seconds between worker heartbeat records shipped over the result
+    #: pipe alongside task results (None disables heartbeats — the
+    #: engine enables them whenever any live-telemetry surface is on).
+    heartbeat_interval: Optional[float] = None
+    #: Capacity of the per-worker flight-recorder ring of recent trace
+    #: events, shipped inside heartbeats (0 disables the ring).
+    flight_events: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -232,7 +247,23 @@ class _SubtreeWorker:
         # FramePool keeps its stats on the pool object, not in a registry;
         # ship per-task deltas so the coordinator sees copy totals.
         self._frames_copied = self.registry.counter("mem.frames_copied")
+        self._spills_counter = self.registry.counter("parallel.worker_spills")
         self._last_copied = 0
+        #: Heartbeat hook called between extension evaluations (set by
+        #: ``_worker_main`` when live telemetry is on; it is rate-limited
+        #: internally, so calling it often is cheap).
+        self.heartbeat: Optional[Callable[[], None]] = None
+
+    def sync_frame_stats(self) -> None:
+        """Mirror the pool's copy count into the registry.
+
+        Called at every task end and before every heartbeat, so mid-task
+        uncommitted registry states carry the COW work done so far.
+        """
+        copied = self.pool.stats.copied
+        if copied != self._last_copied:
+            self._frames_copied.inc(copied - self._last_copied)
+            self._last_copied = copied
 
     def _divergence_verdict(self, pc: int) -> Optional[str]:
         """The static analyzer's take on a replay divergence at *pc*."""
@@ -391,6 +422,8 @@ class _SubtreeWorker:
                             )
                         finish(pending)
                         return
+                    if self.heartbeat is not None:
+                        self.heartbeat()
                     continue
                 if isinstance(action, StrategyAction):
                     # Guest strategy selection is coordinator policy in
@@ -474,6 +507,8 @@ class _SubtreeWorker:
 
         run_pending(pending)
         while True:
+            if self.heartbeat is not None:
+                self.heartbeat()
             if (
                 solutions_budget is not None
                 and len(solutions) >= solutions_budget
@@ -518,8 +553,9 @@ class _SubtreeWorker:
         # Worker-local frontier peaks are per-task numbers; summing them
         # through the gauge merge would be meaningless, so the engine's
         # peak_frontier reports the coordinator task frontier instead.
-        self._frames_copied.inc(self.pool.stats.copied - self._last_copied)
-        self._last_copied = self.pool.stats.copied
+        self.sync_frame_stats()
+        if spilled:
+            self._spills_counter.inc(len(spilled))
         return solutions, spilled
 
 
@@ -534,23 +570,52 @@ def _worker_main(worker_id: int, conn, program: Program,
     _TRACER.set_context(worker=worker_id)
     collector = _TRACER.attach(MemorySink()) if config.collect_trace else None
     worker = _SubtreeWorker(program, config)
+    emitter: Optional[HeartbeatEmitter] = None
+    if config.heartbeat_interval is not None:
+        # The flight ring is a tracer sink of its own: attaching it
+        # enables event emission in this worker even when the
+        # coordinator is not collecting a full trace — the ring bounds
+        # the cost to the N most recent events.
+        ring = (
+            _TRACER.attach(RingSink(config.flight_events))
+            if config.flight_events > 0 else None
+        )
+        emitter = HeartbeatEmitter(
+            conn, worker_id, worker.registry, config.heartbeat_interval,
+            ring=ring, sync=worker.sync_frame_stats,
+        )
     try:
         while True:
-            msg = conn.recv()
+            if emitter is None:
+                msg = conn.recv()
+            else:
+                # Heartbeat through idle waits too, so the coordinator
+                # can tell "idle and healthy" from "gone".
+                while not conn.poll(emitter.poll_timeout()):
+                    emitter.beat(phase="idle", force=True)
+                msg = conn.recv()
             if msg is None:
                 break
             batch, solutions_budget, shipped_events = msg
             if worker.recorder is not None and shipped_events:
                 worker.recorder.log.merge(shipped_events)
             for task in batch:
-                if config.fault_hook is not None:
-                    config.fault_hook(task)
                 if _TRACER.enabled:
                     _TRACER.emit(
                         _events.TASK_BEGIN, worker=worker_id,
                         task=list(task.prefix), depth=task.depth,
                         span=task.span, attempt=task.attempt,
                     )
+                if emitter is not None:
+                    # Force a beat before the fault hook can kill us:
+                    # the shipped ring (with task.begin) is what the
+                    # flight recorder dumps for this death.
+                    worker.heartbeat = (
+                        lambda t=task: emitter.beat(task=t.prefix, span=t.span)
+                    )
+                    emitter.beat(task=task.prefix, span=task.span, force=True)
+                if config.fault_hook is not None:
+                    config.fault_hook(task)
                 try:
                     solutions, spilled = worker.explore(task, solutions_budget)
                 except Exception as exc:  # engine/guest error: report and die
@@ -571,6 +636,10 @@ def _worker_main(worker_id: int, conn, program: Program,
                         task_s=worker._task_timer.total_s,
                     )
                 state = worker.registry.state_dict()
+                if emitter is not None:
+                    worker.heartbeat = None
+                    # Bank the lifetime counters this reset will zero.
+                    emitter.note_task_result(state)
                 worker.registry.reset()
                 segment = collector.drain() if collector is not None else None
                 fresh_events = (
@@ -709,6 +778,32 @@ class ProcessParallelEngine:
         immutable, so rehydrated prefixes (including ``sys_crash_*``
         enumeration prefixes) replay over the same initial durable
         state on every worker.
+    status_port:
+        Serve live run status over HTTP on ``127.0.0.1:<port>`` for the
+        duration of :meth:`run`: ``GET /status`` returns the JSON
+        :meth:`~repro.obs.status.RunStatus.snapshot`, ``GET /metrics``
+        Prometheus text exposition.  ``0`` picks a free port (read
+        ``engine.status_server.url``); ``None`` disables the server.
+    status_log:
+        Append periodic ``status.sample`` JSONL records (one full
+        status snapshot each) to this path, consumable by
+        ``repro.tools.top --status-log`` and ``trace_report``.
+    status_interval:
+        Seconds between status-log samples (and the floor of the
+        coordinator's internal status refresh cadence).
+    heartbeat_interval:
+        Seconds between worker heartbeats.  ``None`` (default) means
+        0.25 whenever any telemetry surface above is enabled, else off.
+        Heartbeats also defer the per-task timeout while a worker's
+        step counter demonstrably grows — a stalled worker cannot beat,
+        so stalls still time out.
+    flight_dir:
+        Directory for flight-recorder post-mortems: each worker's most
+        recent *flight_events* trace events (shipped inside heartbeats,
+        so they survive ``kill -9``) are dumped to a JSONL file when
+        the supervisor observes that worker crash or stall.
+    flight_events:
+        Ring capacity per worker for *flight_dir* (default 256).
     """
 
     def __init__(
@@ -736,6 +831,12 @@ class ProcessParallelEngine:
         replay_log: Optional[NondetLog] = None,
         input_script: Optional[bytes] = None,
         hostfs: Optional[HostFS] = None,
+        status_port: Optional[int] = None,
+        status_log: Optional[str] = None,
+        status_interval: float = 0.5,
+        heartbeat_interval: Optional[float] = None,
+        flight_dir: Optional[str] = None,
+        flight_events: int = 256,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -754,6 +855,12 @@ class ProcessParallelEngine:
             raise ValueError("replay_log requires replay_mode != 'off'")
         if resume and journal is None:
             raise ValueError("resume=True requires a journal path")
+        if status_interval <= 0:
+            raise ValueError("status_interval must be > 0")
+        if heartbeat_interval is not None and heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0")
+        if flight_events < 1:
+            raise ValueError("flight_events must be >= 1")
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
@@ -784,6 +891,28 @@ class ProcessParallelEngine:
             supervisor if supervisor is not None
             else SupervisorPolicy(min_workers=min_workers)
         )
+        self.status_port = status_port
+        self.status_log = status_log
+        self.status_interval = status_interval
+        self.flight_dir = flight_dir
+        #: True when any live-telemetry surface was requested; gates the
+        #: coordinator's refresh work so telemetry-off runs pay nothing.
+        self._telemetry = (
+            status_port is not None or status_log is not None
+            or flight_dir is not None or heartbeat_interval is not None
+        )
+        hb_interval = (
+            heartbeat_interval if heartbeat_interval is not None
+            else (0.25 if self._telemetry else None)
+        )
+        #: Live model of the current/last :meth:`run` (always set by
+        #: run; finalized to the exact end-of-run registry state).
+        self.status: Optional[RunStatus] = None
+        #: The HTTP exporter of the current run (``status_port`` only).
+        self.status_server: Optional[StatusServer] = None
+        #: The flight recorder of the current run (``flight_dir`` only);
+        #: ``flight_recorder.dumps`` lists post-mortems written.
+        self.flight_recorder: Optional[FlightRecorder] = None
         if chaos is not None and fault_hook is None:
             fault_hook = chaos.worker_hook
         self.config = ClusterConfig(
@@ -802,6 +931,11 @@ class ProcessParallelEngine:
             hostfs_block_size=(
                 hostfs.block_size if hostfs is not None
                 else ClusterConfig.hostfs_block_size
+            ),
+            heartbeat_interval=hb_interval,
+            flight_events=(
+                flight_events
+                if flight_dir is not None and hb_interval is not None else 0
             ),
         )
         if mp_context is None:
@@ -841,6 +975,8 @@ class ProcessParallelEngine:
         c_degraded = reg.counter("parallel.degraded_runs")
         c_proto = reg.counter("parallel.protocol_errors")
         c_resume_filtered = reg.counter("parallel.resume_spills_filtered")
+        c_heartbeats = reg.counter("telemetry.heartbeats")
+        c_flight = reg.counter("telemetry.flight_dumps")
         g_workers = reg.gauge("parallel.workers")
 
         # Trace propagation: workers collect iff the coordinator traces,
@@ -863,6 +999,21 @@ class ProcessParallelEngine:
             )
 
         span = next(_run_spans)
+        run_status = RunStatus(
+            workers=self.num_workers, span=span, strategy=self.strategy_name,
+        )
+        self.status = run_status
+        server: Optional[StatusServer] = None
+        logger: Optional[StatusLogger] = None
+        flight: Optional[FlightRecorder] = None
+        if self.status_port is not None:
+            server = StatusServer(run_status, port=self.status_port).start()
+        self.status_server = server
+        if self.flight_dir is not None and run_config.flight_events > 0:
+            flight = FlightRecorder(
+                self.flight_dir, capacity=run_config.flight_events,
+            )
+        self.flight_recorder = flight
         frontier = TaskFrontier(order=self.strategy_name)
         solutions: list[Solution] = []
         stop_reason: Optional[str] = None
@@ -942,6 +1093,42 @@ class ProcessParallelEngine:
         ]
         g_workers.set(self.num_workers)
 
+        track_status = self._telemetry
+        status_every = min(0.25, self.status_interval)
+        last_refresh = 0.0
+
+        def worker_health() -> list[dict]:
+            health = sup.health()
+            for entry in health:
+                handle = handles[entry["slot"]]
+                entry["worker"] = handle.wid if handle is not None else None
+                entry["busy"] = bool(handle is not None and handle.busy)
+            return health
+
+        def maybe_refresh(force: bool = False) -> None:
+            nonlocal last_refresh
+            if not track_status:
+                return
+            now = time.monotonic()
+            if not force and now - last_refresh < status_every:
+                return
+            last_refresh = now
+            run_status.refresh(
+                reg.state_dict(),
+                pending=len(frontier),
+                in_flight=sum(
+                    len(h.pending) for h in handles if h is not None
+                ),
+                solutions=len(solutions),
+                health=worker_health(),
+            )
+
+        maybe_refresh(force=True)
+        if self.status_log is not None:
+            logger = StatusLogger(
+                run_status, self.status_log, interval=self.status_interval,
+            ).start()
+
         def journal_append(rtype: str, **fields) -> None:
             if journal is not None:
                 journal.append(rtype, **fields)
@@ -990,6 +1177,16 @@ class ProcessParallelEngine:
         def fail_worker(slot, handle: _WorkerHandle, kind: str,
                         detail: str = "") -> None:
             """Account one worker death: blame, requeue, schedule respawn."""
+            if flight is not None:
+                flight.record_failure(
+                    handle.wid, kind, detail,
+                    task=(
+                        list(handle.pending[0].prefix)
+                        if handle.pending else None
+                    ),
+                )
+                c_flight.inc()
+            run_status.on_worker_failed(handle.wid)
             if kind == "timeout":
                 c_timeouts.inc()
                 if _TRACER.enabled:
@@ -1098,7 +1295,12 @@ class ProcessParallelEngine:
                 local.registry.reset()
                 c_done.inc()
                 c_spilled.inc(len(spilled))
+                run_status.on_task_complete(
+                    -1, task.fanouts, len(task_solutions),
+                    [t.fanouts for t in spilled],
+                )
                 push_tasks(spilled)
+                maybe_refresh()
                 if local.recorder is not None:
                     fresh = local.recorder.drain_fresh()
                     if fresh:  # already merged: it records into nlog
@@ -1122,6 +1324,7 @@ class ProcessParallelEngine:
                 ):
                     stop_reason = "max_solutions"
                     break
+                maybe_refresh()
 
                 now = time.monotonic()
                 for slot in sup.respawn_ready(now):
@@ -1176,29 +1379,38 @@ class ProcessParallelEngine:
                         _TRACER.emit(_events.PARALLEL_DISPATCH,
                                      worker=handle.wid, tasks=len(batch))
 
-                busy: dict = {}
+                # Wait on every live worker's pipe, busy or idle: idle
+                # workers send heartbeats too (and a dying idle worker
+                # closing its pipe is noticed here instead of waiting
+                # for the next dispatch sweep's is_alive check).
+                waitmap: dict = {}
+                busy_count = 0
                 for slot in sup.slots:
                     handle = handles[slot.index]
-                    if handle is not None and handle.busy:
-                        busy[handle.conn] = (slot, handle)
-                if not busy and not frontier:
+                    if handle is None:
+                        continue
+                    waitmap[handle.conn] = (slot, handle)
+                    if handle.busy:
+                        busy_count += 1
+                if not busy_count and not frontier:
                     break  # frontier exhausted, nothing in flight
-                if not busy:
+                timeout = poll
+                if not busy_count:
                     # Everything runnable is mid-backoff (or tasks were
-                    # just requeued): sleep to the nearest respawn
+                    # just requeued): wait to the nearest respawn
                     # deadline instead of spinning.
                     due = sup.next_respawn_due()
-                    delay = poll if due is None else min(
-                        poll, max(0.0, due - time.monotonic())
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
-                    continue
+                    if due is not None:
+                        timeout = min(poll, max(0.0, due - time.monotonic()))
+                    if not waitmap:
+                        if timeout > 0:
+                            time.sleep(timeout)
+                        continue
 
-                ready = mp_connection.wait(list(busy), timeout=poll)
+                ready = mp_connection.wait(list(waitmap), timeout=timeout)
                 now = time.monotonic()
                 for conn in ready:
-                    slot, handle = busy[conn]
+                    slot, handle = waitmap[conn]
                     if handles[slot.index] is not handle:
                         continue  # failed earlier this sweep
                     try:
@@ -1221,12 +1433,28 @@ class ProcessParallelEngine:
                     if (
                         not isinstance(msg, tuple)
                         or len(msg) < 3
-                        or msg[0] not in ("task", "error")
+                        or msg[0] not in ("task", "error", "hb")
                         or (msg[0] == "task" and len(msg) != 8)
+                        or (msg[0] == "hb"
+                            and not (len(msg) == 3
+                                     and isinstance(msg[2], HeartbeatRecord)))
                     ):
                         c_proto.inc()
                         fail_worker(slot, handle, "crash",
                                     f"malformed result message {msg!r}"[:200])
+                        continue
+                    if msg[0] == "hb":
+                        record: HeartbeatRecord = msg[2]
+                        c_heartbeats.inc()
+                        progressed = run_status.observe_heartbeat(record)
+                        if flight is not None and record.events:
+                            flight.extend(handle.wid, record.events)
+                        if progressed and handle.busy:
+                            # The worker's step counter grew: its task
+                            # is alive, defer the stall timeout.  (A
+                            # stalled worker cannot beat, so real
+                            # stalls still trip it.)
+                            handle.last_progress = now
                         continue
                     if msg[0] == "error":
                         if str(msg[2]).startswith(
@@ -1251,6 +1479,12 @@ class ProcessParallelEngine:
                     c_done.inc()
                     c_spilled.inc(len(spilled))
                     reg.merge_state(state)
+                    run_status.on_task_complete(
+                        handle.wid,
+                        completed.fanouts if completed is not None else (),
+                        len(task_solutions),
+                        [t.fanouts for t in spilled],
+                    )
                     push_tasks(spilled)
                     absorb_events(fresh_events)
                     journal_append(
@@ -1341,6 +1575,18 @@ class ProcessParallelEngine:
             g_workers.set(0)
             if journal is not None:
                 journal.close()
+            # Seal the status on every exit path (exceptions included):
+            # uncommitted heartbeat states are dropped, so from here the
+            # status metrics mirror the engine registry.
+            run_status.finalize(
+                reg.state_dict(), pending=len(frontier),
+                solutions=len(solutions), health=worker_health(),
+                stop_reason=stop_reason, degraded=degraded,
+            )
+            if logger is not None:
+                logger.stop()
+            if server is not None:
+                server.stop()
 
         stats.peak_frontier = max(stats.peak_frontier, frontier.peak)
         stats.extra.update({
@@ -1393,6 +1639,21 @@ class ProcessParallelEngine:
                 {"task": task.to_record(), "evidence": evidence}
                 for task, evidence in poisoned
             ]
+        if track_status:
+            stats.extra["heartbeats"] = c_heartbeats.value
+            if server is not None:
+                stats.extra["status_url"] = server.url
+            if self.status_log is not None:
+                stats.extra["status_log"] = self.status_log
+            if flight is not None:
+                stats.extra["flight_dumps"] = list(flight.dumps)
+        # Re-seal after the peak_frontier gauge write above, so the
+        # status metrics equal the registry's true final state exactly.
+        run_status.finalize(
+            reg.state_dict(), pending=len(frontier),
+            solutions=len(solutions), health=worker_health(),
+            stop_reason=stop_reason, degraded=degraded,
+        )
         return SearchResult(
             solutions=solutions,
             stats=stats,

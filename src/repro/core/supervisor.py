@@ -152,6 +152,31 @@ class WorkerSupervisor:
     def is_poisoned(self, key: tuple) -> bool:
         return key in self._poisoned_keys
 
+    def health(self, now: Optional[float] = None) -> list[dict]:
+        """JSON-safe per-slot view for the live-telemetry exporters.
+
+        One dict per slot: its state-machine state, failure streak and
+        lifetime counts, and (for BACKOFF slots) seconds until the
+        respawn is due.  The engine decorates each entry with the id of
+        the worker currently occupying the slot before handing the list
+        to :class:`~repro.obs.status.RunStatus`.
+        """
+        if now is None:
+            now = self._clock()
+        out: list[dict] = []
+        for slot in self.slots:
+            entry: dict = {
+                "slot": slot.index,
+                "state": slot.state.value,
+                "failures": slot.failures,
+                "total_failures": slot.total_failures,
+                "respawns": slot.respawns,
+            }
+            if slot.state is SlotState.BACKOFF:
+                entry["respawn_in_s"] = max(0.0, slot.respawn_due - now)
+            out.append(entry)
+        return out
+
     def evidence_for(self, key: tuple) -> list[dict]:
         return list(self._evidence.get(key, []))
 

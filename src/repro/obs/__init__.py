@@ -17,6 +17,12 @@ package provides both:
   monotonic ordering, JSONL export, emit-time context stamping, segment
   ingestion for cross-process merging, and near-zero overhead when no
   sink is attached.
+* :mod:`repro.obs.status` / :mod:`repro.obs.live` — in-flight
+  telemetry: worker heartbeat records folded into a thread-safe
+  :class:`RunStatus` (tasks, workers, throughput, coverage/ETA), served
+  as Prometheus text + JSON by :class:`StatusServer`, logged as
+  ``status.sample`` JSONL by :class:`StatusLogger`, with a per-worker
+  flight-recorder ring dumped on crashes (:class:`FlightRecorder`).
 * :mod:`repro.obs.profile` — the search-tree profiler: rebuilds the
   guess tree from a trace and attributes instructions, COW faults,
   snapshot lifecycle and wall time to each decision prefix, with
@@ -28,6 +34,13 @@ it; ``pytest benchmarks/ --obs-trace=PATH`` records one.
 """
 
 from repro.obs.events import EVENT_FIELDS, EVENT_TYPES, validate_event
+from repro.obs.live import (
+    FlightRecorder,
+    HeartbeatEmitter,
+    RingSink,
+    StatusLogger,
+    StatusServer,
+)
 from repro.obs.profile import (
     Profile,
     ProfileNode,
@@ -45,6 +58,12 @@ from repro.obs.registry import (
     Timer,
     get_registry,
     metric_view,
+)
+from repro.obs.status import (
+    HeartbeatRecord,
+    RunStatus,
+    render_prometheus,
+    subtree_weight,
 )
 from repro.obs.trace import (
     TRACER,
@@ -79,4 +98,13 @@ __all__ = [
     "MemorySink",
     "get_tracer",
     "normalize_events",
+    "HeartbeatRecord",
+    "RunStatus",
+    "render_prometheus",
+    "subtree_weight",
+    "FlightRecorder",
+    "HeartbeatEmitter",
+    "RingSink",
+    "StatusLogger",
+    "StatusServer",
 ]

@@ -101,6 +101,15 @@ PARALLEL_DEGRADED = "parallel.degraded"
 #: Emitted by journal recovery with the rebuilt-run shape.
 JOURNAL_RECOVER = "journal.recover"
 
+# -- live telemetry ----------------------------------------------------
+#: A periodic coordinator status sample (one full RunStatus snapshot),
+#: appended as JSONL by ``run_guest --status-log``.  Written directly by
+#: the status logger, not emitted through the tracer.
+STATUS_SAMPLE = "status.sample"
+#: First line of a flight-recorder post-mortem dump: which worker died,
+#: how, and how many ring events follow.
+FLIGHT_HEADER = "flight.header"
+
 # -- chaos injection (deterministic fault harness) ---------------------
 #: A worker-side fault fired (kind: exit | stall | garbage).  Emitted in
 #: the worker just before the fault, so for ``exit`` it usually dies
@@ -146,6 +155,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     PARALLEL_POISONED: ("task", "kills"),
     PARALLEL_DEGRADED: ("pending",),
     JOURNAL_RECOVER: ("records", "pending", "solutions", "skipped", "torn"),
+    STATUS_SAMPLE: ("tasks", "solutions", "throughput"),
+    FLIGHT_HEADER: ("worker", "kind", "events"),
     CHAOS_WORKER_FAULT: ("kind",),
     CHAOS_COORDINATOR_KILL: ("epoch",),
     CHAOS_JOURNAL_FAULT: ("kind", "epoch"),

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, IO, Iterable, Iterator, Optional, Union
 
@@ -53,26 +54,53 @@ class MemorySink:
         pass
 
 
-class JsonlSink:
-    """Writes one JSON object per event to a file (or file-like object)."""
+def _settle_fh(fh: IO[str], owns: bool) -> None:
+    """Flush (and close, when owned) a sink's file handle, tolerantly."""
+    try:
+        fh.flush()
+        if owns:
+            fh.close()
+    except (OSError, ValueError):
+        pass  # already closed, or the target went away
 
-    def __init__(self, target: Union[str, IO[str]]):
+
+class JsonlSink:
+    """Writes one JSON object per event to a file (or file-like object).
+
+    Buffered tail events must not be lost when a sink is dropped without
+    ``close()`` — short CLI runs and crashing processes both end that
+    way — so every sink registers a ``weakref.finalize`` callback, which
+    runs both at garbage collection and at interpreter exit (``atexit``).
+    That cannot help against ``SIGKILL``; callers that must survive a
+    hard kill set *autoflush* (every write hits the OS) or call
+    :meth:`flush` at their own durability points.
+    """
+
+    def __init__(self, target: Union[str, IO[str]], autoflush: bool = False):
         if isinstance(target, str):
             self._fh: IO[str] = open(target, "w", encoding="utf-8")
             self._owns = True
         else:
             self._fh = target
             self._owns = False
+        self.autoflush = autoflush
         self.written = 0
+        self._finalizer = weakref.finalize(
+            self, _settle_fh, self._fh, self._owns
+        )
 
     def write(self, event: dict) -> None:
         self._fh.write(_encode_line(event))
         self.written += 1
+        if self.autoflush:
+            self._fh.flush()
+
+    def flush(self) -> None:
+        """Push buffered events to the OS (visible to other processes)."""
+        self._fh.flush()
 
     def close(self) -> None:
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        self._finalizer()  # flush + close once; later GC/atexit no-ops
 
 
 def _json_default(value: Any) -> Any:

@@ -76,6 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos injection: kill the coordinator when "
                         "the journal reaches EPOCH (testing only; "
                         "requires --journal)")
+    parser.add_argument("--chaos-crash-rate", type=float, default=None,
+                        metavar="RATE",
+                        help="chaos injection: crash each worker task "
+                        "attempt with probability RATE (testing only; "
+                        "process engine only; combines with "
+                        "--chaos-kill-epoch)")
+    parser.add_argument("--status-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live run status over HTTP on "
+                        "127.0.0.1:PORT while the run executes — JSON at "
+                        "/status, Prometheus text at /metrics (0 picks a "
+                        "free port; process engine only); watch it with "
+                        "repro.tools.top")
+    parser.add_argument("--status-log", metavar="PATH", default=None,
+                        help="append periodic status.sample snapshots to "
+                        "a JSONL time series (process engine only); "
+                        "consumed by repro.tools.top --status-log and "
+                        "repro.tools.trace_report")
+    parser.add_argument("--status-interval", type=float, default=0.5,
+                        help="seconds between --status-log samples "
+                        "(default: 0.5)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="flight recorder: on a worker crash, "
+                        "poisoning or timeout, dump that worker's recent "
+                        "trace events to a post-mortem JSONL file in DIR "
+                        "(process engine only)")
     parser.add_argument("--obs-trace", metavar="PATH", default=None,
                         help="record the run's observability trace to a "
                         "JSONL file (process engine merges every worker's "
@@ -145,6 +171,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "parallel engine (use snapshot, replay or process)",
               file=sys.stderr)
         return 2
+    if args.engine != "process":
+        for flag, value in (
+            ("--status-port", args.status_port),
+            ("--status-log", args.status_log),
+            ("--flight-dir", args.flight_dir),
+            ("--chaos-crash-rate", args.chaos_crash_rate),
+        ):
+            if value is not None:
+                print(f"error: {flag} requires --engine process",
+                      file=sys.stderr)
+                return 2
     digest = program_digest(program)
     seed_log = None
     if args.replay_log:
@@ -215,14 +252,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: --resume requires --journal", file=sys.stderr)
             return 2
         chaos = None
-        if args.chaos_kill_epoch is not None:
-            if not args.journal:
+        if (args.chaos_kill_epoch is not None
+                or args.chaos_crash_rate is not None):
+            if args.chaos_kill_epoch is not None and not args.journal:
                 print("error: --chaos-kill-epoch requires --journal",
+                      file=sys.stderr)
+                return 2
+            crash_rate = args.chaos_crash_rate or 0.0
+            if not 0.0 <= crash_rate <= 1.0:
+                print("error: --chaos-crash-rate must be in [0, 1]",
                       file=sys.stderr)
                 return 2
             from repro.chaos import FaultPlan
 
-            chaos = FaultPlan(coordinator_kill_epoch=args.chaos_kill_epoch)
+            chaos = FaultPlan(
+                coordinator_kill_epoch=args.chaos_kill_epoch,
+                crash_rate=crash_rate,
+            )
+        if args.status_port is not None and args.status_port != 0:
+            # Port 0 asks the OS for a free port; its URL is only known
+            # once the server binds, so it is reported after the run.
+            print(f"status: http://127.0.0.1:{args.status_port}/status",
+                  file=sys.stderr)
         engine = ProcessParallelEngine(
             workers=args.workers,
             strategy=args.strategy,
@@ -243,6 +294,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             replay_mode=args.replay_mode,
             replay_log=seed_log,
             input_script=input_script,
+            status_port=args.status_port,
+            status_log=args.status_log,
+            status_interval=args.status_interval,
+            flight_dir=args.flight_dir,
         )
     else:
         engine = ReplayMachineEngine(
@@ -318,6 +373,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{extra['resume_solutions']} recovered solutions"
                 )
             print(line)
+        if "heartbeats" in extra:
+            line = f"  telemetry: {extra['heartbeats']} heartbeats"
+            if "status_url" in extra:
+                line += f"; served at {extra['status_url']}"
+            if args.status_log:
+                line += f"; samples in {args.status_log}"
+            print(line)
+        for dump in extra.get("flight_dumps", []):
+            print(f"  flight dump: {dump}")
     return 0 if result.solutions or result.exhausted else 1
 
 

@@ -1,0 +1,312 @@
+"""Live cluster dashboard: watch a run's status endpoint or log.
+
+Usage::
+
+    python -m repro.tools.top http://127.0.0.1:8123 [--interval 1.0]
+    python -m repro.tools.top --status-log status.jsonl --once --json
+
+The data source is either the ``/status`` JSON endpoint a process-engine
+run serves when started with ``run_guest --status-port``, or the
+``status.sample`` JSONL time series it writes with ``--status-log``
+(the last sample is the current state — both sources carry the same
+snapshot schema, so the dashboard renders identically from either).
+
+Default mode refreshes a full-screen dashboard every ``--interval``
+seconds: header with elapsed / coverage / ETA, a throughput sparkline
+built from successive samples, a task-state summary, and a per-worker
+table (phase, current task prefix, steps, COW faults, heartbeat age).
+``--once`` renders a single frame and exits; ``--json`` prints the raw
+snapshot instead of the dashboard (``--once --json`` is the scriptable
+probe the CI observability job uses).  The tool exits 0 as soon as a
+snapshot reports ``done`` — pointing it at a finishing run is the
+simplest way to block until completion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional, Sequence
+
+from repro.bench.report import Table
+
+#: Eight-level block characters for the throughput sparkline (index 0 is
+#: a space: "no sample"/zero renders as a gap, not a bar).
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+# ----------------------------------------------------------------------
+# Data sources
+# ----------------------------------------------------------------------
+
+
+def status_url(base: str) -> str:
+    """Normalize a base URL to its ``/status`` endpoint."""
+    base = base.rstrip("/")
+    if base.endswith("/status"):
+        return base
+    return base + "/status"
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
+    """GET one status snapshot from a running engine's HTTP endpoint."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def last_sample(path: str) -> Optional[dict]:
+    """Return the newest ``status.sample`` object in a status log.
+
+    The log is append-only JSONL; a run that was SIGKILLed mid-write may
+    leave a truncated final line, so corrupt lines are skipped — the
+    latest *parseable* sample is the answer.
+    """
+    newest: Optional[dict] = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(event, dict) and "tasks" in event:
+                    newest = event
+    except OSError:
+        return None
+    return newest
+
+
+# ----------------------------------------------------------------------
+# Rendering (pure functions of snapshot dicts — unit-testable)
+# ----------------------------------------------------------------------
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render the last *width* values as unicode block bars."""
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return SPARK_BLOCKS[0] * len(tail)
+    out = []
+    for value in tail:
+        idx = int(round((value / top) * (len(SPARK_BLOCKS) - 1)))
+        out.append(SPARK_BLOCKS[max(0, min(idx, len(SPARK_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def gauge(fraction: float, width: int = 30) -> str:
+    """Render a 0..1 fraction as ``[#####.....] 50.0%``."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "[%s%s] %5.1f%%" % (
+        "#" * filled, "." * (width - filled), fraction * 100.0
+    )
+
+
+def _fmt_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "?"
+    if eta >= 3600:
+        return "%dh%02dm" % (eta // 3600, (eta % 3600) // 60)
+    if eta >= 60:
+        return "%dm%02ds" % (eta // 60, eta % 60)
+    return "%.1fs" % eta
+
+
+def _fmt_task(task: Any) -> str:
+    if not task:
+        return "-"
+    path = ".".join(str(c) for c in task)
+    return path if len(path) <= 18 else "…" + path[-17:]
+
+
+def render_workers_table(detail: Sequence[dict]) -> Table:
+    """Per-worker table: slot health joined with the latest heartbeat."""
+    table = Table(
+        "Workers",
+        ["worker", "slot", "state", "phase", "task", "steps",
+         "cow", "spills", "done", "beat age"],
+    )
+    for entry in detail:
+        beat_age = entry.get("beat_age_s")
+        table.add(
+            entry.get("worker", "?"),
+            entry.get("slot", "?"),
+            entry.get("state", "?"),
+            entry.get("phase", "-"),
+            _fmt_task(entry.get("task")),
+            entry.get("steps", 0),
+            entry.get("cow_faults", 0),
+            entry.get("spills", 0),
+            entry.get("tasks_done", 0),
+            "%.1fs" % beat_age if beat_age is not None else "-",
+        )
+    return table
+
+
+def render_dashboard(snapshot: dict,
+                     rate_history: Sequence[float] = ()) -> str:
+    """Render one full dashboard frame (no ANSI — caller clears screen)."""
+    tasks = snapshot.get("tasks", {})
+    cov = snapshot.get("coverage", {})
+    thr = snapshot.get("throughput", {})
+    lines = []
+    state = "DONE" if snapshot.get("done") else "RUNNING"
+    if snapshot.get("degraded"):
+        state += " (degraded)"
+    header = (
+        f"repro.top — {state}  elapsed {snapshot.get('elapsed_s', 0.0):.1f}s"
+        f"  strategy {snapshot.get('strategy', '?')}"
+        f"  workers {snapshot.get('workers_busy', 0)}"
+        f"/{snapshot.get('workers', 0)} busy"
+    )
+    if snapshot.get("stop_reason"):
+        header += f"  stop={snapshot['stop_reason']}"
+    lines.append(header)
+    lines.append(
+        "coverage " + gauge(cov.get("fraction", 0.0))
+        + f"  eta {_fmt_eta(cov.get('eta_s'))}"
+        + f"  mean fan-out {cov.get('mean_fanout', 0.0):.2f}"
+    )
+    rate_line = (
+        f"throughput {thr.get('steps_per_s', 0.0):,.0f} steps/s"
+        f"  (total {thr.get('steps_total', 0):,},"
+        f" {thr.get('heartbeats', 0)} heartbeats)"
+    )
+    spark = sparkline(rate_history)
+    if spark.strip():
+        rate_line += "  " + spark
+    lines.append(rate_line)
+    lines.append(
+        f"tasks: pending {tasks.get('pending', 0)}"
+        f"  in-flight {tasks.get('in_flight', 0)}"
+        f"  done {tasks.get('done', 0)}"
+        f"  spilled {tasks.get('spilled', 0)}"
+        f"  retried {tasks.get('retried', 0)}"
+        f"  poisoned {tasks.get('poisoned', 0)}"
+        f"  crashes {tasks.get('crashes', 0)}"
+        f"  timeouts {tasks.get('timeouts', 0)}"
+        f"   solutions {snapshot.get('solutions', 0)}"
+    )
+    detail = snapshot.get("workers_detail") or []
+    if detail:
+        lines.append("")
+        lines.append(render_workers_table(detail).render())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.top",
+        description="Live dashboard over a run's status endpoint or log.",
+    )
+    parser.add_argument(
+        "url", nargs="?", default=None,
+        help="status server base URL (e.g. http://127.0.0.1:8123; "
+        "/status is appended automatically)",
+    )
+    parser.add_argument(
+        "--status-log", metavar="PATH", default=None,
+        help="read snapshots from a --status-log JSONL file instead of "
+        "an HTTP endpoint (latest sample wins)",
+    )
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period in seconds (default: 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw snapshot JSON instead of the "
+                        "dashboard")
+    parser.add_argument("--connect-retries", type=int, default=10,
+                        help="initial-connection attempts before giving "
+                        "up, 0.5s apart (default: 10) — lets the tool "
+                        "start before the run it watches")
+    return parser
+
+
+def _get(source_url: Optional[str], log_path: Optional[str]) -> Optional[dict]:
+    if source_url is not None:
+        return fetch_snapshot(source_url)
+    assert log_path is not None
+    return last_sample(log_path)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if (args.url is None) == (args.status_log is None):
+        print("error: give exactly one of URL or --status-log",
+              file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    url = status_url(args.url) if args.url else None
+
+    # First snapshot, with connection retries: `top` is typically raced
+    # against the run it watches, so a refused connection (server thread
+    # not up yet) or a missing/empty log is retried, not fatal.
+    snapshot: Optional[dict] = None
+    attempts = max(1, args.connect_retries)
+    last_err: Optional[str] = None
+    for attempt in range(attempts):
+        try:
+            snapshot = _get(url, args.status_log)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as err:
+            last_err = str(err)
+            snapshot = None
+        if snapshot is not None:
+            break
+        if attempt + 1 < attempts:
+            time.sleep(0.5)
+    if snapshot is None:
+        source = url or args.status_log
+        detail = f": {last_err}" if last_err else ""
+        print(f"error: no status from {source}{detail}", file=sys.stderr)
+        return 1
+
+    history: list[float] = []
+    while True:
+        history.append(
+            float(snapshot.get("throughput", {}).get("steps_per_s", 0.0))
+        )
+        if args.as_json:
+            print(json.dumps(snapshot, indent=None, sort_keys=True))
+        else:
+            frame = render_dashboard(snapshot, history)
+            if not args.once and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(frame)
+        sys.stdout.flush()
+        if args.once or snapshot.get("done"):
+            return 0
+        time.sleep(args.interval)
+        try:
+            fresh = _get(url, args.status_log)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError):
+            # The run finished and the server went away between frames:
+            # the last snapshot we rendered is the final word.
+            return 0
+        if fresh is not None:
+            snapshot = fresh
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        code = main()
+    except BrokenPipeError:  # downstream (e.g. `| head`) closed the pipe
+        code = 0
+    raise SystemExit(code)

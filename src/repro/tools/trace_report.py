@@ -244,6 +244,50 @@ def summarize(events: Iterable[dict]) -> dict[str, Any]:
         ),
     }
 
+    # -- versioned file layer and crash-consistency search -------------
+    fsyncs = [e for e in events if e["type"] == ev.FILE_FSYNC]
+    syncs = [e for e in events if e["type"] == ev.FILE_SYNC]
+    selects = [e for e in events if e["type"] == ev.CRASH_SELECT]
+    commits = [e for e in events if e["type"] == ev.CRASH_COMMIT]
+    select_dims = [e.get("dims", 0) or 0 for e in selects]
+    commit_kept = [e.get("kept", 0) or 0 for e in commits]
+    filelayer = {
+        "fsyncs": len(fsyncs),
+        "fsync_records": sum(e.get("records", 0) or 0 for e in fsyncs),
+        "syncs": len(syncs),
+        "sync_records": sum(e.get("records", 0) or 0 for e in syncs),
+        "crash_selects": len(selects),
+        "crash_dims_total": sum(select_dims),
+        "crash_dims_max": max(select_dims, default=0),
+        "crash_commits": len(commits),
+        "crash_kept_total": sum(commit_kept),
+        "crash_kept_max": max(commit_kept, default=0),
+    }
+
+    # -- live telemetry samples (status.sample time series) ------------
+    samples = [e for e in events if e["type"] == ev.STATUS_SAMPLE]
+    live: dict[str, Any] = {"samples": len(samples)}
+    if samples:
+        ts_values = [e.get("ts") for e in samples if e.get("ts") is not None]
+        final = samples[-1]
+        live.update({
+            "span_s": (
+                max(ts_values) - min(ts_values) if len(ts_values) >= 2
+                else 0.0
+            ),
+            "final_pending": final.get("tasks", {}).get("pending", 0),
+            "final_done": final.get("tasks", {}).get("done", 0),
+            "final_solutions": final.get("solutions", 0),
+            "final_coverage": final.get(
+                "coverage", {}).get("fraction", 0.0),
+            "final_steps_per_s": final.get(
+                "throughput", {}).get("steps_per_s", 0.0),
+            "max_steps_per_s": max(
+                e.get("throughput", {}).get("steps_per_s", 0.0)
+                for e in samples
+            ),
+        })
+
     # -- memory --------------------------------------------------------
     allocs = [e for e in events if e["type"] == ev.MEM_PAGE_ALLOC]
     mem = {
@@ -263,6 +307,8 @@ def summarize(events: Iterable[dict]) -> dict[str, Any]:
         "search": search,
         "parallel": parallel,
         "cluster": cluster,
+        "filelayer": filelayer,
+        "live": live,
     }
 
 
@@ -345,6 +391,30 @@ def build_tables(summary: dict[str, Any]) -> list[Table]:
                 f"{row['replay_share']:.1%}",
             )
         tables.append(util)
+
+    filelayer = summary.get("filelayer", {})
+    if any(filelayer.values()):
+        fl = Table("Versioned file layer", ["metric", "value"])
+        for key in (
+            "fsyncs", "fsync_records", "syncs", "sync_records",
+            "crash_selects", "crash_dims_total", "crash_dims_max",
+            "crash_commits", "crash_kept_total", "crash_kept_max",
+        ):
+            fl.add(key, filelayer[key])
+        tables.append(fl)
+
+    live = summary.get("live", {})
+    if live.get("samples"):
+        lt = Table("Live telemetry (status samples)", ["metric", "value"])
+        lt.add("samples", live["samples"])
+        lt.add("span s", f"{live['span_s']:.3f}")
+        lt.add("final pending", live["final_pending"])
+        lt.add("final done", live["final_done"])
+        lt.add("final solutions", live["final_solutions"])
+        lt.add("final coverage", f"{live['final_coverage']:.1%}")
+        lt.add("final steps/s", f"{live['final_steps_per_s']:,.0f}")
+        lt.add("max steps/s", f"{live['max_steps_per_s']:,.0f}")
+        tables.append(lt)
 
     return tables
 

@@ -1,0 +1,179 @@
+"""Live telemetry through the real process-parallel engine.
+
+Three acceptance properties from the observability work:
+
+* a run with a status server answers ``/status`` and ``/metrics``
+  *while workers are exploring*, and the final snapshot's metrics equal
+  the engine's end-of-run registry exactly (committed + uncommitted
+  folding never double- or under-counts);
+* the Prometheus exposition carries the same final counter values;
+* chaos-killing a worker produces a flight-recorder dump containing
+  that worker's last trace events, shipped via heartbeats before the
+  kill (no worker-side flush could survive ``os._exit``).
+
+Fault hooks are module-level (pickled into spawned workers).
+"""
+
+import json
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.cluster import ProcessParallelEngine
+from repro.core.machine import MachineEngine
+from repro.workloads.nqueens import nqueens_asm
+
+
+def solution_set(result):
+    return sorted((s.path, s.value) for s in result.solutions)
+
+
+@pytest.fixture(scope="module")
+def sequential_5():
+    return MachineEngine().run(nqueens_asm(5))
+
+
+# See test_cluster_faults: with subtree_depth=1 the prefix (0, 2) is
+# deterministically a first-generation task of the 5-queens tree.
+_POISON = (0, 2)
+
+
+def _crash_first_attempt(task):
+    if task.attempt == 0 and task.prefix == _POISON:
+        os._exit(1)
+
+
+class _MidRunProbe(threading.Thread):
+    """Polls the status endpoints from another thread during the run."""
+
+    def __init__(self, url):
+        super().__init__(daemon=True)
+        self.url = url
+        self.statuses = []
+        self.metrics_bodies = []
+        self.stop = threading.Event()
+
+    def run(self):
+        while not self.stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                        self.url + "/status", timeout=2) as resp:
+                    self.statuses.append(json.loads(resp.read()))
+                with urllib.request.urlopen(
+                        self.url + "/metrics", timeout=2) as resp:
+                    self.metrics_bodies.append(resp.read().decode())
+            except OSError:
+                pass
+            self.stop.wait(0.02)
+
+
+class TestLiveEndpoints:
+    def test_mid_run_serving_and_final_exactness(self, tmp_path,
+                                                 sequential_5):
+        log_path = str(tmp_path / "status.jsonl")
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            status_port=0,
+            status_log=log_path,
+            status_interval=0.05,
+            heartbeat_interval=0.02,
+        )
+
+        probe_holder = {}
+
+        def _probe_when_up():
+            # The server starts inside run(); wait for it, then poll.
+            while engine.status_server is None:
+                if stop_waiting.is_set():
+                    return
+                threading.Event().wait(0.01)
+            probe = _MidRunProbe(engine.status_server.url)
+            probe_holder["probe"] = probe
+            probe.run()  # reuse this thread as the poll loop
+
+        stop_waiting = threading.Event()
+        waiter = threading.Thread(target=_probe_when_up, daemon=True)
+        waiter.start()
+        try:
+            result = engine.run(nqueens_asm(5))
+        finally:
+            stop_waiting.set()
+            probe = probe_holder.get("probe")
+            if probe is not None:
+                probe.stop.set()
+            waiter.join(timeout=5)
+
+        # Correctness is never traded for telemetry.
+        assert solution_set(result) == solution_set(sequential_5)
+        assert result.exhausted
+
+        # The probe observed the run in flight.
+        assert probe is not None and probe.statuses
+        for snap in probe.statuses:
+            assert snap["schema"] == 1
+            assert snap["workers"] == 2
+            assert 0.0 <= snap["coverage"]["fraction"] <= 1.0
+        assert any("repro_parallel_guest_steps_total" in body
+                   for body in probe.metrics_bodies)
+
+        # Final snapshot metrics == engine registry, exactly.
+        final = engine.status.snapshot()
+        assert final["done"]
+        assert final["metrics"] == engine.registry.as_dict()
+        assert final["coverage"]["fraction"] == 1.0
+        assert final["tasks"]["pending"] == 0
+        assert final["solutions"] == len(sequential_5.solutions)
+        assert result.stats.extra["heartbeats"] > 0
+
+        # Prometheus text carries the same final counters.
+        prom = engine.status.prometheus()
+        steps = engine.registry.get("parallel.guest_steps").value
+        assert f"repro_parallel_guest_steps_total {steps}" in prom
+
+        # The status log is a replayable trajectory ending in `done`.
+        samples = [json.loads(line)
+                   for line in open(log_path, encoding="utf-8")]
+        assert samples[-1]["done"] is True
+        assert (samples[-1]["throughput"]["steps_total"]
+                == final["throughput"]["steps_total"])
+        seqs = [s["seq"] for s in samples]
+        assert seqs == sorted(seqs)
+
+
+class TestFlightRecorder:
+    def test_chaos_crash_dumps_worker_ring(self, tmp_path, sequential_5):
+        flight_dir = str(tmp_path / "flight")
+        engine = ProcessParallelEngine(
+            workers=2,
+            subtree_depth=1,
+            task_step_budget=None,
+            max_task_retries=2,
+            fault_hook=_crash_first_attempt,
+            heartbeat_interval=0.02,
+            flight_dir=flight_dir,
+        )
+        result = engine.run(nqueens_asm(5))
+        assert solution_set(result) == solution_set(sequential_5)
+
+        dumps = result.stats.extra["flight_dumps"]
+        assert dumps, "a crashed worker must leave a post-mortem"
+        assert result.stats.extra["flight_dumps"] == engine.flight_recorder.dumps
+        crash_dumps = [d for d in dumps if "-crash-" in os.path.basename(d)]
+        assert crash_dumps
+        for path in crash_dumps:
+            lines = [json.loads(line)
+                     for line in open(path, encoding="utf-8")]
+            header, events = lines[0], lines[1:]
+            assert header["type"] == "flight.header"
+            assert header["kind"] == "crash"
+            assert header["events"] == len(events)
+            # The ring holds the dead worker's own trace events; the
+            # forced beat at task dispatch ships task.begin before the
+            # fault hook can kill the process.
+            assert events, "ring must not be empty for a beating worker"
+            assert all(e.get("worker") == header["worker"] for e in events)
+            assert any(e["type"] == "task.begin" for e in events)

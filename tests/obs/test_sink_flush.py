@@ -1,0 +1,112 @@
+"""JsonlSink durability: GC/atexit flush, explicit flush vs SIGKILL.
+
+A sink dropped without ``close()`` used to silently lose its buffered
+tail — exactly the events a short CLI run or a crashing process wrote
+last, which are the ones a post-mortem needs most.  These tests pin the
+three rescue paths: garbage collection, interpreter exit, and explicit
+``flush()`` (the only one that survives ``SIGKILL``).
+"""
+
+import gc
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+from repro.obs.trace import JsonlSink
+
+EVENT = {"seq": 0, "ts": 0.0, "type": "search.guess", "n": 4}
+
+
+def _lines(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestInProcess:
+    def test_garbage_collection_flushes(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        sink.write(EVENT)
+        del sink
+        gc.collect()
+        assert _lines(path) == [EVENT]
+
+    def test_explicit_flush_is_visible_immediately(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        sink.write(EVENT)
+        sink.flush()
+        # Readable through a second handle while the sink stays open.
+        assert _lines(path) == [EVENT]
+        sink.close()
+
+    def test_autoflush_writes_through(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path, autoflush=True)
+        sink.write(EVENT)
+        assert _lines(path) == [EVENT]
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.write(EVENT)
+        sink.close()
+        sink.close()  # second close (and later GC) must be a no-op
+
+    def test_borrowed_handle_not_closed(self, tmp_path):
+        with open(tmp_path / "t.jsonl", "w", encoding="utf-8") as fh:
+            sink = JsonlSink(fh)
+            sink.write(EVENT)
+            sink.close()
+            assert not fh.closed   # flushed, but ownership stays outside
+
+
+def _run_child(code, path):
+    """Run *code* (with PATH bound) in a fresh interpreter; return it."""
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_dir)
+    return subprocess.run(
+        [sys.executable, "-c",
+         f"PATH = {path!r}\n" + textwrap.dedent(code)],
+        env=env, timeout=60, capture_output=True,
+    )
+
+
+class TestSubprocess:
+    def test_atexit_flushes_unclosed_sink(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        proc = _run_child(
+            """
+            from repro.obs.trace import JsonlSink
+            sink = JsonlSink(PATH)
+            sink.write({"seq": 0, "ts": 0.0, "type": "search.guess", "n": 4})
+            # no close(): interpreter exit must rescue the buffer
+            """,
+            path,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        assert _lines(path) == [EVENT]
+
+    def test_flush_survives_sigkill(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        proc = _run_child(
+            """
+            import os, signal
+            from repro.obs.trace import JsonlSink
+            sink = JsonlSink(PATH)
+            sink.write({"seq": 0, "ts": 0.0, "type": "search.guess", "n": 4})
+            sink.flush()
+            sink.write({"seq": 1, "ts": 0.0, "type": "search.guess", "n": 5})
+            os.kill(os.getpid(), signal.SIGKILL)   # unflushed tail dies here
+            """,
+            path,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        # The flushed event survived the hard kill; no JSON corruption.
+        lines = _lines(path)
+        assert EVENT in lines
+        assert all(line["type"] == "search.guess" for line in lines)

@@ -1,0 +1,138 @@
+"""Tests for the live dashboard CLI: rendering, sources, exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.live import StatusServer
+from repro.obs.status import RunStatus
+from repro.tools import top
+
+
+def _snapshot(**overrides):
+    """A plausible status snapshot (same shape the server serves)."""
+    snap = RunStatus(workers=2, span=6, strategy="dfs").snapshot()
+    snap.update(overrides)
+    return snap
+
+
+class TestRendering:
+    def test_sparkline_scales_to_max(self):
+        line = top.sparkline([0, 1, 2, 4])
+        assert len(line) == 4
+        assert line[-1] == top.SPARK_BLOCKS[-1]   # max maps to full block
+        assert line[0] == top.SPARK_BLOCKS[0]     # zero maps to gap
+
+    def test_sparkline_window_and_empty(self):
+        assert top.sparkline([]) == ""
+        assert len(top.sparkline(list(range(100)), width=10)) == 10
+        assert top.sparkline([0.0, 0.0]) == "  "  # all-zero: no bars
+
+    def test_gauge(self):
+        assert top.gauge(0.0, width=10) == "[..........]   0.0%"
+        assert top.gauge(1.0, width=10) == "[##########] 100.0%"
+        assert top.gauge(2.0, width=10).endswith("100.0%")  # clamped
+
+    def test_eta_formatting(self):
+        assert top._fmt_eta(None) == "?"
+        assert top._fmt_eta(5.0) == "5.0s"
+        assert top._fmt_eta(125) == "2m05s"
+        assert top._fmt_eta(7200) == "2h00m"
+
+    def test_dashboard_contains_the_essentials(self):
+        snap = _snapshot(solutions=3)
+        snap["workers_detail"] = [{
+            "worker": 0, "slot": 0, "state": "running", "busy": True,
+            "phase": "exploring", "task": [0, 2], "task_span": 6,
+            "steps": 1234, "cow_faults": 5, "spills": 1,
+            "tasks_done": 2, "beat_seq": 9, "beat_age_s": 0.04,
+        }]
+        frame = top.render_dashboard(snap, rate_history=[10.0, 20.0])
+        assert "RUNNING" in frame
+        assert "strategy dfs" in frame
+        assert "solutions 3" in frame
+        assert "0.2" in frame          # task prefix 0.2 in workers table
+        assert "exploring" in frame
+
+    def test_dashboard_done_and_degraded(self):
+        frame = top.render_dashboard(
+            _snapshot(done=True, degraded=True, stop_reason="exhausted"))
+        assert "DONE (degraded)" in frame
+        assert "stop=exhausted" in frame
+
+
+class TestSources:
+    def test_status_url_normalization(self):
+        assert top.status_url("http://h:1") == "http://h:1/status"
+        assert top.status_url("http://h:1/") == "http://h:1/status"
+        assert top.status_url("http://h:1/status") == "http://h:1/status"
+
+    def test_last_sample_skips_corrupt_tail(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        good = dict(_snapshot(), seq=0, ts=1.0, type="status.sample")
+        newer = dict(_snapshot(done=True), seq=1, ts=2.0,
+                     type="status.sample")
+        path.write_text(
+            json.dumps(good) + "\n" + json.dumps(newer) + "\n"
+            + '{"seq": 2, "ts": 3.0, "truncated'   # SIGKILL mid-write
+        )
+        sample = top.last_sample(str(path))
+        assert sample is not None and sample["done"] is True
+
+    def test_last_sample_missing_file(self, tmp_path):
+        assert top.last_sample(str(tmp_path / "nope.jsonl")) is None
+
+
+class TestCli:
+    def test_requires_exactly_one_source(self, capsys):
+        assert top.main([]) == 2
+        assert top.main(["http://h:1", "--status-log", "x"]) == 2
+
+    def test_once_json_from_log(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        snap = dict(_snapshot(done=True, solutions=4),
+                    seq=0, ts=1.0, type="status.sample")
+        path.write_text(json.dumps(snap) + "\n")
+        assert top.main(["--status-log", str(path), "--once",
+                         "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["solutions"] == 4 and out["done"] is True
+
+    def test_once_dashboard_from_log(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        snap = dict(_snapshot(done=True),
+                    seq=0, ts=1.0, type="status.sample")
+        path.write_text(json.dumps(snap) + "\n")
+        assert top.main(["--status-log", str(path), "--once"]) == 0
+        assert "repro.top — DONE" in capsys.readouterr().out
+
+    def test_no_source_after_retries(self, tmp_path, capsys):
+        rc = top.main(["--status-log", str(tmp_path / "gone.jsonl"),
+                       "--once", "--connect-retries", "1"])
+        assert rc == 1
+        assert "no status" in capsys.readouterr().err
+
+    def test_url_mode_against_live_server(self, capsys):
+        status = RunStatus(workers=1, strategy="bfs")
+        status.finalize({}, pending=0, solutions=2)
+        server = StatusServer(status, port=0)
+        server.start()
+        try:
+            assert top.main([server.url, "--once", "--json"]) == 0
+        finally:
+            server.stop()
+        out = json.loads(capsys.readouterr().out)
+        assert out["done"] is True and out["solutions"] == 2
+
+    def test_exits_zero_when_run_completes(self, capsys):
+        # Non-`--once` mode must terminate on a `done` snapshot rather
+        # than poll forever (the CI job relies on this).
+        status = RunStatus(workers=1)
+        status.finalize({}, pending=0, solutions=0)
+        server = StatusServer(status, port=0)
+        server.start()
+        try:
+            assert top.main([server.url, "--interval", "0.05",
+                             "--json"]) == 0
+        finally:
+            server.stop()

@@ -222,3 +222,86 @@ class TestTablesAndCli:
         assert by_worker[1]["replay_share"] == 0.5
         # Skew: max busy (1.5) over mean busy (1.0).
         assert cluster["busy_skew"] == 1.5
+
+
+class TestFileLayerSummary:
+    def test_file_layer_events_get_their_own_table(self, capsys, tmp_path):
+        events = [
+            {"seq": 0, "ts": 0.1, "type": ev.FILE_FSYNC,
+             "fd": 3, "records": 4},
+            {"seq": 1, "ts": 0.2, "type": ev.FILE_FSYNC,
+             "fd": 3, "records": 2},
+            {"seq": 2, "ts": 0.3, "type": ev.FILE_SYNC, "records": 7},
+            {"seq": 3, "ts": 0.4, "type": ev.CRASH_SELECT,
+             "point": 1, "dims": 3},
+            {"seq": 4, "ts": 0.5, "type": ev.CRASH_SELECT,
+             "point": 2, "dims": 5},
+            {"seq": 5, "ts": 0.6, "type": ev.CRASH_COMMIT, "kept": 2},
+        ]
+        fl = trace_report.summarize(events)["filelayer"]
+        assert fl == {
+            "fsyncs": 2, "fsync_records": 6,
+            "syncs": 1, "sync_records": 7,
+            "crash_selects": 2, "crash_dims_total": 8, "crash_dims_max": 5,
+            "crash_commits": 1, "crash_kept_total": 2, "crash_kept_max": 2,
+        }
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert trace_report.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Versioned file layer" in out
+        assert "crash_selects" in out
+
+    def test_no_file_layer_events_no_table(self, nqueens_trace, capsys):
+        assert trace_report.main([nqueens_trace]) == 0
+        assert "Versioned file layer" not in capsys.readouterr().out
+
+
+class TestLiveSummary:
+    @staticmethod
+    def _sample(seq, ts, pending, done, solutions, coverage, rate):
+        return {
+            "seq": seq, "ts": ts, "type": ev.STATUS_SAMPLE,
+            "tasks": {"pending": pending, "done": done},
+            "solutions": solutions,
+            "coverage": {"fraction": coverage},
+            "throughput": {"steps_total": 100, "steps_per_s": rate},
+        }
+
+    def test_status_samples_summarized(self, tmp_path, capsys):
+        events = [
+            self._sample(0, 10.0, 5, 0, 0, 0.0, 0.0),
+            self._sample(1, 10.5, 2, 3, 1, 0.6, 8_000.0),
+            self._sample(2, 11.0, 0, 5, 4, 1.0, 5_000.0),
+        ]
+        live = trace_report.summarize(events)["live"]
+        assert live["samples"] == 3
+        assert live["span_s"] == 1.0
+        assert live["final_pending"] == 0
+        assert live["final_done"] == 5
+        assert live["final_solutions"] == 4
+        assert live["final_coverage"] == 1.0
+        assert live["final_steps_per_s"] == 5_000.0
+        assert live["max_steps_per_s"] == 8_000.0
+        path = tmp_path / "s.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert trace_report.main([str(path)]) == 0
+        assert "Live telemetry" in capsys.readouterr().out
+
+    def test_real_status_log_is_consumable(self, tmp_path, capsys):
+        # The --status-log file a real run writes is itself a valid
+        # trace input: report it end to end.
+        from repro.core.cluster import ProcessParallelEngine
+
+        log_path = str(tmp_path / "status.jsonl")
+        engine = ProcessParallelEngine(
+            workers=2, status_log=log_path, status_interval=0.05,
+            heartbeat_interval=0.02,
+        )
+        engine.run(nqueens_asm(4))
+        assert trace_report.main([log_path]) == 0
+        out = capsys.readouterr().out
+        assert "Live telemetry" in out
+        summary = trace_report.summarize(
+            trace_report.load_events(log_path)[0])
+        assert summary["live"]["final_coverage"] == 1.0
