@@ -1,0 +1,114 @@
+"""X7 (extension) — analysis-guided crash-search pruning.
+
+The static file-effect analysis proves most crash points of a
+well-barriered workload redundant: an image set reachable at point
+``p`` embeds into a neighbour's whenever ``log[p]`` is a data/ns
+effect (subset, same bytes) or ``log[p-1]`` is a barrier (retired
+dimensions pinned full).  ``run_crashfind(prune=True)`` therefore
+visits only the kept points and synthesizes survivors for the pruned
+ones from their representatives.
+
+This bench runs every corpus plan both ways on the snapshot engine and
+records ``BENCH_crashprune.json`` at the repository root.  The
+assertions pin the two claims the docs make:
+
+* **zero cost to fidelity** — identical survivor multisets, identical
+  blame, identical verdicts, plan by plan;
+* **real work saved** — on every clean plan the pruned search explores
+  strictly fewer crash images, with exact expected counts pinned for
+  the four clean families (the log is deterministic, so these are not
+  hardware-dependent).
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import Table
+from repro.crashsim import run_crashfind, simulate
+from repro.workloads.crashfs import CORPUS
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_crashprune.json"
+
+#: (images_explored, images_total) per clean plan — properties of the
+#: deterministic write log, pinned exactly.
+EXPECTED_CLEAN = {
+    "journaled_append_clean": (9, 14),
+    "rename_update_clean": (7, 11),
+    "torn_update_clean": (3, 4),
+    "block_alloc_clean": (5, 7),
+}
+
+
+def test_x7_crashprune(show):
+    table = Table(
+        "X7: analysis-guided crash-point pruning (snapshot engine)",
+        ["plan", "points", "pruned", "images", "explored", "evals", "fidelity"],
+    )
+    rows = []
+    for name in sorted(CORPUS):
+        plan = CORPUS[name]
+        plain = run_crashfind(plan, engine="snapshot")
+        pruned = run_crashfind(plan, engine="snapshot", prune=True)
+
+        same_paths = (pruned.survivor_multiset()
+                      == plain.survivor_multiset())
+        same_blame = (
+            sorted(tuple(sorted(s.blame)) for s in pruned.survivors)
+            == sorted(tuple(sorted(s.blame)) for s in plain.survivors)
+        )
+        assert same_paths and same_blame, f"{name}: fidelity lost"
+        assert pruned.verdict_ok == plain.verdict_ok
+        assert plain.verdict_ok, f"{name}: corpus baseline regressed"
+
+        stats = pruned.stats
+        assert stats["pruned"], f"{name}: analysis declined to prune"
+        assert stats["images_explored"] < stats["images_total"], name
+        assert stats["evaluations"] <= plain.stats["evaluations"], name
+        if name in EXPECTED_CLEAN:
+            assert (stats["images_explored"], stats["images_total"]) \
+                == EXPECTED_CLEAN[name], (
+                    f"{name}: expected {EXPECTED_CLEAN[name]}, got "
+                    f"({stats['images_explored']}, {stats['images_total']})"
+                )
+
+        synthesized = sum(1 for s in pruned.survivors if s.synthesized)
+        table.add(
+            name,
+            stats["points_total"],
+            stats["points_pruned"],
+            stats["images_total"],
+            stats["images_explored"],
+            f"{plain.stats['evaluations']}->{stats['evaluations']}",
+            "exact",
+        )
+        rows.append({
+            "plan": name,
+            "expect_bug": plan.expect_bug,
+            "crash_points": stats["points_total"],
+            "points_pruned": stats["points_pruned"],
+            "images_total": stats["images_total"],
+            "images_explored": stats["images_explored"],
+            "evaluations_unpruned": plain.stats["evaluations"],
+            "evaluations_pruned": stats["evaluations"],
+            "survivors": len(pruned.survivors),
+            "survivors_synthesized": synthesized,
+            "log_len": simulate(plan).K,
+        })
+    show(table)
+
+    total = sum(r["images_total"] for r in rows)
+    explored = sum(r["images_explored"] for r in rows)
+    record = {
+        "engine": "snapshot",
+        "plans": rows,
+        "images_total": total,
+        "images_explored": explored,
+        "images_saved_pct": round(100.0 * (total - explored) / total, 1),
+        "fidelity": "exact (survivor multisets, blame and verdicts "
+                    "identical to the unpruned search on every plan)",
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # The corpus-wide headline: pruning saves a meaningful fraction of
+    # the image space without touching the result.
+    assert explored < total

@@ -13,8 +13,15 @@ Layers (each its own module):
 * :mod:`repro.analysis.dataflow` — interval abstract interpretation,
   must-initialized registers, guess-scope reachability, worst-case step
   bounds;
+* :mod:`repro.analysis.fsdomain` — the file-effect abstract domain
+  (per-fd inode bindings, per-inode durability state, barrier
+  coverage) plus concrete writer-oplog prediction;
+* :mod:`repro.analysis.crashprune` — analysis-guided crash-point
+  pruning for the crash-consistency search, with exact survivor
+  synthesis;
 * :mod:`repro.analysis.lints` — the lint catalog (``CF*``/``DF*``/
-  ``MB*``/``DV*``/``BT*``/``DT*``) and the determinism certifier;
+  ``MB*``/``DV*``/``BT*``/``DT*``/``FS*``) and the determinism
+  certifier;
 * :mod:`repro.analysis.report` — findings, the human/JSON/SARIF report;
 * :mod:`repro.analysis.verifier` — the engine-facing gate behind
   ``verify="off"|"warn"|"strict"``;
@@ -24,6 +31,8 @@ Layers (each its own module):
 
 from __future__ import annotations
 
+from repro.analysis.crashprune import PrunePlan, plan_pruning
+from repro.analysis.fsdomain import FsContext, FsSummary, analyze_fs
 from repro.analysis.lints import analyze
 from repro.analysis.report import (
     CATALOG,
@@ -32,6 +41,7 @@ from repro.analysis.report import (
     Finding,
     LintSpec,
     Severity,
+    catalog_fingerprint,
 )
 from repro.analysis.verifier import (
     VERIFY_MODES,
@@ -46,10 +56,16 @@ __all__ = [
     "AnalysisReport",
     "DeterminismCertificate",
     "Finding",
+    "FsContext",
+    "FsSummary",
     "LintSpec",
+    "PrunePlan",
     "Severity",
     "VerificationError",
     "analyze",
+    "analyze_fs",
+    "catalog_fingerprint",
     "nondet_sites",
+    "plan_pruning",
     "verify_program",
 ]

@@ -1,0 +1,260 @@
+"""Analysis-guided pruning of crash-consistency search points.
+
+Works entirely on the *operation log* the file-effect domain predicted
+(:attr:`repro.analysis.fsdomain.FsSummary.predicted_log`) — validated
+by the caller against the dynamic log before anything here is trusted.
+The module deliberately imports nothing from ``repro.crashsim`` or
+``repro.libos``; it mirrors their record shapes as plain tuples.
+
+The crash search explores one *crash point* per log prefix: point
+``p`` crashes after the first ``p`` records, then enumerates every
+legal post-crash image of the at-risk (pending) records.  Two
+structural facts make many points redundant:
+
+* ``log[p]`` is an **effect** (write/create/rename): every image legal
+  at ``p`` is also legal at ``p + 1`` with the new record *not chosen*
+  — ``images(p) ⊆ images(p + 1)``, and the image bytes coincide.
+* ``log[p - 1]`` is a **barrier** (fsync/sync): the barrier only forces
+  pending records durable, so ``images(p) ⊆ images(p - 1)`` — every
+  image at ``p`` is the image at ``p - 1`` whose retired dimensions
+  were chosen *fully applied*.
+
+A point covered in either direction can be skipped: the survivors it
+would produce are recovered exactly (same image bytes, hence the same
+rule verdicts) from its *representative* kept point by inverting the
+embeddings (:func:`synthesize_choices`).  The final point ``K`` is
+always kept — it is checked against the plan's stricter final rules,
+so no interior point can stand in for it.
+
+This is the paper's cheap-pruning thesis applied to crash dimensions:
+work the analysis proves redundant is cut before the search engine
+forks a single snapshot for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+#: Mirror of the file-layer record tuples ("write", seq, ino, block,
+#: off, payload) / ("create", seq, path, ino) / ("rename", seq, src,
+#: dst, ino) / ("fsync", seq, ino) / ("sync", seq).
+Record = tuple[Any, ...]
+
+#: One persistence dimension: ``(key, records)`` with key
+#: ``("blk", ino, block)`` or ``("ns", seq)`` — the exact grouping of
+#: ``repro.libos.files.crash_dimensions``.
+Dimension = tuple[tuple[Any, ...], tuple[Record, ...]]
+
+_BARRIERS = frozenset({"fsync", "sync"})
+
+
+def _is_barrier(rec: Record) -> bool:
+    return bool(rec[0] in _BARRIERS)
+
+
+# ----------------------------------------------------------------------
+# Static mirrors of the dynamic pending/dimension computation
+# ----------------------------------------------------------------------
+
+
+def static_pending(log: Sequence[Record], upto: int) -> list[Record]:
+    """At-risk records at crash point *upto* (seq order).
+
+    Mirrors the pending computation of
+    ``repro.libos.files.replay_durable`` without touching contents:
+    ``fsync`` retires one inode's data and its creation record,
+    ``sync`` retires everything.
+    """
+    pend_data: dict[int, list[Record]] = {}
+    pend_ns: list[Record] = []
+    for rec in list(log)[:upto]:
+        kind = rec[0]
+        if kind == "write":
+            pend_data.setdefault(rec[2], []).append(rec)
+        elif kind in ("create", "rename"):
+            pend_ns.append(rec)
+        elif kind == "fsync":
+            ino = rec[2]
+            pend_data.pop(ino, None)
+            pend_ns = [
+                r for r in pend_ns
+                if not (r[0] == "create" and r[3] == ino)
+            ]
+        elif kind == "sync":
+            pend_data = {}
+            pend_ns = []
+        else:
+            raise ValueError(f"unknown record kind {rec[0]!r}")
+    return sorted(
+        pend_ns + [w for recs in pend_data.values() for w in recs],
+        key=lambda r: int(r[1]),
+    )
+
+
+def static_dimensions(pending: Sequence[Record]) -> tuple[Dimension, ...]:
+    """Mirror of ``repro.libos.files.crash_dimensions``."""
+    index: dict[tuple[Any, ...], list[Record]] = {}
+    for rec in pending:
+        if rec[0] == "write":
+            key: tuple[Any, ...] = ("blk", rec[2], rec[3])
+        else:
+            key = ("ns", rec[1])
+        index.setdefault(key, []).append(rec)
+    return tuple((key, tuple(recs)) for key, recs in index.items())
+
+
+def _options(dim: Dimension) -> int:
+    key, recs = dim
+    return len(recs) + 1 if key[0] == "blk" else 2
+
+
+def image_count(log: Sequence[Record], point: int) -> int:
+    """Number of legal post-crash images the search enumerates at a
+    crash point (the product of its dimension options)."""
+    count = 1
+    for dim in static_dimensions(static_pending(log, point)):
+        count *= _options(dim)
+    return count
+
+
+# ----------------------------------------------------------------------
+# The pruning plan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrunePlan:
+    """Which crash points the search must visit, and which it may skip."""
+
+    log: tuple[Record, ...]
+    kept: tuple[int, ...]
+    pruned: tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        """Number of crash points is ``k + 1`` (0 .. k inclusive)."""
+        return len(self.log)
+
+    @property
+    def images_total(self) -> int:
+        return sum(image_count(self.log, p) for p in range(self.k + 1))
+
+    @property
+    def images_explored(self) -> int:
+        return sum(image_count(self.log, p) for p in self.kept)
+
+    def representative(self, point: int) -> int:
+        """The kept point whose survivors embed this pruned point's."""
+        return _walk(self.log, set(self.kept), point)[-1]
+
+
+def plan_pruning(log: Sequence[Record]) -> PrunePlan:
+    """Decide which crash points are redundant for a given log."""
+    records = tuple(log)
+    k = len(records)
+    kept: list[int] = []
+    pruned: list[int] = []
+    for p in range(k + 1):
+        if p == k:
+            covered = False  # the final point answers to final rules
+        else:
+            covered = (not _is_barrier(records[p]) and p + 1 <= k - 1) or (
+                p > 0 and _is_barrier(records[p - 1])
+            )
+        (pruned if covered else kept).append(p)
+    return PrunePlan(records, tuple(kept), tuple(pruned))
+
+
+def _walk(log: tuple[Record, ...], kept: set[int], point: int) -> list[int]:
+    """Path from a pruned point to its representative kept point.
+
+    Moves down across a barrier when possible, up across an effect
+    otherwise; each move follows one of the two embeddings, and the
+    direction never flips (a down-move implies the record below is a
+    barrier, which forbids the up-move that could return).
+    """
+    path = [point]
+    p = point
+    while p not in kept:
+        if p > 0 and _is_barrier(log[p - 1]):
+            p -= 1
+        else:
+            p += 1
+        path.append(p)
+        if len(path) > len(log) + 2:  # pragma: no cover - defensive
+            raise RuntimeError("pruning walk failed to terminate")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Survivor synthesis: invert the embeddings
+# ----------------------------------------------------------------------
+
+
+def _invert_step(
+    log: tuple[Record, ...],
+    src: int,
+    tgt: int,
+    choices: Sequence[int],
+) -> Optional[tuple[int, ...]]:
+    """Map a choice vector at point *tgt* back to point *src*.
+
+    ``src -> tgt`` is one walk step, so either ``tgt == src + 1`` with
+    ``log[src]`` an effect (the image at src is the image at tgt that
+    does *not* choose the new record) or ``tgt == src - 1`` with
+    ``log[src - 1]`` a barrier (the image at src is the image at tgt
+    whose retired dimensions are *fully* chosen).  Returns None when
+    the tgt image has no counterpart at src.
+    """
+    dims_src = static_dimensions(static_pending(log, src))
+    dims_tgt = static_dimensions(static_pending(log, tgt))
+    by_tgt = {key: (recs, choices[i])
+              for i, (key, recs) in enumerate(dims_tgt)}
+    if len(choices) != len(dims_tgt):  # pragma: no cover - defensive
+        raise ValueError("choice vector does not match dimensions")
+    extra_must_be_full = tgt == src - 1
+    out: list[int] = []
+    src_keys = set()
+    for key, recs in dims_src:
+        src_keys.add(key)
+        if key not in by_tgt:  # pragma: no cover - defensive
+            raise RuntimeError("source dimension missing at target")
+        _tgt_recs, choice = by_tgt[key]
+        limit = len(recs) if key[0] == "blk" else 1
+        if choice > limit:
+            return None  # image persists a record src has not issued
+        out.append(choice)
+    for key, (recs, choice) in by_tgt.items():
+        if key in src_keys:
+            continue
+        if extra_must_be_full:
+            full = len(recs) if key[0] == "blk" else 1
+            if choice != full:
+                return None  # a retired record was dropped: not src's
+        else:
+            if choice != 0:
+                return None  # chose a record src has not issued
+    return tuple(out)
+
+
+def synthesize_choices(
+    plan: PrunePlan, point: int, rep_choices: Sequence[int]
+) -> Optional[tuple[int, ...]]:
+    """Choices at a pruned *point* for a survivor found at its
+    representative, or None when that survivor has no counterpart.
+
+    Both embeddings preserve the image bytes, so a synthesized
+    ``(point, *choices)`` decodes to the exact image of the source
+    survivor — only the crash point and the lost/kept split differ.
+    """
+    path = _walk(plan.log, set(plan.kept), point)
+    choices: Optional[tuple[int, ...]] = tuple(rep_choices)
+    # Invert the walk last-step-first: each step maps the vector one
+    # point closer to the pruned origin.
+    for i in range(len(path) - 2, -1, -1):
+        assert choices is not None
+        choices = _invert_step(plan.log, path[i], path[i + 1], choices)
+        if choices is None:
+            return None
+    return choices

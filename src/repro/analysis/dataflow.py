@@ -222,6 +222,10 @@ class SyscallFact:
     rdi: Interval
     #: Resolved syscall number, or None when rax is not a constant.
     number: int | None
+    #: Abstract rsi/rdx at the site (the file-effect domain reads
+    #: these: flags, offsets, lengths, destination paths).
+    rsi: Interval = TOP
+    rdx: Interval = TOP
 
     @property
     def name(self) -> str:
@@ -447,7 +451,8 @@ class _Transfer:
         number = rax[0] if rax[0] == rax[1] else None
         if self.facts is not None:
             self.facts.syscalls[insn.pc] = SyscallFact(
-                insn.pc, rax, rdi, number
+                insn.pc, rax, rdi, number,
+                rsi=state.regs[6], rdx=state.regs[2],
             )
             if number in _GUESS_KINDS or number == sysno.SYS_GUESS_STRATEGY \
                     or number == sysno.SYS_BRK or number == sysno.SYS_EXIT:

@@ -14,12 +14,19 @@ from collections import Counter, OrderedDict
 
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import DataflowResult, run_dataflow
+from repro.analysis.fsdomain import (
+    DEFAULT_FS_CONTEXT,
+    FsContext,
+    FsSummary,
+    analyze_fs,
+)
 from repro.analysis.report import (
     CATALOG,
     AnalysisReport,
     DeterminismCertificate,
     Finding,
     Severity,
+    catalog_fingerprint,
 )
 from repro.core import sysno
 from repro.cpu import isa
@@ -35,7 +42,10 @@ _NONDET_LINTS = frozenset(
     {"DT001", "DT002", "DT003", "DT004", "DT005", "DT006", "CF001"}
 )
 
-_CacheKey = tuple[bytes, bytes, int, int, int, int, int]
+#: Program image + loader geometry + catalog fingerprint + FS context.
+#: The fingerprint guards against a grown lint catalog serving stale
+#: cached verdicts from an older analyzer build.
+_CacheKey = tuple[bytes, bytes, int, int, int, int, int, str, FsContext]
 
 #: Memoised reports, keyed on the program image (LRU, small cap).
 _CACHE: OrderedDict[_CacheKey, AnalysisReport] = OrderedDict()
@@ -316,6 +326,70 @@ class _Linter:
                     "interposed set; snapshots cannot contain its effects",
                 )
 
+    # -- FS: crash consistency -----------------------------------------
+
+    def check_fs(self, context: FsContext) -> FsSummary:
+        """Run the file-effect domain and emit the FS lint family."""
+        summary = analyze_fs(self.program, self.df, context)
+        paths = summary.ino_paths
+
+        def pname(ino: int) -> str:
+            return paths.get(ino, f"inode {ino}")
+
+        by_site: dict[int, list[str]] = {}
+        for wpc, ino, block in summary.uncovered_writes:
+            what = "an unresolved block" if block < 0 else f"block {block}"
+            by_site.setdefault(wpc, []).append(f"{what} of {pname(ino)}")
+        for pc in sorted(by_site):
+            descs = ", ".join(sorted(set(by_site[pc])))
+            self.add(
+                "FS001", pc,
+                f"write to {descs} may still be volatile at a crash "
+                "boundary: no fsync/sync covers it on every path",
+            )
+        for cpc, path in summary.uncovered_creates:
+            self.add(
+                "FS001", cpc,
+                f"creation of {path} may still be volatile at a crash "
+                "boundary: no fsync/sync covers it on every path",
+            )
+        for rpc, src, dst in summary.volatile_renames:
+            self.add(
+                "FS002", rpc,
+                f"rename {src} -> {dst} may still be volatile at a "
+                "crash boundary: only a global sync retires renames",
+            )
+        for fpc, ino in summary.early_fsyncs:
+            self.add(
+                "FS003", fpc,
+                f"fsync retires no data on {pname(ino)} here, but later "
+                "writes to it reach a crash boundary unflushed: the "
+                "barrier runs before the data it should cover",
+            )
+        for anchor, wpc, blocks in summary.torn_windows:
+            blist = ", ".join(str(b) for b in blocks)
+            self.add(
+                "FS004", anchor,
+                f"torn write window: blocks {blist} of one inode are "
+                f"dirty together once the write at {wpc:#x} lands; a "
+                "crash may persist any subset",
+            )
+        if summary.commit_violation is not None:
+            vpc, vpath = summary.commit_violation
+            self.add(
+                "FS005", vpc,
+                f"write to {vpath} corrupts the committed state: even "
+                "the fully durable final image satisfies no final-state "
+                "rule of the plan",
+            )
+        for bpc, kind in summary.dead_barriers:
+            self.add(
+                "FS006", bpc,
+                f"dead barrier: this {kind} provably retires nothing "
+                "on every path",
+            )
+        return summary
+
     # -- assembly ------------------------------------------------------
 
     def certificate(self) -> DeterminismCertificate:
@@ -338,7 +412,8 @@ class _Linter:
 
 
 def _analyze_uncached(
-    program: Program, stack_pages: int, bss_pages: int
+    program: Program, stack_pages: int, bss_pages: int,
+    fs_context: FsContext,
 ) -> AnalysisReport:
     started = time.perf_counter()
     cfg: ControlFlowGraph = build_cfg(program)
@@ -349,6 +424,7 @@ def _analyze_uncached(
     linter.check_memory()
     linter.check_backtracking()
     linter.check_determinism()
+    fs_summary = linter.check_fs(fs_context)
     linter.findings.sort(key=lambda f: (f.pc, f.lint_id))
     return AnalysisReport(
         findings=linter.findings,
@@ -358,6 +434,7 @@ def _analyze_uncached(
         block_count=len(cfg.blocks),
         insn_count=cfg.insn_count,
         elapsed=time.perf_counter() - started,
+        fs=fs_summary,
     )
 
 
@@ -367,24 +444,29 @@ def analyze(
     stack_pages: int = DEFAULT_STACK_PAGES,
     bss_pages: int = 16,
     use_cache: bool = True,
+    fs_context: FsContext | None = None,
 ) -> AnalysisReport:
     """Run the full static analysis over an assembled *program*.
 
     ``stack_pages``/``bss_pages`` must match what the engine will hand
     the loader, since the memory-bounds lints check operands against the
-    segment map those parameters produce.
+    segment map those parameters produce.  ``fs_context`` tells the
+    file-effect domain what it may assume about the initial filesystem
+    (``repro.crashsim.model.fs_context_for`` builds one from a crash
+    plan); without it the base namespace is treated as unknown.
     """
+    context = fs_context if fs_context is not None else DEFAULT_FS_CONTEXT
     key: _CacheKey = (
         bytes(program.text), bytes(program.data),
         program.text_base, program.data_base, program.entry,
-        stack_pages, bss_pages,
+        stack_pages, bss_pages, catalog_fingerprint(), context,
     )
     if use_cache:
         cached = _CACHE.get(key)
         if cached is not None:
             _CACHE.move_to_end(key)
             return cached
-    report = _analyze_uncached(program, stack_pages, bss_pages)
+    report = _analyze_uncached(program, stack_pages, bss_pages, context)
     if use_cache:
         _CACHE[key] = report
         while len(_CACHE) > _CACHE_CAP:

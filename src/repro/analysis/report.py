@@ -5,7 +5,7 @@ grouped by family:
 
 * ``CF*`` control flow, ``DF*`` dataflow, ``MB*`` memory bounds,
   ``DV*`` division, ``BT*`` backtracking discipline, ``DT*``
-  determinism.
+  determinism, ``FS*`` crash consistency (file-effect domain).
 
 Exit-code semantics match the ``repro.tools.analyze`` CLI contract:
 0 = clean (info findings allowed), 1 = warnings, 2 = errors.
@@ -14,8 +14,13 @@ Exit-code semantics match the ``repro.tools.analyze`` CLI contract:
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.fsdomain import FsSummary
 
 
 class Severity(enum.IntEnum):
@@ -44,6 +49,9 @@ class LintSpec:
     name: str
     default_severity: Severity
     description: str
+    #: A minimal guest-source sketch that triggers the lint (shown by
+    #: ``analyze --explain``; empty for the pre-FS catalog entries).
+    example: str = ""
 
 
 _SPECS = [
@@ -102,10 +110,61 @@ _SPECS = [
     LintSpec("DT006", "nondet-random-read", Severity.WARNING,
              "sys_getrandom draws host entropy; re-executions observe "
              "different bytes unless a recorder interposes."),
+    LintSpec("FS001", "missing-fsync", Severity.WARNING,
+             "A written block or created file is still volatile when a "
+             "crash boundary (sys_crash_select / sys_exit) is reached; "
+             "a crash there can lose or tear the update.",
+             example=("open '/db' O_WRONLY; write 8 bytes; "
+                      "sys_crash_select with no intervening fsync")),
+    LintSpec("FS002", "volatile-rename", Severity.WARNING,
+             "A rename record is still volatile at a crash boundary; "
+             "only a global sync retires namespace updates in this "
+             "file model, so the new name can vanish on crash.",
+             example=("rename('/cfg.tmp', '/cfg'); sys_crash_select "
+                      "without a sys_sync after the rename")),
+    LintSpec("FS003", "fsync-before-data", Severity.WARNING,
+             "fsync retired no data on an inode that later reaches a "
+             "crash boundary with unflushed writes: the barrier ran "
+             "before the writes it was meant to cover.",
+             example=("open '/journal' O_CREAT; fsync(fd); then write "
+                      "the journal entry and never fsync again")),
+    LintSpec("FS004", "torn-write-window", Severity.WARNING,
+             "Two or more distinct dirty blocks of one inode are in "
+             "flight between barriers; the crash model may persist "
+             "any subset, exposing a torn multi-block state.",
+             example=("write block 0 and block 1 of '/data' with no "
+                      "fsync between the two writes")),
+    LintSpec("FS005", "write-after-commit", Severity.ERROR,
+             "Even the fully durable final image violates every "
+             "final-state rule of the crash plan: some write after "
+             "the commit point corrupts the committed state.",
+             example=("commit metadata for slot A, then overwrite "
+                      "slot A's allocation bit with a stale value")),
+    LintSpec("FS006", "dead-barrier", Severity.INFO,
+             "A barrier provably retires nothing on every path "
+             "(fsync of a clean inode, or sync with no volatile "
+             "state): it costs a flush and buys no durability.",
+             example=("fsync(fd) immediately after open, before any "
+                      "write through the fd")),
 ]
 
 #: lint id -> spec.
 CATALOG: dict[str, LintSpec] = {spec.lint_id: spec for spec in _SPECS}
+
+
+def catalog_fingerprint() -> str:
+    """Stable digest of the lint catalog (ids, severities, texts).
+
+    Memoisation keys include this so a grown or re-tuned catalog can
+    never serve a stale cached verdict from an older analyzer.
+    """
+    h = hashlib.sha256()
+    for spec in sorted(CATALOG.values(), key=lambda s: s.lint_id):
+        h.update(repr((
+            spec.lint_id, spec.name, int(spec.default_severity),
+            spec.description, spec.example,
+        )).encode())
+    return h.hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -183,6 +242,9 @@ class AnalysisReport:
     block_count: int
     insn_count: int
     elapsed: float = 0.0
+    #: File-effect domain summary (None only for reports built before
+    #: the FS pass existed, e.g. deserialized ones).
+    fs: FsSummary | None = None
 
     @property
     def max_severity(self) -> Severity | None:
@@ -262,6 +324,18 @@ class AnalysisReport:
             lines.append("determinism: NOT CERTIFIED")
             for reason in cert.reasons:
                 lines.append(f"  - {reason}")
+        if self.fs is not None:
+            if self.fs.fs_clean:
+                lines.append(
+                    "crash consistency: FS-CLEAN "
+                    "(no volatile file effect reaches a crash boundary)"
+                )
+            else:
+                suffix = (
+                    " (file-effect tracking incomplete)"
+                    if self.fs.tainted else ""
+                )
+                lines.append(f"crash consistency: NOT PROVEN{suffix}")
         if cert.syscall_profile:
             profile = ", ".join(
                 f"{name}x{count}"
@@ -296,6 +370,7 @@ class AnalysisReport:
             "elapsed": self.elapsed,
             "findings": [f.to_dict() for f in self.findings],
             "certificate": self.certificate.to_dict(),
+            "fs": self.fs.to_dict() if self.fs is not None else None,
             "exit_code": self.exit_code,
         }
 

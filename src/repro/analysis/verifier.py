@@ -12,6 +12,12 @@ guest.  Modes:
   deterministic.  The process-parallel engine insists on this bar
   before sharding, because its workers rehydrate subtrees by replaying
   decision prefixes and an uncertified program can diverge mid-replay.
+
+The FS crash-consistency lints flow through this gate like any other
+finding: warning-tier FS findings surface under ``"warn"``, and an
+FS005 (error tier) refuses under ``"strict"``.  They never affect the
+determinism certificate — durability and replayability are
+independent claims (see docs/ANALYSIS.md, "Static crash lints").
 """
 
 from __future__ import annotations

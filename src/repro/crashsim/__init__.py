@@ -17,12 +17,18 @@ them.  See docs/CRASH.md.
   and rendering.
 """
 
-from repro.crashsim.harness import crash_asm, run_crashfind, survivor_multiset
+from repro.crashsim.harness import (
+    crash_asm,
+    crash_source,
+    run_crashfind,
+    survivor_multiset,
+)
 from repro.crashsim.model import (
     ABSENT,
     CrashPlan,
     SimResult,
     enumerate_crash_images,
+    fs_context_for,
     hostfs_for,
     reference_flushed_seqs,
     reference_legal_images,
@@ -38,8 +44,10 @@ __all__ = [
     "SimResult",
     "Survivor",
     "crash_asm",
+    "crash_source",
     "decode_survivor",
     "enumerate_crash_images",
+    "fs_context_for",
     "hostfs_for",
     "reference_flushed_seqs",
     "reference_legal_images",

@@ -19,11 +19,20 @@ The generated guest has three phases, all in one program:
 Survivor identity is the guess path ``(c, k_1, ..., k_d)``, a pure
 function of the plan — which is what lets differential batteries
 demand identical survivor multisets from every engine.
+
+With ``prune=True``, :func:`run_crashfind` first runs the static
+analyzer over the guest: when the file-effect domain's predicted
+oplog matches the dynamic log exactly, crash points the structural
+argument in :mod:`repro.analysis.crashprune` proves redundant are
+compiled out of the guest (rejected right after the first guess), and
+their survivors are synthesized back from the explored representative
+points — the report's survivor multiset is identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
+from typing import Iterable, Optional, Sequence
 
 from repro.core import sysno
 from repro.core.machine import MachineEngine
@@ -32,7 +41,9 @@ from repro.crashsim.model import (
     ABSENT,
     CrashPlan,
     SimResult,
+    fs_context_for,
     hostfs_for,
+    image_matches,
     simulate,
 )
 from repro.crashsim.report import CrashReport, decode_survivor
@@ -130,13 +141,29 @@ def _emit_dnf(lines: list[str], prefix: str, rules: tuple,
         lines.append(f"    jmp {ok_label}")
 
 
-def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
-    """Compile *plan* into the crash-search guest program."""
+def crash_source(
+    plan: CrashPlan,
+    sim: Optional[SimResult] = None,
+    pruned_points: Sequence[int] = (),
+) -> tuple[str, dict[str, int]]:
+    """Compile *plan* into the crash-search guest program.
+
+    Returns ``(source, tag_lines)`` where ``tag_lines`` maps each plan
+    tag (and ``create:<path>`` for creating opens) to the 1-based
+    source line of the syscall that issues its records — the anchor
+    the FS lint tests compare findings against.  ``pruned_points`` are
+    crash points the guest rejects immediately after the first guess
+    (see ``repro.analysis.crashprune``).
+    """
     sim = sim if sim is not None else simulate(plan)
     if not plan.consistent:
         raise ValueError(f"{plan.name}: consistent rules must be non-empty")
     if not plan.final:
         raise ValueError(f"{plan.name}: final rules must be non-empty")
+    for point in pruned_points:
+        if not 0 <= point <= sim.K:
+            raise ValueError(f"{plan.name}: pruned point {point} out of "
+                             f"range 0..{sim.K}")
 
     paths = _collect_paths(plan)
     path_label = {p: f"path_{i}" for i, p in enumerate(paths)}
@@ -154,7 +181,15 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
             data_lines.append(f"{label}: .byte {body}")
     data_lines.append(f"chkbuf: .zero {chk}")
 
+    tag_lines: dict[str, int] = {}
+
     text = [".text", "_start:"]
+
+    def _mark(tag: Optional[str]) -> None:
+        # The line just appended is the op's effect syscall.
+        if tag is not None:
+            tag_lines.setdefault(tag, len(data_lines) + len(text))
+
     # --- phase 1: the writer, straight-line, pre-guess -----------------
     for oi, op in enumerate(plan.ops):
         kind = op[0]
@@ -167,6 +202,7 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
                 f"    mov rsi, {flags}",
                 "    syscall",
             ]
+            _mark(f"create:{path}")
         elif kind == "pwrite":
             _, fd, offset, data, tag = op
             text += [
@@ -182,6 +218,7 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
                 f"    mov rdx, {len(data)}",
                 "    syscall",
             ]
+            _mark(tag)
         elif kind == "fsync":
             text += [
                 f"    mov rax, {sysno.SYS_FSYNC}",
@@ -202,6 +239,7 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
                 f"    mov rsi, {path_label[dst]}",
                 "    syscall",
             ]
+            _mark(tag)
         elif kind == "close":
             text += [
                 f"    mov rax, {sysno.SYS_CLOSE}",
@@ -218,7 +256,16 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
         f"    mov rdi, {sim.K + 1}",
         "    syscall",
         "    mov r15, rax",
-        "    mov rdi, rax",
+    ]
+    for point in sorted(pruned_points):
+        # Statically redundant crash point: kill the branch before the
+        # engine forks a single snapshot for its dimension product.
+        text += [
+            f"    cmp r15, {point}",
+            "    je point_pruned",
+        ]
+    text += [
+        "    mov rdi, r15",
         f"    mov rax, {sysno.SYS_CRASH_SELECT}",
         "    syscall",
         "    mov r14, rax",
@@ -261,7 +308,22 @@ def crash_asm(plan: CrashPlan, sim: Optional[SimResult] = None) -> str:
         f"    mov rax, {sysno.SYS_EXIT}",
         "    syscall",
     ]
-    return "\n".join(data_lines + text) + "\n"
+    if pruned_points:
+        text += [
+            "point_pruned:",
+            f"    mov rax, {sysno.SYS_GUESS_FAIL}",
+            "    syscall",
+        ]
+    return "\n".join(data_lines + text) + "\n", tag_lines
+
+
+def crash_asm(
+    plan: CrashPlan,
+    sim: Optional[SimResult] = None,
+    pruned_points: Sequence[int] = (),
+) -> str:
+    """Compile *plan* into the crash-search guest program (source only)."""
+    return crash_source(plan, sim, pruned_points)[0]
 
 
 # ----------------------------------------------------------------------
@@ -274,6 +336,68 @@ def survivor_multiset(result: SearchResult) -> tuple:
     return tuple(sorted(s.path for s in result.solutions))
 
 
+def _plan_pruned_points(plan: CrashPlan, sim: SimResult):
+    """Static pruning plan for *plan*, or None when the analysis
+    cannot vouch for it.
+
+    The gate is exact: the file-effect domain must have predicted the
+    writer oplog record-for-record equal to the dynamic log.  Any
+    mismatch (or no prediction at all) declines pruning — correctness
+    never depends on the static pass being right, only the speedup
+    does.
+    """
+    from repro.analysis import analyze
+    from repro.analysis.crashprune import plan_pruning
+    from repro.cpu.assembler import assemble
+
+    program = assemble(crash_asm(plan, sim))
+    report = analyze(program, fs_context=fs_context_for(plan))
+    summary = report.fs
+    if summary is None or summary.predicted_log is None:
+        return None
+    if list(summary.predicted_log) != list(sim.log):
+        return None
+    prune_plan = plan_pruning(tuple(sim.log))
+    return prune_plan if prune_plan.pruned else None
+
+
+def _synthesize_survivors(
+    sim: SimResult, plan: CrashPlan, prune_plan,
+    explored_paths: Iterable[tuple],
+) -> list:
+    """Recover the pruned points' survivors from the explored ones.
+
+    Each synthesized path is decoded through the same
+    :func:`decode_survivor` as a real one (fresh fork, real
+    ``sys_crash_*`` replay), then cross-checked against the plan's
+    intermediate rules: by construction its image equals the source
+    survivor's, so it must violate them too — anything else means the
+    static mirror diverged from the file layer, and we refuse to
+    report rather than report wrongly.
+    """
+    from repro.analysis.crashprune import synthesize_choices
+
+    by_point: dict[int, list[tuple]] = {}
+    for path in explored_paths:
+        by_point.setdefault(path[0], []).append(path)
+    out = []
+    for point in prune_plan.pruned:
+        rep = prune_plan.representative(point)
+        for path in by_point.get(rep, ()):
+            choices = synthesize_choices(prune_plan, point, path[1:])
+            if choices is None:
+                continue
+            survivor = decode_survivor(sim, (point, *choices))
+            if image_matches(survivor.image, plan.consistent):
+                raise RuntimeError(
+                    f"{plan.name}: synthesized survivor at point {point} "
+                    f"(from {path}) satisfies the consistency rules; "
+                    "static pruning model diverged from the file layer"
+                )
+            out.append(replace(survivor, synthesized=True))
+    return out
+
+
 def run_crashfind(
     plan: CrashPlan,
     engine: str = "snapshot",
@@ -284,16 +408,24 @@ def run_crashfind(
     chaos=None,
     task_step_budget: Optional[int] = 25_000,
     batch_size: int = 4,
+    prune: bool = False,
 ) -> CrashReport:
     """Search *plan* for crash-consistency bugs on the chosen engine.
 
     ``engine`` is ``"snapshot"`` (in-process :class:`MachineEngine`) or
     ``"process"`` (:class:`ProcessParallelEngine` with *workers*
     processes; *journal*/*resume*/*chaos* plug in the durability
-    machinery for the differential batteries).
+    machinery for the differential batteries).  ``prune=True`` enables
+    analysis-guided crash-point pruning; the survivor multiset is
+    identical to an unpruned run (statically-skipped points get their
+    survivors synthesized back from the explored representatives).
     """
     sim = simulate(plan)
-    asm = crash_asm(plan, sim)
+    prune_plan = _plan_pruned_points(plan, sim) if prune else None
+    asm = crash_asm(
+        plan, sim,
+        pruned_points=prune_plan.pruned if prune_plan is not None else (),
+    )
     hostfs = hostfs_for(plan)
     if engine == "snapshot":
         eng = MachineEngine(strategy=strategy, hostfs=hostfs)
@@ -318,6 +450,25 @@ def run_crashfind(
         raise ValueError(f"unknown engine {engine!r}")
 
     survivors = [decode_survivor(sim, s.path) for s in result.solutions]
+    stats: dict = {"evaluations": result.stats.evaluations,
+                   "solutions": len(result.solutions),
+                   "exhausted": result.exhausted}
+    if prune:
+        if prune_plan is not None:
+            survivors.extend(_synthesize_survivors(
+                sim, plan, prune_plan, (s.path for s in result.solutions)
+            ))
+            stats.update({
+                "pruned": True,
+                "points_total": sim.K + 1,
+                "points_pruned": len(prune_plan.pruned),
+                "images_total": prune_plan.images_total,
+                "images_explored": prune_plan.images_explored,
+            })
+        else:
+            stats.update({"pruned": False,
+                          "points_total": sim.K + 1,
+                          "points_pruned": 0})
     survivors.sort(key=lambda s: s.path)
     return CrashReport(
         plan_name=plan.name,
@@ -326,7 +477,5 @@ def run_crashfind(
         expected_blame=plan.expected_blame,
         crash_points=sim.K + 1,
         survivors=survivors,
-        stats={"evaluations": result.stats.evaluations,
-               "solutions": len(result.solutions),
-               "exhausted": result.exhausted},
+        stats=stats,
     )

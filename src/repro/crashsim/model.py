@@ -73,10 +73,37 @@ class CrashPlan:
     expected_blame: frozenset[str] = field(default_factory=frozenset)
     block_size: int = 8
     description: str = ""
+    #: FS lint ids the static analyzer must raise on this plan's guest
+    #: (empty for FS-clean plans); asserted by tests and the CI sweep.
+    expected_fs: frozenset[str] = field(default_factory=frozenset)
 
 
 def hostfs_for(plan: CrashPlan) -> HostFS:
     return HostFS(dict(plan.files), block_size=plan.block_size)
+
+
+def fs_context_for(plan: CrashPlan):
+    """Build the static analyzer's FS context from a crash plan.
+
+    Hands the file-effect domain exactly what the dynamic layer will
+    see: block size, the base files (which pin inode numbering), and
+    the final-state rules with :data:`ABSENT` translated to the
+    analyzer's ``None`` spelling.
+    """
+    from repro.analysis.fsdomain import FsContext
+
+    rules = tuple(
+        tuple(
+            (path, tuple(None if alt is ABSENT else alt for alt in alts))
+            for path, alts in rule
+        )
+        for rule in plan.final
+    )
+    return FsContext(
+        block_size=plan.block_size,
+        base_files=tuple(sorted(plan.files)),
+        final_rules=rules,
+    )
 
 
 @dataclass

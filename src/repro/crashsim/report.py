@@ -35,6 +35,10 @@ class Survivor:
     blame: frozenset[str]
     #: The crashed on-disk image (path -> contents).
     image: dict[str, bytes]
+    #: True when this survivor was recovered from a pruned crash point
+    #: (analysis-guided pruning) rather than found by the engine; the
+    #: decoded content is identical either way.
+    synthesized: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -45,6 +49,7 @@ class Survivor:
             "kept": [[seq, tag, desc] for seq, tag, desc in self.kept],
             "blame": sorted(self.blame),
             "image": {p: data.hex() for p, data in sorted(self.image.items())},
+            "synthesized": self.synthesized,
         }
 
 
@@ -189,6 +194,7 @@ class CrashReport:
             lines.append(
                 f"  crash @{s.crash_point} choices={list(s.choices)} "
                 f"blame={sorted(s.blame)}"
+                + (" (synthesized)" if s.synthesized else "")
             )
             for seq, tag, desc in s.lost:
                 lines.append(f"    lost  seq={seq} [{tag or '-'}] {desc}")

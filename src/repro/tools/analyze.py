@@ -3,11 +3,18 @@
 Usage::
 
     python -m repro.tools.analyze path/to/guest.s [options]
+    python -m repro.tools.analyze --plan journaled_append_clean [options]
+    python -m repro.tools.analyze --explain FS001
 
 Assembles the source, runs the full CFG + dataflow analysis
 (:func:`repro.analysis.analyze`) and prints the report.  Exit code is
 the lint verdict — 0 clean, 1 warnings, 2 errors — so the tool slots
 directly into CI.
+
+``--plan NAME`` analyzes the generated guest of a crashfs corpus plan
+with the plan's FS context (base files, block size, final rules), so
+the FS lint family runs at full precision.  ``--explain LINTID``
+prints one catalog entry (description, severity, example) and exits.
 
 ``--differential`` additionally *executes* the guest to validate the
 determinism certificate dynamically: two sequential runs must produce
@@ -23,12 +30,29 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis import analyze
+from repro.analysis import CATALOG, analyze
 from repro.analysis.differential import (
     cross_engine_differential,
     sequential_differential,
 )
 from repro.cpu.assembler import AssemblyError, assemble
+
+
+def explain(lint_id: str, out=None) -> int:
+    """Print the catalog entry for one lint id; exit 2 when unknown."""
+    out = out if out is not None else sys.stdout
+    spec = CATALOG.get(lint_id)
+    if spec is None:
+        known = ", ".join(sorted(CATALOG))
+        print(f"error: unknown lint id {lint_id!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    print(f"{spec.lint_id} ({spec.name})", file=out)
+    print(f"severity: {spec.default_severity.label}", file=out)
+    print(f"description: {spec.description}", file=out)
+    if spec.example:
+        print(f"example: {spec.example}", file=out)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,7 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Statically analyze a guest program and certify "
         "its replay determinism.",
     )
-    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="assembly source file")
+    parser.add_argument("--explain", metavar="LINTID", default=None,
+                        help="print the catalog entry for a lint id "
+                        "(e.g. FS001) and exit")
+    parser.add_argument("--plan", metavar="NAME", default=None,
+                        help="analyze the generated guest of a crashfs "
+                        "corpus plan (with its FS context) instead of "
+                        "a source file")
     output = parser.add_mutually_exclusive_group()
     output.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
@@ -58,26 +90,49 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        with open(args.source) as handle:
-            source = handle.read()
-    except OSError as err:
-        print(f"error: cannot read {args.source}: {err}", file=sys.stderr)
-        return 2
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.explain is not None:
+        return explain(args.explain)
+    if args.plan is not None and args.source is not None:
+        parser.error("--plan and a source file are mutually exclusive")
+    if args.plan is None and args.source is None:
+        parser.error("a source file, --plan or --explain is required")
+
+    kwargs = {}
+    if args.stack_pages is not None:
+        kwargs["stack_pages"] = args.stack_pages
+
+    if args.plan is not None:
+        from repro.crashsim import crash_asm, fs_context_for
+        from repro.workloads.crashfs import CORPUS
+
+        plan = CORPUS.get(args.plan)
+        if plan is None:
+            print(f"error: unknown plan {args.plan!r} "
+                  f"(known: {', '.join(sorted(CORPUS))})", file=sys.stderr)
+            return 2
+        source = crash_asm(plan)
+        artifact = f"plan:{args.plan}"
+        kwargs["fs_context"] = fs_context_for(plan)
+    else:
+        try:
+            with open(args.source) as handle:
+                source = handle.read()
+        except OSError as err:
+            print(f"error: cannot read {args.source}: {err}", file=sys.stderr)
+            return 2
+        artifact = args.source
     try:
         program = assemble(source)
     except AssemblyError as err:
         print(f"assembly error: {err}", file=sys.stderr)
         return 2
 
-    kwargs = {}
-    if args.stack_pages is not None:
-        kwargs["stack_pages"] = args.stack_pages
     report = analyze(program, **kwargs)
 
     if args.sarif:
-        rendered = report.sarif_text(artifact=args.source)
+        rendered = report.sarif_text(artifact=artifact)
     elif args.json:
         rendered = json.dumps(report.to_json(), indent=2)
     else:

@@ -8,8 +8,13 @@ Usage::
 
     python -m repro.tools.crashfind --list
     python -m repro.tools.crashfind journaled_append_missing_fsync
+    python -m repro.tools.crashfind journaled_append_clean --prune
     python -m repro.tools.crashfind rename_update_no_sync --engine process \
         --workers 3 --json
+
+``--prune`` lets the static file-effect analysis skip crash points it
+proves redundant; survivors at pruned points are synthesized exactly
+from representatives, so the report is unchanged (see docs/CRASH.md).
 
 Exit status: 0 — the search matched the plan's declaration (bugs found
 with the expected blame, or proven clean); 1 — mismatch (a declared
@@ -52,6 +57,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="write-ahead run journal path (process engine)")
     parser.add_argument("--resume", action="store_true",
                         help="resume an interrupted run from --journal")
+    parser.add_argument("--prune", action="store_true",
+                        help="skip crash points the static file-effect "
+                        "analysis proves redundant")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     args = parser.parse_args(argv)
@@ -74,11 +82,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         workers=args.workers,
         journal=args.journal,
         resume=args.resume,
+        prune=args.prune,
     )
     if args.json:
         print(report.to_json())
     else:
         print(report.render_text())
+        if args.prune:
+            if report.stats.get("pruned"):
+                print(
+                    "pruning: {points_pruned}/{points_total} crash points "
+                    "skipped, {images_explored}/{images_total} images "
+                    "explored".format(**report.stats)
+                )
+            else:
+                print("pruning: declined (analysis could not certify "
+                      "the write log)")
     return 0 if report.verdict_ok else 1
 
 

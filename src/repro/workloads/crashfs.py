@@ -89,6 +89,7 @@ JOURNALED_APPEND_MISSING_FSYNC = CrashPlan(
     final=_JOURNAL_FINAL,
     expect_bug=True,
     expected_blame=frozenset(("db-data",)),
+    expected_fs=frozenset(("FS001", "FS004")),
 )
 
 JOURNALED_APPEND_REORDERED_COMMIT = CrashPlan(
@@ -110,6 +111,7 @@ JOURNALED_APPEND_REORDERED_COMMIT = CrashPlan(
     final=_JOURNAL_FINAL,
     expect_bug=True,
     expected_blame=frozenset(("journal-entry",)),
+    expected_fs=frozenset(("FS004",)),
 )
 
 JOURNALED_APPEND_FSYNC_BEFORE_DATA = CrashPlan(
@@ -131,6 +133,7 @@ JOURNALED_APPEND_FSYNC_BEFORE_DATA = CrashPlan(
     final=_JOURNAL_FINAL,
     expect_bug=True,
     expected_blame=frozenset(("journal-entry",)),
+    expected_fs=frozenset(("FS001", "FS003", "FS004")),
 )
 
 # ----------------------------------------------------------------------
@@ -170,6 +173,7 @@ TORN_UPDATE_MULTIBLOCK = CrashPlan(
     final=((("/db", (_NEW16,)),),),
     expect_bug=True,
     expected_blame=frozenset(("db-data",)),
+    expected_fs=frozenset(("FS004",)),
 )
 
 # ----------------------------------------------------------------------
@@ -217,6 +221,7 @@ RENAME_UPDATE_NO_SYNC = CrashPlan(
     final=_RENAME_FINAL,
     expect_bug=True,
     expected_blame=frozenset(("rename",)),
+    expected_fs=frozenset(("FS002",)),
 )
 
 # ----------------------------------------------------------------------
@@ -272,6 +277,7 @@ BLOCK_ALLOC_DOUBLE_FREE = CrashPlan(
     final=((("/store", (_META_V2 + _SLOT1 + _SLOT2_NEW,)),),),
     expect_bug=True,
     expected_blame=frozenset(("meta-commit",)),
+    expected_fs=frozenset(("FS005",)),
 )
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,258 @@
+"""The FS lint family: every seeded crash-consistency bug in the
+crashfs corpus is caught *statically*, at the right source line, and
+every clean twin is proven FS-clean.
+
+This is the static mirror of tests/crashsim/test_corpus.py: the same
+corpus, but the verdict comes from the file-effect abstract domain
+(:mod:`repro.analysis.fsdomain`) instead of the crash search.  The
+line-matching assertions tie each plan's expected blame tags (the
+ground truth the dynamic search reports) to the static findings.
+"""
+
+import pytest
+
+from repro.analysis import analyze, catalog_fingerprint
+from repro.analysis.fsdomain import DEFAULT_BLOCK_SIZE, O_CREAT
+from repro.cpu.assembler import assemble
+from repro.crashsim import crash_source, fs_context_for, simulate
+from repro.workloads.crashfs import BUGGY_PLANS, CLEAN_PLANS, CORPUS
+
+# One report per plan per module run (the analyzer memoises anyway,
+# but the source/tag maps are worth sharing too).
+_cache = {}
+
+
+def _analyzed(plan):
+    if plan.name not in _cache:
+        source, tag_lines = crash_source(plan)
+        report = analyze(assemble(source), fs_context=fs_context_for(plan))
+        _cache[plan.name] = (report, tag_lines)
+    return _cache[plan.name]
+
+
+def _fs_findings(report):
+    return [f for f in report.findings if f.lint_id.startswith("FS")]
+
+
+class TestConstantsPinned:
+    """The static domain mirrors libos constants; drift would silently
+    wreck block arithmetic and open-flag decoding."""
+
+    def test_block_size_matches_libos(self):
+        from repro.libos import files
+
+        assert DEFAULT_BLOCK_SIZE == files.DEFAULT_BLOCK_SIZE
+
+    def test_o_creat_matches_libos(self):
+        from repro.libos import files
+
+        assert O_CREAT == files.O_CREAT
+
+
+@pytest.mark.parametrize("plan", BUGGY_PLANS, ids=lambda p: p.name)
+class TestSeededBugsCaughtStatically:
+    def test_expected_lint_ids_exactly(self, plan):
+        report, _ = _analyzed(plan)
+        got = {f.lint_id for f in _fs_findings(report)}
+        assert got == set(plan.expected_fs), (
+            f"{plan.name}: expected {sorted(plan.expected_fs)}, got "
+            f"{sorted(got)}"
+        )
+
+    def test_a_finding_lands_on_a_blamed_line(self, plan):
+        """At least one FS finding is anchored at the source line of an
+        operation the dynamic search blames for the bug."""
+        report, tag_lines = _analyzed(plan)
+        blamed_lines = {
+            line for tag, line in tag_lines.items()
+            if tag in plan.expected_blame
+        }
+        assert blamed_lines, f"{plan.name}: no line for expected blame"
+        found_lines = {f.line for f in _fs_findings(report)}
+        assert found_lines & blamed_lines, (
+            f"{plan.name}: findings at lines {sorted(found_lines)} miss "
+            f"blamed lines {sorted(blamed_lines)}"
+        )
+
+    def test_not_fs_clean(self, plan):
+        report, _ = _analyzed(plan)
+        assert report.fs is not None
+        assert not report.fs.fs_clean
+
+    def test_predicted_log_matches_simulation(self, plan):
+        """The analysis' concrete oplog prediction agrees record-for-
+        record with the real file layer — the soundness anchor for
+        crash-point pruning."""
+        report, _ = _analyzed(plan)
+        assert report.fs.predicted_log == simulate(plan).log
+
+
+@pytest.mark.parametrize("plan", CLEAN_PLANS, ids=lambda p: p.name)
+class TestCleanTwinsProvenClean:
+    def test_zero_fs_findings(self, plan):
+        report, _ = _analyzed(plan)
+        assert _fs_findings(report) == []
+
+    def test_fs_clean(self, plan):
+        report, _ = _analyzed(plan)
+        assert report.fs is not None and report.fs.fs_clean
+
+    def test_predicted_log_matches_simulation(self, plan):
+        report, _ = _analyzed(plan)
+        assert report.fs.predicted_log == simulate(plan).log
+
+
+class TestFsFindingsDoNotVoidCertificate:
+    """FS lints speak about durability, not replay determinism: a
+    buggy-corpus guest keeps whatever certificate status its syscall
+    mix earns, independent of FS findings."""
+
+    def test_same_certificate_with_and_without_context(self):
+        plan = CORPUS["journaled_append_missing_fsync"]
+        source, _ = crash_source(plan)
+        program = assemble(source)
+        with_ctx = analyze(program, fs_context=fs_context_for(plan))
+        without = analyze(program)
+        assert (with_ctx.certificate.certified
+                == without.certificate.certified)
+        assert (with_ctx.certificate.reasons == without.certificate.reasons)
+
+
+_SYNC_ONLY = """
+.text
+_start:
+    mov rax, 162
+    syscall
+    mov rax, 60
+    mov rdi, 0
+    syscall
+"""
+
+_DOUBLE_FSYNC = """
+.data
+path: .asciz "/f"
+buf: .byte 1, 2, 3, 4
+.text
+_start:
+    mov rax, 2
+    mov rdi, path
+    mov rsi, 66
+    syscall
+    mov rax, 1
+    mov rdi, 3
+    mov rsi, buf
+    mov rdx, 4
+    syscall
+    mov rax, 74
+    mov rdi, 3
+    syscall
+    mov rax, 74
+    mov rdi, 3
+    syscall
+    mov rax, 60
+    mov rdi, 0
+    syscall
+"""
+
+
+class TestDeadBarriers:
+    def test_sync_with_nothing_pending_is_fs006(self):
+        report = analyze(assemble(_SYNC_ONLY))
+        ids = [f.lint_id for f in _fs_findings(report)]
+        assert ids == ["FS006"]
+        assert report.fs.fs_clean  # info-severity: still clean
+
+    def test_second_fsync_is_fs006(self):
+        report = analyze(assemble(_DOUBLE_FSYNC))
+        fs = _fs_findings(report)
+        assert [f.lint_id for f in fs] == ["FS006"]
+        # The *second* fsync is the dead one; the first retires data.
+        assert report.fs.dead_barriers[0][1] == "fsync"
+
+    def test_fs006_is_info_severity(self):
+        report = analyze(assemble(_SYNC_ONLY))
+        (finding,) = _fs_findings(report)
+        assert finding.severity.label == "info"
+        assert report.exit_code == 0
+
+
+class TestMemoisationKey:
+    """Satellite: the cache key includes the catalog fingerprint and
+    the FS context, so neither a grown catalog nor a different plan
+    context can serve a stale report."""
+
+    def test_cache_hit_same_inputs(self):
+        program = assemble(_SYNC_ONLY)
+        assert analyze(program) is analyze(program)
+
+    def test_fs_context_is_part_of_the_key(self):
+        plan = CORPUS["journaled_append_missing_fsync"]
+        source, _ = crash_source(plan)
+        program = assemble(source)
+        default = analyze(program)
+        with_ctx = analyze(program, fs_context=fs_context_for(plan))
+        assert default is not with_ctx
+        # Different block size => different torn-window geometry.
+        assert ({f.lint_id for f in _fs_findings(default)}
+                != {f.lint_id for f in _fs_findings(with_ctx)}
+                or default.fs.to_dict() != with_ctx.fs.to_dict())
+
+    def test_catalog_fingerprint_invalidates(self, monkeypatch):
+        from repro.analysis import report as report_mod
+
+        program = assemble(_SYNC_ONLY)
+        first = analyze(program)
+        fp_before = catalog_fingerprint()
+        spec = report_mod.CATALOG["FS006"]
+        patched = type(spec)(
+            lint_id=spec.lint_id, name=spec.name,
+            default_severity=spec.default_severity,
+            description=spec.description + " (v2)",
+            example=spec.example,
+        )
+        monkeypatch.setitem(report_mod.CATALOG, "FS006", patched)
+        assert catalog_fingerprint() != fp_before
+        assert analyze(program) is not first
+
+    def test_fingerprint_is_stable(self):
+        assert catalog_fingerprint() == catalog_fingerprint()
+
+
+class TestExplainCli:
+    def test_known_id(self, capsys):
+        from repro.tools.analyze import main
+
+        assert main(["--explain", "FS001"]) == 0
+        out = capsys.readouterr().out
+        assert "FS001" in out and "severity: warning" in out
+        assert "example:" in out
+
+    def test_every_catalog_entry_explains(self, capsys):
+        from repro.analysis import CATALOG
+        from repro.tools.analyze import main
+
+        for lint_id in CATALOG:
+            assert main(["--explain", lint_id]) == 0
+        capsys.readouterr()
+
+    def test_unknown_id_exits_2(self, capsys):
+        from repro.tools.analyze import main
+
+        assert main(["--explain", "FS999"]) == 2
+        assert "unknown lint id" in capsys.readouterr().err
+
+    def test_plan_mode_reports_fs_findings(self, capsys):
+        from repro.tools.analyze import main
+
+        assert main(["--plan", "journaled_append_missing_fsync"]) == 1
+        out = capsys.readouterr().out
+        assert "FS001" in out and "crash consistency: NOT PROVEN" in out
+
+    def test_plan_mode_clean_twin(self, capsys):
+        from repro.tools.analyze import main
+
+        rc = main(["--plan", "journaled_append_clean"])
+        out = capsys.readouterr().out
+        assert "FS-CLEAN" in out
+        assert rc in (0, 1)  # DT advisories may warn; no FS findings
+        assert "FS0" not in out.replace("FS-CLEAN", "")

@@ -12,6 +12,8 @@ import pytest
 from repro.analysis import analyze
 from repro.cpu.assembler import assemble
 from repro.workloads.coloring import WHEEL5_EDGES, WHEEL5_NODES, coloring_asm
+from repro.workloads.crashfs import CLEAN_PLANS as CRASHFS_CLEAN_PLANS
+from repro.workloads.crashfs import CORPUS as CRASHFS_CORPUS
 from repro.workloads.knapsack import random_instance, subset_sum_asm
 from repro.workloads.nqueens import nqueens_asm
 from repro.workloads.puzzle8 import puzzle8_asm, scramble
@@ -39,6 +41,29 @@ def test_workload_is_clean_and_certified(name):
     assert not noisy, f"{name}: unexpected findings {noisy}"
     assert report.exit_code == 0
     assert report.certificate.certified, report.certificate.reasons
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in CRASHFS_CLEAN_PLANS)
+)
+def test_clean_crashfs_twin_has_no_fs_findings(name):
+    """The crash-guest generators for the clean corpus twins prove
+    FS-clean: zero FS findings, and the FS pass leaves the (expected,
+    filesystem-dependent) determinism verdict untouched."""
+    from repro.crashsim import crash_asm, fs_context_for
+
+    plan = CRASHFS_CORPUS[name]
+    program = assemble(crash_asm(plan))
+    report = analyze(program, fs_context=fs_context_for(plan))
+    fs_findings = [f for f in report.findings
+                   if f.lint_id.startswith("FS")]
+    assert not fs_findings, f"{name}: unexpected FS findings {fs_findings}"
+    assert report.fs is not None and report.fs.fs_clean
+    # Certificate unaffected by the FS pass: same verdict as the
+    # context-free analysis of the same program.
+    baseline = analyze(program)
+    assert report.certificate.certified == baseline.certificate.certified
+    assert report.certificate.reasons == baseline.certificate.reasons
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3, 11, 42])

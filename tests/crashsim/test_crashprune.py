@@ -1,0 +1,277 @@
+"""Analysis-guided crash-point pruning: skipping statically-redundant
+crash points must be invisible in the report.
+
+Three layers of evidence:
+
+* **corpus equivalence** — for every corpus plan, the pruned search
+  returns the same survivor multiset, the same blame, and the same
+  verdict as the unpruned search, while exploring fewer images;
+* **static mirrors** — for random write/fsync/sync/rename sequences,
+  the analyzer's host-free pending/dimension computations agree with
+  the file layer's at every crash point;
+* **synthesis exactness** — at every pruned point of every corpus
+  plan, mapping the representative's full image set back through
+  :func:`~repro.analysis.crashprune.synthesize_choices` reproduces the
+  pruned point's image set exactly, image bytes included;
+
+plus the headline soundness property: a plan the analyzer proves
+FS-clean has zero crashfind survivors against an exact-final-image
+rule (everything it wrote really is durable).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze, plan_pruning
+from repro.analysis.crashprune import (
+    image_count,
+    static_dimensions,
+    static_pending,
+    synthesize_choices,
+)
+from repro.cpu.assembler import assemble
+from repro.crashsim import (
+    CrashPlan,
+    crash_asm,
+    decode_survivor,
+    fs_context_for,
+    run_crashfind,
+    simulate,
+)
+from repro.libos.files import (
+    O_CREAT,
+    O_RDWR,
+    FileTable,
+    HostFS,
+    crash_dimensions,
+    replay_durable,
+)
+from repro.workloads.crashfs import CORPUS
+
+_reports = {}
+
+
+def _pair(plan):
+    """(unpruned, pruned) reports for one plan, cached per module."""
+    if plan.name not in _reports:
+        _reports[plan.name] = (
+            run_crashfind(plan, engine="snapshot"),
+            run_crashfind(plan, engine="snapshot", prune=True),
+        )
+    return _reports[plan.name]
+
+
+def _blame_multiset(report):
+    return sorted(tuple(sorted(s.blame)) for s in report.survivors)
+
+
+@pytest.mark.parametrize("plan", sorted(CORPUS.values(), key=lambda p: p.name),
+                         ids=lambda p: p.name)
+class TestPrunedEqualsUnpruned:
+    def test_same_survivor_multiset(self, plan):
+        plain, pruned = _pair(plan)
+        assert pruned.survivor_multiset() == plain.survivor_multiset()
+
+    def test_same_blame_and_verdict(self, plan):
+        plain, pruned = _pair(plan)
+        assert _blame_multiset(pruned) == _blame_multiset(plain)
+        assert pruned.verdict_ok == plain.verdict_ok
+
+    def test_same_images(self, plan):
+        plain, pruned = _pair(plan)
+        by_path = {s.path: s for s in plain.survivors}
+        for s in pruned.survivors:
+            assert s.image == by_path[s.path].image
+
+    def test_pruning_engaged_and_strictly_cheaper(self, plan):
+        _, pruned = _pair(plan)
+        stats = pruned.stats
+        assert stats["pruned"], f"{plan.name}: analysis declined to prune"
+        assert 0 < stats["points_pruned"] < stats["points_total"]
+        assert stats["images_explored"] < stats["images_total"]
+
+    def test_survivors_at_pruned_points_are_marked_synthesized(self, plan):
+        _, pruned = _pair(plan)
+        sim = simulate(plan)
+        prune = plan_pruning(sim.log)
+        for s in pruned.survivors:
+            assert s.synthesized == (s.crash_point in prune.pruned)
+
+
+BLOCK = 4
+BASE_FILES = {"/a": b"aaaa", "/b": b"bbbbbbbb"}
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.sampled_from(["/a", "/b", "/new"]),
+                  st.integers(min_value=0, max_value=2 * BLOCK),
+                  st.binary(min_size=1, max_size=2 * BLOCK)),
+        st.tuples(st.just("fsync"), st.sampled_from(["/a", "/b", "/new"])),
+        st.tuples(st.just("sync")),
+        st.tuples(st.just("rename"),
+                  st.sampled_from([("/a", "/a2"), ("/b", "/b2")])),
+    ),
+    min_size=0, max_size=7,
+)
+
+
+def _drive(ops):
+    table = FileTable(HostFS(dict(BASE_FILES), block_size=BLOCK))
+    fds = {
+        "/a": table.open("/a", O_RDWR),
+        "/b": table.open("/b", O_RDWR),
+        "/new": table.open("/new", O_CREAT | O_RDWR),
+    }
+    for op in ops:
+        if op[0] == "write":
+            _, path, off, data = op
+            table.lseek(fds[path], off, 0)
+            table.write(fds[path], data)
+        elif op[0] == "fsync":
+            table.fsync(fds[op[1]])
+        elif op[0] == "sync":
+            table.sync()
+        else:
+            table.rename(*op[1])
+    return table
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_static_mirrors_match_file_layer(ops):
+    """static_pending/static_dimensions must agree with the live table
+    at every crash point — they are what pruning's soundness rests on."""
+    table = _drive(ops)
+    log = table.oplog
+    for point in range(len(log) + 1):
+        # Pending only depends on the log itself, not the base state.
+        _ns, _data, pending = replay_durable(log, {}, {}, point, BLOCK)
+        got = static_pending(log, point)
+        assert got == list(pending), f"pending diverges at {point}"
+        assert static_dimensions(got) == crash_dimensions(pending)
+    table.free()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_pruned_points_have_exact_representatives(ops):
+    """Every pruned point's image count is dominated by (for an
+    up-step) or equals (for a down-step chain) what its representative
+    can synthesize — the cheap cardinality shadow of exactness."""
+    table = _drive(ops)
+    log = table.oplog
+    prune = plan_pruning(log)
+    assert sorted(prune.kept + prune.pruned) == list(range(len(log) + 1))
+    assert len(log) in prune.kept  # final point always answers for itself
+    for point in prune.pruned:
+        rep = prune.representative(point)
+        assert rep in prune.kept
+        assert image_count(log, point) <= image_count(log, rep)
+    table.free()
+
+
+def _all_choice_vectors(log, point):
+    dims = static_dimensions(static_pending(log, point))
+    vectors = [()]
+    for _key, recs in dims:
+        n = len(recs) + 1 if recs[0][0] == "write" else 2
+        vectors = [v + (k,) for v in vectors for k in range(n)]
+    return vectors
+
+
+@pytest.mark.parametrize("plan", sorted(CORPUS.values(), key=lambda p: p.name),
+                         ids=lambda p: p.name)
+def test_synthesis_recovers_every_pruned_image_exactly(plan):
+    """Ground truth for the embedding: decode every choice vector at
+    the representative, map it back, and the decoded images at the
+    pruned point must form exactly the pruned point's image set —
+    byte-identical, no extras, none missing."""
+    sim = simulate(plan)
+    prune = plan_pruning(sim.log)
+    for point in prune.pruned:
+        rep = prune.representative(point)
+        want = {
+            frozenset(
+                decode_survivor(sim, (point, *v)).image.items()
+            )
+            for v in _all_choice_vectors(sim.log, point)
+        }
+        got = set()
+        for v in _all_choice_vectors(sim.log, rep):
+            back = synthesize_choices(prune, point, v)
+            if back is None:
+                continue
+            rep_image = decode_survivor(sim, (rep, *v)).image
+            image = decode_survivor(sim, (point, *back)).image
+            assert image == rep_image, (
+                f"{plan.name}: image changed across the embedding "
+                f"at point {point} (rep {rep})"
+            )
+            got.add(frozenset(image.items()))
+        assert got == want, (
+            f"{plan.name}: synthesized image set at point {point} "
+            f"!= direct enumeration"
+        )
+
+
+# ----------------------------------------------------------------------
+# FS-clean => zero survivors (the headline soundness property)
+# ----------------------------------------------------------------------
+
+_plan_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("pwrite"), st.sampled_from([3, 4]),
+                  st.integers(min_value=0, max_value=8),
+                  st.binary(min_size=1, max_size=8)),
+        st.tuples(st.just("fsync"), st.sampled_from([3, 4])),
+        st.tuples(st.just("sync")),
+    ),
+    min_size=0, max_size=5,
+)
+
+
+def _random_plan(body, rename_new, final_sync):
+    ops = [("open", "/a", O_RDWR), ("open", "/new", O_CREAT | O_RDWR)]
+    for i, op in enumerate(body):
+        if op[0] == "pwrite":
+            _, fd, off, data = op
+            ops.append(("pwrite", fd, off, data, f"w{i}"))
+        else:
+            ops.append(op)
+    if rename_new:
+        ops.append(("rename", "/new", "/moved", "publish"))
+    if final_sync:
+        ops.append(("sync",))
+    skeleton = CrashPlan(
+        name="hypo", files=(("/a", b"x" * 8),), ops=tuple(ops),
+        consistent=((),), final=((),), expect_bug=False,
+    )
+    sim = simulate(skeleton)
+    merged = {p: sim.table.contents(p) for p in sim.table.paths()}
+    final = (tuple((path, (data,)) for path, data in sorted(merged.items())),)
+    return dataclasses.replace(skeleton, final=final)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_plan_ops, st.booleans(), st.booleans())
+def test_fs_clean_plans_have_zero_survivors(body, rename_new, final_sync):
+    """If the static analyzer proves a generated plan FS-clean, the
+    exhaustive crash search against an exact-final-image rule finds
+    nothing — pruned or not."""
+    plan = _random_plan(body, rename_new, final_sync)
+    report = analyze(
+        assemble(crash_asm(plan)), fs_context=fs_context_for(plan)
+    )
+    assert report.fs is not None
+    if not report.fs.fs_clean:
+        return
+    for prune in (False, True):
+        result = run_crashfind(plan, engine="snapshot", prune=prune)
+        assert not result.survivors, (
+            f"FS-clean plan has survivors (prune={prune}): "
+            f"{[s.path for s in result.survivors]}"
+        )
