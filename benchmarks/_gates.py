@@ -1,0 +1,36 @@
+"""Hardware-gated bench assertions, forceable for 1-core CI.
+
+Several benches assert hardware-dependent bars (speedup, overhead) that
+are only honest with real parallel cores, so on a 1-core container they
+historically skipped — silently, leaving CI with no evidence the gate
+code even runs.  ``REPRO_BENCH_FORCE_GATES=1`` changes the contract:
+
+* the gated assertion *runs* regardless of core count, against the
+  serial-appropriate bound the bench declares (a bounded-slowdown or
+  generous-overhead bar instead of the multi-core one);
+* the measured leg runs over **loopback TCP workers** — the forced mode
+  doubles as an end-to-end exercise of the distributed transport;
+* every bench records which gates ran (and whether they were forced)
+  inside its BENCH JSON, so a skipped gate is visible in the artifact.
+"""
+
+import os
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def gates_forced() -> bool:
+    return os.environ.get("REPRO_BENCH_FORCE_GATES") == "1"
+
+
+def record_gate(record: dict, name: str, ran: bool, forced: bool,
+                **info) -> None:
+    """Note in the BENCH JSON whether gate *name* actually asserted."""
+    record.setdefault("gates", {})[name] = {
+        "ran": bool(ran), "forced": bool(forced), **info,
+    }

@@ -23,10 +23,10 @@ one retry before the assertion fires.
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
+from benchmarks._gates import gates_forced, record_gate, usable_cores
 from repro.bench import Table
 from repro.core.cluster import ProcessParallelEngine
 from repro.obs.profile import build_profile, folded_stacks
@@ -45,16 +45,10 @@ MAX_OVERHEAD_PCT_SERIAL = 150.0  # any hardware: tracing never dominates
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_profile.json"
 
 
-def usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-def _run(guest, trace_path=None):
+def _run(guest, trace_path=None, transport="pipe"):
     engine = ProcessParallelEngine(
-        workers=WORKERS, task_step_budget=TASK_STEP_BUDGET
+        workers=WORKERS, task_step_budget=TASK_STEP_BUDGET,
+        transport=transport,
     )
     t0 = time.perf_counter()
     if trace_path is None:
@@ -71,16 +65,20 @@ def test_x4_profiler_overhead(show, tmp_path):
 
     cores = usable_cores()
     budget = MAX_OVERHEAD_PCT if cores >= 2 else MAX_OVERHEAD_PCT_SERIAL
+    # Forced gates: measure over loopback TCP workers so the 1-core CI
+    # leg exercises the distributed transport under trace pressure.
+    forced = gates_forced() and cores < 2
+    transport = "tcp" if forced else "pipe"
 
-    untraced, untraced_s = _run(guest)
+    untraced, untraced_s = _run(guest, transport=transport)
     assert len(untraced.solutions) == KNOWN_SOLUTION_COUNTS[N]
 
-    traced, traced_s = _run(guest, trace_path)
+    traced, traced_s = _run(guest, trace_path, transport=transport)
     overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
     if overhead_pct >= budget:
         # One retry: a single scheduler hiccup on a shared box should
         # not fail the build.  A real regression fails both times.
-        traced, traced_s = _run(guest, trace_path)
+        traced, traced_s = _run(guest, trace_path, transport=transport)
         overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
     assert sorted(boards_from_result(traced)) == \
         sorted(boards_from_result(untraced))
@@ -138,7 +136,12 @@ def test_x4_profiler_overhead(show, tmp_path):
         "replay_overhead": round(profile.replay_overhead(), 4),
         "tree_nodes": len(profile.nodes),
         "solutions": len(traced.solutions),
+        "transport": transport,
     }
+    record_gate(
+        record, "overhead", True, forced,
+        budget_pct=budget, strict=(cores >= 2), transport=transport,
+    )
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     # The < 15% claim needs the merge to overlap worker compute; on a

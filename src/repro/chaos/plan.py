@@ -83,6 +83,28 @@ class FaultPlan:
     #: Flip one bit in the record at this epoch (run continues; the
     #: corruption must be caught by recovery's CRC scan).
     journal_bitflip_epoch: Optional[int] = None
+    # -- network faults (TCP transport seam; per frame, per direction) --
+    #: Probability a frame is silently dropped.
+    net_drop_rate: float = 0.0
+    #: Probability a frame is delayed by ``net_delay_s`` seconds.
+    net_delay_rate: float = 0.0
+    net_delay_s: float = 0.05
+    #: Probability a frame is delivered twice.
+    net_dup_rate: float = 0.0
+    #: Probability a frame is held back and delivered after its
+    #: successor (pairwise reorder).
+    net_reorder_rate: float = 0.0
+    #: Probability a *window* of ``partition_frames`` consecutive frames
+    #: is dropped in both directions — a symmetric partition.  The
+    #: worker keeps computing; the coordinator declares it down on the
+    #: heartbeat deadline, re-dispatches its leases, and fences off the
+    #: late results when the window lifts.
+    partition_rate: float = 0.0
+    partition_frames: int = 8
+    #: Probability a window drops only worker→coordinator frames: the
+    #: half-open case, where the worker still hears the coordinator but
+    #: its own traffic (pings included) vanishes.
+    half_open_rate: float = 0.0
 
     def __post_init__(self):
         total = self.crash_rate + self.stall_rate + self.garbage_rate
@@ -135,6 +157,55 @@ class FaultPlan:
             self.crash_rate or self.stall_rate or self.garbage_rate
             or self.poison_prefixes
         )
+
+    @property
+    def has_net_faults(self) -> bool:
+        return bool(
+            self.net_drop_rate or self.net_delay_rate or self.net_dup_rate
+            or self.net_reorder_rate or self.partition_rate
+            or self.half_open_rate
+        )
+
+    def net_fault(self, direction: str, wid: int, seq: int) -> list:
+        """Transport actions for frame *seq* of *wid* in *direction*.
+
+        Returns ``[(action, delay_s), ...]``; actions are ``pass``
+        (deliver), ``drop``, ``delay``, ``dup`` (an extra delivery,
+        emitted alongside a pass) and ``hold`` (park until the next
+        passing frame — pairwise reorder).  Deterministic in
+        ``(seed, direction, wid, seq)``, so a sweep failure reproduces
+        from its seed alone.  Window faults (partition, half-open) are
+        keyed on ``seq // partition_frames`` so they blind a worker for
+        several consecutive frames — long enough to trip the heartbeat
+        deadline rather than look like a single lost message.
+        """
+        window = seq // max(1, self.partition_frames)
+        if self.partition_rate and _roll(
+            self.seed, "partition", wid, window
+        ) < self.partition_rate:
+            return [("drop", 0.0)]
+        if self.half_open_rate and direction == "w2c" and _roll(
+            self.seed, "halfopen", wid, window
+        ) < self.half_open_rate:
+            return [("drop", 0.0)]
+        r = _roll(self.seed, "net", direction, wid, seq)
+        edge = self.net_drop_rate
+        if r < edge:
+            return [("drop", 0.0)]
+        edge += self.net_delay_rate
+        if r < edge:
+            return [("delay", self.net_delay_s)]
+        edge += self.net_dup_rate
+        if r < edge:
+            return [("pass", 0.0), ("dup", 0.0)]
+        edge += self.net_reorder_rate
+        if r < edge:
+            return [("hold", 0.0)]
+        return [("pass", 0.0)]
+
+    def net_hook(self, direction: str, wid: int, seq: int) -> list:
+        """TcpTransport's ``net_hook`` seam (see :meth:`net_fault`)."""
+        return self.net_fault(direction, wid, seq)
 
     # -- hooks (the seams the engine wires these into) -----------------
 

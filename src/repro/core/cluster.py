@@ -18,9 +18,23 @@ realises that architecture with real OS processes:
   snapshot frontier back into prefix tasks and **spills** them to the
   coordinator, which shards them to idle workers.
 
+Scheduling is **work-stealing**: idle workers announce their capacity
+(``steal``) and pull batches off the coordinator's shared frontier;
+spilled subtrees re-enter that steal pool.  The wire underneath is a
+pluggable :mod:`~repro.core.transport`: duplex pipes for local pools
+(bit-compatible with the original protocol) or framed TCP for elastic
+pools whose workers join and leave mid-run.  Because a TCP "death" is
+only ever a suspicion (a partitioned worker keeps computing), every
+dispatch carries a lease with a monotonic fencing token
+(:mod:`~repro.core.lease`): late results under a stale fence are
+counted (``parallel.fenced_stale``) and discarded wholesale, so the
+solution multiset and the exact work-conservation invariant hold even
+when a presumed-dead worker resurfaces.
+
 Robustness: a per-task wall-clock timeout, worker-crash detection with
-bounded retry of the lost tasks, and graceful shutdown.  Observability:
-per-worker registry snapshots are merged into the coordinator's registry
+bounded retry of the lost tasks, lease expiry re-dispatch, and graceful
+shutdown.  Observability: per-worker registry snapshots are merged into
+the coordinator's registry
 (:meth:`~repro.obs.registry.MetricsRegistry.merge_state`), and the
 coordinator emits ``parallel.*`` trace events.
 
@@ -36,11 +50,18 @@ import itertools
 import multiprocessing
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass
-from multiprocessing import connection as mp_connection
 from typing import Callable, Optional, Union
 
 from repro.core.errors import GuessError, ReplayDivergenceError
+from repro.core.lease import LeaseTable
+from repro.core.transport import (
+    EndpointDown,
+    PipeTransport,
+    TcpTransport,
+    TcpWorkerConnection,
+)
 from repro.core.recorder import NondetLog, Recorder
 from repro.core.journal import (
     JOURNAL_VERSION,
@@ -160,6 +181,9 @@ class ClusterConfig:
     #: Capacity of the per-worker flight-recorder ring of recent trace
     #: events, shipped inside heartbeats (0 disables the ring).
     flight_events: int = 0
+    #: Tasks a worker asks for per ``steal`` announcement (the engine
+    #: sets it to its batch_size; the coordinator may fulfil with less).
+    steal_batch: int = 4
 
 
 # ----------------------------------------------------------------------
@@ -559,9 +583,19 @@ class _SubtreeWorker:
         return solutions, spilled
 
 
+#: Seconds between an idle worker's re-announcements of its steal
+#: capacity.  Over a pipe the first announcement always arrives; over a
+#: chaos-injected network a ``steal`` (or the ``work`` answering it) can
+#: be dropped, and the periodic re-announcement is what un-wedges the
+#: run: the coordinator treats a steal from a worker it believes busy as
+#: proof the worker's results were lost, reclaims the leases, and
+#: re-dispatches.
+_STEAL_REANNOUNCE_S = 1.0
+
+
 def _worker_main(worker_id: int, conn, program: Program,
                  config: ClusterConfig) -> None:
-    """Worker process body: serve task batches until the poison pill."""
+    """Worker process body: steal and serve batches until the pill."""
     # Under the ``fork`` start method this process inherited the
     # coordinator's tracer sinks (including any open trace file); writing
     # through them from here would interleave with the coordinator, so
@@ -585,18 +619,31 @@ def _worker_main(worker_id: int, conn, program: Program,
             ring=ring, sync=worker.sync_frame_stats,
         )
     try:
+        conn.send(("steal", worker_id, config.steal_batch))
+        last_steal = time.monotonic()
         while True:
-            if emitter is None:
-                msg = conn.recv()
-            else:
-                # Heartbeat through idle waits too, so the coordinator
-                # can tell "idle and healthy" from "gone".
-                while not conn.poll(emitter.poll_timeout()):
+            # Wait for work; heartbeat through idle waits (so the
+            # coordinator can tell "idle and healthy" from "gone") and
+            # periodically re-announce the steal in case it was lost.
+            while True:
+                timeout = _STEAL_REANNOUNCE_S
+                if emitter is not None:
+                    timeout = min(timeout, emitter.poll_timeout())
+                if conn.poll(timeout):
+                    break
+                if emitter is not None:
                     emitter.beat(phase="idle", force=True)
-                msg = conn.recv()
+                now = time.monotonic()
+                if now - last_steal >= _STEAL_REANNOUNCE_S:
+                    conn.send(("steal", worker_id, config.steal_batch))
+                    last_steal = now
+            msg = conn.recv()
             if msg is None:
                 break
-            batch, solutions_budget, shipped_events = msg
+            if not (isinstance(msg, tuple) and len(msg) == 4
+                    and msg[0] == "work"):
+                continue  # duplicated/unknown control frame: ignore
+            _, batch, solutions_budget, shipped_events = msg
             if worker.recorder is not None and shipped_events:
                 worker.recorder.log.merge(shipped_events)
             for task in batch:
@@ -649,13 +696,39 @@ def _worker_main(worker_id: int, conn, program: Program,
                 if config.pipe_hook is not None:
                     config.pipe_hook(conn, task)
                 conn.send(
-                    ("task", worker_id, task.key(), solutions, spilled, state,
-                     segment, fresh_events)
+                    ("task", worker_id, task.key(), task.fence, solutions,
+                     spilled, state, segment, fresh_events)
                 )
-    except (EOFError, OSError, KeyboardInterrupt):
+            conn.send(("steal", worker_id, config.steal_batch))
+            last_steal = time.monotonic()
+    except (EOFError, OSError, KeyboardInterrupt, ConnectionError):
         pass  # coordinator went away or shut us down hard
     finally:
         conn.close()
+
+
+def _tcp_worker_entry(address, wid: Optional[int] = None) -> None:
+    """Process body of a TCP worker: dial the coordinator and serve.
+
+    Used both for coordinator-spawned local workers (*wid* preassigned)
+    and for external joiners (``run_guest --connect``; *wid* None, the
+    coordinator assigns one in the welcome).  The program and config
+    arrive over the wire in the handshake, so a joining host needs
+    nothing but the address.
+    """
+    try:
+        conn = TcpWorkerConnection(address, wid=wid)
+    except (ConnectionError, OSError):
+        return  # coordinator already gone; nothing to serve
+    _worker_main(conn.wid, conn, conn.program, conn.config)
+
+
+def tcp_worker(host: str, port: int) -> None:
+    """Join a running TCP coordinator as a worker (blocks until done).
+
+    The public entry behind ``run_guest --connect HOST:PORT``.
+    """
+    _tcp_worker_entry((host, port), wid=None)
 
 
 # ----------------------------------------------------------------------
@@ -664,15 +737,23 @@ def _worker_main(worker_id: int, conn, program: Program,
 
 
 class _WorkerHandle:
-    __slots__ = ("wid", "proc", "conn", "pending", "last_progress")
+    __slots__ = ("ep", "slot_index", "pending", "last_progress", "want")
 
-    def __init__(self, wid: int, proc, conn):
-        self.wid = wid
-        self.proc = proc
-        self.conn = conn
-        #: Tasks dispatched and not yet reported back, in worker order.
+    def __init__(self, ep, slot_index: int):
+        #: The transport endpoint this worker is reached through.
+        self.ep = ep
+        #: Index of the supervisor slot this worker occupies.
+        self.slot_index = slot_index
+        #: Leased tasks dispatched and not yet settled, in worker order
+        #: (each carries the fence it travelled under).
         self.pending: list[PrefixTask] = []
         self.last_progress = 0.0
+        #: Outstanding steal capacity (0 = no unfulfilled steal).
+        self.want = 0
+
+    @property
+    def wid(self) -> int:
+        return self.ep.wid
 
     @property
     def busy(self) -> bool:
@@ -804,6 +885,31 @@ class ProcessParallelEngine:
         the supervisor observes that worker crash or stall.
     flight_events:
         Ring capacity per worker for *flight_dir* (default 256).
+    transport:
+        The wire between coordinator and workers: ``"pipe"`` (default;
+        local worker processes over duplex multiprocessing pipes) or
+        ``"tcp"`` (framed sockets via an asyncio acceptor; workers may
+        additionally join elastically from other hosts/processes with
+        ``run_guest --connect``).  Scheduling, supervision, journaling
+        and chaos semantics are identical across transports — the
+        differential battery pins that down.
+    listen:
+        TCP only: ``(host, port)`` to accept workers on.  Defaults to
+        ``("127.0.0.1", 0)`` — loopback, ephemeral port; read
+        :attr:`transport_address` once :meth:`run` is underway.
+    lease_timeout:
+        Seconds a dispatched task's lease lives without observed
+        progress before the coordinator re-dispatches it (the late
+        result, if any, is fenced off and discarded).  ``None``
+        (default) derives 1.5 × *task_timeout* — the stall detector
+        fires first and remains the primary recovery path; the lease is
+        the backstop for results lost in flight and for partitioned
+        workers that still look healthy.  When *task_timeout* is None,
+        leases never expire (fencing still applies).
+    heartbeat_timeout:
+        TCP only: seconds of per-connection silence (workers ping ~1/s)
+        after which the transport declares a connection half-open and
+        reports the worker down.
     """
 
     def __init__(
@@ -837,11 +943,25 @@ class ProcessParallelEngine:
         heartbeat_interval: Optional[float] = None,
         flight_dir: Optional[str] = None,
         flight_events: int = 256,
+        transport: str = "pipe",
+        listen: Optional[tuple] = None,
+        lease_timeout: Optional[float] = None,
+        heartbeat_timeout: float = 5.0,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if transport not in ("pipe", "tcp"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'tcp', got {transport!r}"
+            )
+        if listen is not None and transport != "tcp":
+            raise ValueError("listen requires transport='tcp'")
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0")
         if verify not in ("off", "warn", "strict"):
             raise ValueError(
                 f"verify must be 'off', 'warn' or 'strict', got {verify!r}"
@@ -868,6 +988,14 @@ class ProcessParallelEngine:
         self.verify = verify
         #: Analysis report of the last verified guest (None under "off").
         self.last_report = None
+        self.transport_name = transport
+        self.listen = tuple(listen) if listen is not None else None
+        #: ``(host, port)`` the TCP acceptor is bound to, set as soon as
+        #: :meth:`run` starts listening (None for pipe transport) — what
+        #: an external worker passes to ``run_guest --connect``.
+        self.transport_address: Optional[tuple] = None
+        self.lease_timeout = lease_timeout
+        self.heartbeat_timeout = heartbeat_timeout
         self.num_workers = workers
         self.strategy_name = strategy  # TaskFrontier validates the name
         self.batch_size = batch_size
@@ -937,6 +1065,7 @@ class ProcessParallelEngine:
                 flight_events
                 if flight_dir is not None and hb_interval is not None else 0
             ),
+            steal_batch=batch_size,
         )
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -977,6 +1106,10 @@ class ProcessParallelEngine:
         c_resume_filtered = reg.counter("parallel.resume_spills_filtered")
         c_heartbeats = reg.counter("telemetry.heartbeats")
         c_flight = reg.counter("telemetry.flight_dumps")
+        c_steals = reg.counter("parallel.steals")
+        c_lease_expired = reg.counter("parallel.leases_expired")
+        c_fenced = reg.counter("parallel.fenced_stale")
+        c_joins = reg.counter("parallel.worker_joins")
         g_workers = reg.gauge("parallel.workers")
 
         # Trace propagation: workers collect iff the coordinator traces,
@@ -1076,6 +1209,8 @@ class ProcessParallelEngine:
                     max_steps=self.config.max_steps_per_extension,
                     max_solutions=self.max_solutions,
                     replay_mode=self.replay_mode,
+                    transport=self.transport_name,
+                    lease_timeout=self.lease_timeout,
                     certified=(None if sites is None else not sites),
                     nondet_sites=(
                         None if sites is None
@@ -1088,8 +1223,70 @@ class ProcessParallelEngine:
         poll = 0.02 if self.task_timeout is None else min(
             0.02, self.task_timeout / 4
         )
+
+        # -- transport, leases, steal pool ------------------------------
+        if self.transport_name == "tcp":
+            host, port = self.listen if self.listen is not None else (
+                "127.0.0.1", 0,
+            )
+            net_hook = (
+                self.chaos.net_hook
+                if self.chaos is not None
+                and getattr(self.chaos, "has_net_faults", False)
+                else None
+            )
+            transport = TcpTransport(
+                self._ctx, host=host, port=port,
+                worker_entry=_tcp_worker_entry, net_hook=net_hook,
+                heartbeat_timeout=self.heartbeat_timeout,
+                start_wid=self._next_wid,
+            )
+        else:
+            transport = PipeTransport(
+                self._ctx, _worker_main, start_wid=self._next_wid,
+            )
+        transport.start(program, run_config)
+        self.transport_address = transport.address
+        #: Wire-level observations (chaos net faults) arrive from the
+        #: transport's loop thread; the tracer is single-threaded, so
+        #: they are buffered here and drained into the trace by the
+        #: coordinator loop.  deque.append is atomic under the GIL.
+        wire_events: deque = deque()
+        if self.transport_name == "tcp" and _TRACER.enabled:
+            transport.on_wire_event = (
+                lambda kind, **f: wire_events.append((kind, f))
+            )
+
+        #: Leases expire a bit *after* the stall detector would have
+        #: fired: the stall path (which kills the worker) stays primary;
+        #: lease expiry is the backstop for results lost in flight and
+        #: for partitioned workers that still look healthy.
+        lease_s = self.lease_timeout
+        if lease_s is None and self.task_timeout is not None:
+            lease_s = self.task_timeout * 1.5
+        leases = LeaseTable(
+            duration=lease_s,
+            start_fence=(
+                recovered.last_fence + 1 if recovered is not None else 1
+            ),
+        )
+        #: Every task key settled this run (superset of the resumed
+        #: completed set): the second line of defence against double
+        #: counting, behind fence matching.
+        completed_keys: set[tuple[int, ...]] = set(resume_completed)
+        #: wids with unfulfilled steal announcements, FIFO.
+        steal_queue: deque[int] = deque()
+        by_wid: dict[int, _WorkerHandle] = {}
+
+        def make_handle(ep, slot_index: int) -> _WorkerHandle:
+            handle = _WorkerHandle(ep, slot_index)
+            handle.last_progress = time.monotonic()
+            by_wid[ep.wid] = handle
+            return handle
+
         handles: list[Optional[_WorkerHandle]] = [
-            self._spawn(program, run_config) for _ in range(self.num_workers)
+            make_handle(transport.spawn(), i)
+            for i in range(self.num_workers)
         ]
         g_workers.set(self.num_workers)
 
@@ -1167,12 +1364,48 @@ class ProcessParallelEngine:
         def push_tasks(tasks) -> None:
             for task in tasks:
                 key = task.key()
-                if key in resume_completed:
-                    c_resume_filtered.inc()
+                if key in completed_keys:
+                    if key in resume_completed:
+                        c_resume_filtered.inc()
                     continue
                 if sup.is_poisoned(key):
                     continue  # quarantined: never re-dispatched
                 frontier.push(task)
+
+        def reclaim(handle: _WorkerHandle, reason: str) -> None:
+            """Revoke *handle*'s leases, requeue the tasks (no blame).
+
+            Used when the worker is believed healthy but its results
+            were lost in flight (it announced a steal while the
+            coordinator still held leases for it): the revocation
+            fences off any late duplicate, the requeue re-executes.
+            """
+            tasks, handle.pending = list(handle.pending), []
+            for task in tasks:
+                lease = leases.revoke(task.key())
+                if lease is None or lease.fence != task.fence:
+                    continue  # superseded already (expired, re-granted)
+                c_lease_expired.inc()
+                journal_append("expire", task=task.to_record(),
+                               fence=task.fence, worker=handle.wid,
+                               reason=reason)
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        _events.PARALLEL_LEASE_EXPIRED,
+                        task=list(task.prefix), fence=task.fence,
+                        worker=handle.wid,
+                    )
+                if (task.key() in completed_keys
+                        or sup.is_poisoned(task.key())):
+                    continue
+                if task.attempt >= self.max_task_retries:
+                    c_dropped.inc()
+                    journal_append("drop", task=task.to_record())
+                    if _TRACER.enabled:
+                        _TRACER.emit(_events.PARALLEL_DROP, tasks=1)
+                    continue
+                c_retries.inc()
+                frontier.push(task.retried())
 
         def fail_worker(slot, handle: _WorkerHandle, kind: str,
                         detail: str = "") -> None:
@@ -1195,16 +1428,15 @@ class ProcessParallelEngine:
                 c_crashes.inc()
                 if _TRACER.enabled:
                     _TRACER.emit(_events.PARALLEL_CRASH, worker=handle.wid)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
-            if handle.proc.is_alive():
-                handle.proc.terminate()
-            handle.proc.join(timeout=2.0)
-            if handle.proc.is_alive():  # pragma: no cover - SIGTERM ignored
-                handle.proc.kill()
-                handle.proc.join()
+            # Sever trust in the endpoint.  For pipes this also
+            # terminates the process; for TCP it only disconnects — a
+            # partitioned worker cannot be signalled either, and its
+            # possible resurfacing (with now-stale fences) is exactly
+            # the case the lease table exists for.
+            handle.ep.kill()
+            # Fence off everything the worker still owed us: whatever
+            # it delivers from here on settles as stale.
+            leases.revoke_worker(handle.wid)
             # Workers run their batch in dispatch order and report per
             # task, so the first unreported task is the one that was
             # executing: the suspect.  Batch-mates are requeued without
@@ -1237,6 +1469,8 @@ class ProcessParallelEngine:
                 requeue.extend(handle.pending[1:])
             handle.pending = []
             handles[slot.index] = None
+            if by_wid.get(handle.wid) is handle:
+                del by_wid[handle.wid]
             if requeue:
                 c_retries.inc(len(requeue))
                 if _TRACER.enabled:
@@ -1246,6 +1480,20 @@ class ProcessParallelEngine:
                 # bound the damage a flaky worker can do to latency.
                 for task in requeue:
                     frontier.push(task)
+
+        def register_join(ep, detail: str = "") -> None:
+            """An external (or resurfaced) worker completed the
+            handshake: give it a non-respawnable slot and let it steal."""
+            slot = sup.add_slot(respawnable=False)
+            handles.append(make_handle(ep, slot.index))
+            c_joins.inc()
+            g_workers.set(
+                sum(1 for h in handles if h is not None)
+            )
+            journal_append("join", worker=ep.wid, detail=detail)
+            if _TRACER.enabled:
+                _TRACER.emit(_events.PARALLEL_JOIN, worker=ep.wid,
+                             detail=detail)
 
         def run_degraded() -> None:
             """Finish the frontier in-process after pool collapse.
@@ -1328,7 +1576,7 @@ class ProcessParallelEngine:
 
                 now = time.monotonic()
                 for slot in sup.respawn_ready(now):
-                    replacement = self._spawn(program, run_config)
+                    replacement = make_handle(transport.spawn(), slot.index)
                     handles[slot.index] = replacement
                     sup.mark_running(slot)
                     c_respawns.inc()
@@ -1345,103 +1593,128 @@ class ProcessParallelEngine:
                     degraded = True
                     break
 
-                # Idle workers steal the next batch off the frontier.
-                for slot in sup.slots:
+                # Fulfil steal announcements off the frontier.  Workers
+                # *pull*: an idle worker announces capacity and the
+                # coordinator grants it a leased batch — nothing is
+                # pushed unsolicited, so a slow worker never queues work
+                # it cannot start while a fast one sits idle.
+                while steal_queue and frontier:
+                    wid = steal_queue.popleft()
+                    handle = by_wid.get(wid)
+                    if handle is None or handle.busy:
+                        continue  # died or was re-dispatched meanwhile
+                    slot = sup.slots[handle.slot_index]
                     if slot.state is not SlotState.RUNNING:
                         continue
-                    handle = handles[slot.index]
-                    if handle is None or handle.busy or not frontier:
-                        continue
-                    if not handle.proc.is_alive():
+                    if not handle.ep.alive():
                         fail_worker(slot, handle, "crash",
                                     "worker died while idle")
                         continue
-                    batch = frontier.take_batch(self.batch_size)
+                    want = max(1, min(handle.want, self.batch_size))
+                    handle.want = 0
+                    batch = frontier.take_batch(want)
                     remaining = (
                         None if self.max_solutions is None
                         else max(self.max_solutions - len(solutions), 0)
                     )
-                    handle.pending = list(batch)
+                    granted = [
+                        leases.grant(task, handle.wid).task for task in batch
+                    ]
+                    handle.pending = list(granted)
                     handle.last_progress = time.monotonic()
                     try:
-                        handle.conn.send((batch, remaining,
-                                          batch_events(batch)))
-                    except (OSError, ValueError):
+                        handle.ep.send(("work", granted, remaining,
+                                        batch_events(granted)))
+                    except EndpointDown:
                         fail_worker(slot, handle, "crash",
-                                    "dispatch pipe closed")
+                                    "dispatch channel closed")
                         continue
                     c_dispatches.inc()
-                    c_tasks.inc(len(batch))
-                    for task in batch:
+                    c_tasks.inc(len(granted))
+                    for task in granted:
                         journal_append("dispatch", task=task.to_record(),
                                        worker=handle.wid)
                     if _TRACER.enabled:
                         _TRACER.emit(_events.PARALLEL_DISPATCH,
-                                     worker=handle.wid, tasks=len(batch))
+                                     worker=handle.wid, tasks=len(granted))
 
-                # Wait on every live worker's pipe, busy or idle: idle
-                # workers send heartbeats too (and a dying idle worker
-                # closing its pipe is noticed here instead of waiting
-                # for the next dispatch sweep's is_alive check).
-                waitmap: dict = {}
-                busy_count = 0
-                for slot in sup.slots:
-                    handle = handles[slot.index]
-                    if handle is None:
-                        continue
-                    waitmap[handle.conn] = (slot, handle)
-                    if handle.busy:
-                        busy_count += 1
+                busy_count = sum(
+                    1 for h in handles if h is not None and h.busy
+                )
                 if not busy_count and not frontier:
                     break  # frontier exhausted, nothing in flight
                 timeout = poll
                 if not busy_count:
                     # Everything runnable is mid-backoff (or tasks were
                     # just requeued): wait to the nearest respawn
-                    # deadline instead of spinning.
+                    # deadline instead of spinning.  The transport still
+                    # gets polled — a TCP pool can gain an external
+                    # joiner while every local slot is down.
                     due = sup.next_respawn_due()
                     if due is not None:
                         timeout = min(poll, max(0.0, due - time.monotonic()))
-                    if not waitmap:
-                        if timeout > 0:
-                            time.sleep(timeout)
-                        continue
 
-                ready = mp_connection.wait(list(waitmap), timeout=timeout)
+                events = transport.poll(max(0.0, timeout))
                 now = time.monotonic()
-                for conn in ready:
-                    slot, handle = waitmap[conn]
-                    if handles[slot.index] is not handle:
-                        continue  # failed earlier this sweep
-                    try:
-                        msg = handle.conn.recv()
-                    except (EOFError, OSError):
-                        fail_worker(slot, handle, "crash",
-                                    "result pipe closed")
-                        continue
-                    except Exception as exc:
-                        # Garbage on the wire (chaos injection, or a
-                        # corrupted worker): the stream framing can no
-                        # longer be trusted, so the worker is failed.
-                        c_proto.inc()
-                        fail_worker(
-                            slot, handle, "crash",
-                            "undecodable result message: "
-                            f"{type(exc).__name__}: {exc}",
+                while wire_events:
+                    kind, f = wire_events.popleft()
+                    if kind == "net_fault" and _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.CHAOS_NET_FAULT,
+                            action=f.get("kind"),
+                            direction=f.get("direction"),
+                            worker=f.get("worker"), seq=f.get("seq"),
                         )
+                for ev in events:
+                    if ev.kind == "join":
+                        register_join(ev.endpoint, ev.detail)
                         continue
+                    handle = by_wid.get(ev.endpoint.wid)
+                    if handle is None or handle.ep is not ev.endpoint:
+                        continue  # failed/replaced earlier this sweep
+                    slot = sup.slots[handle.slot_index]
+                    if ev.kind == "down":
+                        if ev.protocol_error:
+                            c_proto.inc()
+                        fail_worker(slot, handle, ev.fail_kind or "crash",
+                                    ev.detail)
+                        continue
+                    msg = ev.payload
                     if (
                         not isinstance(msg, tuple)
                         or len(msg) < 3
-                        or msg[0] not in ("task", "error", "hb")
-                        or (msg[0] == "task" and len(msg) != 8)
+                        or msg[0] not in ("task", "error", "hb", "steal")
+                        or (msg[0] == "task" and len(msg) != 9)
                         or (msg[0] == "hb"
                             and not (len(msg) == 3
                                      and isinstance(msg[2], HeartbeatRecord)))
+                        or (msg[0] == "steal"
+                            and not (len(msg) == 3
+                                     and isinstance(msg[2], int)))
                     ):
                         c_proto.inc()
                         fail_worker(slot, handle, "crash",
                                     f"malformed result message {msg!r}"[:200])
+                        continue
+                    if msg[0] == "steal":
+                        if handle.busy:
+                            # The worker says it is idle while the
+                            # coordinator still holds leases for it: its
+                            # results were lost in flight (dropped
+                            # frames, a reconnect).  Reclaim eagerly —
+                            # the requeue re-executes, and the revoked
+                            # fences turn any late duplicate delivery
+                            # into a discarded stale.
+                            reclaim(handle, "steal while leases held")
+                        handle.want = msg[2]
+                        if handle.wid not in steal_queue:
+                            steal_queue.append(handle.wid)
+                            c_steals.inc()
+                            if _TRACER.enabled:
+                                _TRACER.emit(
+                                    _events.PARALLEL_STEAL,
+                                    worker=handle.wid, want=msg[2],
+                                )
                         continue
                     if msg[0] == "hb":
                         record: HeartbeatRecord = msg[2]
@@ -1453,8 +1726,11 @@ class ProcessParallelEngine:
                             # The worker's step counter grew: its task
                             # is alive, defer the stall timeout.  (A
                             # stalled worker cannot beat, so real
-                            # stalls still trip it.)
+                            # stalls still trip it.)  Leases ride the
+                            # same signal — observed progress renews
+                            # ownership.
                             handle.last_progress = now
+                            leases.extend_worker(handle.wid, now)
                         continue
                     if msg[0] == "error":
                         if str(msg[2]).startswith(
@@ -1467,14 +1743,40 @@ class ProcessParallelEngine:
                                 f"worker {msg[1]}: {msg[2]}"
                             )
                         raise WorkerError(msg[1], msg[2])
-                    (_kind, _wid, key, task_solutions, spilled, state,
-                     segment, fresh_events) = msg
+                    (_kind, _wid, key, fence, task_solutions, spilled,
+                     state, segment, fresh_events) = msg
+                    key = tuple(key)
                     handle.last_progress = now
+                    if leases.settle(key, fence) == "stale":
+                        # A fenced-off result: the lease expired (or the
+                        # worker was declared down) and the task was
+                        # re-dispatched, or this is a duplicated
+                        # delivery.  Discard it *wholesale* — no
+                        # registry merge, no solutions, no spills, no
+                        # journal complete — so the accepted execution
+                        # remains the only accounting of this subtree.
+                        c_fenced.inc()
+                        journal_append(
+                            "stale", task={"prefix": list(key)},
+                            fence=fence, worker=handle.wid,
+                        )
+                        if _TRACER.enabled:
+                            _TRACER.emit(
+                                _events.PARALLEL_FENCED_STALE,
+                                worker=handle.wid, task=list(key),
+                                fence=fence,
+                            )
+                        for i, task in enumerate(handle.pending):
+                            if task.key() == key and task.fence == fence:
+                                handle.pending.pop(i)
+                                break
+                        continue
                     completed: Optional[PrefixTask] = None
                     for i, task in enumerate(handle.pending):
                         if task.key() == key:
                             completed = handle.pending.pop(i)
                             break
+                    completed_keys.add(key)
                     sup.record_success(slot)
                     c_done.inc()
                     c_spilled.inc(len(spilled))
@@ -1493,6 +1795,7 @@ class ProcessParallelEngine:
                             completed.to_record() if completed is not None
                             else {"prefix": list(key), "fanouts": []}
                         ),
+                        worker=handle.wid,
                         solutions=solutions_payload(task_solutions),
                         spilled=[t.to_record() for t in spilled],
                     )
@@ -1521,7 +1824,7 @@ class ProcessParallelEngine:
                     handle = handles[slot.index]
                     if handle is None or not handle.busy:
                         continue  # failed or drained earlier this sweep
-                    if not handle.proc.is_alive():
+                    if not handle.ep.alive():
                         fail_worker(slot, handle, "crash",
                                     "worker process died")
                     elif (
@@ -1533,16 +1836,61 @@ class ProcessParallelEngine:
                             f"no progress for {self.task_timeout:.1f}s",
                         )
 
+                # Lease expiry is the *backstop* behind the stall
+                # detector above (leases outlive the task timeout by
+                # design): it fires when results were lost in flight or
+                # a partitioned worker still looks alive.  The expired
+                # fence is retired, the task requeued under a fresh one;
+                # whatever the old holder eventually delivers settles
+                # stale.
+                for lease in leases.expired(now):
+                    c_lease_expired.inc()
+                    journal_append(
+                        "expire", task=lease.task.to_record(),
+                        fence=lease.fence, worker=lease.wid,
+                        reason="lease expired",
+                    )
+                    if _TRACER.enabled:
+                        _TRACER.emit(
+                            _events.PARALLEL_LEASE_EXPIRED,
+                            task=list(lease.key), fence=lease.fence,
+                            worker=lease.wid,
+                        )
+                    holder = by_wid.get(lease.wid)
+                    if holder is not None:
+                        holder.pending = [
+                            t for t in holder.pending
+                            if not (t.key() == lease.key
+                                    and t.fence == lease.fence)
+                        ]
+                    if (lease.key in completed_keys
+                            or sup.is_poisoned(lease.key)):
+                        continue
+                    if lease.task.attempt >= self.max_task_retries:
+                        c_dropped.inc()
+                        journal_append("drop", task=lease.task.to_record())
+                        if _TRACER.enabled:
+                            _TRACER.emit(_events.PARALLEL_DROP, tasks=1)
+                        continue
+                    c_retries.inc()
+                    frontier.push(lease.task.retried())
+
             if degraded:
                 # Reclaim in-flight tasks, drop the dead pool, and
-                # finish what remains on an in-process engine.
+                # finish what remains on an in-process engine.  Every
+                # live lease is drained with it: from here the
+                # coordinator is the only executor, so any late remote
+                # result is stale by construction.
                 for slot in sup.slots:
                     handle = handles[slot.index]
                     if handle is not None and handle.pending:
                         frontier.extend(handle.pending)
                         handle.pending = []
+                leases.drain()
                 self._shutdown([h for h in handles if h is not None])
-                handles = [None] * self.num_workers
+                handles = [None] * len(handles)
+                by_wid.clear()
+                steal_queue.clear()
                 g_workers.set(0)
                 c_degraded.inc()
                 if _TRACER.enabled:
@@ -1572,6 +1920,10 @@ class ProcessParallelEngine:
             )
         finally:
             self._shutdown([h for h in handles if h is not None])
+            transport.close()
+            # Worker ids stay unique across a coordinator's runs even
+            # though each run builds a fresh transport.
+            self._next_wid = transport._next_wid
             g_workers.set(0)
             if journal is not None:
                 journal.close()
@@ -1591,6 +1943,7 @@ class ProcessParallelEngine:
         stats.peak_frontier = max(stats.peak_frontier, frontier.peak)
         stats.extra.update({
             "workers": self.num_workers,
+            "transport": self.transport_name,
             "strategy_order": self.strategy_name,
             "tasks_dispatched": c_tasks.value,
             "tasks_completed": c_done.value,
@@ -1604,6 +1957,11 @@ class ProcessParallelEngine:
             "protocol_errors": c_proto.value,
             "degraded": bool(c_degraded.value),
             "min_workers": self.supervisor_policy.min_workers,
+            "steals": c_steals.value,
+            "leases_expired": c_lease_expired.value,
+            "fenced_stale": c_fenced.value,
+            "worker_joins": c_joins.value,
+            "lease_timeout": lease_s,
             "peak_task_frontier": frontier.peak,
             "replay_steps": reg.counter("parallel.replay_steps").value,
             "guest_instructions": reg.counter("parallel.guest_steps").value,
@@ -1614,6 +1972,8 @@ class ProcessParallelEngine:
             "snapshots_restored": reg.counter("snapshot.restored").value,
             "frames_copied": reg.counter("mem.frames_copied").value,
         })
+        if self.transport_name == "tcp":
+            stats.extra["transport_stats"] = dict(transport.stats)
         if nlog is not None:
             stats.extra.update({
                 "replay_mode": self.replay_mode,
@@ -1664,60 +2024,42 @@ class ProcessParallelEngine:
 
     # ------------------------------------------------------------------
 
-    def _spawn(self, program: Program,
-               config: Optional[ClusterConfig] = None) -> _WorkerHandle:
-        wid = self._next_wid
-        self._next_wid += 1
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(wid, child_conn, program,
-                  config if config is not None else self.config),
-            daemon=True,
-            name=f"repro-cluster-w{wid}",
-        )
-        proc.start()
-        child_conn.close()  # the child owns its end now
-        handle = _WorkerHandle(wid, proc, parent_conn)
-        handle.last_progress = time.monotonic()
-        return handle
-
     def _shutdown(self, handles: list[_WorkerHandle],
                   grace: float = 2.0) -> None:
-        """Stop every worker; escalate join -> terminate -> kill.
+        """Stop every worker; escalate poison -> terminate -> kill.
 
         Idle workers get the poison pill; busy ones are terminated at
         once (their tasks are lost by construction).  Each escalation
         stage shares one deadline across the pool, so shutdown latency
-        is bounded by ~2 * grace however many workers are stuck, and the
-        final blocking ``join`` after SIGKILL guarantees every child is
-        reaped — no zombies survive this call.
+        is bounded by ~2 * grace however many workers are stuck, and
+        the final blocking ``join`` after SIGKILL guarantees every
+        local child is reaped — no zombies survive this call.
+        External (joined) TCP workers have no local process: poisoning
+        them asks them to exit and closing the endpoint severs the
+        connection, which is all a remote peer can be given.
         """
         for handle in handles:
-            if handle.proc.is_alive() and not handle.busy:
-                try:
-                    handle.conn.send(None)
-                except (OSError, ValueError):
-                    pass
-            elif handle.proc.is_alive():
-                handle.proc.terminate()
+            if handle.ep.alive() and not handle.busy:
+                handle.ep.poison()
+            else:
+                # No trusted connection (or mid-task): go straight to
+                # the signal.  terminate() checks the local process
+                # itself — endpoint-level trust is irrelevant here, a
+                # distrusted-but-running worker must still be stopped.
+                handle.ep.terminate()
         deadline = time.monotonic() + grace
         for handle in handles:
-            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            handle.ep.join(timeout=max(0.0, deadline - time.monotonic()))
         for handle in handles:
-            if handle.proc.is_alive():
-                handle.proc.terminate()
+            handle.ep.terminate()
         deadline = time.monotonic() + grace
         for handle in handles:
-            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            handle.ep.join(timeout=max(0.0, deadline - time.monotonic()))
         for handle in handles:
-            if handle.proc.is_alive():  # pragma: no cover - SIGTERM ignored
-                handle.proc.kill()
+            handle.ep.kill_hard()
         for handle in handles:
             # SIGKILL cannot be caught: this join terminates, and it is
-            # what actually reaps the child (no zombie left behind).
-            handle.proc.join()
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
+            # what actually reaps the local child (no zombie left
+            # behind).  Endpoint close severs any remaining connection.
+            handle.ep.join()
+            handle.ep.close()

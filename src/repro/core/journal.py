@@ -303,6 +303,15 @@ class RecoveredRun:
     #: Per-type record counts (for the inspect CLI).
     counts: dict = field(default_factory=dict)
     resumes: int = 0
+    #: Highest fencing token observed in any dispatch record; a resumed
+    #: coordinator seeds its lease table past this so tokens stay
+    #: monotonic across coordinator lifetimes (stale results from the
+    #: previous life remain refusable).
+    last_fence: int = 0
+    #: Per-task-key dispatch/expire/stale history, in journal order:
+    #: ``{key: [{"event", "worker", "fence", "epoch"}, ...]}``.  Powers
+    #: the inspect CLI's lease/fence and blame reporting.
+    lease_history: dict = field(default_factory=dict)
 
     @property
     def finished(self) -> bool:
@@ -373,10 +382,50 @@ def recover(path: str) -> RecoveredRun:
         if rtype == "dispatch":
             task = PrefixTask.from_record(record["task"])
             known[task.key()] = task  # latest attempt wins
+            out.last_fence = max(out.last_fence, task.fence)
+            out.lease_history.setdefault(task.key(), []).append({
+                "event": "dispatch",
+                "worker": record.get("worker"),
+                "fence": task.fence,
+                "attempt": task.attempt,
+                "epoch": record["epoch"],
+            })
             continue
+        if rtype in ("expire", "stale"):
+            # Lease bookkeeping: an expired lease's task was requeued
+            # (its own dispatch record keeps it in ``known``); a stale
+            # record is purely evidentiary — the fenced-off result was
+            # discarded.  Neither changes the rebuilt frontier.
+            key = tuple(record.get("task", {}).get("prefix", ()))
+            fence = record.get("fence", 0)
+            out.last_fence = max(out.last_fence, fence)
+            out.lease_history.setdefault(key, []).append({
+                "event": rtype,
+                "worker": record.get("worker"),
+                "fence": fence,
+                "epoch": record["epoch"],
+            })
+            continue
+        if rtype == "join":
+            continue  # membership note; nothing to rebuild
         if rtype == "complete":
             key = tuple(record["task"]["prefix"])
             out.completed_keys.add(key)
+            fence = record["task"].get("fence", 0)
+            history = out.lease_history.get(key)
+            if fence and history and (
+                len(history) > 1 or history[0].get("fence") != fence
+            ):
+                # Close the lineage of a task that was re-dispatched or
+                # fenced: record which grant actually landed.  (Tasks
+                # with one dispatch and a matching completion carry no
+                # forensic interest and stay out of the history.)
+                history.append({
+                    "event": "complete",
+                    "worker": record.get("worker"),
+                    "fence": fence,
+                    "epoch": record["epoch"],
+                })
             for path_, status, text in record.get("solutions", []):
                 out.solutions.append((tuple(path_), status, text))
             for spill in record.get("spilled", []):

@@ -86,6 +86,10 @@ class WorkerSlot:
     respawns: int = 0
     #: Monotonic deadline at which a BACKOFF slot may respawn.
     respawn_due: float = 0.0
+    #: False for slots backing *external* workers (elastic TCP joins):
+    #: the engine cannot spawn a replacement into them, so a failure
+    #: sends the slot straight to DEAD instead of BACKOFF.
+    respawnable: bool = True
 
 
 @dataclass
@@ -127,6 +131,18 @@ class WorkerSupervisor:
     def serviceable(self) -> int:
         """Slots that are not DEAD (RUNNING or recovering in BACKOFF)."""
         return sum(1 for s in self.slots if s.state is not SlotState.DEAD)
+
+    def add_slot(self, respawnable: bool = True) -> WorkerSlot:
+        """Grow the pool by one slot (elastic membership: a worker
+        joined over the network mid-run).  External slots are not
+        respawnable — the engine cannot spawn a replacement into them,
+        so their failure is terminal for the slot — but while alive
+        they count as serviceable capacity like any other: a pool whose
+        local workers all died but which still has a joined worker is
+        not collapsed."""
+        slot = WorkerSlot(index=len(self.slots), respawnable=respawnable)
+        self.slots.append(slot)
+        return slot
 
     def collapsed(self) -> bool:
         """True when the pool can no longer sustain the configured floor."""
@@ -215,7 +231,8 @@ class WorkerSupervisor:
         decision = FailureDecision(slot=slot)
         slot.failures += 1
         slot.total_failures += 1
-        if slot.failures >= self.policy.max_slot_failures:
+        if (not slot.respawnable
+                or slot.failures >= self.policy.max_slot_failures):
             slot.state = SlotState.DEAD
             decision.slot_died = True
         else:

@@ -1,0 +1,1026 @@
+"""Pluggable cluster transports: duplex pipes and framed TCP.
+
+The paper's sharding lever — a task is just its decision prefix, a few
+hundred bytes — means tasks migrate over a socket exactly as cheaply as
+over a pipe.  This module splits the *transport* concern out of
+:mod:`repro.core.cluster` so the coordinator's scheduling loop is written
+once against a small interface and the wire underneath is swappable:
+
+* :class:`PipeTransport` — today's behaviour, bit-compatibly: one
+  ``multiprocessing.Pipe`` per local worker process, pickle framing done
+  by the pipe itself, worker death observed as a closed pipe.
+* :class:`TcpTransport` — an asyncio acceptor loop (run on a background
+  thread so the coordinator stays synchronous), length-prefixed
+  CRC32-framed pickle messages, per-connection heartbeat deadlines that
+  catch *half-open* peers no EOF will ever announce, a reconnect grace
+  window so a transient disconnect is not a death, and elastic
+  membership: a worker started anywhere with ``run_guest --connect``
+  does a ``hello`` handshake and joins the pool mid-run.
+
+Failure model.  The transport reports, it never decides: every observed
+anomaly surfaces as a :class:`TransportEvent` (``kind="down"``) and the
+engine's supervisor applies the same blame/retry/poison policy whichever
+wire delivered it.  Crucially, a TCP endpoint reported down may still be
+*alive and computing* (partition, stalled network) — which is why the
+engine layers lease fencing (:mod:`repro.core.lease`) on top: transports
+only ever guarantee "no more messages from this endpoint will be
+*trusted*", not "the process stopped".
+
+Framing.  ``MAGIC | length | crc32 | pickle-payload`` with both length
+and checksum validated before unpickling; a flipped bit or truncated
+write yields :class:`FrameError`, never a misparsed message.  The
+worker side answers frame corruption by dropping the connection and
+re-handshaking — the stream is unrecoverable past a bad header.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import queue
+import select
+import socket
+import struct
+import threading
+import time
+import zlib
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Optional
+
+#: Version of the hello/welcome handshake; bumped on incompatible
+#: protocol changes so mixed deployments fail loudly at join time.
+PROTOCOL_VERSION = 1
+
+#: Frame header: magic, payload length, payload CRC32.
+MAGIC = b"RPF1"
+_HEADER = struct.Struct("!4sII")
+HEADER_SIZE = _HEADER.size
+
+#: Refuse frames claiming more than this many payload bytes: a flipped
+#: bit in the length field must not make the decoder buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class TransportError(RuntimeError):
+    """Base class for transport-layer failures."""
+
+
+class FrameError(TransportError):
+    """A frame failed validation (bad magic, length or checksum)."""
+
+
+class EndpointDown(TransportError):
+    """Attempted to use an endpoint the transport already gave up on."""
+
+
+def encode_frame(obj: Any) -> bytes:
+    """One message as bytes: header (magic, length, CRC32) + pickle."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, len(payload), crc) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"unpicklable payload: {exc}") from exc
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed chunks as they arrive; :meth:`frames` yields each complete,
+    checksum-verified payload.  Any corruption — wrong magic, oversized
+    length, CRC mismatch — raises :class:`FrameError`; a truncated tail
+    simply waits for more bytes (and is refused by the connection
+    teardown if more bytes never come).  No partially validated frame is
+    ever surfaced.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def frames(self):
+        """Yield every complete payload currently buffered."""
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return
+            magic, length, crc = _HEADER.unpack_from(self._buf, 0)
+            if magic != MAGIC:
+                raise FrameError(f"bad frame magic {magic!r}")
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame length {length} exceeds cap")
+            if len(self._buf) < HEADER_SIZE + length:
+                return
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                raise FrameError("frame checksum mismatch")
+            del self._buf[:HEADER_SIZE + length]
+            yield payload
+
+    def messages(self):
+        """Yield decoded objects (see :meth:`frames`)."""
+        for payload in self.frames():
+            yield decode_payload(payload)
+
+
+class TransportEvent:
+    """One observation surfaced by :meth:`Transport.poll`.
+
+    ``kind`` is ``"msg"`` (payload holds the worker's message),
+    ``"down"`` (the endpoint is no longer trusted; ``fail_kind`` is
+    ``"crash"`` or ``"timeout"``, ``protocol_error`` marks undecodable
+    traffic) or ``"join"`` (an external worker completed the handshake;
+    the endpoint is fresh and idle).
+    """
+
+    __slots__ = ("kind", "endpoint", "payload", "fail_kind", "detail",
+                 "protocol_error")
+
+    def __init__(self, kind: str, endpoint, payload: Any = None,
+                 fail_kind: str = "crash", detail: str = "",
+                 protocol_error: bool = False):
+        self.kind = kind
+        self.endpoint = endpoint
+        self.payload = payload
+        self.fail_kind = fail_kind
+        self.detail = detail
+        self.protocol_error = protocol_error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        wid = getattr(self.endpoint, "wid", None)
+        return f"TransportEvent({self.kind!r}, wid={wid}, {self.detail!r})"
+
+
+# ----------------------------------------------------------------------
+# Pipe transport (local worker processes over multiprocessing pipes)
+# ----------------------------------------------------------------------
+
+
+class PipeEndpoint:
+    """A local worker process reached over a duplex mp pipe."""
+
+    external = False
+
+    def __init__(self, wid: int, proc, conn):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.closed = False
+
+    def send(self, msg: Any) -> None:
+        if self.closed:
+            raise EndpointDown(f"worker {self.wid} endpoint closed")
+        try:
+            self.conn.send(msg)
+        except (OSError, ValueError) as exc:
+            raise EndpointDown(str(exc)) from exc
+
+    def alive(self) -> bool:
+        return not self.closed and self.proc.is_alive()
+
+    def poison(self) -> None:
+        """Best-effort graceful-stop request (the ``None`` pill)."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+
+    def terminate(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.proc.join(timeout=timeout)
+
+    def kill_hard(self) -> None:
+        if self.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            self.proc.kill()
+
+    def kill(self) -> None:
+        """Hard-stop: close the pipe and terminate the process."""
+        self.closed = True
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            self.proc.kill()
+            self.proc.join()
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class PipeTransport:
+    """Today's duplex-pipe protocol behind the Transport interface.
+
+    Wire behaviour is bit-compatible with the pre-split engine: one
+    ``multiprocessing.Pipe(duplex=True)`` per worker, the child owning
+    its end, worker death surfacing as EOF on the coordinator's end.
+    """
+
+    name = "pipe"
+
+    def __init__(self, ctx, worker_main: Callable, start_wid: int = 0):
+        self._ctx = ctx
+        self._worker_main = worker_main
+        self._next_wid = start_wid
+        self._endpoints: list[PipeEndpoint] = []
+        self._program = None
+        self._config = None
+
+    @property
+    def address(self):
+        return None
+
+    def start(self, program, config) -> "PipeTransport":
+        self._program = program
+        self._config = config
+        return self
+
+    def spawn(self) -> PipeEndpoint:
+        wid = self._next_wid
+        self._next_wid += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=self._worker_main,
+            args=(wid, child_conn, self._program, self._config),
+            daemon=True,
+            name=f"repro-cluster-w{wid}",
+        )
+        proc.start()
+        child_conn.close()  # the child owns its end now
+        ep = PipeEndpoint(wid, proc, parent_conn)
+        self._endpoints.append(ep)
+        return ep
+
+    def poll(self, timeout: float) -> list[TransportEvent]:
+        live = [ep for ep in self._endpoints if not ep.closed]
+        if not live:
+            if timeout > 0:
+                time.sleep(timeout)
+            return []
+        waitmap = {ep.conn: ep for ep in live}
+        ready = mp_connection.wait(list(waitmap), timeout=timeout)
+        events: list[TransportEvent] = []
+        for conn in ready:
+            ep = waitmap[conn]
+            if ep.closed:
+                continue  # engine killed it earlier this sweep
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                events.append(TransportEvent(
+                    "down", ep, fail_kind="crash",
+                    detail="result pipe closed",
+                ))
+            except Exception as exc:
+                # Garbage on the wire (chaos injection, or a corrupted
+                # worker): the stream framing can no longer be trusted.
+                events.append(TransportEvent(
+                    "down", ep, fail_kind="crash",
+                    detail=("undecodable result message: "
+                            f"{type(exc).__name__}: {exc}"),
+                    protocol_error=True,
+                ))
+            else:
+                events.append(TransportEvent("msg", ep, payload=msg))
+        return events
+
+    def close(self) -> None:
+        self._endpoints.clear()
+
+
+# ----------------------------------------------------------------------
+# TCP transport (framed sockets, elastic membership)
+# ----------------------------------------------------------------------
+
+
+class TcpEndpoint:
+    """A worker reached over a framed TCP connection.
+
+    May be *local* (spawned by the coordinator, ``proc`` set) or
+    *external* (joined via the hello handshake, ``proc`` None).  A local
+    endpoint's :meth:`kill` only severs trust — it closes the connection
+    and stops accepting the worker's messages but defers process
+    termination to transport close: a partitioned worker cannot be
+    reached by SIGTERM either, and deferring makes the local transport
+    faithfully model that (the resurface-with-stale-fence path is
+    exercised rather than masked).
+    """
+
+    def __init__(self, transport: "TcpTransport", wid: int,
+                 proc=None, external: bool = False):
+        self._transport = transport
+        self.wid = wid
+        self.proc = proc
+        self.external = external
+        self.closed = False
+        #: Loop-thread state ------------------------------------------
+        self.writer = None
+        self.attached = False
+        self.ever_attached = False
+        self.detached_at: Optional[float] = None
+        self.last_rx = time.monotonic()
+        self.down_emitted = False
+        self.reconnects = 0
+        self.outbox: deque[bytes] = deque()
+        self.seq_in = 0
+        self.seq_out = 0
+        self.held_in: Optional[Any] = None
+        self.held_out: Optional[bytes] = None
+
+    def send(self, msg: Any) -> None:
+        if self.closed:
+            raise EndpointDown(f"worker {self.wid} endpoint closed")
+        self._transport._send(self, msg)
+
+    def alive(self) -> bool:
+        if self.closed or self.down_emitted:
+            return False
+        if self.proc is not None and not self.proc.is_alive() \
+                and not self.attached:
+            return False
+        return True
+
+    def poison(self) -> None:
+        try:
+            self.send(None)
+        except (EndpointDown, TransportError):
+            pass
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.is_alive():
+            self.proc.terminate()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self.proc is not None:
+            self.proc.join(timeout=timeout)
+
+    def kill_hard(self) -> None:
+        if self.proc is not None and self.proc.is_alive():
+            self.proc.kill()
+
+    def kill(self) -> None:
+        """Sever trust: close the connection, keep the process (if any)
+        for transport-close reaping — see the class docstring."""
+        self.closed = True
+        self._transport._detach_threadsafe(self)
+
+    def close(self) -> None:
+        self.closed = True
+        self._transport._detach_threadsafe(self)
+
+
+class TcpTransport:
+    """Asyncio acceptor + framed sockets behind the Transport interface.
+
+    The event loop runs on a daemon thread; the synchronous coordinator
+    talks to it through a thread-safe event queue (:meth:`poll`) and
+    ``call_soon_threadsafe`` (sends).  Liveness per connection:
+
+    * every received frame refreshes ``last_rx``; workers ping ~1/s even
+      while computing, so a connection with no traffic for
+      ``heartbeat_timeout`` seconds is *half-open* → ``down``;
+    * a clean disconnect starts a ``reconnect_grace`` window — the
+      worker side reconnects with exponential backoff and resumes under
+      the same wid; only an expired window surfaces ``down``;
+    * an unknown (or previously failed) wid completing the handshake
+      surfaces ``join`` — elastic membership, also how a partitioned
+      worker resurfaces (as a *new* endpoint whose stale results the
+      engine fences off).
+
+    ``net_hook`` is the chaos seam: called per frame per direction on
+    the loop thread, it returns actions (drop/delay/duplicate/reorder)
+    that the transport applies before delivery — see
+    :meth:`repro.chaos.FaultPlan.net_hook`.
+    """
+
+    name = "tcp"
+
+    def __init__(self, ctx=None, host: str = "127.0.0.1", port: int = 0,
+                 *, worker_entry: Optional[Callable] = None,
+                 net_hook: Optional[Callable] = None,
+                 heartbeat_timeout: float = 5.0,
+                 reconnect_grace: float = 2.0,
+                 handshake_timeout: float = 5.0,
+                 start_wid: int = 0):
+        self._ctx = ctx
+        self._host = host
+        self._port = port
+        self._worker_entry = worker_entry
+        self._net_hook = net_hook
+        self.heartbeat_timeout = heartbeat_timeout
+        self.reconnect_grace = reconnect_grace
+        self.handshake_timeout = handshake_timeout
+        self._next_wid = start_wid
+        self._program = None
+        self._config = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server = None
+        self._watchdog = None
+        self._events: "queue.Queue[TransportEvent]" = queue.Queue()
+        #: wid -> most recent endpoint for it (loop thread only after
+        #: start, except for reads).
+        self._by_wid: dict[int, TcpEndpoint] = {}
+        #: Every local process ever spawned, reaped at close.
+        self._procs: list = []
+        self.address: Optional[tuple] = None
+        #: Trace hook the engine may set: called as cb(event_type, **f)
+        #: from the loop thread for reconnect/net-fault observability.
+        self.on_wire_event: Optional[Callable] = None
+        self.stats = {"reconnects": 0, "joins": 0, "frames_in": 0,
+                      "frames_out": 0, "net_faults": 0}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, program, config) -> "TcpTransport":
+        self._program = program
+        self._config = config
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-tcp-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        fut = asyncio.run_coroutine_threadsafe(self._serve(), self._loop)
+        self.address = fut.result(timeout=10.0)
+        return self
+
+    async def _serve(self):
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port,
+        )
+        self._watchdog = self._loop.create_task(self._watch())
+        sockname = self._server.sockets[0].getsockname()
+        return (sockname[0], sockname[1])
+
+    def spawn(self) -> TcpEndpoint:
+        """Start a local worker process that dials back over TCP."""
+        if self._worker_entry is None:
+            raise TransportError("transport has no local worker entry")
+        wid = self._alloc_wid()
+        ep = TcpEndpoint(self, wid, proc=None, external=False)
+        self._register(ep)
+        proc = self._ctx.Process(
+            target=self._worker_entry,
+            args=(self.address, wid),
+            daemon=True,
+            name=f"repro-cluster-w{wid}",
+        )
+        proc.start()
+        ep.proc = proc
+        self._procs.append(proc)
+        return ep
+
+    def _alloc_wid(self) -> int:
+        wid = self._next_wid
+        self._next_wid += 1
+        return wid
+
+    def _register(self, ep: TcpEndpoint) -> None:
+        self._by_wid[ep.wid] = ep
+
+    def poll(self, timeout: float) -> list[TransportEvent]:
+        events: list[TransportEvent] = []
+        try:
+            events.append(self._events.get(timeout=timeout))
+        except queue.Empty:
+            return events
+        while True:
+            try:
+                events.append(self._events.get_nowait())
+            except queue.Empty:
+                return events
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+
+        async def _teardown():
+            if self._watchdog is not None:
+                self._watchdog.cancel()
+            if self._server is not None:
+                self._server.close()
+            for ep in list(self._by_wid.values()):
+                self._detach(ep)
+
+        try:
+            asyncio.run_coroutine_threadsafe(
+                _teardown(), self._loop
+            ).result(timeout=5.0)
+        except Exception:  # pragma: no cover - teardown races
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        try:
+            self._loop.close()
+        except RuntimeError:  # pragma: no cover
+            pass
+        # Reap every local process we ever spawned (including workers
+        # whose endpoints were killed mid-run and deliberately left
+        # running to model partitions).
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + 2.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+            proc.join()
+        self._procs.clear()
+
+    # -- loop-thread internals -----------------------------------------
+
+    def _call(self, fn, *args) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(fn, *args)
+
+    def _detach_threadsafe(self, ep: TcpEndpoint) -> None:
+        self._call(self._detach, ep)
+
+    def _detach(self, ep: TcpEndpoint) -> None:
+        ep.attached = False
+        ep.detached_at = time.monotonic()
+        writer, ep.writer = ep.writer, None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    def _emit_down(self, ep: TcpEndpoint, fail_kind: str, detail: str,
+                   protocol_error: bool = False) -> None:
+        if ep.down_emitted:
+            return
+        ep.down_emitted = True
+        self._detach(ep)
+        if not ep.closed:
+            self._events.put(TransportEvent(
+                "down", ep, fail_kind=fail_kind, detail=detail,
+                protocol_error=protocol_error,
+            ))
+
+    async def _watch(self):
+        interval = max(0.05, min(0.25, self.heartbeat_timeout / 4.0))
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for ep in list(self._by_wid.values()):
+                if ep.closed or ep.down_emitted:
+                    continue
+                if ep.attached:
+                    if now - ep.last_rx > self.heartbeat_timeout:
+                        self._emit_down(
+                            ep, "timeout",
+                            f"no traffic for {self.heartbeat_timeout:.1f}s "
+                            "(half-open connection)",
+                        )
+                    continue
+                if ep.ever_attached:
+                    if (ep.detached_at is not None
+                            and now - ep.detached_at > self.reconnect_grace):
+                        self._emit_down(
+                            ep, "crash",
+                            "connection lost (reconnect grace expired)",
+                        )
+                elif ep.proc is not None and not ep.proc.is_alive():
+                    self._emit_down(
+                        ep, "crash", "worker died before first handshake",
+                    )
+
+    async def _read_frame(self, reader, decoder: FrameDecoder):
+        while True:
+            for msg in decoder.messages():
+                return msg
+            data = await reader.read(65536)
+            if not data:
+                raise ConnectionResetError("peer closed")
+            decoder.feed(data)
+
+    async def _on_connection(self, reader, writer):
+        decoder = FrameDecoder()
+        try:
+            hello = await asyncio.wait_for(
+                self._read_frame(reader, decoder),
+                timeout=self.handshake_timeout,
+            )
+        except Exception:
+            writer.close()
+            return
+        if (not isinstance(hello, tuple) or len(hello) != 3
+                or hello[0] != "hello"):
+            writer.close()
+            return
+        _, claimed_wid, version = hello
+        if version != PROTOCOL_VERSION:
+            try:
+                writer.write(encode_frame(
+                    ("reject", f"protocol version {version} != "
+                               f"{PROTOCOL_VERSION}")
+                ))
+                await writer.drain()
+            except Exception:  # pragma: no cover
+                pass
+            writer.close()
+            return
+
+        ep = self._by_wid.get(claimed_wid) if claimed_wid is not None else None
+        fresh = False
+        if ep is None or ep.closed or ep.down_emitted:
+            # External join — or a presumed-dead worker resurfacing
+            # after a partition.  Either way it enters as a *new*
+            # endpoint: the engine grants it fresh leases and fences
+            # off anything it still believes it owns.
+            wid = claimed_wid if claimed_wid is not None else self._alloc_wid()
+            old = self._by_wid.get(wid)
+            ep = TcpEndpoint(self, wid, proc=old.proc if old else None,
+                             external=old.external if old else True)
+            self._register(ep)
+            fresh = True
+            self.stats["joins"] += 1
+            self._events.put(TransportEvent(
+                "join", ep,
+                detail="resurfaced" if old is not None else "external join",
+            ))
+            if self.on_wire_event is not None:
+                self.on_wire_event("join", worker=wid,
+                                   resurfaced=old is not None)
+        first_attach = not ep.ever_attached
+        ep.writer = writer
+        ep.attached = True
+        ep.ever_attached = True
+        ep.last_rx = time.monotonic()
+        try:
+            if first_attach or fresh:
+                writer.write(encode_frame(
+                    ("welcome", ep.wid, self._program, self._config)
+                ))
+            else:
+                ep.reconnects += 1
+                self.stats["reconnects"] += 1
+                if self.on_wire_event is not None:
+                    self.on_wire_event("reconnect", worker=ep.wid,
+                                       count=ep.reconnects)
+                writer.write(encode_frame(("rewelcome", ep.wid)))
+            while ep.outbox:
+                writer.write(ep.outbox.popleft())
+            await writer.drain()
+        except Exception:
+            self._detach(ep)
+            return
+        await self._read_loop(ep, reader, writer, decoder)
+
+    async def _read_loop(self, ep: TcpEndpoint, reader, writer, decoder):
+        try:
+            while True:
+                msg = await self._read_frame(reader, decoder)
+                if ep.writer is not writer or ep.closed:
+                    return  # superseded by a newer connection
+                self._deliver(ep, msg)
+        except FrameError as exc:
+            if ep.writer is writer and not ep.closed:
+                self._emit_down(ep, "crash",
+                                f"undecodable frame: {exc}",
+                                protocol_error=True)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            if ep.writer is writer and not ep.closed:
+                # Clean-ish disconnect: open the reconnect grace window
+                # instead of declaring death immediately.
+                self._detach(ep)
+
+    def _deliver(self, ep: TcpEndpoint, msg: Any) -> None:
+        """Apply inbound chaos, refresh liveness, enqueue the message."""
+        seq = ep.seq_in
+        ep.seq_in += 1
+        for action, delay in self._decide("w2c", ep.wid, seq):
+            if action == "drop":
+                continue
+            if action == "delay":
+                self._loop.call_later(
+                    delay, self._deliver_now, ep, msg)
+                continue
+            if action == "hold":
+                # Reorder: park this message; it rides out behind the
+                # next one that passes.
+                prev, ep.held_in = ep.held_in, msg
+                if prev is not None:
+                    self._deliver_now(ep, prev)
+                continue
+            # "pass" delivers; "dup" is an extra delivery of the same
+            # message (the hook emits it alongside a pass).
+            self._deliver_now(ep, msg)
+            if action == "pass" and ep.held_in is not None:
+                held, ep.held_in = ep.held_in, None
+                self._deliver_now(ep, held)
+
+    def _deliver_now(self, ep: TcpEndpoint, msg: Any) -> None:
+        if ep.closed or ep.down_emitted:
+            return
+        ep.last_rx = time.monotonic()
+        self.stats["frames_in"] += 1
+        if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "ping":
+            return
+        self._events.put(TransportEvent("msg", ep, payload=msg))
+
+    def _decide(self, direction: str, wid: int, seq: int):
+        if self._net_hook is None:
+            return (("pass", 0.0),)
+        try:
+            actions = self._net_hook(direction, wid, seq)
+        except Exception:  # pragma: no cover - chaos hook bug
+            return (("pass", 0.0),)
+        if actions:
+            self.stats["net_faults"] += sum(
+                1 for a, _ in actions if a != "pass"
+            )
+            if self.on_wire_event is not None:
+                for action, _ in actions:
+                    if action != "pass":
+                        self.on_wire_event(
+                            "net_fault", kind=action,
+                            direction=direction, worker=wid, seq=seq,
+                        )
+        return actions or (("pass", 0.0),)
+
+    def _send(self, ep: TcpEndpoint, msg: Any) -> None:
+        frame = encode_frame(msg)
+        self._call(self._send_frame, ep, frame)
+
+    def _send_frame(self, ep: TcpEndpoint, frame: bytes) -> None:
+        if ep.closed:
+            return
+        seq = ep.seq_out
+        ep.seq_out += 1
+        for action, delay in self._decide("c2w", ep.wid, seq):
+            if action == "drop":
+                continue
+            if action == "delay":
+                self._loop.call_later(delay, self._write_now, ep, frame)
+                continue
+            if action == "hold":
+                prev, ep.held_out = ep.held_out, frame
+                if prev is not None:
+                    self._write_now(ep, prev)
+                continue
+            self._write_now(ep, frame)
+            if action == "pass" and ep.held_out is not None:
+                held, ep.held_out = ep.held_out, None
+                self._write_now(ep, held)
+
+    def _write_now(self, ep: TcpEndpoint, frame: bytes) -> None:
+        if ep.closed:
+            return
+        self.stats["frames_out"] += 1
+        if not ep.attached or ep.writer is None:
+            # Buffer for the reconnect window; flushed on reattach.
+            ep.outbox.append(frame)
+            return
+        try:
+            ep.writer.write(frame)
+        except Exception:  # pragma: no cover - write race with close
+            ep.outbox.append(frame)
+
+
+# ----------------------------------------------------------------------
+# Worker-side TCP connection (sync, mp.Connection-compatible surface)
+# ----------------------------------------------------------------------
+
+
+class TcpWorkerConnection:
+    """The worker's side of a framed TCP link to the coordinator.
+
+    Exposes the four methods ``_worker_main`` (and the heartbeat
+    emitter) use on a multiprocessing connection — ``send``, ``recv``,
+    ``poll``, ``close`` — so the worker body is transport-agnostic.
+    Adds what a socket needs that a pipe never did: a handshake that
+    fetches the program and config, reconnect with exponential backoff
+    under the same wid, and a daemon ping thread so long CPU-bound
+    explores don't trip the coordinator's heartbeat deadline.
+    """
+
+    def __init__(self, address, wid: Optional[int] = None, *,
+                 ping_interval: float = 1.0,
+                 reconnect_attempts: int = 6,
+                 backoff_base: float = 0.05,
+                 backoff_max: float = 1.0,
+                 connect_timeout: float = 5.0):
+        self.address = tuple(address)
+        self.wid = wid
+        self.program = None
+        self.config = None
+        self.ping_interval = ping_interval
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.connect_timeout = connect_timeout
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._inbox: deque = deque()
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._connect(initial=True)
+        self._pinger = threading.Thread(
+            target=self._ping_loop, name="repro-tcp-ping", daemon=True,
+        )
+        self._pinger.start()
+
+    # -- connection management -----------------------------------------
+
+    def _connect(self, initial: bool = False) -> None:
+        """(Re)establish the socket and complete the handshake."""
+        with self._lock:
+            last_exc: Optional[Exception] = None
+            attempts = 1 if initial else self.reconnect_attempts
+            for attempt in range(attempts):
+                if attempt:
+                    delay = min(
+                        self.backoff_base * (2 ** (attempt - 1)),
+                        self.backoff_max,
+                    )
+                    time.sleep(delay)
+                try:
+                    sock = socket.create_connection(
+                        self.address, timeout=self.connect_timeout,
+                    )
+                    sock.settimeout(None)
+                    sock.sendall(encode_frame(
+                        ("hello", self.wid, PROTOCOL_VERSION)
+                    ))
+                    decoder = FrameDecoder()
+                    reply = self._read_handshake(sock, decoder)
+                except (OSError, FrameError, ConnectionError) as exc:
+                    last_exc = exc
+                    continue
+                if reply[0] == "reject":
+                    raise ConnectionError(f"coordinator rejected: {reply[1]}")
+                if reply[0] == "welcome":
+                    self.wid = reply[1]
+                    self.program = reply[2]
+                    self.config = reply[3]
+                elif reply[0] != "rewelcome":
+                    last_exc = FrameError(f"bad handshake reply {reply!r}")
+                    continue
+                old = self._sock
+                self._sock = sock
+                self._decoder = decoder
+                if old is not None:
+                    try:
+                        old.close()
+                    except OSError:
+                        pass
+                if not initial:
+                    self.reconnects += 1
+                return
+            raise ConnectionError(
+                f"cannot reach coordinator at {self.address}: {last_exc}"
+            )
+
+    def _read_handshake(self, sock, decoder: FrameDecoder):
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            for msg in decoder.messages():
+                return msg
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ConnectionError("handshake timed out")
+            sock.settimeout(remaining)
+            try:
+                data = sock.recv(65536)
+            finally:
+                sock.settimeout(None)
+            if not data:
+                raise ConnectionError("coordinator closed during handshake")
+            decoder.feed(data)
+
+    def _reconnect(self) -> None:
+        self._connect(initial=False)
+
+    # -- mp.Connection-compatible surface ------------------------------
+
+    def send(self, msg: Any) -> None:
+        frame = encode_frame(msg)
+        with self._lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError:
+                self._reconnect()  # raises ConnectionError when hopeless
+                self._sock.sendall(frame)
+
+    def send_bytes(self, data: bytes) -> None:
+        """Write raw, unframed bytes into the stream (chaos: garbage
+        injection).  The coordinator's frame decoder refuses the
+        stream — bad magic or checksum — and declares this worker a
+        protocol error, the TCP analog of writing junk into the result
+        pipe."""
+        with self._lock:
+            try:
+                self._sock.sendall(data)
+            except OSError:
+                pass  # the severed link is its own kind of garbage
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._inbox:
+            return True
+        if self._pump(blocking=False):
+            return True
+        sock = self._sock
+        try:
+            ready, _, _ = select.select([sock], [], [], max(0.0, timeout))
+        except (OSError, ValueError):
+            return True  # force recv() to notice and reconnect
+        if not ready:
+            return False
+        return True
+
+    def recv(self) -> Any:
+        while True:
+            if self._inbox:
+                return self._inbox.popleft()
+            self._pump(blocking=True)
+
+    def _pump(self, blocking: bool) -> bool:
+        """Read socket bytes into the inbox; True if anything arrived."""
+        sock = self._sock
+        try:
+            if not blocking:
+                sock.setblocking(False)
+            try:
+                data = sock.recv(65536)
+            finally:
+                if not blocking:
+                    sock.setblocking(True)
+        except (BlockingIOError, InterruptedError):
+            return False
+        except OSError:
+            data = b""
+        if not data:
+            if not blocking:
+                return False
+            try:
+                self._reconnect()
+            except ConnectionError:
+                raise EOFError("coordinator gone") from None
+            return False
+        try:
+            self._decoder.feed(data)
+            got = False
+            for msg in self._decoder.messages():
+                if isinstance(msg, tuple) and msg and msg[0] in (
+                    "rewelcome", "welcome",
+                ):
+                    continue
+                self._inbox.append(msg)
+                got = True
+            return got
+        except FrameError:
+            # The stream is unrecoverable past a bad frame: drop the
+            # connection and re-handshake on a clean one.
+            try:
+                self._reconnect()
+            except ConnectionError:
+                raise EOFError("coordinator gone") from None
+            return False
+
+    def close(self) -> None:
+        self._stop.set()
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    # -- liveness ------------------------------------------------------
+
+    def _ping_loop(self) -> None:
+        while not self._stop.wait(self.ping_interval):
+            with self._lock:
+                sock = self._sock
+                if sock is None:
+                    return
+                try:
+                    sock.sendall(encode_frame(("ping", self.wid)))
+                except OSError:
+                    pass  # the main thread will reconnect on its next IO

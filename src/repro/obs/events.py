@@ -96,6 +96,18 @@ PARALLEL_POISONED = "parallel.poisoned"
 #: The pool collapsed below min_workers; the coordinator finishes the
 #: remaining frontier in-process.
 PARALLEL_DEGRADED = "parallel.degraded"
+#: An idle worker announced steal capacity (the pull half of
+#: work-stealing; the matching grant is a parallel.dispatch).
+PARALLEL_STEAL = "parallel.steal"
+#: A task lease saw no progress for its duration: its fence was retired
+#: and the task requeued under a fresh one.
+PARALLEL_LEASE_EXPIRED = "parallel.lease_expired"
+#: A result arrived under a fence that is no longer live (expired lease,
+#: superseded grant, or duplicated delivery) and was discarded wholesale.
+PARALLEL_FENCED_STALE = "parallel.fenced_stale"
+#: An external worker joined the pool over the network (elastic
+#: membership), or a presumed-dead one resurfaced as a new endpoint.
+PARALLEL_JOIN = "parallel.join"
 
 # -- crash-tolerance journal -------------------------------------------
 #: Emitted by journal recovery with the rebuilt-run shape.
@@ -120,6 +132,9 @@ CHAOS_WORKER_FAULT = "chaos.worker_fault"
 CHAOS_COORDINATOR_KILL = "chaos.coordinator_kill"
 #: The chaos plan injected a journal fault (kind: tear | bitflip).
 CHAOS_JOURNAL_FAULT = "chaos.journal_fault"
+#: The chaos plan acted on a transport frame (action: drop | delay |
+#: dup | hold; direction: c2w | w2c).
+CHAOS_NET_FAULT = "chaos.net_fault"
 
 #: Required fields per event type.  Extra fields are always allowed.
 EVENT_FIELDS: dict[str, tuple[str, ...]] = {
@@ -154,12 +169,17 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     PARALLEL_RESPAWN: ("worker", "slot", "failures"),
     PARALLEL_POISONED: ("task", "kills"),
     PARALLEL_DEGRADED: ("pending",),
+    PARALLEL_STEAL: ("worker", "want"),
+    PARALLEL_LEASE_EXPIRED: ("task", "fence", "worker"),
+    PARALLEL_FENCED_STALE: ("worker", "task", "fence"),
+    PARALLEL_JOIN: ("worker",),
     JOURNAL_RECOVER: ("records", "pending", "solutions", "skipped", "torn"),
     STATUS_SAMPLE: ("tasks", "solutions", "throughput"),
     FLIGHT_HEADER: ("worker", "kind", "events"),
     CHAOS_WORKER_FAULT: ("kind",),
     CHAOS_COORDINATOR_KILL: ("epoch",),
     CHAOS_JOURNAL_FAULT: ("kind", "epoch"),
+    CHAOS_NET_FAULT: ("action", "direction", "worker"),
 }
 
 EVENT_TYPES = frozenset(EVENT_FIELDS)

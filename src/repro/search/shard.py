@@ -45,6 +45,13 @@ class PrefixTask(NamedTuple):
         worker's trace events be causally linked back to the run and the
         subtree that produced them, across the process boundary.  Spilled
         children inherit their parent task's span.
+    fence:
+        The monotonic fencing token of the dispatch this copy of the
+        task travelled under (see :mod:`repro.core.lease`): 0 before
+        first dispatch, stamped by the coordinator's lease table at
+        grant time.  A result whose fence does not match the live lease
+        is stale and discarded — the mechanism that keeps solution
+        multisets exact when a presumed-dead worker resurfaces.
     """
 
     prefix: tuple[int, ...] = ()
@@ -52,6 +59,7 @@ class PrefixTask(NamedTuple):
     hint: Optional[float] = None
     attempt: int = 0
     span: Optional[int] = None
+    fence: int = 0
 
     @property
     def depth(self) -> int:
@@ -72,13 +80,16 @@ class PrefixTask(NamedTuple):
         restores them, so ``from_record(to_record(t)) == t`` exactly —
         the round-trip the journal's recovery path depends on.
         """
-        return {
+        record = {
             "prefix": list(self.prefix),
             "fanouts": list(self.fanouts),
             "hint": self.hint,
             "attempt": self.attempt,
             "span": self.span,
         }
+        if self.fence:
+            record["fence"] = self.fence
+        return record
 
     @classmethod
     def from_record(cls, record: dict) -> "PrefixTask":
@@ -89,6 +100,7 @@ class PrefixTask(NamedTuple):
             hint=record.get("hint"),
             attempt=record.get("attempt", 0),
             span=record.get("span"),
+            fence=record.get("fence", 0),
         )
 
 

@@ -69,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--task-timeout", type=float, default=2.0,
                         help="per-task timeout; stall faults sleep past "
                         "it so they are detected (default: 2.0)")
+    parser.add_argument("--transport", choices=["pipe", "tcp"],
+                        default="pipe",
+                        help="worker transport for the chaos runs; the "
+                        "fault-free baseline always uses pipes, so a tcp "
+                        "sweep doubles as a pipe-vs-TCP differential "
+                        "(default: pipe)")
+    parser.add_argument("--net", action="store_true",
+                        help="inject the standard network fault mix "
+                        "(drop/delay/duplicate/reorder/partition/"
+                        "half-open) at the TCP transport seam; requires "
+                        "--transport tcp")
     parser.add_argument("--kill", action="store_true",
                         help="also kill the coordinator at a seed-derived "
                         "journal epoch and resume from the journal")
@@ -84,15 +95,24 @@ def _solution_multiset(result):
     return sorted((s.path, s.value) for s in result.solutions)
 
 
-def _engine(args, replay_log=None, **kwargs) -> ProcessParallelEngine:
+def _engine(args, replay_log=None, baseline=False,
+            **kwargs) -> ProcessParallelEngine:
     if replay_log is not None:
         kwargs.update(replay_mode="strict", replay_log=replay_log,
                       verify="warn")
+    if not baseline:
+        kwargs.setdefault("transport", args.transport)
+        if args.net:
+            # Partitions look like dead workers and cost retries; give
+            # the sweep a short heartbeat and a deep retry budget so
+            # every re-dispatched subtree still lands.
+            kwargs.setdefault("heartbeat_timeout", 1.5)
+            kwargs.setdefault("max_task_retries", 10)
     return ProcessParallelEngine(
         workers=args.workers,
         task_step_budget=3000,
         task_timeout=args.task_timeout,
-        max_task_retries=4,
+        max_task_retries=kwargs.pop("max_task_retries", 4),
         **kwargs,
     )
 
@@ -108,7 +128,9 @@ def _build_workload(args):
         if args.n not in KNOWN_SOLUTION_COUNTS:
             raise SystemExit(f"error: no known solution count for n={args.n}")
         guest = nqueens_asm(args.n)
-        baseline = _solution_multiset(_engine(args).run(guest))
+        baseline = _solution_multiset(
+            _engine(args, baseline=True).run(guest)
+        )
         if len(baseline) != KNOWN_SOLUTION_COUNTS[args.n]:
             raise SystemExit(
                 f"error: fault-free baseline found {len(baseline)} "
@@ -150,6 +172,16 @@ def _build_workload(args):
 def run_seed(args, seed: int, guest, baseline, journal_dir,
              replay_log=None) -> dict:
     """One sweep iteration; returns its report row."""
+    net = dict(
+        net_drop_rate=0.08,
+        net_delay_rate=0.10,
+        net_delay_s=0.05,
+        net_dup_rate=0.08,
+        net_reorder_rate=0.08,
+        partition_rate=0.04,
+        partition_frames=6,
+        half_open_rate=0.03,
+    ) if args.net else {}
     plan = FaultPlan(
         seed=seed,
         crash_rate=args.crash_rate,
@@ -157,6 +189,7 @@ def run_seed(args, seed: int, guest, baseline, journal_dir,
         garbage_rate=args.garbage_rate,
         stall_seconds=args.task_timeout * 4,
         coordinator_kill_epoch=(15 + seed % 25) if args.kill else None,
+        **net,
     )
     row: dict = {"seed": seed, "kill_epoch": plan.coordinator_kill_epoch}
     journal = (
@@ -198,11 +231,21 @@ def run_seed(args, seed: int, guest, baseline, journal_dir,
         "degraded": extra["degraded"],
         "ok": _solution_multiset(result) == baseline,
     })
+    if args.transport == "tcp":
+        row.update({
+            "steals": extra["steals"],
+            "leases_expired": extra["leases_expired"],
+            "fenced_stale": extra["fenced_stale"],
+            "joins": extra["worker_joins"],
+        })
     return row
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.net and args.transport != "tcp":
+        print("error: --net requires --transport tcp", file=sys.stderr)
+        return 2
     try:
         guest, baseline, replay_log = _build_workload(args)
     except SystemExit as err:
@@ -226,6 +269,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "expected_solutions": len(baseline),
         "seeds": args.seeds,
         "kill_mode": args.kill,
+        "transport": args.transport,
+        "net_mode": args.net,
+        "total_fenced_stale": sum(
+            r.get("fenced_stale", 0) for r in rows
+        ),
         "failures": [row["seed"] for row in failures],
         "total_crashes": sum(r["crashes"] for r in rows),
         "total_timeouts": sum(r["timeouts"] for r in rows),
@@ -243,19 +291,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 + ("+resume" if row["killed"] else " (finished first)")
                 if row["kill_epoch"] is not None else ""
             )
+            net = (
+                f" fenced={row['fenced_stale']} "
+                f"leases={row['leases_expired']}"
+                if "fenced_stale" in row else ""
+            )
             print(
                 f"seed {row['seed']:>4}: {status}  "
                 f"solutions={row['solutions']} crashes={row['crashes']} "
                 f"timeouts={row['timeouts']} "
                 f"garbage={row['protocol_errors']} "
-                f"respawns={row['respawns']}{kill}"
+                f"respawns={row['respawns']}{net}{kill}"
             )
+        fenced = (
+            f", {report['total_fenced_stale']} stale results fenced"
+            if args.transport == "tcp" else ""
+        )
         print(
             f"{args.seeds} seed(s): {len(failures)} failure(s), "
             f"{report['total_crashes']} worker crashes, "
             f"{report['total_timeouts']} timeouts, "
             f"{report['total_protocol_errors']} garbage injections "
-            f"survived"
+            f"survived{fenced}"
         )
     if failures:
         print(

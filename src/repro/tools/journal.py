@@ -69,10 +69,37 @@ def _report(args) -> dict:
         "completed": len(recovered.completed_keys),
         "solutions": len(recovered.solutions),
         "dropped": [list(t.prefix) for t in recovered.dropped],
+        "transport": header.get("transport"),
+        "lease_timeout": header.get("lease_timeout"),
+        "last_fence": recovered.last_fence,
         "poisoned": [
-            {"task": list(task.prefix), "evidence": evidence}
+            {
+                "task": list(task.prefix),
+                "evidence": evidence,
+                # The distinct workers this task is blamed for killing —
+                # the circuit breaker's quarantine basis.
+                "workers": sorted({
+                    e.get("worker") for e in evidence
+                    if e.get("worker") is not None
+                }),
+                "lease_history": recovered.lease_history.get(
+                    task.key(), []
+                ),
+            }
             for task, evidence in recovered.poisoned
         ],
+        # Full per-task dispatch/expire/stale/complete lineage for every
+        # task that was ever re-dispatched or fenced — the forensic view
+        # of which worker held which fence when, and whether the subtree
+        # was ultimately accounted.
+        "lease_history": {
+            ",".join(map(str, key)): {
+                "events": events,
+                "completed": key in recovered.completed_keys,
+            }
+            for key, events in sorted(recovered.lease_history.items())
+            if len(events) > 1
+        },
     }
     if args.records:
         records, _, _, _ = scan(args.journal)
@@ -124,9 +151,18 @@ def _render_human(report: dict) -> str:
     if report["dropped"]:
         lines.append(f"  dropped (retryable on resume): "
                      f"{report['dropped']}")
+    if report.get("transport"):
+        lease = report.get("lease_timeout")
+        lines.append(
+            f"  transport: {report['transport']}, lease_timeout="
+            f"{'none' if lease is None else f'{lease:.1f}s'}, "
+            f"last fence {report.get('last_fence', 0)}"
+        )
     for entry in report["poisoned"]:
         kills = entry["evidence"]
-        workers = sorted({e.get("worker") for e in kills})
+        workers = entry.get("workers") or sorted(
+            {e.get("worker") for e in kills}
+        )
         lines.append(
             f"  POISONED {entry['task']}: killed {len(kills)} worker(s) "
             f"{workers}"
@@ -136,6 +172,26 @@ def _render_human(report: dict) -> str:
                 f"    {ev.get('kind')} worker={ev.get('worker')} "
                 f"slot={ev.get('slot')} {ev.get('detail', '')}".rstrip()
             )
+        for ev in entry.get("lease_history", []):
+            lines.append(
+                f"    lease {ev.get('event')} fence={ev.get('fence')} "
+                f"worker={ev.get('worker')} epoch={ev.get('epoch')}"
+            )
+    history = report.get("lease_history") or {}
+    if history:
+        lines.append(
+            f"  lease lineage ({len(history)} re-dispatched/fenced "
+            "task(s)):"
+        )
+        for key, entry in list(history.items())[:10]:
+            trail = " -> ".join(
+                f"{ev.get('event')}[f{ev.get('fence')}@w{ev.get('worker')}]"
+                for ev in entry["events"]
+            )
+            mark = "completed" if entry["completed"] else "UNRESOLVED"
+            lines.append(f"    ({key}): {trail} [{mark}]")
+        if len(history) > 10:
+            lines.append(f"    ... and {len(history) - 10} more")
     return "\n".join(lines)
 
 

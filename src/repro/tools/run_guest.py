@@ -30,7 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.tools.run_guest",
         description="Explore a guest binary with system-level backtracking.",
     )
-    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="assembly source file (omitted when joining "
+                        "a coordinator with --connect: the program ships "
+                        "over the wire)")
     parser.add_argument(
         "--engine", choices=["snapshot", "replay", "parallel", "process"],
         default="snapshot", help="exploration engine (default: snapshot)",
@@ -57,6 +60,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=4,
                         help="tasks per worker dispatch (process engine "
                         "only)")
+    parser.add_argument("--transport", choices=["pipe", "tcp"],
+                        default="pipe",
+                        help="coordinator/worker wire (process engine "
+                        "only): pipe = local duplex pipes (default), tcp "
+                        "= framed sockets with elastic membership — "
+                        "external workers may join with --connect")
+    parser.add_argument("--listen", metavar="HOST:PORT", default=None,
+                        help="TCP transport: accept workers on this "
+                        "address (default 127.0.0.1:0 — loopback, "
+                        "ephemeral port)")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="join a running TCP coordinator as a worker "
+                        "instead of starting a run; the guest program and "
+                        "engine config arrive over the wire, so no source "
+                        "file or engine flags are needed")
+    parser.add_argument("--lease-ms", type=float, default=None,
+                        metavar="MS",
+                        help="task lease duration in milliseconds: a "
+                        "dispatched task whose lease sees no progress for "
+                        "this long is re-dispatched and the late result "
+                        "fenced off (default: 1.5 x --task-timeout)")
     parser.add_argument("--journal", metavar="PATH", default=None,
                         help="write-ahead run journal for crash-tolerant "
                         "runs (process engine only); inspect it with "
@@ -140,8 +164,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.connect is not None:
+        # Worker mode: no local program, no engine — dial the
+        # coordinator, fetch program+config in the handshake, and serve
+        # until poisoned or disconnected for good.
+        if args.source is not None:
+            print("error: --connect takes no source file (the program "
+                  "ships over the wire)", file=sys.stderr)
+            return 2
+        try:
+            host, port = _parse_hostport(args.connect)
+        except ValueError:
+            print(f"error: --connect expects HOST:PORT, got "
+                  f"{args.connect!r}", file=sys.stderr)
+            return 2
+        from repro.core.cluster import tcp_worker
+
+        print(f"joining coordinator at {host}:{port}", file=sys.stderr)
+        tcp_worker(host, port)
+        return 0
+    if args.source is None:
+        print("error: a source file is required (or --connect to join a "
+              "coordinator as a worker)", file=sys.stderr)
+        return 2
     try:
         with open(args.source) as handle:
             source = handle.read()
@@ -177,11 +229,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ("--status-log", args.status_log),
             ("--flight-dir", args.flight_dir),
             ("--chaos-crash-rate", args.chaos_crash_rate),
+            ("--listen", args.listen),
+            ("--lease-ms", args.lease_ms),
         ):
             if value is not None:
                 print(f"error: {flag} requires --engine process",
                       file=sys.stderr)
                 return 2
+        if args.transport != "pipe":
+            print("error: --transport requires --engine process",
+                  file=sys.stderr)
+            return 2
+    if args.listen is not None and args.transport != "tcp":
+        print("error: --listen requires --transport tcp", file=sys.stderr)
+        return 2
+    listen = None
+    if args.listen is not None:
+        try:
+            listen = _parse_hostport(args.listen)
+        except ValueError:
+            print(f"error: --listen expects HOST:PORT, got {args.listen!r}",
+                  file=sys.stderr)
+            return 2
+    if args.lease_ms is not None and args.lease_ms <= 0:
+        print("error: --lease-ms must be > 0", file=sys.stderr)
+        return 2
     digest = program_digest(program)
     seed_log = None
     if args.replay_log:
@@ -298,7 +370,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             status_log=args.status_log,
             status_interval=args.status_interval,
             flight_dir=args.flight_dir,
+            transport=args.transport,
+            listen=listen,
+            lease_timeout=(
+                args.lease_ms / 1000.0 if args.lease_ms is not None else None
+            ),
         )
+        if args.transport == "tcp" and listen is not None:
+            print(f"accepting workers on {listen[0]}:{listen[1]} "
+                  "(join with: repro.tools.run_guest --connect "
+                  f"{listen[0]}:{listen[1]})", file=sys.stderr)
     else:
         engine = ReplayMachineEngine(
             strategy=args.strategy,
@@ -372,6 +453,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"; resumed with {extra['resume_pending']} pending, "
                     f"{extra['resume_solutions']} recovered solutions"
                 )
+            print(line)
+        if "steals" in extra:
+            line = (
+                f"  scheduling [{extra.get('transport', 'pipe')}]: "
+                f"{extra['steals']} steals, "
+                f"{extra['leases_expired']} leases expired, "
+                f"{extra['fenced_stale']} stale results fenced"
+            )
+            if extra.get("worker_joins"):
+                line += f", {extra['worker_joins']} workers joined"
             print(line)
         if "heartbeats" in extra:
             line = f"  telemetry: {extra['heartbeats']} heartbeats"

@@ -150,3 +150,101 @@ class TestValidation:
             WorkerSupervisor(2, SupervisorPolicy(min_workers=-1))
         with pytest.raises(ValueError):
             WorkerSupervisor(2, SupervisorPolicy(poison_threshold=0))
+
+
+class TestElasticSlots:
+    """Slots grown mid-run for joined (external) workers."""
+
+    def test_add_slot_indexes_append(self):
+        sup, _ = make(workers=2)
+        slot = sup.add_slot(respawnable=False)
+        assert slot.index == 2
+        assert sup.slots[2] is slot
+        assert not slot.respawnable
+        assert sup.serviceable() == 3
+
+    def test_external_failure_is_terminal_not_backoff(self):
+        sup, _ = make(workers=1, max_slot_failures=100)
+        slot = sup.add_slot(respawnable=False)
+        decision = sup.record_failure(slot, 5, "crash", None)
+        assert slot.state is SlotState.DEAD
+        assert decision.slot_died
+        assert decision.backoff == 0.0
+        assert slot not in sup.respawn_ready()
+
+    def test_external_slot_sustains_a_dead_local_pool(self):
+        sup, _ = make(workers=1, min_workers=1, max_slot_failures=1)
+        sup.add_slot(respawnable=False)
+        sup.record_failure(sup.slots[0], 0, "crash", None)
+        assert sup.slots[0].state is SlotState.DEAD
+        # The joined worker alone keeps the pool above the floor.
+        assert not sup.collapsed()
+
+
+class TestCollapseVsRespawn:
+    def test_backoff_slot_still_counts_toward_the_floor(self):
+        # A transient failure (BACKOFF, recovering) must not read as
+        # collapse: only DEAD slots are written off.
+        sup, _ = make(workers=2, min_workers=2, max_slot_failures=4)
+        sup.record_failure(sup.slots[0], 0, "crash", None)
+        assert sup.slots[0].state is SlotState.BACKOFF
+        assert not sup.collapsed()
+
+    def test_collapse_races_respawn_deadline(self):
+        # Slot 0 is in BACKOFF (respawn pending) when slot 1 dies for
+        # good: the pool collapses even though a respawn was due — the
+        # engine checks collapse before spending the respawn.
+        sup, clock = make(
+            workers=2, min_workers=2, backoff_base=1.0,
+            backoff_jitter=0.0, max_slot_failures=2,
+        )
+        sup.record_failure(sup.slots[0], 0, "crash", None)
+        for wid in (1, 2):
+            sup.record_failure(sup.slots[1], wid, "crash", None)
+        assert sup.slots[1].state is SlotState.DEAD
+        assert sup.collapsed()
+        clock.now += 5.0
+        assert sup.respawn_ready() == [sup.slots[0]]
+        # Respawning the survivor does not un-collapse the pool.
+        sup.mark_running(sup.slots[0])
+        assert sup.collapsed()
+
+    def test_backoff_saturates_at_cap_forever(self):
+        sup, _ = make(
+            workers=1, backoff_base=0.1, backoff_max=0.5,
+            backoff_jitter=0.0, max_slot_failures=1000,
+        )
+        slot = sup.slots[0]
+        delays = [
+            sup.record_failure(slot, wid, "crash", None).backoff
+            for wid in range(40)
+        ]
+        assert all(d == 0.5 for d in delays[3:])  # no overflow, no drift
+
+
+class TestHealth:
+    def test_health_tracks_every_transition(self):
+        sup, clock = make(
+            workers=2, backoff_base=1.0, backoff_jitter=0.0,
+            max_slot_failures=2,
+        )
+        sup.add_slot(respawnable=False)
+        assert [h["state"] for h in sup.health()] == ["running"] * 3
+        sup.record_failure(sup.slots[0], 0, "crash", None)
+        for wid in (1, 2):
+            sup.record_failure(sup.slots[1], wid, "crash", None)
+        health = sup.health()
+        assert len(health) == len(sup.slots) == 3
+        assert [h["state"] for h in health] == ["backoff", "dead", "running"]
+        assert health[0]["respawn_in_s"] == pytest.approx(1.0)
+        assert "respawn_in_s" not in health[1]
+        assert health[1]["total_failures"] == 2
+        # The countdown follows the clock and floors at zero.
+        clock.now += 0.4
+        assert sup.health()[0]["respawn_in_s"] == pytest.approx(0.6)
+        clock.now += 10.0
+        assert sup.health()[0]["respawn_in_s"] == 0.0
+        sup.mark_running(sup.slots[0])
+        entry = sup.health()[0]
+        assert entry["state"] == "running"
+        assert entry["respawns"] == 1
